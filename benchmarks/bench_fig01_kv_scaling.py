@@ -1,0 +1,25 @@
+"""Fig. 1(b): KV cache size and attention latency versus sequence length."""
+
+from conftest import write_report
+
+from repro.analysis import fig1_kv_scaling
+
+
+def test_fig1_kv_scaling(benchmark, results_dir):
+    points = benchmark(fig1_kv_scaling)
+
+    lines = ["Fig. 1(b) — KV cache size and dense-attention latency vs sequence length",
+             f"{'seq len':>10}  {'KV cache (GiB)':>15}  {'attention latency (us)':>24}"]
+    for point in points:
+        lines.append(
+            f"{point.sequence_length:>10}  {point.kv_cache_gib:>15.2f}  "
+            f"{point.attention_latency_us:>24.1f}"
+        )
+    lines.append(f"Llama-2-7B weights: {points[0].weight_gib:.1f} GiB")
+    report = "\n".join(lines)
+    write_report(results_dir, "fig01_kv_scaling", report)
+
+    # Shape checks: both curves grow linearly and the KV cache overtakes the
+    # model weights at long context, which is the paper's motivation.
+    assert points[-1].kv_cache_gib > points[0].weight_gib
+    assert points[-1].attention_latency_us > points[0].attention_latency_us

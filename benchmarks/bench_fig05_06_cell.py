@@ -1,0 +1,59 @@
+"""Figs. 5-6: UniCAIM cell truth tables for signed 1-bit and multilevel data."""
+
+import numpy as np
+from conftest import write_report
+
+from repro.circuits import CellParams, UniCAIMCell, signed_levels
+
+
+def build_truth_tables():
+    params = CellParams()
+    tables = {}
+
+    # Fig. 5(d): 1-bit key x 1-bit query.
+    rows = []
+    for key in (-1.0, 0.0, 1.0):
+        cell = UniCAIMCell(params, key_bits=2)
+        cell.write_key(key)
+        for query in (-1, 1):
+            rows.append((key, query, cell.sense_current(query)))
+    tables["1bit"] = rows
+
+    # Fig. 6(b): 3-bit key x 1-bit query.
+    rows = []
+    for key in signed_levels(3):
+        cell = UniCAIMCell(params, key_bits=3)
+        cell.write_key(float(key))
+        for query in (-1, 1):
+            rows.append((float(key), query, cell.sense_current(query)))
+    tables["3bit_key"] = rows
+
+    # Fig. 6(d): 2-bit key x 2-bit query via bitwise expansion.
+    rows = []
+    for key in signed_levels(2):
+        cell = UniCAIMCell(params, key_bits=2)
+        cell.write_key(float(key))
+        for query in signed_levels(2):
+            rows.append((float(key), float(query),
+                         cell.sense_current_multilevel(float(query), query_bits=2)))
+    tables["2bit_both"] = rows
+    return tables
+
+
+def test_fig5_6_cell_truth_tables(benchmark, results_dir):
+    tables = benchmark(build_truth_tables)
+
+    lines = ["Figs. 5-6 — UniCAIM cell truth tables (I_SL in uA; lower = more similar)"]
+    for name, rows in tables.items():
+        lines.append(f"\n[{name}]")
+        lines.append(f"{'key':>6}  {'query':>6}  {'I_SL (uA)':>10}")
+        for key, query, current in rows:
+            lines.append(f"{key:>6.2f}  {query:>6.2f}  {current * 1e6:>10.3f}")
+    write_report(results_dir, "fig05_06_cell_truth_tables", "\n".join(lines))
+
+    # The defining property: I_SL is monotone decreasing in key*query.
+    for rows in tables.values():
+        products = np.array([k * q for k, q, _ in rows])
+        currents = np.array([c for _, _, c in rows])
+        order = np.argsort(products)
+        assert np.all(np.diff(currents[order]) <= 1e-12)

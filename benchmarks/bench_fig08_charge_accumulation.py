@@ -1,0 +1,33 @@
+"""Fig. 8: charge-domain accumulation and static eviction."""
+
+import numpy as np
+from conftest import write_report
+
+from repro.analysis import fig8_charge_accumulation
+
+
+def test_fig8_charge_domain_static_eviction(benchmark, results_dir):
+    trace = benchmark(
+        fig8_charge_accumulation, num_rows=16, dim=64, steps=24, seed=3
+    )
+
+    lines = ["Fig. 8 — accumulated similarity voltages after 24 decoding steps",
+             f"{'row':>4}  {'V_acc (V)':>10}  {'EWMA MAC':>10}  {'mean MAC':>10}"]
+    for row in range(len(trace.accumulated_voltages)):
+        lines.append(
+            f"{row:>4}  {trace.accumulated_voltages[row]:>10.4f}  "
+            f"{trace.ewma_similarity[row]:>10.2f}  "
+            f"{trace.true_mean_similarity[row]:>10.2f}"
+        )
+    lines.append(f"FE-INV eviction victim: row {trace.victim_row}")
+    lines.append(f"row with lowest mean similarity: row {trace.true_lowest_row}")
+    write_report(results_dir, "fig08_charge_accumulation", "\n".join(lines))
+
+    # The accumulation capacitor holds an exponentially weighted running
+    # average of the similarity: it must track the equally-weighted EWMA of
+    # the true MAC values closely, and the evicted row must sit in the
+    # low-similarity tail of the long-run mean.
+    corr = np.corrcoef(trace.accumulated_voltages, trace.ewma_similarity)[0, 1]
+    assert corr > 0.8
+    victim_rank = np.argsort(trace.true_mean_similarity).tolist().index(trace.victim_row)
+    assert victim_rank <= len(trace.true_mean_similarity) // 4

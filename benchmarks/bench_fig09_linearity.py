@@ -1,0 +1,23 @@
+"""Fig. 9: current-domain I_SL linearity under FeFET device variation."""
+
+from conftest import write_report
+
+from repro.analysis import fig9_linearity
+
+
+def test_fig9_current_domain_linearity(benchmark, results_dir):
+    report = benchmark(fig9_linearity, dim=128, vth_sigma=0.054, seed=0, num_points=65)
+
+    lines = ["Fig. 9 — I_SL versus signed MAC with sigma(V_TH) = 54 mV (d = 128)",
+             f"linear fit: slope = {report.slope:.3e} A/MAC, "
+             f"intercept = {report.intercept:.3e} A",
+             f"R^2 = {report.r_squared:.6f}",
+             f"max deviation from fit = {report.max_deviation:.3e} A",
+             "",
+             f"{'MAC':>6}  {'I_SL (uA)':>12}"]
+    for mac, current in zip(report.mac_values[::4], report.currents[::4]):
+        lines.append(f"{mac:>6.0f}  {current * 1e6:>12.3f}")
+    write_report(results_dir, "fig09_linearity", "\n".join(lines))
+
+    assert report.r_squared > 0.99
+    assert report.slope < 0  # higher similarity -> lower current by design

@@ -1,0 +1,46 @@
+"""Fig. 10: required device count versus input / output sequence length."""
+
+from conftest import write_report
+
+from repro.analysis import fig10_area_sweeps
+from repro.energy import DesignPoint
+
+
+def test_fig10_device_count_sweeps(benchmark, results_dir):
+    data = benchmark(fig10_area_sweeps)
+
+    designs = list(data["vs_input_length"].keys())
+    lines = ["Fig. 10 — required device count under different pruning conditions", ""]
+
+    lines.append("(a) versus input sequence length (output = 64)")
+    header = f"{'input len':>10}" + "".join(f"  {d.value:>22}" for d in designs)
+    lines.append(header)
+    for idx, length in enumerate(data["input_lengths"]):
+        row = f"{length:>10}"
+        for design in designs:
+            row += f"  {data['vs_input_length'][design][idx]:>22,}"
+        lines.append(row)
+
+    lines.append("")
+    lines.append("(b) versus output sequence length (input = 512)")
+    lines.append(header.replace("input len", "output len"))
+    for idx, length in enumerate(data["output_lengths"]):
+        row = f"{length:>10}"
+        for design in designs:
+            row += f"  {data['vs_output_length'][design][idx]:>22,}"
+        lines.append(row)
+
+    dense = data["vs_input_length"][DesignPoint.NO_PRUNING]
+    ours_3bit = data["vs_input_length"][DesignPoint.UNICAIM_3BIT]
+    lines.append("")
+    lines.append(
+        f"device-count reduction (3-bit cell) at the longest input: "
+        f"{dense[-1] / ours_3bit[-1]:.1f}x"
+    )
+    write_report(results_dir, "fig10_area", "\n".join(lines))
+
+    # Shape: the dense design grows with length, the UniCAIM cache is fixed,
+    # and the reduction therefore grows with sequence length.
+    assert dense[-1] > dense[0]
+    assert ours_3bit[-1] == ours_3bit[0]
+    assert dense[-1] / ours_3bit[-1] > dense[0] / ours_3bit[0]

@@ -1,0 +1,49 @@
+"""Fig. 11: energy breakdown and energy versus sequence lengths."""
+
+from conftest import write_report
+
+from repro.analysis import fig11_energy
+from repro.energy import DesignPoint
+
+
+def test_fig11_energy_breakdown_and_sweeps(benchmark, results_dir):
+    data = benchmark(fig11_energy)
+
+    lines = ["Fig. 11(a) — per-decoding-step energy breakdown at the reference workload",
+             f"{'design':>22}  {'array':>9}  {'ADC':>9}  {'top-k':>9}  {'CAM':>9}  {'total':>9}  (nJ)"]
+    for design, breakdown in data["breakdowns"].items():
+        lines.append(
+            f"{design.value:>22}  {breakdown.array * 1e9:>9.2f}  {breakdown.adc * 1e9:>9.2f}"
+            f"  {breakdown.topk * 1e9:>9.2f}  {breakdown.cam * 1e9:>9.3f}"
+            f"  {breakdown.total * 1e9:>9.2f}"
+        )
+
+    dense = data["breakdowns"][DesignPoint.NO_PRUNING]
+    ours = data["breakdowns"][DesignPoint.UNICAIM_1BIT]
+    conventional = data["breakdowns"][DesignPoint.CONVENTIONAL_DYNAMIC]
+    lines.append("")
+    lines.append(f"UniCAIM / dense energy ratio: {ours.total / dense.total:.2f} (paper: 0.19)")
+    lines.append(
+        f"conventional dynamic / dense ratio: {conventional.total / dense.total:.2f} (paper: 0.91)"
+    )
+
+    lines.append("")
+    lines.append("Fig. 11(b) — generation energy (nJ) vs input length (output = 64)")
+    for design, series in data["vs_input_length"].items():
+        values = "  ".join(f"{value * 1e9:>9.1f}" for value in series)
+        lines.append(f"{design.value:>22}  {values}")
+    lines.append("")
+    lines.append("Fig. 11(c) — generation energy (nJ) vs output length (input = 2048)")
+    for design, series in data["vs_output_length"].items():
+        values = "  ".join(f"{value * 1e9:>9.1f}" for value in series)
+        lines.append(f"{design.value:>22}  {values}")
+    write_report(results_dir, "fig11_energy", "\n".join(lines))
+
+    # Headline shapes from the paper.
+    assert dense.adc > 0.7 * dense.total          # ADC dominates dense attention
+    assert ours.total < 0.3 * dense.total          # ~0.19x at 20 % keep ratio
+    assert 0.7 < conventional.total / dense.total < 1.1
+    # The saving grows with input length (5.3x -> 27x trend in the paper).
+    dense_series = data["vs_input_length"][DesignPoint.NO_PRUNING]
+    ours_series = data["vs_input_length"][DesignPoint.UNICAIM_1BIT]
+    assert dense_series[-1] / ours_series[-1] > dense_series[0] / ours_series[0]

@@ -1,0 +1,44 @@
+"""Fig. 12: decoding latency breakdown and scaling with sequence lengths."""
+
+from conftest import write_report
+
+from repro.analysis import fig12_latency
+from repro.energy import DesignPoint
+
+
+def test_fig12_latency_breakdown_and_sweep(benchmark, results_dir):
+    data = benchmark(fig12_latency)
+
+    lines = ["Fig. 12(a) — per-decoding-step latency at the reference workload",
+             f"{'design':>22}  {'array':>8}  {'ADC':>8}  {'top-k':>8}  {'CAM':>8}  {'total':>8}  (ns)"]
+    for design, breakdown in data["breakdowns"].items():
+        lines.append(
+            f"{design.value:>22}  {breakdown.array * 1e9:>8.1f}  {breakdown.adc * 1e9:>8.1f}"
+            f"  {breakdown.topk * 1e9:>8.1f}  {breakdown.cam * 1e9:>8.1f}"
+            f"  {breakdown.total * 1e9:>8.1f}"
+        )
+
+    dense = data["breakdowns"][DesignPoint.NO_PRUNING]
+    conventional = data["breakdowns"][DesignPoint.CONVENTIONAL_DYNAMIC]
+    ours = data["breakdowns"][DesignPoint.UNICAIM_1BIT]
+    lines.append("")
+    lines.append(f"dense: {dense.total * 1e9:.0f} ns (paper: 90 ns)")
+    lines.append(f"conventional dynamic: {conventional.total * 1e9:.0f} ns (paper: ~104 ns)")
+    lines.append(f"UniCAIM: {ours.total * 1e9:.0f} ns (paper: ~22 ns)")
+
+    lines.append("")
+    lines.append("Fig. 12(b) — generation latency (us) along a joint input/output sweep")
+    lengths = list(zip(data["input_lengths"], data["output_lengths"]))
+    lines.append("lengths: " + ", ".join(f"({i},{o})" for i, o in lengths))
+    for design, series in data["joint_sweep"].items():
+        values = "  ".join(f"{value * 1e6:>9.2f}" for value in series)
+        lines.append(f"{design.value:>22}  {values}")
+    write_report(results_dir, "fig12_latency", "\n".join(lines))
+
+    # Paper shapes: conventional dynamic pruning is *slower* than dense,
+    # UniCAIM is several times faster, and the speed-up grows with length.
+    assert conventional.total > dense.total
+    assert ours.total < 0.4 * dense.total
+    dense_series = data["joint_sweep"][DesignPoint.NO_PRUNING]
+    ours_series = data["joint_sweep"][DesignPoint.UNICAIM_1BIT]
+    assert dense_series[-1] / ours_series[-1] > dense_series[0] / ours_series[0]

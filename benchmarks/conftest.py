@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures and writes
+a plain-text report under ``benchmarks/results/`` so the reproduced numbers
+can be inspected after the run (pytest captures stdout).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_report(results_dir: Path, name: str, text: str) -> None:
+    """Persist a benchmark's reproduced table/series."""
+    path = results_dir / f"{name}.txt"
+    path.write_text(text + "\n")
+
+
+def quick_mode() -> bool:
+    """Benchmarks default to reduced problem sizes; set REPRO_FULL_SCALE=1
+    to run the paper-scale configurations (slower)."""
+    return os.environ.get("REPRO_FULL_SCALE", "0") != "1"

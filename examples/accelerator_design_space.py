@@ -1,0 +1,69 @@
+"""Accelerator design-space exploration with the area/energy/delay models.
+
+Sweeps the KV cache pruning ratio and the cell bit-width, prints the
+per-step energy / latency / area of UniCAIM against the baseline CIM
+accelerators, and reports the AEDP reduction factors (the paper's Table II
+protocol, but over a denser grid).
+
+    python examples/accelerator_design_space.py
+"""
+
+from __future__ import annotations
+
+from repro.energy import (
+    AttentionWorkload,
+    DelayModel,
+    DesignPoint,
+    EnergyModel,
+    UniCAIMModel,
+    baseline_models,
+    format_table,
+    table2_comparison,
+)
+
+
+def per_step_summary() -> None:
+    workload = AttentionWorkload.paper_reference()
+    energy = EnergyModel()
+    delay = DelayModel()
+    print("Per-decoding-step cost at the reference workload "
+          "(576-token cache, d=128, 20% dynamic keep):")
+    print(f"{'design':>24}  {'energy (nJ)':>12}  {'latency (ns)':>13}")
+    for design in DesignPoint:
+        print(
+            f"{design.value:>24}  {energy.step_energy(workload, design) * 1e9:>12.2f}"
+            f"  {delay.step_latency(workload, design) * 1e9:>13.1f}"
+        )
+    print()
+
+
+def aedp_grid() -> None:
+    print("AEDP comparison against Sprint / TranCIM / CIMFormer")
+    rows = table2_comparison(pruning_ratios=[0.25, 0.5, 0.8, 0.9])
+    print(format_table(rows))
+    print()
+
+
+def baseline_details() -> None:
+    workload = AttentionWorkload.paper_reference().with_pruning(0.5, 0.5)
+    print("Design-point details at a 50% pruning ratio:")
+    print(f"{'design':>14}  {'area (mm^2)':>12}  {'energy (nJ)':>12}  {'delay (ns)':>11}")
+    models = dict(baseline_models())
+    models["UniCAIM-1bit"] = UniCAIMModel(1)
+    models["UniCAIM-3bit"] = UniCAIMModel(3)
+    for name, model in models.items():
+        metrics = model.metrics(workload)
+        print(
+            f"{name:>14}  {metrics.area_mm2:>12.3f}  {metrics.step_energy * 1e9:>12.2f}"
+            f"  {metrics.step_delay * 1e9:>11.1f}"
+        )
+
+
+def main() -> None:
+    per_step_summary()
+    aedp_grid()
+    baseline_details()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Long-context QA accuracy versus KV cache ratio (a small Fig. 13 run).
+
+Generates a synthetic multi-hop (HotpotQA-like) dataset, evaluates several
+KV cache pruning policies at several cache ratios and prints the F1 table —
+the same experiment as ``benchmarks/bench_fig13_accuracy.py`` but sized to
+finish in well under a minute.
+
+    python examples/long_context_qa.py
+"""
+
+from __future__ import annotations
+
+from repro.eval import (
+    build_task_model,
+    cache_ratio_sweep,
+    generate_dataset,
+    hotpotqa_like_spec,
+    sweep_to_table,
+)
+
+
+def main() -> None:
+    spec = hotpotqa_like_spec(num_examples=3, prompt_length=500, seed=0)
+    dataset = generate_dataset(spec)
+    model = build_task_model(dataset.tokenizer)
+
+    example = dataset.examples[0]
+    print(f"dataset: {dataset.name} ({len(dataset)} examples, "
+          f"~{example.prompt_length}-token prompts)")
+    print(f"sample question key: {example.question_key}")
+    print(f"sample reference answer: {example.answer}\n")
+
+    sweep = cache_ratio_sweep(
+        dataset,
+        policy_names=["full", "unicaim", "snapkv", "streaming_llm"],
+        cache_ratios=[0.1, 0.25, 0.5, 1.0],
+        model=model,
+    )
+    print("mean F1 versus KV cache ratio:")
+    print(sweep_to_table(sweep))
+    print("\nThe hybrid static-dynamic policy tracks the full cache while the")
+    print("fixed-pattern baseline degrades once the queried facts fall outside")
+    print("its window — the qualitative result of the paper's Fig. 13.")
+
+
+if __name__ == "__main__":
+    main()

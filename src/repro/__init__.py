@@ -1,0 +1,23 @@
+"""Reproduction of UniCAIM (DAC 2025).
+
+A unified CAM/CIM architecture with static-dynamic KV cache pruning for
+efficient long-context LLM inference, rebuilt as an open Python library:
+
+* :mod:`repro.core` — the hybrid static-dynamic KV cache pruning algorithm
+  and the baseline policies it is compared against.
+* :mod:`repro.llm` — a numpy transformer substrate whose per-layer KV cache
+  is managed by pluggable pruning policies.
+* :mod:`repro.devices` — behavioural FeFET / MOSFET / RC device models.
+* :mod:`repro.circuits` — the UniCAIM cell, array and its three operating
+  modes (CAM, charge-domain CIM, current-domain CIM).
+* :mod:`repro.energy` — area / energy / delay / AEDP cost models and the
+  baseline accelerator models (Sprint, TranCIM, CIMFormer).
+* :mod:`repro.eval` — synthetic long-context QA datasets, metrics and the
+  accuracy-evaluation harness.
+* :mod:`repro.analysis` — builders for every figure and table series in the
+  paper's evaluation.
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,43 @@
+"""Figure and table series builders for the paper's evaluation section."""
+
+from .figures import (
+    DEFAULT_DESIGNS,
+    CamTopKTrace,
+    ChargeAccumulationTrace,
+    KVScalingPoint,
+    fig1_kv_scaling,
+    fig7_cam_topk,
+    fig8_charge_accumulation,
+    fig9_linearity,
+    fig10_area_sweeps,
+    fig11_energy,
+    fig12_latency,
+)
+from .tables import (
+    PAPER_TABLE2_REDUCTIONS,
+    TABLE1_FEATURES,
+    FeatureRow,
+    format_table1,
+    table1_feature_matrix,
+    table2_reductions,
+)
+
+__all__ = [
+    "DEFAULT_DESIGNS",
+    "CamTopKTrace",
+    "ChargeAccumulationTrace",
+    "KVScalingPoint",
+    "fig1_kv_scaling",
+    "fig7_cam_topk",
+    "fig8_charge_accumulation",
+    "fig9_linearity",
+    "fig10_area_sweeps",
+    "fig11_energy",
+    "fig12_latency",
+    "PAPER_TABLE2_REDUCTIONS",
+    "TABLE1_FEATURES",
+    "FeatureRow",
+    "format_table1",
+    "table1_feature_matrix",
+    "table2_reductions",
+]

@@ -1,0 +1,317 @@
+"""Builders for every figure series in the paper's evaluation.
+
+Each function returns plain Python/numpy data (no plotting), so benchmarks
+and notebooks can print or plot the same series the paper's figures show.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..circuits import (
+    ArrayConfig,
+    CAMMode,
+    CAMParams,
+    ChargeDomainAccumulator,
+    CurrentDomainCIM,
+    UniCAIMArray,
+)
+from ..core.config import AttentionConfig
+from ..devices.variation import VariationModel
+from ..energy import (
+    AreaModel,
+    AttentionWorkload,
+    DelayModel,
+    DesignPoint,
+    EnergyModel,
+)
+
+
+# ----------------------------------------------------------------------
+# Fig. 1(b): KV cache size and attention latency versus sequence length
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class KVScalingPoint:
+    sequence_length: int
+    kv_cache_gib: float
+    attention_latency_us: float
+    weight_gib: float
+
+
+def fig1_kv_scaling(
+    sequence_lengths: Optional[Sequence[int]] = None,
+    attention_config: Optional[AttentionConfig] = None,
+    workload: Optional[AttentionWorkload] = None,
+) -> List[KVScalingPoint]:
+    """KV cache size (GiB) and per-step attention latency vs sequence length.
+
+    Uses the Llama-2-7B attention geometry (32 layers x 32 heads x d=128,
+    FP16) and the dense-attention delay model; the paper's point is that
+    both curves grow linearly and cross the weight size / compute budget at
+    long contexts.
+    """
+    sequence_lengths = list(
+        sequence_lengths
+        if sequence_lengths is not None
+        else [1024, 2048, 4096, 8192, 16384, 32768, 65536, 131072]
+    )
+    config = attention_config or AttentionConfig.llama2_7b()
+    workload = workload or AttentionWorkload.paper_reference()
+    delay_model = DelayModel()
+
+    weight_gib = 7e9 * 2 / 2**30  # 7B parameters at FP16
+    points = []
+    for seq_len in sequence_lengths:
+        kv_bytes = config.kv_cache_bytes(seq_len)
+        per_head_step = delay_model.dense_attention_latency(seq_len, workload)
+        # All heads of all layers, with heads processed in parallel per layer
+        # across the available arrays (one array per head assumed).
+        latency = per_head_step * config.num_layers
+        points.append(
+            KVScalingPoint(
+                sequence_length=int(seq_len),
+                kv_cache_gib=kv_bytes / 2**30,
+                attention_latency_us=latency * 1e6,
+                weight_gib=weight_gib,
+            )
+        )
+    return points
+
+
+# ----------------------------------------------------------------------
+# Fig. 7: CAM-mode top-k selection
+# ----------------------------------------------------------------------
+@dataclass
+class CamTopKTrace:
+    attention_scores: np.ndarray
+    discharge_times_ns: np.ndarray
+    selected_rows: np.ndarray
+    stop_time_ns: float
+    recall_vs_exact: float
+
+
+def fig7_cam_topk(
+    num_keys: int = 9,
+    dim: int = 4,
+    k: int = 3,
+    key_bits: int = 1,
+    seed: int = 0,
+    variation: Optional[VariationModel] = None,
+) -> CamTopKTrace:
+    """The paper's top-3-of-9 example (d = 4, ternary key/query) and variants."""
+    rng = np.random.default_rng(seed)
+    config = ArrayConfig(
+        num_rows=num_keys,
+        dim=dim,
+        key_bits=key_bits,
+        query_bits=1,
+        variation=variation or VariationModel.ideal(),
+    )
+    array = UniCAIMArray(config)
+    keys = rng.choice([-1.0, 0.0, 1.0], size=(num_keys, dim))
+    array.load_keys(keys, pre_quantized=True)
+    query = rng.choice([-1.0, 1.0], size=dim)
+
+    cam = CAMMode(array, CAMParams())
+    result = cam.select_topk(query, k, pre_quantized=True)
+    macs = array.ideal_mac(query, pre_quantized=True)
+    exact_top = set(np.argsort(-macs)[:k].tolist())
+    selected = set(int(r) for r in result.selected_rows)
+    recall = len(exact_top & selected) / max(1, len(exact_top))
+
+    return CamTopKTrace(
+        attention_scores=macs,
+        discharge_times_ns=result.discharge_times * 1e9,
+        selected_rows=result.selected_rows,
+        stop_time_ns=result.stop_time * 1e9,
+        recall_vs_exact=recall,
+    )
+
+
+# ----------------------------------------------------------------------
+# Fig. 8: charge-domain accumulation and static eviction
+# ----------------------------------------------------------------------
+@dataclass
+class ChargeAccumulationTrace:
+    accumulated_voltages: np.ndarray
+    true_mean_similarity: np.ndarray
+    ewma_similarity: np.ndarray
+    victim_row: int
+    true_lowest_row: int
+
+
+def fig8_charge_accumulation(
+    num_rows: int = 16,
+    dim: int = 32,
+    steps: int = 12,
+    seed: int = 0,
+    popular_fraction: float = 0.5,
+    query_noise: float = 0.25,
+) -> ChargeAccumulationTrace:
+    """Accumulated similarity voltages after several decoding steps.
+
+    Queries are drawn as noisy copies of a "popular" subset of the cached
+    keys (the realistic situation where some cached tokens keep being
+    relevant), so popular rows genuinely accumulate higher similarity while
+    the remaining rows do not.  The row the FE-INV race evicts should sit in
+    the low-similarity tail.
+    """
+    rng = np.random.default_rng(seed)
+    config = ArrayConfig(num_rows=num_rows, dim=dim, key_bits=1, query_bits=1)
+    array = UniCAIMArray(config)
+    keys = rng.choice([-1.0, 1.0], size=(num_rows, dim))
+    array.load_keys(keys, pre_quantized=True)
+    cam = CAMMode(array)
+    accumulator = ChargeDomainAccumulator(num_rows)
+
+    num_popular = max(1, int(round(num_rows * popular_fraction)))
+    popular_rows = np.arange(num_popular)
+
+    similarity_sums = np.zeros(num_rows)
+    ewma = np.zeros(num_rows)
+    ewma_weight = accumulator.params.sharing_ratio
+    for _ in range(steps):
+        target = int(rng.choice(popular_rows))
+        query = keys[target].copy()
+        flips = rng.random(dim) < query_noise
+        query[flips] *= -1.0
+        result = cam.select_topk(query, k=max(1, num_rows // 4), pre_quantized=True)
+        accumulator.accumulate(result.candidate_rows, result.sl_voltages)
+        step_similarity = array.ideal_mac(query, pre_quantized=True)
+        similarity_sums += step_similarity
+        ewma = (1.0 - ewma_weight) * ewma + ewma_weight * step_similarity
+
+    search = accumulator.eviction_search()
+    return ChargeAccumulationTrace(
+        accumulated_voltages=accumulator.accumulated_voltages,
+        true_mean_similarity=similarity_sums / steps,
+        ewma_similarity=ewma,
+        victim_row=search.victim_row,
+        true_lowest_row=int(np.argmin(similarity_sums)),
+    )
+
+
+# ----------------------------------------------------------------------
+# Fig. 9: current-domain linearity under device variation
+# ----------------------------------------------------------------------
+def fig9_linearity(
+    dim: int = 128,
+    vth_sigma: float = 0.054,
+    seed: int = 0,
+    num_points: int = 65,
+):
+    """I_SL versus MAC with the paper's 54 mV V_TH variation."""
+    config = ArrayConfig(
+        num_rows=2,
+        dim=dim,
+        key_bits=1,
+        query_bits=1,
+        variation=VariationModel(vth_sigma=vth_sigma, seed=seed),
+    )
+    array = UniCAIMArray(config)
+    array.load_keys(np.ones((2, dim)), pre_quantized=True)
+    cim = CurrentDomainCIM(array)
+    mac_values = np.linspace(-dim, dim, num_points).astype(int).tolist()
+    return cim.linearity_sweep(mac_values=mac_values, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# Fig. 10 / 11 / 12: area, energy and latency sweeps
+# ----------------------------------------------------------------------
+DEFAULT_DESIGNS = [
+    DesignPoint.NO_PRUNING,
+    DesignPoint.CONVENTIONAL_DYNAMIC,
+    DesignPoint.UNICAIM_1BIT,
+    DesignPoint.UNICAIM_3BIT,
+]
+
+
+def fig10_area_sweeps(
+    workload: Optional[AttentionWorkload] = None,
+    input_lengths: Optional[List[int]] = None,
+    output_lengths: Optional[List[int]] = None,
+    designs: Optional[List[DesignPoint]] = None,
+) -> Dict[str, Dict[DesignPoint, List[int]]]:
+    """Device-count sweeps versus input and output sequence length."""
+    workload = workload or AttentionWorkload.paper_reference()
+    input_lengths = input_lengths or [512, 1024, 2048, 4096, 8192]
+    output_lengths = output_lengths or [64, 128, 256, 512, 1024]
+    designs = designs or DEFAULT_DESIGNS
+    model = AreaModel()
+    return {
+        "vs_input_length": model.sweep_input_length(workload, designs, input_lengths),
+        "vs_output_length": model.sweep_output_length(workload, designs, output_lengths),
+        "input_lengths": input_lengths,
+        "output_lengths": output_lengths,
+    }
+
+
+def fig11_energy(
+    workload: Optional[AttentionWorkload] = None,
+    input_lengths: Optional[List[int]] = None,
+    output_lengths: Optional[List[int]] = None,
+    designs: Optional[List[DesignPoint]] = None,
+) -> Dict[str, object]:
+    """Per-step energy breakdown plus the input/output-length sweeps."""
+    workload = workload or AttentionWorkload.paper_reference()
+    input_lengths = input_lengths or [512, 1024, 2048, 4096]
+    output_lengths = output_lengths or [64, 128, 256, 512]
+    designs = designs or DEFAULT_DESIGNS
+    model = EnergyModel()
+    breakdowns = {
+        design: model.step_breakdown(workload, design) for design in designs
+    }
+    return {
+        "breakdowns": breakdowns,
+        "vs_input_length": model.sweep_input_length(
+            workload.with_lengths(workload.input_len, 64), designs, input_lengths
+        ),
+        "vs_output_length": model.sweep_output_length(
+            workload.with_lengths(2048, workload.output_len), designs, output_lengths
+        ),
+        "input_lengths": input_lengths,
+        "output_lengths": output_lengths,
+    }
+
+
+def fig12_latency(
+    workload: Optional[AttentionWorkload] = None,
+    input_lengths: Optional[List[int]] = None,
+    output_lengths: Optional[List[int]] = None,
+    designs: Optional[List[DesignPoint]] = None,
+) -> Dict[str, object]:
+    """Per-step latency breakdown plus the joint length sweep."""
+    workload = workload or AttentionWorkload.paper_reference()
+    input_lengths = input_lengths or [512, 1024, 2048, 4096]
+    output_lengths = output_lengths or [64, 128, 256, 512]
+    designs = designs or DEFAULT_DESIGNS
+    model = DelayModel()
+    breakdowns = {
+        design: model.step_breakdown(workload, design) for design in designs
+    }
+    return {
+        "breakdowns": breakdowns,
+        "joint_sweep": model.sweep_lengths(
+            workload, designs, input_lengths, output_lengths
+        ),
+        "input_lengths": input_lengths,
+        "output_lengths": output_lengths,
+    }
+
+
+__all__ = [
+    "KVScalingPoint",
+    "fig1_kv_scaling",
+    "CamTopKTrace",
+    "fig7_cam_topk",
+    "ChargeAccumulationTrace",
+    "fig8_charge_accumulation",
+    "fig9_linearity",
+    "fig10_area_sweeps",
+    "fig11_energy",
+    "fig12_latency",
+    "DEFAULT_DESIGNS",
+]

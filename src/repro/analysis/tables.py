@@ -1,0 +1,114 @@
+"""Builders for the paper's tables.
+
+Table I is a qualitative feature matrix; Table II is the quantitative AEDP
+comparison (delegated to :mod:`repro.energy.aedp`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..energy.aedp import AEDPRow, reduction_table, table2_comparison
+
+
+@dataclass(frozen=True)
+class FeatureRow:
+    """One design's qualitative capabilities (paper Table I)."""
+
+    name: str
+    static_pruning: bool
+    flexible_static_pattern: bool
+    dynamic_pruning: bool
+    constant_time_topk: bool
+    fixed_cache_size: bool
+    multilevel_cell: bool
+
+
+TABLE1_FEATURES: List[FeatureRow] = [
+    FeatureRow(
+        name="TranCIM",
+        static_pruning=True,
+        flexible_static_pattern=False,
+        dynamic_pruning=False,
+        constant_time_topk=False,
+        fixed_cache_size=False,
+        multilevel_cell=False,
+    ),
+    FeatureRow(
+        name="CIMFormer",
+        static_pruning=False,
+        flexible_static_pattern=False,
+        dynamic_pruning=True,
+        constant_time_topk=False,
+        fixed_cache_size=False,
+        multilevel_cell=False,
+    ),
+    FeatureRow(
+        name="Sprint",
+        static_pruning=False,
+        flexible_static_pattern=False,
+        dynamic_pruning=True,
+        constant_time_topk=False,
+        fixed_cache_size=False,
+        multilevel_cell=False,
+    ),
+    FeatureRow(
+        name="UniCAIM",
+        static_pruning=True,
+        flexible_static_pattern=True,
+        dynamic_pruning=True,
+        constant_time_topk=True,
+        fixed_cache_size=True,
+        multilevel_cell=True,
+    ),
+]
+
+
+def table1_feature_matrix() -> List[FeatureRow]:
+    """The qualitative comparison of Table I as structured data."""
+    return list(TABLE1_FEATURES)
+
+
+def format_table1() -> str:
+    columns = [
+        ("static", "static_pruning"),
+        ("flexible", "flexible_static_pattern"),
+        ("dynamic", "dynamic_pruning"),
+        ("O(1) top-k", "constant_time_topk"),
+        ("fixed cache", "fixed_cache_size"),
+        ("multilevel", "multilevel_cell"),
+    ]
+    header = "design     " + "  ".join(f"{label:>11}" for label, _ in columns)
+    lines = [header, "-" * len(header)]
+    for row in TABLE1_FEATURES:
+        cells = "  ".join(
+            f"{'yes' if getattr(row, attr) else 'no':>11}" for _, attr in columns
+        )
+        lines.append(f"{row.name:<11}{cells}")
+    return "\n".join(lines)
+
+
+def table2_reductions() -> Dict[str, Dict[str, float]]:
+    """Table II AEDP reduction factors keyed by condition and baseline."""
+    rows: List[AEDPRow] = table2_comparison()
+    return reduction_table(rows)
+
+
+PAPER_TABLE2_REDUCTIONS: Dict[str, Dict[str, float]] = {
+    "50%/1-bit": {"Sprint": 8.2, "TranCIM": 13.9, "CIMFormer": 124.0},
+    "80%/1-bit": {"Sprint": 11.5, "TranCIM": 19.0, "CIMFormer": 277.0},
+    "50%/3-bit": {"Sprint": 24.8, "TranCIM": 41.7, "CIMFormer": 372.0},
+    "80%/3-bit": {"Sprint": 34.6, "TranCIM": 56.9, "CIMFormer": 831.0},
+}
+"""The reduction factors reported in the paper, for side-by-side reporting."""
+
+
+__all__ = [
+    "FeatureRow",
+    "TABLE1_FEATURES",
+    "table1_feature_matrix",
+    "format_table1",
+    "table2_reductions",
+    "PAPER_TABLE2_REDUCTIONS",
+]

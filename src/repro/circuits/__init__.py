@@ -1,0 +1,52 @@
+"""Circuit-level behavioural models of the UniCAIM architecture."""
+
+from .encoding import (
+    QueryDrive,
+    decode_key_pair,
+    decode_query_expansion,
+    encode_key_pair,
+    encode_query_bit,
+    encode_query_expansion,
+    expansion_cells,
+    quantize_to_levels,
+    quantize_vector,
+    signed_levels,
+)
+from .cell import CellParams, UniCAIMCell
+from .adc import ADCParams, SARADC
+from .array import ArrayConfig, UniCAIMArray
+from .cam_mode import CAMMode, CAMParams, CAMSelectionResult
+from .charge_cim import ChargeDomainAccumulator, ChargeDomainParams, EvictionSearchResult
+from .current_cim import CurrentDomainCIM, LinearityReport, MACReadout
+from .engine import EngineStepResult, StepCosts, UniCAIMEngine
+
+__all__ = [
+    "QueryDrive",
+    "decode_key_pair",
+    "decode_query_expansion",
+    "encode_key_pair",
+    "encode_query_bit",
+    "encode_query_expansion",
+    "expansion_cells",
+    "quantize_to_levels",
+    "quantize_vector",
+    "signed_levels",
+    "CellParams",
+    "UniCAIMCell",
+    "ADCParams",
+    "SARADC",
+    "ArrayConfig",
+    "UniCAIMArray",
+    "CAMMode",
+    "CAMParams",
+    "CAMSelectionResult",
+    "ChargeDomainAccumulator",
+    "ChargeDomainParams",
+    "EvictionSearchResult",
+    "CurrentDomainCIM",
+    "LinearityReport",
+    "MACReadout",
+    "EngineStepResult",
+    "StepCosts",
+    "UniCAIMEngine",
+]

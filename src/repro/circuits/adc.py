@@ -1,0 +1,99 @@
+"""Successive-approximation (SAR) ADC model.
+
+The paper quantises the sense-line current of the selected rows with a
+10-bit SAR ADC (ref. [37]: 10 b, 100 MS/s, 1.13 mW), so one conversion
+costs roughly 11.3 pJ and 10 ns.  The behavioural model provides the
+transfer function (mid-rise uniform quantiser), the conversion energy and
+the conversion latency used by the energy/delay models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ADCParams:
+    """Parameters of the SAR ADC (defaults follow the paper's ref. [37])."""
+
+    resolution_bits: int = 10
+    sample_rate: float = 100e6
+    power: float = 1.13e-3
+
+    @property
+    def conversion_time(self) -> float:
+        """Seconds per conversion."""
+        return 1.0 / self.sample_rate
+
+    @property
+    def conversion_energy(self) -> float:
+        """Joules per conversion."""
+        return self.power * self.conversion_time
+
+    @property
+    def num_codes(self) -> int:
+        return 2**self.resolution_bits
+
+
+class SARADC:
+    """Uniform mid-rise quantiser over a configurable input range."""
+
+    def __init__(
+        self,
+        params: ADCParams | None = None,
+        input_min: float = 0.0,
+        input_max: float = 1.0,
+    ) -> None:
+        if input_max <= input_min:
+            raise ValueError("input_max must exceed input_min")
+        self.params = params or ADCParams()
+        self.input_min = float(input_min)
+        self.input_max = float(input_max)
+        self._conversion_count = 0
+
+    @property
+    def lsb(self) -> float:
+        """Input-referred size of one code step."""
+        return (self.input_max - self.input_min) / self.params.num_codes
+
+    @property
+    def conversion_count(self) -> int:
+        return self._conversion_count
+
+    def convert(self, value: float) -> int:
+        """Quantise an analog value to a digital code (clipped to range)."""
+        clipped = min(max(float(value), self.input_min), self.input_max)
+        code = int((clipped - self.input_min) / self.lsb)
+        self._conversion_count += 1
+        return min(code, self.params.num_codes - 1)
+
+    def convert_array(self, values: np.ndarray) -> np.ndarray:
+        """Vectorised conversion; each element counts as one conversion."""
+        values = np.asarray(values, dtype=np.float64)
+        clipped = np.clip(values, self.input_min, self.input_max)
+        codes = np.floor((clipped - self.input_min) / self.lsb).astype(np.int64)
+        codes = np.minimum(codes, self.params.num_codes - 1)
+        self._conversion_count += int(values.size)
+        return codes
+
+    def reconstruct(self, code: int | np.ndarray) -> np.ndarray:
+        """Mid-point analog value(s) represented by digital code(s)."""
+        code = np.asarray(code, dtype=np.float64)
+        return self.input_min + (code + 0.5) * self.lsb
+
+    def quantization_error_bound(self) -> float:
+        """Worst-case absolute quantisation error (half an LSB)."""
+        return 0.5 * self.lsb
+
+    def energy(self, conversions: int | None = None) -> float:
+        """Energy of ``conversions`` conversions (default: all so far)."""
+        count = self._conversion_count if conversions is None else int(conversions)
+        return count * self.params.conversion_energy
+
+    def reset_counters(self) -> None:
+        self._conversion_count = 0
+
+
+__all__ = ["ADCParams", "SARADC"]

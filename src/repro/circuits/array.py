@@ -1,0 +1,273 @@
+"""The FeFET-based UniCAIM array shared by the CAM and CIM modes.
+
+The array holds one row per cached token.  Each row stores the token's key
+vector (quantised to the cell's signed levels) across ``dim`` logical cells;
+for multilevel queries every logical cell is expanded into
+``2**query_bits`` physical cells driven by the bitwise query expansion
+(Fig. 6(c)).  All three operating modes read the same physical quantity —
+the per-row sense-line current, which is linear in the signed
+multiply-accumulate between the stored key and the applied query — and the
+mode-specific peripheral circuits (:mod:`repro.circuits.cam_mode`,
+:mod:`repro.circuits.charge_cim`, :mod:`repro.circuits.current_cim`)
+interpret that current differently.
+
+The implementation is vectorised over rows and dimensions; per-cell device
+variation is sampled once at construction so repeated evaluations see a
+consistent (frozen) set of devices, like a real chip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..devices.variation import VariationModel
+from .cell import CellParams
+from .encoding import expansion_cells, quantize_vector, signed_levels
+
+
+@dataclass(frozen=True)
+class ArrayConfig:
+    """Geometry and precision of a UniCAIM array.
+
+    The paper's circuit evaluation uses 576 rows (512 heavy + 64 reserved
+    tokens), a hidden dimension of 128 and a 3-bit cell.
+    """
+
+    num_rows: int = 576
+    dim: int = 128
+    key_bits: int = 3
+    query_bits: int = 1
+    cell: CellParams = field(default_factory=CellParams)
+    variation: VariationModel = field(default_factory=VariationModel.ideal)
+
+    def __post_init__(self) -> None:
+        if self.num_rows < 1:
+            raise ValueError("num_rows must be >= 1")
+        if self.dim < 1:
+            raise ValueError("dim must be >= 1")
+        if self.key_bits < 1 or self.query_bits < 1:
+            raise ValueError("key_bits and query_bits must be >= 1")
+
+    @property
+    def cells_per_row(self) -> int:
+        """Physical 2x1T1F cells per row (after query expansion)."""
+        return self.dim * expansion_cells(self.query_bits)
+
+    @property
+    def fefets_per_row(self) -> int:
+        return 2 * self.cells_per_row
+
+    @property
+    def total_fefets(self) -> int:
+        return self.num_rows * self.fefets_per_row
+
+    @property
+    def max_mac(self) -> int:
+        """Largest magnitude of the signed MAC value (``dim`` for ±1 data)."""
+        return self.dim
+
+    @classmethod
+    def paper_default(cls, key_bits: int = 3, query_bits: int = 1) -> "ArrayConfig":
+        return cls(num_rows=576, dim=128, key_bits=key_bits, query_bits=query_bits)
+
+
+class UniCAIMArray:
+    """Vectorised behavioural model of the UniCAIM storage array."""
+
+    def __init__(self, config: Optional[ArrayConfig] = None) -> None:
+        self.config = config or ArrayConfig()
+        cfg = self.config
+        self._expansion = expansion_cells(cfg.query_bits)
+        self._keys = np.zeros((cfg.num_rows, cfg.dim), dtype=np.float64)
+        self._occupied = np.zeros(cfg.num_rows, dtype=bool)
+        self._write_count = 0
+        self._write_energy = 0.0
+
+        rng = cfg.variation.rng()
+        shape = (cfg.num_rows, cfg.dim, self._expansion, 2)
+        if cfg.variation.vth_sigma > 0:
+            self._vth_offsets = cfg.variation.sample_vth_offsets(shape, rng)
+        else:
+            self._vth_offsets = np.zeros(shape, dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        return self.config.num_rows
+
+    @property
+    def dim(self) -> int:
+        return self.config.dim
+
+    @property
+    def expansion(self) -> int:
+        return self._expansion
+
+    @property
+    def write_count(self) -> int:
+        return self._write_count
+
+    @property
+    def total_write_energy(self) -> float:
+        return self._write_energy
+
+    def occupied_rows(self) -> np.ndarray:
+        return np.nonzero(self._occupied)[0]
+
+    def stored_keys(self) -> np.ndarray:
+        """Quantised key matrix ``[rows, dim]`` (zeros for empty rows)."""
+        return self._keys.copy()
+
+    def key_of_row(self, row: int) -> np.ndarray:
+        self._check_row(row)
+        return self._keys[row].copy()
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def write_row(self, row: int, key_vector: np.ndarray, pre_quantized: bool = False) -> np.ndarray:
+        """Program one row with a key vector (a single write cycle).
+
+        ``pre_quantized`` indicates the vector is already on the signed
+        level grid (skips normalisation).  Returns the stored levels.
+        """
+        self._check_row(row)
+        key_vector = np.asarray(key_vector, dtype=np.float64)
+        if key_vector.shape != (self.config.dim,):
+            raise ValueError(f"key_vector must have shape ({self.config.dim},)")
+        if pre_quantized:
+            levels = self._snap(key_vector)
+        else:
+            levels = quantize_vector(key_vector, self.config.key_bits)
+        self._keys[row] = levels
+        self._occupied[row] = True
+        self._write_count += 1
+        self._write_energy += self.config.cell.write_energy * self.config.cells_per_row
+        return levels.copy()
+
+    def erase_row(self, row: int) -> None:
+        self._check_row(row)
+        self._keys[row] = 0.0
+        self._occupied[row] = False
+
+    def load_keys(self, keys: np.ndarray, pre_quantized: bool = False) -> None:
+        """Write a key matrix into the first ``len(keys)`` rows."""
+        keys = np.asarray(keys, dtype=np.float64)
+        if keys.ndim != 2 or keys.shape[1] != self.config.dim:
+            raise ValueError(f"keys must be [n, {self.config.dim}]")
+        if keys.shape[0] > self.config.num_rows:
+            raise ValueError("more keys than array rows")
+        for row in range(keys.shape[0]):
+            self.write_row(row, keys[row], pre_quantized=pre_quantized)
+
+    # ------------------------------------------------------------------
+    # Reads (sense-line currents)
+    # ------------------------------------------------------------------
+    def quantize_query(self, query: np.ndarray, pre_quantized: bool = False) -> np.ndarray:
+        query = np.asarray(query, dtype=np.float64)
+        if query.shape != (self.config.dim,):
+            raise ValueError(f"query must have shape ({self.config.dim},)")
+        if pre_quantized:
+            return self._snap(query, bits=self.config.query_bits)
+        return quantize_vector(query, self.config.query_bits)
+
+    def query_expansion_signs(self, query_levels: np.ndarray) -> np.ndarray:
+        """Per-dimension expansion drive signs, shape ``[dim, expansion]``."""
+        cells = self._expansion
+        positive = np.rint((query_levels + 1.0) / 2.0 * cells).astype(np.int64)
+        positive = np.clip(positive, 0, cells)
+        signs = np.full((self.config.dim, cells), -1.0)
+        col = np.arange(cells)[None, :]
+        signs[col < positive[:, None]] = 1.0
+        return signs
+
+    def row_currents(
+        self,
+        query: np.ndarray,
+        rows: Optional[Sequence[int]] = None,
+        pre_quantized: bool = False,
+    ) -> np.ndarray:
+        """Sense-line current of each requested row for the given query.
+
+        The nominal current is ``n_cells * I_0 - (span/2) * E * (key . q)``
+        plus the per-device variation term of every conducting FeFET.
+        """
+        cfg = self.config
+        levels = self.quantize_query(query, pre_quantized=pre_quantized)
+        signs = self.query_expansion_signs(levels)  # [dim, E]
+
+        if rows is None:
+            row_idx = np.arange(cfg.num_rows)
+        else:
+            row_idx = np.asarray(list(rows), dtype=np.int64)
+            for row in row_idx:
+                self._check_row(int(row))
+
+        keys = self._keys[row_idx]  # [r, dim]
+        cell = cfg.cell
+        mac_per_dim = keys * (signs.sum(axis=1))[None, :]  # key_d * E * q_d
+        nominal = (
+            cfg.cells_per_row * cell.current_zero
+            - 0.5 * cell.current_span * mac_per_dim.sum(axis=1)
+        )
+
+        # Variation: the conducting FeFET is F1b (index 1) for a +1 drive and
+        # F1 (index 0) for a -1 drive; its V_TH offset shifts the current by
+        # -gm * offset.
+        gm = cell.current_span / cell.fefet.memory_window
+        offsets = self._vth_offsets[row_idx]  # [r, dim, E, 2]
+        conducting = np.where(signs[None, :, :] > 0, offsets[..., 1], offsets[..., 0])
+        variation_term = -gm * conducting.sum(axis=(1, 2))
+
+        return np.maximum(nominal + variation_term, 0.0)
+
+    def ideal_mac(
+        self,
+        query: np.ndarray,
+        rows: Optional[Sequence[int]] = None,
+        pre_quantized: bool = False,
+    ) -> np.ndarray:
+        """Ideal signed MAC of the quantised query with the stored keys."""
+        levels = self.quantize_query(query, pre_quantized=pre_quantized)
+        if rows is None:
+            keys = self._keys
+        else:
+            keys = self._keys[np.asarray(list(rows), dtype=np.int64)]
+        return keys @ levels
+
+    def current_to_mac(self, currents: np.ndarray) -> np.ndarray:
+        """Map sense-line currents back to estimated MAC values."""
+        cfg = self.config
+        cell = cfg.cell
+        currents = np.asarray(currents, dtype=np.float64)
+        return (cfg.cells_per_row * cell.current_zero - currents) / (
+            0.5 * cell.current_span * self._expansion
+        )
+
+    def current_range(self) -> tuple[float, float]:
+        """(min, max) nominal sense-line current over the full MAC range."""
+        cfg = self.config
+        cell = cfg.cell
+        span = 0.5 * cell.current_span * self._expansion * cfg.dim
+        center = cfg.cells_per_row * cell.current_zero
+        return (center - span, center + span)
+
+    # ------------------------------------------------------------------
+    def _snap(self, values: np.ndarray, bits: Optional[int] = None) -> np.ndarray:
+        bits = self.config.key_bits if bits is None else bits
+        levels = signed_levels(bits)
+        values = np.clip(np.asarray(values, dtype=np.float64), -1.0, 1.0)
+        indices = np.argmin(np.abs(values[..., None] - levels[None, :]), axis=-1)
+        return levels[indices]
+
+    def _check_row(self, row: int) -> None:
+        if not 0 <= row < self.config.num_rows:
+            raise IndexError(f"row {row} out of range for {self.config.num_rows} rows")
+
+
+__all__ = ["ArrayConfig", "UniCAIMArray"]

@@ -1,0 +1,204 @@
+"""CAM mode: O(1) top-k selection through a sense-line discharge race.
+
+Paper Sec. III-B.3 and Fig. 7.  All sense lines are pre-charged to V_DD and
+then discharged by their cell currents.  Because the UniCAIM cell maps a
+*higher* similarity to a *lower* current, the most similar rows discharge
+slowest.  Each row's detector (a buffer driving an FeFET ``F_dyn``) keeps
+sourcing a unit current ``I_dyn`` while its SL is still above ``V_DD / 2``;
+the currents of all rows are summed and compared against a reference
+``I_Ref1 = (k + 1) * I_dyn``.  The moment only ``k`` rows remain above the
+threshold, the comparison flips, the discharge is frozen, and the addresses
+of the surviving rows are latched — the top-``k`` most similar keys, found
+without ever computing a numeric score and without a sort.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..devices.rc import WireParasitics, discharge_time_to_threshold
+from .array import UniCAIMArray
+
+
+@dataclass(frozen=True)
+class CAMParams:
+    """Peripheral parameters of the CAM mode."""
+
+    vdd: float = 1.0
+    """Supply / pre-charge voltage (volts)."""
+
+    sense_threshold_fraction: float = 0.5
+    """SL voltage fraction at which a row's detector drops out (V_DD/2)."""
+
+    sl_base_capacitance: float = 5e-15
+    """Fixed sense-line capacitance (sense amp + precharge devices), farads."""
+
+    wire: WireParasitics = WireParasitics()
+    """Per-cell wire parasitics added along the sense line."""
+
+    detector_current: float = 1.0e-6
+    """Unit current I_dyn sourced by each still-high row's F_dyn (amps)."""
+
+    precharge_time: float = 0.5e-9
+    """Time to precharge all sense lines (seconds)."""
+
+    detector_energy_per_row: float = 0.5e-15
+    """Energy of one row's detector (buffer + F_dyn) per search (joules)."""
+
+    comparator_energy: float = 10e-15
+    """Energy of the global current comparator per search (joules)."""
+
+    def sl_capacitance(self, cells_per_row: int) -> float:
+        """Total SL capacitance for a row with ``cells_per_row`` cells."""
+        return self.sl_base_capacitance + self.wire.line_capacitance(cells_per_row)
+
+    def sense_threshold(self) -> float:
+        return self.vdd * self.sense_threshold_fraction
+
+    def reference_current(self, k: int) -> float:
+        """I_Ref1 programmed for a top-``k`` search: ``(k + 1) * I_dyn``."""
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        return (k + 1) * self.detector_current
+
+
+@dataclass
+class CAMSelectionResult:
+    """Outcome of one CAM-mode top-k search."""
+
+    selected_rows: np.ndarray
+    """Rows whose SL was still above threshold when the search stopped,
+    ordered by descending similarity (slowest discharge first)."""
+
+    discharge_times: np.ndarray
+    """Per-candidate time to reach the sense threshold (seconds)."""
+
+    stop_time: float
+    """Time at which I_1 dropped below I_Ref1 and discharging was frozen."""
+
+    sl_voltages: np.ndarray
+    """Per-candidate SL voltage at the stop time (input to charge-domain
+    accumulation)."""
+
+    candidate_rows: np.ndarray
+    """The rows that took part in the search (aligned with the per-candidate
+    arrays)."""
+
+    energy: float
+    """Energy of the search (precharge + discharge + detectors + comparator)."""
+
+    latency: float
+    """Total search latency including precharge (seconds)."""
+
+    @property
+    def k(self) -> int:
+        return int(self.selected_rows.size)
+
+
+class CAMMode:
+    """Behavioural model of the CAM-mode top-k selection."""
+
+    def __init__(self, array: UniCAIMArray, params: Optional[CAMParams] = None) -> None:
+        self.array = array
+        self.params = params or CAMParams()
+
+    # ------------------------------------------------------------------
+    def configure_k(self, k: int) -> float:
+        """Programmed reference current for a top-``k`` search.
+
+        ``k`` is set purely by programming ``F_dyn`` / the reference — no
+        additional hardware — which is the configurability claim of
+        Sec. III-B.3.
+        """
+        return self.params.reference_current(k)
+
+    def select_topk(
+        self,
+        query: np.ndarray,
+        k: int,
+        rows: Optional[Sequence[int]] = None,
+        pre_quantized: bool = False,
+    ) -> CAMSelectionResult:
+        """Run one discharge-race search and return the top-``k`` rows."""
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        params = self.params
+        if rows is None:
+            candidate_rows = self.array.occupied_rows()
+            if candidate_rows.size == 0:
+                candidate_rows = np.arange(self.array.num_rows)
+        else:
+            candidate_rows = np.asarray(list(rows), dtype=np.int64)
+        n = candidate_rows.size
+        k = min(k, n)
+
+        currents = self.array.row_currents(
+            query, rows=candidate_rows, pre_quantized=pre_quantized
+        )
+        capacitance = params.sl_capacitance(self.array.config.cells_per_row)
+        threshold = params.sense_threshold()
+
+        times = np.asarray(
+            [
+                discharge_time_to_threshold(capacitance, params.vdd, threshold, float(i))
+                for i in currents
+            ]
+        )
+
+        # The search stops when the (k+1)-th row crosses the threshold; if k
+        # covers every candidate the race runs until the last row would
+        # cross (bounded by the slowest finite time).
+        order = np.lexsort((candidate_rows, -times))  # slowest (most similar) first
+        if k < n:
+            stop_time = float(np.sort(times)[::-1][k])
+        else:
+            finite = times[np.isfinite(times)]
+            stop_time = float(finite.max()) if finite.size else 0.0
+
+        selected = candidate_rows[order[:k]]
+
+        voltages = np.maximum(
+            params.vdd - currents * stop_time / capacitance, 0.0
+        )
+
+        energy = self._search_energy(currents, times, stop_time, capacitance, n)
+        latency = params.precharge_time + stop_time
+
+        return CAMSelectionResult(
+            selected_rows=selected,
+            discharge_times=times,
+            stop_time=stop_time,
+            sl_voltages=voltages,
+            candidate_rows=candidate_rows,
+            energy=energy,
+            latency=latency,
+        )
+
+    # ------------------------------------------------------------------
+    def _search_energy(
+        self,
+        currents: np.ndarray,
+        times: np.ndarray,
+        stop_time: float,
+        capacitance: float,
+        num_rows: int,
+    ) -> float:
+        params = self.params
+        # Precharge energy: every SL is charged from (at most) 0 to V_DD.
+        precharge = num_rows * capacitance * params.vdd**2
+        # Discharge energy: charge removed from each SL until it either hits
+        # the threshold or the race stops.
+        durations = np.minimum(times, stop_time)
+        durations = np.where(np.isfinite(durations), durations, stop_time)
+        removed_charge = np.minimum(
+            currents * durations, capacitance * params.vdd
+        )
+        discharge = float((removed_charge * params.vdd).sum())
+        detectors = num_rows * params.detector_energy_per_row
+        return precharge + discharge + detectors + params.comparator_energy
+
+
+__all__ = ["CAMParams", "CAMSelectionResult", "CAMMode"]

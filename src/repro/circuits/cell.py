@@ -1,0 +1,192 @@
+"""The FeFET-based UniCAIM cell (paper Fig. 5).
+
+A cell is two 1-transistor-1-FeFET (1T1F) units sharing a sense line (SL).
+It stores a signed (optionally multilevel) key as a complementary pair of
+FeFET threshold voltages and multiplies it in place by a signed query
+presented as complementary bit-line voltages.  The product is encoded in
+the sense-line current with *inverted* polarity:
+
+* product ``+1`` (query matches key)  -> **low** I_SL,
+* product ``0``                        -> medium I_SL,
+* product ``-1`` (query opposes key)  -> **high** I_SL.
+
+The inversion is deliberate (Sec. III-B.5): the rows that must be computed
+exactly (the top-k most similar) draw the *least* current, and in the CAM
+race the most similar rows discharge slowest, which is what makes O(1)
+top-k selection possible.
+
+Programming uses a program-verify abstraction: the two FeFETs are placed on
+threshold-voltage levels whose read currents are equally spaced in the key
+level, so the sum over a row of cells is linear in the signed
+multiply-accumulate value (Fig. 9) up to device variation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..devices.fefet import FeFETParams
+from .encoding import (
+    QueryDrive,
+    encode_key_pair,
+    encode_query_expansion,
+    expansion_cells,
+    quantize_to_levels,
+)
+
+
+@dataclass(frozen=True)
+class CellParams:
+    """Electrical parameters of one UniCAIM cell."""
+
+    fefet: FeFETParams = FeFETParams()
+
+    current_match: float = 0.1e-6
+    """I_SL for a full ``+1`` product (amps) — the low current I_{+1}."""
+
+    current_mismatch: float = 1.0e-6
+    """I_SL for a full ``-1`` product (amps) — the high current I_{-1}."""
+
+    cell_area_f2: float = 24.0
+    """Layout area of the 2x1T1F cell in units of F^2 per transistor pair."""
+
+    write_energy: float = 2.0e-15
+    """Energy to program both FeFETs of the cell (joules)."""
+
+    write_time: float = 1.0e-7
+    """Single write-cycle duration (seconds)."""
+
+    @property
+    def current_zero(self) -> float:
+        """I_SL for a zero product — midway between match and mismatch."""
+        return 0.5 * (self.current_match + self.current_mismatch)
+
+    @property
+    def current_span(self) -> float:
+        """Full-scale current difference between ``-1`` and ``+1`` products."""
+        return self.current_mismatch - self.current_match
+
+    def product_to_current(self, product: float) -> float:
+        """Nominal I_SL for a signed product in ``[-1, +1]`` (linear map)."""
+        product = float(np.clip(product, -1.0, 1.0))
+        return self.current_zero - 0.5 * product * self.current_span
+
+    def current_to_product(self, current: float) -> float:
+        """Inverse of :meth:`product_to_current` (used by the ADC read-out)."""
+        return 2.0 * (self.current_zero - current) / self.current_span
+
+
+class UniCAIMCell:
+    """One 2x1T1F UniCAIM cell storing a signed multilevel key value."""
+
+    def __init__(
+        self,
+        params: Optional[CellParams] = None,
+        key_bits: int = 1,
+        vth_offsets: Tuple[float, float] = (0.0, 0.0),
+    ) -> None:
+        if key_bits < 1:
+            raise ValueError("key_bits must be >= 1")
+        self.params = params or CellParams()
+        self.key_bits = int(key_bits)
+        self._vth_offsets = (float(vth_offsets[0]), float(vth_offsets[1]))
+        self._key_value = 0.0
+        self._polarizations = encode_key_pair(0.0, key_bits)
+        self._write_count = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def key_value(self) -> float:
+        """The stored (quantised) signed key value."""
+        return self._key_value
+
+    @property
+    def polarizations(self) -> Tuple[float, float]:
+        """Normalised polarisation states of (F1, F1b)."""
+        return self._polarizations
+
+    @property
+    def write_count(self) -> int:
+        return self._write_count
+
+    @property
+    def threshold_voltages(self) -> Tuple[float, float]:
+        """Threshold voltages of (F1, F1b) including device variation."""
+        p1, p1b = self._polarizations
+        fefet = self.params.fefet
+        return (
+            fefet.level_vth(p1) + self._vth_offsets[0],
+            fefet.level_vth(p1b) + self._vth_offsets[1],
+        )
+
+    # ------------------------------------------------------------------
+    def write_key(self, value: float) -> float:
+        """Program a signed key value (single write cycle); returns the stored level."""
+        level = quantize_to_levels(value, self.key_bits)
+        self._key_value = level
+        self._polarizations = encode_key_pair(level, self.key_bits)
+        self._write_count += 1
+        return level
+
+    def write_energy(self) -> float:
+        """Energy of one key write (both FeFETs)."""
+        return self.params.write_energy
+
+    # ------------------------------------------------------------------
+    def sense_current(self, query_bit: int) -> float:
+        """I_SL contribution for a single ±1 query bit.
+
+        The nominal contribution is linear in the product ``key * query``;
+        device variation perturbs it through the effective V_TH offsets,
+        scaled by the cell's transconductance around the read point.
+        """
+        if query_bit not in (-1, 1):
+            raise ValueError("query_bit must be +1 or -1")
+        product = self._key_value * query_bit
+        nominal = self.params.product_to_current(product)
+        return max(nominal + self._variation_current(query_bit), 0.0)
+
+    def sense_current_multilevel(self, query_value: float, query_bits: int) -> float:
+        """Total I_SL of the bitwise query expansion for this key (Fig. 6(d)).
+
+        Conceptually the key is replicated across ``2**query_bits`` cells and
+        each replica is driven by one expansion bit; this helper sums their
+        contributions so a single logical cell object can evaluate a
+        multilevel query.
+        """
+        drives = encode_query_expansion(query_value, query_bits)
+        return float(sum(self.sense_current(drive.sign) for drive in drives))
+
+    def expansion_width(self, query_bits: int) -> int:
+        """Physical cells used per key dimension for this query precision."""
+        return expansion_cells(query_bits)
+
+    # ------------------------------------------------------------------
+    def _variation_current(self, query_bit: int) -> float:
+        """Current error induced by the V_TH offsets of the conducting FeFET.
+
+        Only the FeFET whose bit line carries the read voltage conducts; its
+        V_TH offset shifts the current by approximately
+        ``-gm * delta_vth`` where the transconductance is approximated by
+        the full current span over the memory window.
+        """
+        offset = self._vth_offsets[1] if query_bit == 1 else self._vth_offsets[0]
+        gm = self.params.current_span / self.params.fefet.memory_window
+        return -gm * offset
+
+    def truth_table(self, query_values: List[float], query_bits: int = 1) -> List[Tuple[float, float, float]]:
+        """(key, query, I_SL) rows for documentation / verification."""
+        rows = []
+        for query in query_values:
+            if query_bits == 1:
+                current = self.sense_current(int(np.sign(query)) if query != 0 else 1)
+            else:
+                current = self.sense_current_multilevel(query, query_bits)
+            rows.append((self._key_value, float(query), current))
+        return rows
+
+
+__all__ = ["CellParams", "UniCAIMCell"]

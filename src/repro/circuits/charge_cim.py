@@ -1,0 +1,180 @@
+"""Charge-domain CIM mode: accumulated-score tracking and static eviction.
+
+Paper Sec. III-B.4 and Fig. 8.  After the CAM-mode race, each sense line is
+left at a voltage that is *higher* for more similar rows.  Closing switch
+``S_1`` shares that charge with a per-row accumulation capacitor ``C_Acc``,
+so across decoding steps the accumulation voltage tracks a running
+(exponentially weighted) average of the row's similarity — the hardware
+realisation of the accumulated attention score table, obtained in the same
+operation cycle as dynamic pruning with no extra compute.
+
+When the number of generated tokens exceeds the reserved cache size, the
+row with the *lowest* accumulated voltage must be evicted.  An FeFET-based
+inverter with a programmable switching voltage ``V_S`` watches each row
+while the accumulation capacitors are slowly discharged; the row with the
+smallest accumulated voltage crosses ``V_S`` first, its ``F_sta`` turns on,
+the summed current exceeds ``I_Ref2`` and the address of that row is
+latched as the eviction victim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ChargeDomainParams:
+    """Peripheral parameters of the charge-domain accumulation mode."""
+
+    sl_capacitance: float = 10e-15
+    """Effective sense-line capacitance taking part in charge sharing."""
+
+    acc_capacitance: float = 40e-15
+    """Accumulation capacitor C_Acc per row (farads)."""
+
+    switching_voltage: float = 0.1
+    """Programmed FE-INV switching voltage V_S (volts)."""
+
+    discharge_current: float = 0.5e-6
+    """Constant discharge current applied during the eviction race (amps)."""
+
+    static_detector_energy: float = 1e-15
+    """Energy of one row's FE-INV + F_sta detector per eviction search."""
+
+    comparator_energy: float = 10e-15
+    """Energy of the global I_Ref2 comparator per eviction search."""
+
+    @property
+    def sharing_ratio(self) -> float:
+        """Weight of the new sample after one charge-sharing event."""
+        return self.sl_capacitance / (self.sl_capacitance + self.acc_capacitance)
+
+
+@dataclass
+class EvictionSearchResult:
+    """Outcome of one static-eviction search."""
+
+    victim_row: int
+    crossing_times: np.ndarray
+    candidate_rows: np.ndarray
+    latency: float
+    energy: float
+
+
+class ChargeDomainAccumulator:
+    """Per-row accumulated-similarity state held on C_Acc capacitors."""
+
+    def __init__(self, num_rows: int, params: Optional[ChargeDomainParams] = None) -> None:
+        if num_rows < 1:
+            raise ValueError("num_rows must be >= 1")
+        self.params = params or ChargeDomainParams()
+        self.num_rows = int(num_rows)
+        self._acc_voltages = np.zeros(num_rows, dtype=np.float64)
+        self._share_events = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def accumulated_voltages(self) -> np.ndarray:
+        return self._acc_voltages.copy()
+
+    @property
+    def share_events(self) -> int:
+        return self._share_events
+
+    def voltage_of(self, row: int) -> float:
+        self._check_row(row)
+        return float(self._acc_voltages[row])
+
+    # ------------------------------------------------------------------
+    def accumulate(self, rows: Sequence[int], sl_voltages: np.ndarray) -> np.ndarray:
+        """Charge-share the given SL voltages into the rows' accumulators.
+
+        ``V_acc' = (C_acc V_acc + C_sl V_sl) / (C_acc + C_sl)`` — an
+        exponentially weighted running average with weight
+        :attr:`ChargeDomainParams.sharing_ratio` on the newest sample.
+        Returns the energy dissipated by the charge sharing.
+        """
+        rows = np.asarray(list(rows), dtype=np.int64)
+        sl_voltages = np.asarray(sl_voltages, dtype=np.float64)
+        if rows.shape != sl_voltages.shape:
+            raise ValueError("rows and sl_voltages must have the same length")
+        for row in rows:
+            self._check_row(int(row))
+        params = self.params
+        c_sl, c_acc = params.sl_capacitance, params.acc_capacitance
+
+        old = self._acc_voltages[rows]
+        new = (c_acc * old + c_sl * sl_voltages) / (c_acc + c_sl)
+        # Energy dissipated by charge sharing between two capacitors:
+        # 1/2 * (C_sl * C_acc / (C_sl + C_acc)) * (V_sl - V_acc)^2 per row.
+        series_cap = c_sl * c_acc / (c_sl + c_acc)
+        energy = float((0.5 * series_cap * (sl_voltages - old) ** 2).sum())
+        self._acc_voltages[rows] = new
+        self._share_events += 1
+        return energy
+
+    def reset_row(self, row: int) -> None:
+        """Clear the accumulator of an evicted / overwritten row."""
+        self._check_row(row)
+        self._acc_voltages[row] = 0.0
+
+    def reset(self) -> None:
+        self._acc_voltages[:] = 0.0
+        self._share_events = 0
+
+    # ------------------------------------------------------------------
+    def eviction_search(
+        self,
+        candidate_rows: Optional[Sequence[int]] = None,
+    ) -> EvictionSearchResult:
+        """Find the row with the lowest accumulated similarity (Fig. 8(b)).
+
+        The accumulation capacitors of the candidate rows are discharged
+        with a constant current; the row whose voltage reaches the FE-INV
+        switching voltage first is the victim.  Rows already below ``V_S``
+        cross immediately.
+        """
+        params = self.params
+        if candidate_rows is None:
+            rows = np.arange(self.num_rows)
+        else:
+            rows = np.asarray(list(candidate_rows), dtype=np.int64)
+            for row in rows:
+                self._check_row(int(row))
+        if rows.size == 0:
+            raise ValueError("candidate_rows must not be empty")
+
+        voltages = self._acc_voltages[rows]
+        headroom = np.maximum(voltages - params.switching_voltage, 0.0)
+        times = headroom * params.acc_capacitance / params.discharge_current
+
+        order = np.lexsort((rows, times))
+        victim = int(rows[order[0]])
+        latency = float(times[order[0]])
+        energy = (
+            rows.size * params.static_detector_energy
+            + params.comparator_energy
+            + float((params.discharge_current * times.min()) * params.switching_voltage)
+        )
+        return EvictionSearchResult(
+            victim_row=victim,
+            crossing_times=times,
+            candidate_rows=rows,
+            latency=latency,
+            energy=energy,
+        )
+
+    # ------------------------------------------------------------------
+    def _check_row(self, row: int) -> None:
+        if not 0 <= row < self.num_rows:
+            raise IndexError(f"row {row} out of range for {self.num_rows} rows")
+
+
+__all__ = [
+    "ChargeDomainParams",
+    "ChargeDomainAccumulator",
+    "EvictionSearchResult",
+]

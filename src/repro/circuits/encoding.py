@@ -1,0 +1,158 @@
+"""Signed multilevel encodings for keys and queries (paper Figs. 5 and 6).
+
+The UniCAIM cell stores a *signed* key in two FeFETs with complementary
+threshold voltages and receives a *signed* query as complementary bit-line
+read voltages:
+
+* 1-bit signed key: ``+1 -> (V_L, V_H)``, ``-1 -> (V_H, V_L)``,
+  ``0 -> (V_M, V_M)`` (Fig. 5(c)).
+* multi-bit signed keys interpolate the complementary V_TH pair
+  (``+0.5 -> (V_L', V_H')`` etc., Fig. 6(a)).
+* 1-bit signed query: ``+1 -> (0, V_R)``, ``-1 -> (V_R, 0)`` on
+  ``(BL, BLb)`` (Fig. 5(c)).
+* multilevel signed queries are expanded bitwise over several cells storing
+  the same key: the fraction of cells driven in the ``+1`` configuration
+  encodes the query level (Fig. 6(c)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+
+def signed_levels(bits: int) -> np.ndarray:
+    """The signed storage levels of a ``bits``-bit cell.
+
+    1 bit gives ``{-1, +1}``; ``b`` bits give ``2**b + 1`` evenly spaced
+    levels in ``[-1, +1]`` including zero (e.g. 2 bits ->
+    ``{-1, -0.5, 0, +0.5, +1}``), matching the half-step levels of Fig. 6.
+    """
+    if bits < 1:
+        raise ValueError("bits must be >= 1")
+    if bits == 1:
+        return np.asarray([-1.0, 1.0])
+    steps = 2 ** (bits - 1)
+    return np.linspace(-1.0, 1.0, 2 * steps + 1)
+
+
+def quantize_to_levels(value: float, bits: int) -> float:
+    """Snap a value in ``[-1, 1]`` to the nearest storable signed level."""
+    levels = signed_levels(bits)
+    value = float(np.clip(value, -1.0, 1.0))
+    return float(levels[int(np.argmin(np.abs(levels - value)))])
+
+
+@dataclass(frozen=True)
+class QueryDrive:
+    """Bit-line drive of one cell: ``(bl, blb)`` voltages in units of V_R."""
+
+    bl: float
+    blb: float
+
+    @property
+    def sign(self) -> int:
+        """+1 for the (0, V_R) configuration, -1 for (V_R, 0), 0 for idle."""
+        if self.blb > self.bl:
+            return 1
+        if self.bl > self.blb:
+            return -1
+        return 0
+
+
+def encode_query_bit(value: int) -> QueryDrive:
+    """Drive voltages of a single ±1 query bit (Fig. 5(c))."""
+    if value == 1:
+        return QueryDrive(bl=0.0, blb=1.0)
+    if value == -1:
+        return QueryDrive(bl=1.0, blb=0.0)
+    raise ValueError("a single query bit must be +1 or -1")
+
+
+def expansion_cells(query_bits: int) -> int:
+    """Number of cells one key dimension occupies for a ``query_bits`` query.
+
+    A 1-bit query needs 1 cell; a ``b``-bit query is expanded bitwise over
+    ``2**b`` cells (the paper's 2-bit example uses 4 cells, Fig. 6(c)).
+    """
+    if query_bits < 1:
+        raise ValueError("query_bits must be >= 1")
+    if query_bits == 1:
+        return 1
+    return 2**query_bits
+
+
+def encode_query_expansion(value: float, query_bits: int) -> List[QueryDrive]:
+    """Bitwise expansion of a multilevel signed query value (Fig. 6(c)).
+
+    The value is first snapped to the representable query levels, then a
+    number of cells proportional to ``(value + 1) / 2`` are driven in the
+    ``+1`` configuration and the rest in the ``-1`` configuration, so the
+    *average* drive equals the query level.
+    """
+    cells = expansion_cells(query_bits)
+    level = quantize_to_levels(value, query_bits)
+    positive_cells = int(round((level + 1.0) / 2.0 * cells))
+    positive_cells = min(max(positive_cells, 0), cells)
+    drives = [encode_query_bit(1) for _ in range(positive_cells)]
+    drives += [encode_query_bit(-1) for _ in range(cells - positive_cells)]
+    return drives
+
+
+def decode_query_expansion(drives: List[QueryDrive]) -> float:
+    """Average drive sign of an expansion — recovers the query level."""
+    if not drives:
+        raise ValueError("drives must not be empty")
+    return float(np.mean([drive.sign for drive in drives]))
+
+
+def encode_key_pair(value: float, key_bits: int) -> Tuple[float, float]:
+    """Complementary polarisation pair ``(p1, p1b)`` for a signed key value.
+
+    Polarisations are normalised to ``[0, 1]`` where 1 means the lowest
+    threshold voltage (strongest conduction).  ``+1`` maps to
+    ``(low-V_TH, high-V_TH) = (1, 0)``, ``-1`` to ``(0, 1)`` and ``0`` to
+    the medium pair ``(0.5, 0.5)``; intermediate levels interpolate, which
+    is exactly the gradual V_TH modulation of Fig. 6(a).
+    """
+    level = quantize_to_levels(value, key_bits)
+    p1 = (1.0 + level) / 2.0
+    p1b = (1.0 - level) / 2.0
+    return p1, p1b
+
+
+def decode_key_pair(p1: float, p1b: float) -> float:
+    """Signed key value represented by a complementary polarisation pair."""
+    return float(p1 - p1b)
+
+
+def quantize_vector(values: np.ndarray, bits: int, clip_sigma: float = 2.0) -> np.ndarray:
+    """Normalise a real-valued vector and snap it to the signed level grid.
+
+    This is the digital pre-processing step that maps real key/query vectors
+    onto what the array can physically store; it matches
+    :func:`repro.core.dynamic_pruning.quantize_signed`.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    std = float(np.std(values))
+    scale = clip_sigma * std if std > 0 else 1.0
+    normalised = np.clip(values / scale, -1.0, 1.0)
+    levels = signed_levels(bits)
+    indices = np.argmin(np.abs(normalised[..., None] - levels[None, :]), axis=-1)
+    return levels[indices]
+
+
+__all__ = [
+    "signed_levels",
+    "quantize_to_levels",
+    "QueryDrive",
+    "encode_query_bit",
+    "expansion_cells",
+    "encode_query_expansion",
+    "decode_query_expansion",
+    "encode_key_pair",
+    "decode_key_pair",
+    "quantize_vector",
+]

@@ -1,0 +1,226 @@
+"""Full UniCAIM engine: array + CAM + charge-domain + current-domain modes.
+
+This ties the circuit-level models together into the per-decoding-step
+sequence described in Fig. 4:
+
+1. **CAM mode** — discharge-race top-k selection of the most similar rows.
+2. **Charge-domain CIM** — in the same cycle, the remaining SL voltages are
+   charge-shared into the per-row accumulation capacitors; when the cache
+   is full an eviction search picks the row with the lowest accumulated
+   similarity.
+3. **Current-domain CIM** — the selected rows' currents are quantised by
+   the ADC bank to produce exact attention scores.
+4. The newly generated token's key is written into the freed (or next
+   free) row with a single write cycle.
+
+The engine is the hardware twin of :class:`repro.core.hybrid.UniCAIMPolicy`:
+the policy operates on floating-point vectors, the engine on quantised
+levels, currents and capacitor voltages, but both implement the same
+static-dynamic pruning algorithm and their selections can be compared
+directly in integration tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .adc import ADCParams
+from .array import ArrayConfig, UniCAIMArray
+from .cam_mode import CAMMode, CAMParams, CAMSelectionResult
+from .charge_cim import ChargeDomainAccumulator, ChargeDomainParams, EvictionSearchResult
+from .current_cim import CurrentDomainCIM, MACReadout
+
+
+@dataclass
+class StepCosts:
+    """Energy / latency breakdown of one engine decoding step."""
+
+    cam_energy: float = 0.0
+    charge_energy: float = 0.0
+    adc_energy: float = 0.0
+    write_energy: float = 0.0
+    cam_latency: float = 0.0
+    eviction_latency: float = 0.0
+    adc_latency: float = 0.0
+    write_latency: float = 0.0
+
+    @property
+    def total_energy(self) -> float:
+        return self.cam_energy + self.charge_energy + self.adc_energy + self.write_energy
+
+    @property
+    def total_latency(self) -> float:
+        return self.cam_latency + self.eviction_latency + self.adc_latency + self.write_latency
+
+
+@dataclass
+class EngineStepResult:
+    """Everything produced by one decoding step of the engine."""
+
+    selection: CAMSelectionResult
+    readout: MACReadout
+    evicted_row: Optional[int]
+    written_row: Optional[int]
+    costs: StepCosts
+
+
+class UniCAIMEngine:
+    """Circuit-level simulation of the UniCAIM decoding loop."""
+
+    def __init__(
+        self,
+        array_config: Optional[ArrayConfig] = None,
+        cam_params: Optional[CAMParams] = None,
+        charge_params: Optional[ChargeDomainParams] = None,
+        adc_params: Optional[ADCParams] = None,
+        num_adcs: int = 64,
+    ) -> None:
+        self.array = UniCAIMArray(array_config)
+        self.cam = CAMMode(self.array, cam_params)
+        self.accumulator = ChargeDomainAccumulator(
+            self.array.num_rows, charge_params
+        )
+        self.cim = CurrentDomainCIM(self.array, adc_params, num_adcs=num_adcs)
+        self._row_to_token: Dict[int, int] = {}
+        self._free_rows: List[int] = list(range(self.array.num_rows - 1, -1, -1))
+        self._step_log: List[EngineStepResult] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def occupancy(self) -> int:
+        return len(self._row_to_token)
+
+    @property
+    def is_full(self) -> bool:
+        return not self._free_rows
+
+    @property
+    def step_log(self) -> List[EngineStepResult]:
+        return list(self._step_log)
+
+    def token_of_row(self, row: int) -> Optional[int]:
+        return self._row_to_token.get(int(row))
+
+    def rows_to_tokens(self) -> Dict[int, int]:
+        return dict(self._row_to_token)
+
+    # ------------------------------------------------------------------
+    def load_prefill(self, keys: np.ndarray, token_positions: Optional[List[int]] = None) -> float:
+        """Write the retained prefill keys into the array; returns write energy."""
+        keys = np.asarray(keys, dtype=np.float64)
+        if keys.ndim != 2 or keys.shape[1] != self.array.config.dim:
+            raise ValueError(f"keys must be [n, {self.array.config.dim}]")
+        if keys.shape[0] > self.array.num_rows:
+            raise ValueError("more prefill keys than array rows")
+        if token_positions is None:
+            token_positions = list(range(keys.shape[0]))
+        if len(token_positions) != keys.shape[0]:
+            raise ValueError("token_positions must match keys length")
+
+        energy_before = self.array.total_write_energy
+        self._row_to_token = {}
+        self._free_rows = list(range(self.array.num_rows - 1, -1, -1))
+        self.accumulator.reset()
+        for idx in range(keys.shape[0]):
+            row = self._free_rows.pop()
+            self.array.write_row(row, keys[idx])
+            self._row_to_token[row] = int(token_positions[idx])
+        return self.array.total_write_energy - energy_before
+
+    # ------------------------------------------------------------------
+    def decode_step(
+        self,
+        query: np.ndarray,
+        k: int,
+        new_key: Optional[np.ndarray] = None,
+        new_token_position: Optional[int] = None,
+        protected_rows: Optional[List[int]] = None,
+    ) -> EngineStepResult:
+        """One hardware decoding step: select, accumulate, read out, write.
+
+        ``new_key`` (if given) is the key of the token generated at this
+        step; it is written after the eviction search so that the freed row
+        can be reused in place.
+        """
+        costs = StepCosts()
+        occupied = sorted(self._row_to_token)
+
+        selection = self.cam.select_topk(query, k, rows=occupied)
+        costs.cam_energy = selection.energy
+        costs.cam_latency = selection.latency
+
+        charge_energy = self.accumulator.accumulate(
+            selection.candidate_rows, selection.sl_voltages
+        )
+        costs.charge_energy = charge_energy
+
+        readout = self.cim.compute_scores(query, selection.selected_rows)
+        costs.adc_energy = readout.energy
+        costs.adc_latency = readout.latency
+
+        evicted_row: Optional[int] = None
+        written_row: Optional[int] = None
+        if new_key is not None:
+            evicted_row, written_row, eviction = self._insert_new_key(
+                new_key, new_token_position, protected_rows
+            )
+            if eviction is not None:
+                costs.eviction_latency = eviction.latency
+                costs.charge_energy += eviction.energy
+            costs.write_energy = (
+                self.array.config.cell.write_energy * self.array.config.cells_per_row
+            )
+            costs.write_latency = self.array.config.cell.write_time
+
+        result = EngineStepResult(
+            selection=selection,
+            readout=readout,
+            evicted_row=evicted_row,
+            written_row=written_row,
+            costs=costs,
+        )
+        self._step_log.append(result)
+        return result
+
+    # ------------------------------------------------------------------
+    def _insert_new_key(
+        self,
+        new_key: np.ndarray,
+        new_token_position: Optional[int],
+        protected_rows: Optional[List[int]],
+    ) -> tuple[Optional[int], int, Optional[EvictionSearchResult]]:
+        eviction: Optional[EvictionSearchResult] = None
+        evicted_row: Optional[int] = None
+        if self._free_rows:
+            row = self._free_rows.pop()
+        else:
+            candidates = sorted(self._row_to_token)
+            if protected_rows:
+                protected = set(int(r) for r in protected_rows)
+                filtered = [r for r in candidates if r not in protected]
+                if filtered:
+                    candidates = filtered
+            eviction = self.accumulator.eviction_search(candidates)
+            row = eviction.victim_row
+            evicted_row = row
+            self._row_to_token.pop(row, None)
+            self.accumulator.reset_row(row)
+
+        self.array.write_row(row, np.asarray(new_key, dtype=np.float64))
+        if new_token_position is None:
+            new_token_position = -1
+        self._row_to_token[row] = int(new_token_position)
+        return evicted_row, row, eviction
+
+    # ------------------------------------------------------------------
+    def total_energy(self) -> float:
+        return float(sum(step.costs.total_energy for step in self._step_log))
+
+    def total_latency(self) -> float:
+        return float(sum(step.costs.total_latency for step in self._step_log))
+
+
+__all__ = ["UniCAIMEngine", "EngineStepResult", "StepCosts"]

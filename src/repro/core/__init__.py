@@ -1,0 +1,59 @@
+"""Core algorithmic contribution: hybrid static-dynamic KV cache pruning.
+
+This package contains everything needed to run the paper's pruning
+algorithm independently of both the transformer substrate and the FeFET
+hardware models:
+
+* :mod:`repro.core.config` — pruning / attention configuration objects.
+* :mod:`repro.core.kv_cache` — the fixed-size, slot-based KV cache.
+* :mod:`repro.core.attention` — score / softmax / sparse-attention math.
+* :mod:`repro.core.static_pruning` — one-shot prefill pruning.
+* :mod:`repro.core.dynamic_pruning` — exact and CAM-approximate top-k.
+* :mod:`repro.core.hybrid` — the full UniCAIM policy.
+* :mod:`repro.core.baselines` — Full / StreamingLLM / H2O / SnapKV / Quest.
+"""
+
+from .config import AttentionConfig, PruningConfig
+from .kv_cache import CacheEntry, SlotKVCache
+from .policy import FullCachePolicy, KVCachePolicy, PolicyStats, StepRecord
+from .static_pruning import (
+    StaticPruningResult,
+    accumulated_scores_from_attention,
+    prefill_static_prune,
+    select_heavy_tokens,
+)
+from .dynamic_pruning import (
+    CAMApproximateSelector,
+    CAMSelectorConfig,
+    ExactTopKSelector,
+    SelectionResult,
+    attention_mass_coverage,
+    quantize_signed,
+    selection_recall,
+)
+from .hybrid import EvictionEvent, UniCAIMPolicy, make_policy
+
+__all__ = [
+    "AttentionConfig",
+    "PruningConfig",
+    "CacheEntry",
+    "SlotKVCache",
+    "FullCachePolicy",
+    "KVCachePolicy",
+    "PolicyStats",
+    "StepRecord",
+    "StaticPruningResult",
+    "accumulated_scores_from_attention",
+    "prefill_static_prune",
+    "select_heavy_tokens",
+    "CAMApproximateSelector",
+    "CAMSelectorConfig",
+    "ExactTopKSelector",
+    "SelectionResult",
+    "attention_mass_coverage",
+    "quantize_signed",
+    "selection_recall",
+    "EvictionEvent",
+    "UniCAIMPolicy",
+    "make_policy",
+]

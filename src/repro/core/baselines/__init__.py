@@ -1,0 +1,36 @@
+"""Baseline KV cache pruning policies the paper compares against.
+
+* :class:`~repro.core.policy.FullCachePolicy` — dense attention (re-exported
+  here for convenience).
+* :class:`StreamingLLMPolicy` — fixed pattern: attention sinks + sliding
+  window (StreamingLLM, ref. [19]).
+* :class:`H2OPolicy` — heavy-hitter oracle: step-wise eviction by
+  accumulated attention probability (H2O, ref. [7]).
+* :class:`SnapKVPolicy` — prefill-only compression using an observation
+  window of the final prompt queries (SnapKV, ref. [8]).
+* :class:`QuestPolicy` — dynamic-only query-aware top-k selection with no
+  memory reduction (Quest, ref. [6]).
+"""
+
+from ..policy import FullCachePolicy
+from .streaming_llm import StreamingLLMPolicy
+from .h2o import H2OPolicy
+from .snapkv import SnapKVPolicy
+from .quest import QuestPolicy
+
+BASELINE_REGISTRY = {
+    "full": FullCachePolicy,
+    "streaming_llm": StreamingLLMPolicy,
+    "h2o": H2OPolicy,
+    "snapkv": SnapKVPolicy,
+    "quest": QuestPolicy,
+}
+
+__all__ = [
+    "FullCachePolicy",
+    "StreamingLLMPolicy",
+    "H2OPolicy",
+    "SnapKVPolicy",
+    "QuestPolicy",
+    "BASELINE_REGISTRY",
+]

@@ -1,0 +1,171 @@
+"""H2O-style heavy-hitter KV cache eviction.
+
+H2O (Zhang et al., 2023 — the paper's ref. [7]) keeps a fixed budget of
+"heavy hitter" tokens, chosen by accumulated softmax attention probability,
+plus a window of recent tokens.  Eviction is *static*: once a token is
+dropped it can never be attended to again, but unlike StreamingLLM the
+choice of which token to drop is content-aware.  At every step all cached
+tokens participate in attention (no dynamic top-k).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..attention import attention_output, attention_scores, head_mean_scores, softmax
+from ..policy import KVCachePolicy, StepRecord
+from ..static_pruning import accumulated_scores_from_attention
+
+
+class H2OPolicy(KVCachePolicy):
+    """Heavy-hitter oracle eviction with a recent-token window.
+
+    Parameters
+    ----------
+    heavy_budget:
+        Number of heavy-hitter slots (chosen by accumulated attention
+        probability).
+    recent_budget:
+        Number of most recent tokens that are always retained.
+    """
+
+    def __init__(
+        self,
+        num_heads: int,
+        head_dim: int,
+        heavy_budget: int = 256,
+        recent_budget: int = 64,
+        scale: Optional[float] = None,
+    ) -> None:
+        super().__init__(num_heads, head_dim, scale)
+        if heavy_budget < 1:
+            raise ValueError("heavy_budget must be >= 1")
+        if recent_budget < 1:
+            raise ValueError("recent_budget must be >= 1")
+        self.heavy_budget = int(heavy_budget)
+        self.recent_budget = int(recent_budget)
+        self._keys: Dict[int, np.ndarray] = {}
+        self._values: Dict[int, np.ndarray] = {}
+        self._accumulated: Dict[int, float] = {}
+
+    @classmethod
+    def from_budget(
+        cls,
+        num_heads: int,
+        head_dim: int,
+        budget: int,
+        recent_fraction: float = 0.25,
+        scale: Optional[float] = None,
+    ) -> "H2OPolicy":
+        """Split a total budget into heavy and recent portions (H2O default 50/50 or 75/25)."""
+        if budget < 2:
+            raise ValueError("budget must be >= 2")
+        recent = max(1, int(round(budget * recent_fraction)))
+        heavy = max(1, budget - recent)
+        return cls(num_heads, head_dim, heavy_budget=heavy, recent_budget=recent, scale=scale)
+
+    @property
+    def total_budget(self) -> int:
+        return self.heavy_budget + self.recent_budget
+
+    # ------------------------------------------------------------------
+    def prefill(
+        self,
+        keys: np.ndarray,
+        values: np.ndarray,
+        attention_matrix: Optional[np.ndarray] = None,
+    ) -> None:
+        self._check_prefill_shapes(keys, values)
+        keys = np.asarray(keys, dtype=np.float64)
+        values = np.asarray(values, dtype=np.float64)
+        n = keys.shape[0]
+        self.stats.prefill_tokens = n
+
+        if attention_matrix is not None:
+            scores = accumulated_scores_from_attention(
+                attention_matrix, use_softmax=True
+            )
+        else:
+            scores = np.zeros(n, dtype=np.float64)
+
+        self._keys = {}
+        self._values = {}
+        self._accumulated = {}
+        for pos in range(n):
+            self._keys[pos] = keys[pos]
+            self._values[pos] = values[pos]
+            self._accumulated[pos] = float(scores[pos])
+        self._shrink_to_budget(current_position=n - 1)
+        self.stats.retained_after_prefill = len(self._keys)
+
+    def decode_step(
+        self,
+        query: np.ndarray,
+        key: np.ndarray,
+        value: np.ndarray,
+        position: int,
+    ) -> np.ndarray:
+        self._check_step_shapes(query, key, value)
+        query = np.asarray(query, dtype=np.float64)
+        position = int(position)
+        self._keys[position] = np.asarray(key, dtype=np.float64)
+        self._values[position] = np.asarray(value, dtype=np.float64)
+        self._accumulated.setdefault(position, 0.0)
+
+        positions = sorted(self._keys)
+        keys = np.stack([self._keys[p] for p in positions], axis=0)
+        values = np.stack([self._values[p] for p in positions], axis=0)
+
+        raw = head_mean_scores(attention_scores(query, keys, scale=self.scale))
+        probs = softmax(raw)
+        for idx, pos in enumerate(positions):
+            self._accumulated[pos] += float(probs[idx])
+
+        output = attention_output(query, keys, values, scale=self.scale)
+
+        evicted = self._shrink_to_budget(current_position=position)
+
+        self.stats.record(
+            StepRecord(
+                position=position,
+                cache_size=len(self._keys),
+                num_attended=len(positions),
+                evicted_position=evicted,
+            )
+        )
+        return output
+
+    def cached_positions(self) -> np.ndarray:
+        return np.asarray(sorted(self._keys), dtype=np.int64)
+
+    def reset(self) -> None:
+        super().reset()
+        self._keys = {}
+        self._values = {}
+        self._accumulated = {}
+
+    # ------------------------------------------------------------------
+    def _shrink_to_budget(self, current_position: int) -> Optional[int]:
+        """Evict lowest-accumulated-score non-recent tokens until within budget.
+
+        Returns the last evicted position (or ``None``).
+        """
+        last_evicted: Optional[int] = None
+        while len(self._keys) > self.total_budget:
+            recent_threshold = current_position - self.recent_budget + 1
+            candidates = [p for p in self._keys if p < recent_threshold]
+            if not candidates:
+                candidates = list(self._keys)
+            victim = min(
+                candidates, key=lambda p: (self._accumulated.get(p, 0.0), p)
+            )
+            del self._keys[victim]
+            del self._values[victim]
+            self._accumulated.pop(victim, None)
+            last_evicted = victim
+        return last_evicted
+
+
+__all__ = ["H2OPolicy"]

@@ -1,0 +1,173 @@
+"""Quest-style dynamic-only query-aware sparse attention.
+
+Quest (Tang et al., 2024 — the paper's ref. [6]) keeps the *entire* KV cache
+resident but, at every decoding step, estimates which pages of the cache the
+current query will attend to and computes exact attention only over the
+selected pages.  It is the canonical *dynamic-only* policy: computation is
+reduced but the memory footprint is not, which is the other half of the
+trade-off the paper's hybrid scheme closes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..attention import (
+    attention_scores,
+    head_mean_scores,
+    sparse_attention_output,
+    top_k_indices,
+)
+from ..policy import KVCachePolicy, StepRecord
+
+
+class QuestPolicy(KVCachePolicy):
+    """Page-based dynamic top-k selection over an unpruned cache.
+
+    Parameters
+    ----------
+    page_size:
+        Number of consecutive tokens per page.  Page importance is scored
+        with the per-page element-wise min/max key bounds as in Quest; pages
+        are selected, then every token of every selected page is attended.
+    num_pages:
+        Number of pages selected per step.
+    """
+
+    def __init__(
+        self,
+        num_heads: int,
+        head_dim: int,
+        page_size: int = 16,
+        num_pages: int = 8,
+        scale: Optional[float] = None,
+    ) -> None:
+        super().__init__(num_heads, head_dim, scale)
+        if page_size < 1:
+            raise ValueError("page_size must be >= 1")
+        if num_pages < 1:
+            raise ValueError("num_pages must be >= 1")
+        self.page_size = int(page_size)
+        self.num_pages = int(num_pages)
+        self._keys: List[np.ndarray] = []
+        self._values: List[np.ndarray] = []
+        self._positions: List[int] = []
+
+    @classmethod
+    def from_budget(
+        cls,
+        num_heads: int,
+        head_dim: int,
+        budget: int,
+        page_size: int = 16,
+        scale: Optional[float] = None,
+    ) -> "QuestPolicy":
+        """Select enough pages to cover roughly ``budget`` tokens per step."""
+        pages = max(1, budget // page_size)
+        return cls(
+            num_heads,
+            head_dim,
+            page_size=page_size,
+            num_pages=pages,
+            scale=scale,
+        )
+
+    # ------------------------------------------------------------------
+    def prefill(
+        self,
+        keys: np.ndarray,
+        values: np.ndarray,
+        attention_matrix: Optional[np.ndarray] = None,
+    ) -> None:
+        self._check_prefill_shapes(keys, values)
+        keys = np.asarray(keys, dtype=np.float64)
+        values = np.asarray(values, dtype=np.float64)
+        self._keys = [keys[i] for i in range(keys.shape[0])]
+        self._values = [values[i] for i in range(values.shape[0])]
+        self._positions = list(range(keys.shape[0]))
+        self.stats.prefill_tokens = keys.shape[0]
+        self.stats.retained_after_prefill = keys.shape[0]
+
+    def decode_step(
+        self,
+        query: np.ndarray,
+        key: np.ndarray,
+        value: np.ndarray,
+        position: int,
+    ) -> np.ndarray:
+        self._check_step_shapes(query, key, value)
+        query = np.asarray(query, dtype=np.float64)
+        self._keys.append(np.asarray(key, dtype=np.float64))
+        self._values.append(np.asarray(value, dtype=np.float64))
+        self._positions.append(int(position))
+
+        keys = np.stack(self._keys, axis=0)
+        values = np.stack(self._values, axis=0)
+        n = keys.shape[0]
+
+        selected = self._select_page_tokens(query, keys)
+        output = sparse_attention_output(
+            query, keys, values, selected, scale=self.scale
+        )
+
+        self.stats.record(
+            StepRecord(
+                position=int(position),
+                cache_size=n,
+                num_attended=int(selected.size),
+                selected_positions=np.asarray(
+                    [self._positions[i] for i in selected], dtype=np.int64
+                ),
+            )
+        )
+        return output
+
+    def cached_positions(self) -> np.ndarray:
+        return np.asarray(self._positions, dtype=np.int64)
+
+    def reset(self) -> None:
+        super().reset()
+        self._keys = []
+        self._values = []
+        self._positions = []
+
+    # ------------------------------------------------------------------
+    def _page_bounds(self, keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray, List[np.ndarray]]:
+        """Per-page element-wise min/max key bounds and the member indices."""
+        n = keys.shape[0]
+        page_indices: List[np.ndarray] = []
+        mins = []
+        maxs = []
+        for start in range(0, n, self.page_size):
+            members = np.arange(start, min(start + self.page_size, n))
+            page_indices.append(members)
+            mins.append(keys[members].min(axis=0))
+            maxs.append(keys[members].max(axis=0))
+        return np.stack(mins, axis=0), np.stack(maxs, axis=0), page_indices
+
+    def _select_page_tokens(self, query: np.ndarray, keys: np.ndarray) -> np.ndarray:
+        """Select token indices from the top pages by Quest's upper-bound score."""
+        mins, maxs, page_indices = self._page_bounds(keys)
+        num_pages = len(page_indices)
+        if num_pages <= self.num_pages:
+            return np.arange(keys.shape[0], dtype=np.int64)
+
+        # Quest criticality: upper bound of q . k over the page's bounding
+        # box is sum over dims of max(q_i * min_i, q_i * max_i).
+        upper_per_dim = np.maximum(
+            query[None, ...] * mins, query[None, ...] * maxs
+        )  # [pages, h, d]
+        page_scores = head_mean_scores(
+            upper_per_dim.sum(axis=-1).transpose(1, 0)
+        )
+        chosen_pages = top_k_indices(page_scores, self.num_pages)
+        # Always include the newest page so the current token attends to itself.
+        chosen = set(int(p) for p in chosen_pages)
+        chosen.add(num_pages - 1)
+        selected = np.concatenate([page_indices[p] for p in sorted(chosen)])
+        return np.sort(selected).astype(np.int64)
+
+
+__all__ = ["QuestPolicy"]

@@ -1,0 +1,183 @@
+"""SnapKV-style prefill-only KV cache compression.
+
+SnapKV (Li et al., 2024 — the paper's ref. [8]) observes that the final
+span of the prompt ("observation window") predicts which earlier tokens the
+generation will attend to.  It compresses the prompt KV cache *once*, at
+the end of prefill, by keeping the tokens that receive the most attention
+from the observation-window queries (after a smoothing pool over
+neighbouring positions), plus the observation window itself.  During
+decoding nothing further is evicted: the cache grows with every generated
+token and all cached tokens are attended to.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..attention import attention_output
+from ..policy import KVCachePolicy, StepRecord
+from ..static_pruning import accumulated_scores_from_attention
+
+
+def pool_scores(scores: np.ndarray, kernel_size: int = 5) -> np.ndarray:
+    """Average-pool importance scores over neighbouring token positions.
+
+    SnapKV applies a 1-D pooling over the per-token attention mass so that
+    clusters of important tokens are kept together instead of isolated
+    spikes.  A simple same-length moving average reproduces that behaviour.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.ndim != 1:
+        raise ValueError("scores must be 1-D")
+    if kernel_size < 1:
+        raise ValueError("kernel_size must be >= 1")
+    if kernel_size == 1 or scores.size == 0:
+        return scores.copy()
+    kernel = np.ones(kernel_size, dtype=np.float64) / kernel_size
+    padded = np.pad(scores, (kernel_size // 2, kernel_size - 1 - kernel_size // 2), mode="edge")
+    return np.convolve(padded, kernel, mode="valid")
+
+
+class SnapKVPolicy(KVCachePolicy):
+    """Observation-window prefill compression, no decode-time eviction.
+
+    Parameters
+    ----------
+    prompt_budget:
+        Number of prompt tokens retained after compression (includes the
+        observation window).
+    observation_window:
+        Number of final prompt queries used to score earlier tokens.
+    pool_kernel:
+        Width of the smoothing pool applied to the scores.
+    """
+
+    def __init__(
+        self,
+        num_heads: int,
+        head_dim: int,
+        prompt_budget: int = 512,
+        observation_window: int = 32,
+        pool_kernel: int = 5,
+        scale: Optional[float] = None,
+    ) -> None:
+        super().__init__(num_heads, head_dim, scale)
+        if prompt_budget < 1:
+            raise ValueError("prompt_budget must be >= 1")
+        if observation_window < 1:
+            raise ValueError("observation_window must be >= 1")
+        if pool_kernel < 1:
+            raise ValueError("pool_kernel must be >= 1")
+        self.prompt_budget = int(prompt_budget)
+        self.observation_window = int(observation_window)
+        self.pool_kernel = int(pool_kernel)
+        self._keys: Dict[int, np.ndarray] = {}
+        self._values: Dict[int, np.ndarray] = {}
+        self._kept_prompt_positions: List[int] = []
+
+    @classmethod
+    def from_budget(
+        cls,
+        num_heads: int,
+        head_dim: int,
+        budget: int,
+        observation_window: int = 32,
+        scale: Optional[float] = None,
+    ) -> "SnapKVPolicy":
+        window = min(observation_window, max(1, budget // 4))
+        return cls(
+            num_heads,
+            head_dim,
+            prompt_budget=budget,
+            observation_window=window,
+            scale=scale,
+        )
+
+    # ------------------------------------------------------------------
+    def prefill(
+        self,
+        keys: np.ndarray,
+        values: np.ndarray,
+        attention_matrix: Optional[np.ndarray] = None,
+    ) -> None:
+        self._check_prefill_shapes(keys, values)
+        keys = np.asarray(keys, dtype=np.float64)
+        values = np.asarray(values, dtype=np.float64)
+        n = keys.shape[0]
+        self.stats.prefill_tokens = n
+
+        window = min(self.observation_window, n)
+        window_positions = list(range(n - window, n))
+
+        if self.prompt_budget >= n:
+            kept = list(range(n))
+        else:
+            if attention_matrix is not None:
+                scores = accumulated_scores_from_attention(
+                    attention_matrix,
+                    use_softmax=True,
+                    observation_window=window,
+                )
+            else:
+                scores = np.zeros(n, dtype=np.float64)
+            pooled = pool_scores(scores, self.pool_kernel)
+            # Observation window is always kept; fill the rest of the budget
+            # with the highest pooled scores outside the window.
+            remaining_budget = max(0, self.prompt_budget - window)
+            candidates = np.asarray(
+                [p for p in range(n) if p not in set(window_positions)],
+                dtype=np.int64,
+            )
+            cand_scores = pooled[candidates]
+            order = np.lexsort((candidates, -cand_scores))
+            chosen = candidates[order[:remaining_budget]]
+            kept = sorted(set(window_positions) | set(int(p) for p in chosen))
+
+        self._keys = {p: keys[p] for p in kept}
+        self._values = {p: values[p] for p in kept}
+        self._kept_prompt_positions = list(kept)
+        self.stats.retained_after_prefill = len(kept)
+
+    def decode_step(
+        self,
+        query: np.ndarray,
+        key: np.ndarray,
+        value: np.ndarray,
+        position: int,
+    ) -> np.ndarray:
+        self._check_step_shapes(query, key, value)
+        query = np.asarray(query, dtype=np.float64)
+        position = int(position)
+        self._keys[position] = np.asarray(key, dtype=np.float64)
+        self._values[position] = np.asarray(value, dtype=np.float64)
+
+        positions = sorted(self._keys)
+        keys = np.stack([self._keys[p] for p in positions], axis=0)
+        values = np.stack([self._values[p] for p in positions], axis=0)
+        output = attention_output(query, keys, values, scale=self.scale)
+
+        self.stats.record(
+            StepRecord(
+                position=position,
+                cache_size=len(positions),
+                num_attended=len(positions),
+            )
+        )
+        return output
+
+    def cached_positions(self) -> np.ndarray:
+        return np.asarray(sorted(self._keys), dtype=np.int64)
+
+    def kept_prompt_positions(self) -> np.ndarray:
+        return np.asarray(self._kept_prompt_positions, dtype=np.int64)
+
+    def reset(self) -> None:
+        super().reset()
+        self._keys = {}
+        self._values = {}
+        self._kept_prompt_positions = []
+
+
+__all__ = ["SnapKVPolicy", "pool_scores"]

@@ -1,0 +1,142 @@
+"""StreamingLLM-style fixed-pattern KV cache pruning.
+
+StreamingLLM (Xiao et al., 2023 — the paper's ref. [19]) keeps a small
+number of initial "attention sink" tokens plus a sliding window of the most
+recent tokens, regardless of content.  It is the canonical *static,
+fixed-pattern* policy: cheap and memory-bounded, but it permanently loses
+any information that falls outside the window, which is exactly the failure
+mode the paper's Fig. 13 comparison highlights.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+import numpy as np
+
+from ..attention import attention_output
+from ..policy import KVCachePolicy, StepRecord
+
+
+class StreamingLLMPolicy(KVCachePolicy):
+    """Attention sinks + sliding recency window.
+
+    Parameters
+    ----------
+    num_heads, head_dim:
+        Attention geometry.
+    sink_tokens:
+        Number of initial prompt tokens always retained (the attention
+        sinks; StreamingLLM uses 4).
+    window:
+        Number of most recent tokens retained.  The total cache size is
+        bounded by ``sink_tokens + window``.
+    """
+
+    def __init__(
+        self,
+        num_heads: int,
+        head_dim: int,
+        sink_tokens: int = 4,
+        window: int = 512,
+        scale: Optional[float] = None,
+    ) -> None:
+        super().__init__(num_heads, head_dim, scale)
+        if sink_tokens < 0:
+            raise ValueError("sink_tokens must be >= 0")
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.sink_tokens = int(sink_tokens)
+        self.window = int(window)
+        self._sinks: list[Tuple[int, np.ndarray, np.ndarray]] = []
+        self._window: Deque[Tuple[int, np.ndarray, np.ndarray]] = deque(maxlen=window)
+
+    @classmethod
+    def from_budget(
+        cls,
+        num_heads: int,
+        head_dim: int,
+        budget: int,
+        sink_tokens: int = 4,
+        scale: Optional[float] = None,
+    ) -> "StreamingLLMPolicy":
+        """Build a policy whose total retained tokens equal ``budget``."""
+        if budget < 2:
+            raise ValueError("budget must be >= 2")
+        sinks = min(sink_tokens, budget - 1)
+        return cls(
+            num_heads,
+            head_dim,
+            sink_tokens=sinks,
+            window=budget - sinks,
+            scale=scale,
+        )
+
+    # ------------------------------------------------------------------
+    def prefill(
+        self,
+        keys: np.ndarray,
+        values: np.ndarray,
+        attention_matrix: Optional[np.ndarray] = None,
+    ) -> None:
+        self._check_prefill_shapes(keys, values)
+        keys = np.asarray(keys, dtype=np.float64)
+        values = np.asarray(values, dtype=np.float64)
+        n = keys.shape[0]
+        self.stats.prefill_tokens = n
+
+        self._sinks = [
+            (pos, keys[pos], values[pos])
+            for pos in range(min(self.sink_tokens, n))
+        ]
+        self._window.clear()
+        start = min(self.sink_tokens, n)
+        for pos in range(start, n):
+            self._window.append((pos, keys[pos], values[pos]))
+        self.stats.retained_after_prefill = len(self._sinks) + len(self._window)
+
+    def decode_step(
+        self,
+        query: np.ndarray,
+        key: np.ndarray,
+        value: np.ndarray,
+        position: int,
+    ) -> np.ndarray:
+        self._check_step_shapes(query, key, value)
+        query = np.asarray(query, dtype=np.float64)
+        evicted: Optional[int] = None
+        if len(self._window) == self._window.maxlen and self._window.maxlen > 0:
+            evicted = int(self._window[0][0])
+        self._window.append(
+            (int(position), np.asarray(key, dtype=np.float64), np.asarray(value, dtype=np.float64))
+        )
+
+        entries = self._sinks + list(self._window)
+        keys = np.stack([entry[1] for entry in entries], axis=0)
+        values = np.stack([entry[2] for entry in entries], axis=0)
+        output = attention_output(query, keys, values, scale=self.scale)
+
+        self.stats.record(
+            StepRecord(
+                position=int(position),
+                cache_size=len(entries),
+                num_attended=len(entries),
+                evicted_position=evicted,
+            )
+        )
+        return output
+
+    def cached_positions(self) -> np.ndarray:
+        positions = [entry[0] for entry in self._sinks] + [
+            entry[0] for entry in self._window
+        ]
+        return np.asarray(positions, dtype=np.int64)
+
+    def reset(self) -> None:
+        super().reset()
+        self._sinks = []
+        self._window.clear()
+
+
+__all__ = ["StreamingLLMPolicy"]

@@ -1,0 +1,180 @@
+"""Configuration objects for the UniCAIM pruning framework.
+
+The paper's algorithm (Sec. III-A) is parameterised by:
+
+* ``heavy_budget`` (``H``) -- number of "heavy" tokens retained after the
+  one-shot static pruning at the end of the prefill stage.
+* ``reserved_budget`` (``M``) -- number of cache slots reserved for tokens
+  generated during decoding.  Once more than ``M`` tokens have been
+  generated, every further step statically evicts the token with the lowest
+  accumulated attention score so the cache never grows past ``H + M``.
+* ``top_k`` -- number of keys dynamically selected at every decoding step
+  for exact attention computation.
+
+The circuit-level experiments in the paper (Sec. IV-A) use ``H = 512``,
+``M = 64`` (576 total cache slots), hidden dimension 128 per head, and a
+3-bit UniCAIM cell; those values are the defaults of
+:func:`PruningConfig.paper_circuit_default`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class PruningConfig:
+    """Parameters of the hybrid static-dynamic KV cache pruning algorithm.
+
+    Attributes
+    ----------
+    heavy_budget:
+        ``H`` -- tokens kept by the one-shot static pruning after prefill.
+    reserved_budget:
+        ``M`` -- cache slots reserved for newly generated tokens.
+    top_k:
+        Number of tokens dynamically selected each decoding step.  ``None``
+        means "attend to every cached token" (dynamic pruning disabled).
+    sink_tokens:
+        Number of initial tokens that are always protected from static
+        eviction.  The paper follows H2O/SnapKV-style accumulated-score
+        eviction; keeping a small number of attention sinks mirrors the
+        observation of StreamingLLM and stabilises the synthetic substrate.
+    recent_protect:
+        Number of most recently generated tokens protected from static
+        eviction during decoding (the current token's neighbourhood).
+    score_decay:
+        Exponential decay applied to the accumulated-score table at every
+        decoding step.  ``1.0`` reproduces the plain accumulation used in
+        the paper; values slightly below one give a recency-weighted
+        variant (exposed for the ablation benchmarks).
+    use_softmax_scores:
+        If true, accumulated scores are softmax-normalised attention
+        probabilities (H2O-style); if false, raw dot-product similarities
+        are accumulated (what the CAM/charge-domain hardware measures).
+    """
+
+    heavy_budget: int = 512
+    reserved_budget: int = 64
+    top_k: Optional[int] = 64
+    sink_tokens: int = 4
+    recent_protect: int = 8
+    score_decay: float = 1.0
+    use_softmax_scores: bool = True
+
+    def __post_init__(self) -> None:
+        if self.heavy_budget < 1:
+            raise ValueError("heavy_budget must be >= 1")
+        if self.reserved_budget < 1:
+            raise ValueError("reserved_budget must be >= 1")
+        if self.top_k is not None and self.top_k < 1:
+            raise ValueError("top_k must be >= 1 or None")
+        if self.sink_tokens < 0:
+            raise ValueError("sink_tokens must be >= 0")
+        if self.recent_protect < 0:
+            raise ValueError("recent_protect must be >= 0")
+        if not 0.0 < self.score_decay <= 1.0:
+            raise ValueError("score_decay must be in (0, 1]")
+
+    @property
+    def cache_capacity(self) -> int:
+        """Total number of KV cache slots (``H + M``)."""
+        return self.heavy_budget + self.reserved_budget
+
+    def effective_top_k(self, cache_len: int) -> int:
+        """Top-k clipped to the number of currently cached tokens."""
+        if self.top_k is None:
+            return cache_len
+        return min(self.top_k, cache_len)
+
+    def with_cache_ratio(self, prompt_len: int, ratio: float) -> "PruningConfig":
+        """Derive a config whose total budget is ``ratio`` of ``prompt_len``.
+
+        Used by the application-level evaluation (Fig. 13) where the x-axis
+        is the fraction of the full KV cache that is retained.
+        """
+        if not 0.0 < ratio <= 1.0:
+            raise ValueError("ratio must be in (0, 1]")
+        total = max(2, int(round(prompt_len * ratio)))
+        reserved = max(1, min(self.reserved_budget, total // 4))
+        heavy = max(1, total - reserved)
+        top_k = None if self.top_k is None else max(1, min(self.top_k, heavy))
+        return replace(
+            self,
+            heavy_budget=heavy,
+            reserved_budget=reserved,
+            top_k=top_k,
+        )
+
+    @classmethod
+    def paper_circuit_default(cls) -> "PruningConfig":
+        """Configuration used in the paper's circuit-level evaluation."""
+        return cls(heavy_budget=512, reserved_budget=64, top_k=64)
+
+    @classmethod
+    def dense(cls, capacity: int) -> "PruningConfig":
+        """A configuration that never prunes (full-cache attention)."""
+        return cls(
+            heavy_budget=max(1, capacity - 1),
+            reserved_budget=1,
+            top_k=None,
+            sink_tokens=0,
+            recent_protect=0,
+        )
+
+
+@dataclass(frozen=True)
+class AttentionConfig:
+    """Shape parameters of the attention computation being pruned."""
+
+    num_heads: int = 32
+    head_dim: int = 128
+    num_layers: int = 32
+    scale: Optional[float] = None
+    causal: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_heads < 1:
+            raise ValueError("num_heads must be >= 1")
+        if self.head_dim < 1:
+            raise ValueError("head_dim must be >= 1")
+        if self.num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+
+    @property
+    def model_dim(self) -> int:
+        return self.num_heads * self.head_dim
+
+    @property
+    def softmax_scale(self) -> float:
+        if self.scale is not None:
+            return self.scale
+        return 1.0 / float(self.head_dim) ** 0.5
+
+    @classmethod
+    def llama2_7b(cls) -> "AttentionConfig":
+        """Llama-2-7B attention geometry used in the paper's Fig. 1."""
+        return cls(num_heads=32, head_dim=128, num_layers=32)
+
+    def kv_cache_bytes(self, seq_len: int, bytes_per_element: int = 2) -> int:
+        """KV cache footprint in bytes for ``seq_len`` cached tokens.
+
+        Two tensors (K and V) of shape ``[layers, heads, seq, head_dim]``.
+        The paper's Fig. 1(b) uses FP16 (2 bytes/element).
+        """
+        if seq_len < 0:
+            raise ValueError("seq_len must be >= 0")
+        per_token = 2 * self.num_layers * self.num_heads * self.head_dim
+        return per_token * seq_len * bytes_per_element
+
+
+DEFAULT_PRUNING_CONFIG = PruningConfig()
+DEFAULT_ATTENTION_CONFIG = AttentionConfig()
+
+__all__ = [
+    "PruningConfig",
+    "AttentionConfig",
+    "DEFAULT_PRUNING_CONFIG",
+    "DEFAULT_ATTENTION_CONFIG",
+]

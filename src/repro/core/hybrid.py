@@ -1,0 +1,307 @@
+"""The paper's hybrid static-dynamic KV cache pruning policy.
+
+:class:`UniCAIMPolicy` implements the algorithm of Sec. III-A end to end:
+
+* **Prefill** — accumulated attention scores are computed over the prompt
+  and only the ``H`` heaviest tokens are written into a fixed-capacity
+  :class:`~repro.core.kv_cache.SlotKVCache` of ``H + M`` slots.
+* **Decoding** — at every step the newly generated KV pair is written into
+  a free slot; once all ``M`` reserved slots are in use, the token with the
+  lowest accumulated attention score is statically evicted and the new KV
+  pair is written into the freed slot (fixed cache size, in-place update).
+  The current query's similarity against all cached keys is measured by a
+  pluggable selector (exact, or the CAM-mode approximate selector), the
+  top-``k`` tokens are dynamically selected, exact attention is computed
+  over only those tokens, and the per-step scores are added to the
+  accumulated-score table that drives future static evictions.
+
+The selector abstraction lets the same policy run in "algorithm" mode
+(exact scores, what a GPU implementation would do) or in "hardware" mode
+(quantised CAM scores with sense noise), which is how the circuit-level and
+application-level evaluations are tied together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from .attention import head_mean_scores, sparse_attention_output
+from .config import PruningConfig
+from .dynamic_pruning import (
+    CAMApproximateSelector,
+    ExactTopKSelector,
+    SelectionResult,
+    TopKSelector,
+)
+from .kv_cache import SlotKVCache
+from .policy import KVCachePolicy, StepRecord
+from .static_pruning import (
+    accumulated_scores_from_attention,
+    select_heavy_tokens,
+)
+
+
+@dataclass
+class EvictionEvent:
+    """Record of one step-wise static eviction during decoding."""
+
+    step: int
+    evicted_position: int
+    evicted_score: float
+    incoming_position: int
+
+
+class UniCAIMPolicy(KVCachePolicy):
+    """Hybrid static-dynamic KV cache pruning (the paper's algorithm).
+
+    Parameters
+    ----------
+    num_heads, head_dim:
+        Geometry of the attention heads this policy serves.
+    config:
+        :class:`~repro.core.config.PruningConfig` with ``H``, ``M``, ``k``
+        and the protection / accumulation options.
+    selector:
+        Top-k selector used for dynamic pruning.  Defaults to the exact
+        selector; pass a :class:`~repro.core.dynamic_pruning.CAMApproximateSelector`
+        to model the hardware's approximate CAM selection.
+    scale:
+        Softmax scale for the exact attention computation (default
+        ``1/sqrt(head_dim)``).
+    """
+
+    def __init__(
+        self,
+        num_heads: int,
+        head_dim: int,
+        config: Optional[PruningConfig] = None,
+        selector: Optional[TopKSelector] = None,
+        scale: Optional[float] = None,
+    ) -> None:
+        super().__init__(num_heads, head_dim, scale)
+        self.config = config or PruningConfig()
+        self.selector = selector or ExactTopKSelector()
+        self.cache = SlotKVCache(
+            capacity=self.config.cache_capacity,
+            num_heads=num_heads,
+            head_dim=head_dim,
+        )
+        # Accumulated attention score per logical token position.
+        self._accumulated: Dict[int, float] = {}
+        self._generated_count = 0
+        self._prefill_length = 0
+        self.eviction_log: list[EvictionEvent] = []
+
+    # ------------------------------------------------------------------
+    # Prefill stage: one-shot static pruning
+    # ------------------------------------------------------------------
+    def prefill(
+        self,
+        keys: np.ndarray,
+        values: np.ndarray,
+        attention_matrix: Optional[np.ndarray] = None,
+    ) -> None:
+        self._check_prefill_shapes(keys, values)
+        keys = np.asarray(keys, dtype=np.float64)
+        values = np.asarray(values, dtype=np.float64)
+        n = keys.shape[0]
+        self._prefill_length = n
+        self.stats.prefill_tokens = n
+
+        if attention_matrix is not None:
+            scores = accumulated_scores_from_attention(
+                attention_matrix,
+                use_softmax=self.config.use_softmax_scores,
+            )
+        else:
+            # Without a prefill attention map (e.g. when the policy is used
+            # standalone), fall back to a uniform score so the selection
+            # keeps the most recent tokens via the recency protection.
+            scores = np.zeros(n, dtype=np.float64)
+
+        result = select_heavy_tokens(
+            scores,
+            heavy_budget=min(self.config.heavy_budget, self.cache.capacity),
+            sink_tokens=self.config.sink_tokens,
+            recent_tokens=self.config.recent_protect,
+        )
+
+        self.cache.clear()
+        self._accumulated = {}
+        for position in result.kept_positions:
+            pos = int(position)
+            self.cache.append(keys[pos], values[pos], pos, is_heavy=True)
+            self._accumulated[pos] = float(scores[pos])
+        self.stats.retained_after_prefill = len(self.cache)
+        self._generated_count = 0
+        self.eviction_log = []
+
+    # ------------------------------------------------------------------
+    # Decoding stage: step-wise static-dynamic pruning
+    # ------------------------------------------------------------------
+    def decode_step(
+        self,
+        query: np.ndarray,
+        key: np.ndarray,
+        value: np.ndarray,
+        position: int,
+    ) -> np.ndarray:
+        self._check_step_shapes(query, key, value)
+        query = np.asarray(query, dtype=np.float64)
+        key = np.asarray(key, dtype=np.float64)
+        value = np.asarray(value, dtype=np.float64)
+
+        evicted_position = self._insert_generated(key, value, int(position))
+
+        keys = self.cache.keys()
+        values = self.cache.values()
+        positions = self.cache.token_positions()
+        n = keys.shape[0]
+
+        k = self.config.effective_top_k(n)
+        selection = self.selector.select(query, keys, k)
+        selected = selection.selected_indices
+
+        output = sparse_attention_output(
+            query, keys, values, selected, scale=self.scale
+        )
+
+        self._accumulate_step_scores(positions, selection)
+
+        self.stats.record(
+            StepRecord(
+                position=int(position),
+                cache_size=n,
+                num_attended=int(selected.size),
+                evicted_position=evicted_position,
+                selected_positions=positions[selected],
+            )
+        )
+        return output
+
+    def cached_positions(self) -> np.ndarray:
+        return self.cache.token_positions()
+
+    def accumulated_score(self, position: int) -> float:
+        """Accumulated attention score of a cached token position."""
+        return self._accumulated.get(int(position), 0.0)
+
+    def accumulated_table(self) -> Dict[int, float]:
+        """Copy of the accumulated-score table (position -> score)."""
+        return dict(self._accumulated)
+
+    def reset(self) -> None:
+        super().reset()
+        self.cache.clear()
+        self._accumulated = {}
+        self._generated_count = 0
+        self._prefill_length = 0
+        self.eviction_log = []
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _insert_generated(
+        self, key: np.ndarray, value: np.ndarray, position: int
+    ) -> Optional[int]:
+        """Write the new token's KV pair, statically evicting if the cache is full."""
+        self._generated_count += 1
+        if not self.cache.is_full:
+            self.cache.append(key, value, position, is_heavy=False)
+            self._accumulated.setdefault(position, 0.0)
+            return None
+
+        victim_position = self._choose_eviction_victim(position)
+        victim_slot = self.cache.slot_of_position(victim_position)
+        assert victim_slot is not None
+        victim_score = self._accumulated.get(victim_position, 0.0)
+        self.cache.replace(victim_slot, key, value, position, is_heavy=False)
+        self._accumulated.pop(victim_position, None)
+        self._accumulated.setdefault(position, 0.0)
+        self.eviction_log.append(
+            EvictionEvent(
+                step=self._generated_count,
+                evicted_position=victim_position,
+                evicted_score=victim_score,
+                incoming_position=position,
+            )
+        )
+        return victim_position
+
+    def _choose_eviction_victim(self, incoming_position: int) -> int:
+        """Token position with the lowest accumulated score, honouring protections."""
+        positions = self.cache.token_positions()
+        protected = set()
+        if self.config.sink_tokens > 0:
+            protected.update(
+                int(p) for p in positions if p < self.config.sink_tokens
+            )
+        if self.config.recent_protect > 0:
+            threshold = incoming_position - self.config.recent_protect
+            protected.update(int(p) for p in positions if p >= threshold)
+
+        candidates = [int(p) for p in positions if int(p) not in protected]
+        if not candidates:
+            candidates = [int(p) for p in positions]
+
+        scores = np.asarray(
+            [self._accumulated.get(p, 0.0) for p in candidates], dtype=np.float64
+        )
+        order = np.lexsort((np.asarray(candidates), scores))
+        return int(candidates[order[0]])
+
+    def _accumulate_step_scores(
+        self, positions: np.ndarray, selection: SelectionResult
+    ) -> None:
+        """Add this step's similarity scores to the accumulated table.
+
+        The charge-domain CIM accumulates the (approximate) similarity of
+        every row in the same cycle as the CAM comparison, so the table is
+        updated for every cached token, not only the selected ones.
+        """
+        if self.config.use_softmax_scores:
+            scores = np.asarray(selection.exact_scores, dtype=np.float64)
+            scores = scores * self.scale
+            shifted = scores - scores.max()
+            weights = np.exp(shifted)
+            step_scores = weights / max(float(weights.sum()), 1e-12)
+        else:
+            step_scores = np.asarray(selection.scores, dtype=np.float64)
+
+        decay = self.config.score_decay
+        for idx, pos in enumerate(positions):
+            pos = int(pos)
+            previous = self._accumulated.get(pos, 0.0)
+            self._accumulated[pos] = previous * decay + float(step_scores[idx])
+
+
+def make_policy(
+    mode: str,
+    num_heads: int,
+    head_dim: int,
+    config: Optional[PruningConfig] = None,
+    cam_selector: Optional[CAMApproximateSelector] = None,
+) -> UniCAIMPolicy:
+    """Convenience factory for the two flavours of the UniCAIM policy.
+
+    ``mode`` is ``"exact"`` (algorithmic reference) or ``"cam"`` (hardware
+    behavioural selection with quantised scores).
+    """
+    if mode == "exact":
+        selector: TopKSelector = ExactTopKSelector()
+    elif mode == "cam":
+        selector = cam_selector or CAMApproximateSelector()
+    else:
+        raise ValueError(f"unknown UniCAIM policy mode: {mode!r}")
+    return UniCAIMPolicy(
+        num_heads=num_heads,
+        head_dim=head_dim,
+        config=config,
+        selector=selector,
+    )
+
+
+__all__ = ["UniCAIMPolicy", "EvictionEvent", "make_policy"]

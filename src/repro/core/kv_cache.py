@@ -1,0 +1,315 @@
+"""Fixed-size, slot-based KV cache.
+
+The hardware motivation (paper Sec. III-A.2 and Fig. 3b) is that the UniCAIM
+array has a fixed number of rows: ``H`` rows hold the heavy tokens retained
+after prefill and ``M`` rows are reserved for tokens generated during
+decoding.  When a token is statically evicted, the newly generated KV pair
+is written *into the freed row* ("directly fill with newly-generated KV in
+the statically evicted position") instead of shifting memory around.
+
+:class:`SlotKVCache` models exactly that: a fixed array of slots addressed
+by physical row index, with a mapping back to logical token positions so
+that causal masking and accuracy evaluation remain possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class CacheEntry:
+    """Metadata for one occupied cache slot."""
+
+    slot: int
+    token_position: int
+    is_heavy: bool
+
+
+class SlotKVCache:
+    """A fixed-capacity KV cache with in-place slot reuse.
+
+    Parameters
+    ----------
+    capacity:
+        Total number of slots (``H + M`` in the paper).
+    num_heads:
+        Number of attention heads sharing this cache.  Keys and values are
+        stored per head.
+    head_dim:
+        Dimensionality of each key / value vector.
+    dtype:
+        Storage dtype; the behavioural model defaults to float32.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        num_heads: int,
+        head_dim: int,
+        dtype: np.dtype = np.float32,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if num_heads < 1:
+            raise ValueError("num_heads must be >= 1")
+        if head_dim < 1:
+            raise ValueError("head_dim must be >= 1")
+        self.capacity = int(capacity)
+        self.num_heads = int(num_heads)
+        self.head_dim = int(head_dim)
+        self.dtype = np.dtype(dtype)
+
+        self._keys = np.zeros((capacity, num_heads, head_dim), dtype=self.dtype)
+        self._values = np.zeros((capacity, num_heads, head_dim), dtype=self.dtype)
+        self._occupied = np.zeros(capacity, dtype=bool)
+        self._token_positions = np.full(capacity, -1, dtype=np.int64)
+        self._is_heavy = np.zeros(capacity, dtype=bool)
+        self._free_slots: List[int] = list(range(capacity - 1, -1, -1))
+        self._writes = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return int(self._occupied.sum())
+
+    @property
+    def num_free_slots(self) -> int:
+        return len(self._free_slots)
+
+    @property
+    def is_full(self) -> bool:
+        return not self._free_slots
+
+    @property
+    def write_count(self) -> int:
+        """Total number of slot writes performed (including overwrites)."""
+        return self._writes
+
+    @property
+    def eviction_count(self) -> int:
+        return self._evictions
+
+    def occupied_slots(self) -> np.ndarray:
+        """Physical indices of occupied slots, in ascending slot order."""
+        return np.nonzero(self._occupied)[0]
+
+    def token_positions(self) -> np.ndarray:
+        """Logical token positions of the occupied slots (ascending slot order)."""
+        slots = self.occupied_slots()
+        return self._token_positions[slots]
+
+    def entries(self) -> List[CacheEntry]:
+        """All occupied entries as :class:`CacheEntry` records."""
+        return [
+            CacheEntry(
+                slot=int(slot),
+                token_position=int(self._token_positions[slot]),
+                is_heavy=bool(self._is_heavy[slot]),
+            )
+            for slot in self.occupied_slots()
+        ]
+
+    def slot_of_position(self, token_position: int) -> Optional[int]:
+        """Physical slot currently holding ``token_position`` (or ``None``)."""
+        matches = np.nonzero(
+            self._occupied & (self._token_positions == token_position)
+        )[0]
+        if matches.size == 0:
+            return None
+        return int(matches[0])
+
+    def contains_position(self, token_position: int) -> bool:
+        return self.slot_of_position(token_position) is not None
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def append(
+        self,
+        key: np.ndarray,
+        value: np.ndarray,
+        token_position: int,
+        is_heavy: bool = False,
+    ) -> int:
+        """Write a KV pair into a free slot and return the slot index.
+
+        Raises
+        ------
+        RuntimeError
+            If the cache is full.  Callers are expected to evict first
+            (this mirrors the hardware, which must free a row before the
+            new token's write cycle).
+        """
+        if not self._free_slots:
+            raise RuntimeError(
+                "KV cache is full; evict a slot before appending"
+            )
+        slot = self._free_slots.pop()
+        self._write_slot(slot, key, value, token_position, is_heavy)
+        return slot
+
+    def overwrite(
+        self,
+        slot: int,
+        key: np.ndarray,
+        value: np.ndarray,
+        token_position: int,
+        is_heavy: bool = False,
+    ) -> None:
+        """Overwrite a slot in place (single write cycle, no data movement)."""
+        self._check_slot(slot)
+        if not self._occupied[slot]:
+            if slot in self._free_slots:
+                self._free_slots.remove(slot)
+        self._write_slot(slot, key, value, token_position, is_heavy)
+
+    def evict(self, slot: int) -> CacheEntry:
+        """Mark a slot as free and return the metadata of the evicted entry."""
+        self._check_slot(slot)
+        if not self._occupied[slot]:
+            raise ValueError(f"slot {slot} is not occupied")
+        entry = CacheEntry(
+            slot=int(slot),
+            token_position=int(self._token_positions[slot]),
+            is_heavy=bool(self._is_heavy[slot]),
+        )
+        self._occupied[slot] = False
+        self._token_positions[slot] = -1
+        self._is_heavy[slot] = False
+        self._free_slots.append(slot)
+        self._evictions += 1
+        return entry
+
+    def evict_position(self, token_position: int) -> CacheEntry:
+        slot = self.slot_of_position(token_position)
+        if slot is None:
+            raise KeyError(f"token position {token_position} is not cached")
+        return self.evict(slot)
+
+    def replace(
+        self,
+        evict_slot: int,
+        key: np.ndarray,
+        value: np.ndarray,
+        token_position: int,
+        is_heavy: bool = False,
+    ) -> CacheEntry:
+        """Evict ``evict_slot`` and immediately write the new KV pair there.
+
+        This is the paper's "directly fill with newly-generated KV in the
+        statically evicted position" operation: a single write cycle with no
+        memory swapping.
+        """
+        evicted = self.evict(evict_slot)
+        self.overwrite(evict_slot, key, value, token_position, is_heavy)
+        return evicted
+
+    def clear(self) -> None:
+        """Reset the cache to empty."""
+        self._keys.fill(0.0)
+        self._values.fill(0.0)
+        self._occupied.fill(False)
+        self._token_positions.fill(-1)
+        self._is_heavy.fill(False)
+        self._free_slots = list(range(self.capacity - 1, -1, -1))
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def keys(self, head: Optional[int] = None) -> np.ndarray:
+        """Keys of occupied slots, shape ``[n, heads, d]`` or ``[n, d]``."""
+        slots = self.occupied_slots()
+        keys = self._keys[slots]
+        if head is None:
+            return keys
+        return keys[:, head, :]
+
+    def values(self, head: Optional[int] = None) -> np.ndarray:
+        slots = self.occupied_slots()
+        values = self._values[slots]
+        if head is None:
+            return values
+        return values[:, head, :]
+
+    def gather(
+        self, slots: Sequence[int]
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Gather (keys, values, token_positions) for an explicit slot list."""
+        slots_arr = np.asarray(list(slots), dtype=np.int64)
+        for slot in slots_arr:
+            self._check_slot(int(slot))
+            if not self._occupied[int(slot)]:
+                raise ValueError(f"slot {int(slot)} is not occupied")
+        return (
+            self._keys[slots_arr],
+            self._values[slots_arr],
+            self._token_positions[slots_arr],
+        )
+
+    def key_at(self, slot: int, head: Optional[int] = None) -> np.ndarray:
+        self._check_slot(slot)
+        if head is None:
+            return self._keys[slot]
+        return self._keys[slot, head]
+
+    def value_at(self, slot: int, head: Optional[int] = None) -> np.ndarray:
+        self._check_slot(slot)
+        if head is None:
+            return self._values[slot]
+        return self._values[slot, head]
+
+    def position_to_slot_map(self) -> Dict[int, int]:
+        return {
+            int(self._token_positions[slot]): int(slot)
+            for slot in self.occupied_slots()
+        }
+
+    def memory_bytes(self) -> int:
+        """Bytes of key/value storage held by this cache (all slots)."""
+        return int(self._keys.nbytes + self._values.nbytes)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _check_slot(self, slot: int) -> None:
+        if not 0 <= slot < self.capacity:
+            raise IndexError(
+                f"slot {slot} out of range for capacity {self.capacity}"
+            )
+
+    def _coerce(self, array: np.ndarray, name: str) -> np.ndarray:
+        arr = np.asarray(array, dtype=self.dtype)
+        expected = (self.num_heads, self.head_dim)
+        if arr.shape == (self.head_dim,) and self.num_heads == 1:
+            arr = arr.reshape(1, self.head_dim)
+        if arr.shape != expected:
+            raise ValueError(
+                f"{name} must have shape {expected}, got {arr.shape}"
+            )
+        return arr
+
+    def _write_slot(
+        self,
+        slot: int,
+        key: np.ndarray,
+        value: np.ndarray,
+        token_position: int,
+        is_heavy: bool,
+    ) -> None:
+        if token_position < 0:
+            raise ValueError("token_position must be >= 0")
+        self._keys[slot] = self._coerce(key, "key")
+        self._values[slot] = self._coerce(value, "value")
+        self._occupied[slot] = True
+        self._token_positions[slot] = int(token_position)
+        self._is_heavy[slot] = bool(is_heavy)
+        self._writes += 1
+
+
+__all__ = ["SlotKVCache", "CacheEntry"]

@@ -1,0 +1,211 @@
+"""Common interface for KV cache management policies.
+
+Every pruning strategy in this library — the paper's hybrid static-dynamic
+scheme (:class:`repro.core.hybrid.UniCAIMPolicy`) and the baselines it is
+compared against (full cache, StreamingLLM, H2O, SnapKV, Quest-like) — is a
+:class:`KVCachePolicy`.  The transformer substrate
+(:mod:`repro.llm.attention_layer`) delegates the decoding-stage attention of
+each head group to a policy instance, so the same model can be evaluated
+under any policy by swapping one object.
+
+Protocol
+--------
+1. ``prefill(keys, values, attention_matrix)`` is called once with the full
+   prompt KV tensors (shape ``[n, h, d]``) and the prefill attention scores
+   (shape ``[h, n, n]`` raw dot products).  The policy decides which prompt
+   tokens to retain.
+2. ``decode_step(query, key, value, position)`` is called for every
+   generated token with the current query, the new token's key/value and its
+   logical position.  The policy inserts the new KV pair (possibly evicting
+   another), selects which cached tokens participate in attention, computes
+   the sparse attention output and returns it together with bookkeeping
+   information.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from .attention import attention_output
+
+
+@dataclass
+class StepRecord:
+    """Bookkeeping for one decoding step, used by the evaluation harness."""
+
+    position: int
+    cache_size: int
+    num_attended: int
+    evicted_position: Optional[int] = None
+    selected_positions: Optional[np.ndarray] = None
+
+
+@dataclass
+class PolicyStats:
+    """Aggregate statistics accumulated over a generation."""
+
+    prefill_tokens: int = 0
+    retained_after_prefill: int = 0
+    decode_steps: int = 0
+    total_attended: int = 0
+    total_evictions: int = 0
+    peak_cache_size: int = 0
+    records: List[StepRecord] = field(default_factory=list)
+
+    @property
+    def mean_attended(self) -> float:
+        if self.decode_steps == 0:
+            return 0.0
+        return self.total_attended / self.decode_steps
+
+    @property
+    def prefill_compression(self) -> float:
+        if self.prefill_tokens == 0:
+            return 1.0
+        return self.retained_after_prefill / self.prefill_tokens
+
+    def record(self, step: StepRecord) -> None:
+        self.records.append(step)
+        self.decode_steps += 1
+        self.total_attended += step.num_attended
+        if step.evicted_position is not None:
+            self.total_evictions += 1
+        self.peak_cache_size = max(self.peak_cache_size, step.cache_size)
+
+
+class KVCachePolicy(ABC):
+    """Abstract base class for KV cache pruning policies."""
+
+    def __init__(self, num_heads: int, head_dim: int, scale: Optional[float] = None) -> None:
+        if num_heads < 1 or head_dim < 1:
+            raise ValueError("num_heads and head_dim must be >= 1")
+        self.num_heads = int(num_heads)
+        self.head_dim = int(head_dim)
+        self.scale = scale if scale is not None else 1.0 / float(head_dim) ** 0.5
+        self.stats = PolicyStats()
+
+    # -- required interface -------------------------------------------------
+    @abstractmethod
+    def prefill(
+        self,
+        keys: np.ndarray,
+        values: np.ndarray,
+        attention_matrix: Optional[np.ndarray] = None,
+    ) -> None:
+        """Ingest the prompt KV cache and apply any prefill-time pruning."""
+
+    @abstractmethod
+    def decode_step(
+        self,
+        query: np.ndarray,
+        key: np.ndarray,
+        value: np.ndarray,
+        position: int,
+    ) -> np.ndarray:
+        """Process one generated token and return the attention output [h, d]."""
+
+    @abstractmethod
+    def cached_positions(self) -> np.ndarray:
+        """Logical positions currently held in the cache."""
+
+    # -- shared helpers ------------------------------------------------------
+    def cache_size(self) -> int:
+        return int(self.cached_positions().size)
+
+    def reset(self) -> None:
+        """Discard all cached state (a fresh instance is usually simpler)."""
+        self.stats = PolicyStats()
+
+    def _check_prefill_shapes(self, keys: np.ndarray, values: np.ndarray) -> None:
+        keys = np.asarray(keys)
+        values = np.asarray(values)
+        expected_tail = (self.num_heads, self.head_dim)
+        if keys.ndim != 3 or keys.shape[1:] != expected_tail:
+            raise ValueError(
+                f"prefill keys must have shape [n, {self.num_heads}, {self.head_dim}]"
+            )
+        if values.shape != keys.shape:
+            raise ValueError("prefill values must match keys shape")
+
+    def _check_step_shapes(
+        self, query: np.ndarray, key: np.ndarray, value: np.ndarray
+    ) -> None:
+        expected = (self.num_heads, self.head_dim)
+        for name, tensor in (("query", query), ("key", key), ("value", value)):
+            if np.asarray(tensor).shape != expected:
+                raise ValueError(f"{name} must have shape {expected}")
+
+
+class FullCachePolicy(KVCachePolicy):
+    """No pruning: every token is cached and attended to (dense attention).
+
+    This is the accuracy upper bound ("full cache" curve in Fig. 13) and the
+    cost upper bound ("no pruning" bars in Figs. 10-12).
+    """
+
+    def __init__(self, num_heads: int, head_dim: int, scale: Optional[float] = None) -> None:
+        super().__init__(num_heads, head_dim, scale)
+        self._keys: List[np.ndarray] = []
+        self._values: List[np.ndarray] = []
+        self._positions: List[int] = []
+
+    def prefill(
+        self,
+        keys: np.ndarray,
+        values: np.ndarray,
+        attention_matrix: Optional[np.ndarray] = None,
+    ) -> None:
+        self._check_prefill_shapes(keys, values)
+        keys = np.asarray(keys, dtype=np.float64)
+        values = np.asarray(values, dtype=np.float64)
+        self._keys = [keys[i] for i in range(keys.shape[0])]
+        self._values = [values[i] for i in range(values.shape[0])]
+        self._positions = list(range(keys.shape[0]))
+        self.stats.prefill_tokens = keys.shape[0]
+        self.stats.retained_after_prefill = keys.shape[0]
+
+    def decode_step(
+        self,
+        query: np.ndarray,
+        key: np.ndarray,
+        value: np.ndarray,
+        position: int,
+    ) -> np.ndarray:
+        self._check_step_shapes(query, key, value)
+        self._keys.append(np.asarray(key, dtype=np.float64))
+        self._values.append(np.asarray(value, dtype=np.float64))
+        self._positions.append(int(position))
+        keys = np.stack(self._keys, axis=0)
+        values = np.stack(self._values, axis=0)
+        output = attention_output(
+            np.asarray(query, dtype=np.float64), keys, values, scale=self.scale
+        )
+        self.stats.record(
+            StepRecord(
+                position=int(position),
+                cache_size=len(self._positions),
+                num_attended=len(self._positions),
+            )
+        )
+        return output
+
+    def cached_positions(self) -> np.ndarray:
+        return np.asarray(self._positions, dtype=np.int64)
+
+    def reset(self) -> None:
+        super().reset()
+        self._keys = []
+        self._values = []
+        self._positions = []
+
+
+__all__ = [
+    "KVCachePolicy",
+    "FullCachePolicy",
+    "PolicyStats",
+    "StepRecord",
+]

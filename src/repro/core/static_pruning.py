@@ -1,0 +1,216 @@
+"""One-shot static pruning applied at the end of the prefill stage.
+
+Paper Sec. III-A.1: after the prefill attention has been computed, the
+accumulated attention score of every prompt token (summed over all queries
+that attended to it) measures its importance for the rest of the
+generation.  The ``H`` tokens with the highest accumulated scores are kept
+("heavy" tokens, following H2O / SnapKV terminology) and everything else is
+permanently dropped, which shrinks the KV cache footprint for the whole
+decoding phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .attention import head_mean_scores, softmax
+
+
+@dataclass(frozen=True)
+class StaticPruningResult:
+    """Outcome of the one-shot prefill pruning.
+
+    Attributes
+    ----------
+    kept_positions:
+        Token positions retained in the cache, in ascending position order.
+    dropped_positions:
+        Token positions permanently evicted.
+    accumulated_scores:
+        The accumulated attention score of every prompt token (full length,
+        before pruning), used to seed the decoding-stage score table.
+    """
+
+    kept_positions: np.ndarray
+    dropped_positions: np.ndarray
+    accumulated_scores: np.ndarray
+
+    @property
+    def num_kept(self) -> int:
+        return int(self.kept_positions.size)
+
+    @property
+    def num_dropped(self) -> int:
+        return int(self.dropped_positions.size)
+
+    @property
+    def compression_ratio(self) -> float:
+        total = self.num_kept + self.num_dropped
+        if total == 0:
+            return 1.0
+        return self.num_kept / total
+
+
+def accumulated_scores_from_attention(
+    attention_matrix: np.ndarray,
+    use_softmax: bool = True,
+    causal: bool = True,
+    observation_window: Optional[int] = None,
+) -> np.ndarray:
+    """Accumulated importance of each key token from a prefill attention map.
+
+    Parameters
+    ----------
+    attention_matrix:
+        Raw attention scores of shape ``[q, n]`` (queries x keys) or
+        ``[h, q, n]`` for multi-head.  Scores are the pre-softmax dot
+        products (Eq. 1).
+    use_softmax:
+        If true, each query row is softmax-normalised before accumulation
+        (H2O-style probability mass).  If false the raw scores are summed —
+        this is what the charge-domain hardware accumulates.
+    causal:
+        Apply a causal mask (query ``i`` only sees keys ``<= i``).  Assumes
+        queries and keys cover the same token range when the matrix is
+        square; for a rectangular matrix the last ``q`` positions are taken
+        as the query positions.
+    observation_window:
+        If given, only the last ``observation_window`` query rows contribute
+        (SnapKV-style observation window).  ``None`` uses every query.
+
+    Returns
+    -------
+    np.ndarray
+        Accumulated score per key token, shape ``[n]``.
+    """
+    attn = np.asarray(attention_matrix, dtype=np.float64)
+    if attn.ndim == 2:
+        attn = attn[None, :, :]
+    if attn.ndim != 3:
+        raise ValueError("attention_matrix must be [q, n] or [h, q, n]")
+    num_heads, num_queries, num_keys = attn.shape
+
+    if causal:
+        query_positions = np.arange(num_keys - num_queries, num_keys)
+        key_positions = np.arange(num_keys)
+        visible = key_positions[None, :] <= query_positions[:, None]
+        attn = np.where(visible[None, :, :], attn, -np.inf)
+
+    if use_softmax:
+        probs = softmax(attn, axis=-1)
+    else:
+        probs = np.where(np.isfinite(attn), attn, 0.0)
+
+    if observation_window is not None:
+        if observation_window < 1:
+            raise ValueError("observation_window must be >= 1")
+        probs = probs[:, -observation_window:, :]
+
+    per_head = probs.sum(axis=1)  # [h, n]
+    return head_mean_scores(per_head)
+
+
+def select_heavy_tokens(
+    accumulated_scores: np.ndarray,
+    heavy_budget: int,
+    sink_tokens: int = 0,
+    recent_tokens: int = 0,
+) -> StaticPruningResult:
+    """Pick the ``heavy_budget`` tokens to retain after prefill.
+
+    Protected tokens (the first ``sink_tokens`` attention sinks and the last
+    ``recent_tokens`` positions) are always kept and count against the
+    budget; the remaining budget goes to the highest accumulated scores.
+    """
+    scores = np.asarray(accumulated_scores, dtype=np.float64)
+    if scores.ndim != 1:
+        raise ValueError("accumulated_scores must be 1-D")
+    if heavy_budget < 1:
+        raise ValueError("heavy_budget must be >= 1")
+    n = scores.shape[0]
+    if heavy_budget >= n:
+        return StaticPruningResult(
+            kept_positions=np.arange(n, dtype=np.int64),
+            dropped_positions=np.empty(0, dtype=np.int64),
+            accumulated_scores=scores.copy(),
+        )
+
+    protected = np.zeros(n, dtype=bool)
+    if sink_tokens > 0:
+        protected[: min(sink_tokens, n)] = True
+    if recent_tokens > 0:
+        protected[max(0, n - recent_tokens):] = True
+    num_protected = int(protected.sum())
+
+    if num_protected >= heavy_budget:
+        # Budget fully consumed by protected tokens; keep the protected set
+        # ranked by score until the budget is filled (sinks first).
+        protected_idx = np.nonzero(protected)[0]
+        order = np.lexsort((protected_idx, -scores[protected_idx]))
+        kept = np.sort(protected_idx[order[:heavy_budget]])
+    else:
+        remaining = heavy_budget - num_protected
+        candidate_idx = np.nonzero(~protected)[0]
+        cand_scores = scores[candidate_idx]
+        order = np.lexsort((candidate_idx, -cand_scores))
+        chosen = candidate_idx[order[:remaining]]
+        kept = np.sort(np.concatenate([np.nonzero(protected)[0], chosen]))
+
+    dropped = np.setdiff1d(np.arange(n, dtype=np.int64), kept)
+    return StaticPruningResult(
+        kept_positions=kept.astype(np.int64),
+        dropped_positions=dropped.astype(np.int64),
+        accumulated_scores=scores.copy(),
+    )
+
+
+def prefill_static_prune(
+    attention_matrix: np.ndarray,
+    heavy_budget: int,
+    use_softmax: bool = True,
+    sink_tokens: int = 0,
+    recent_tokens: int = 0,
+    observation_window: Optional[int] = None,
+) -> StaticPruningResult:
+    """End-to-end one-shot static pruning from a prefill attention map."""
+    scores = accumulated_scores_from_attention(
+        attention_matrix,
+        use_softmax=use_softmax,
+        observation_window=observation_window,
+    )
+    return select_heavy_tokens(
+        scores,
+        heavy_budget=heavy_budget,
+        sink_tokens=sink_tokens,
+        recent_tokens=recent_tokens,
+    )
+
+
+def lowest_score_position(
+    accumulated_scores: np.ndarray,
+    candidate_positions: Sequence[int],
+) -> int:
+    """Position with the lowest accumulated score among the candidates.
+
+    This is the step-wise static eviction rule used during decoding.  Ties
+    are broken toward the earliest position (deterministic).
+    """
+    scores = np.asarray(accumulated_scores, dtype=np.float64)
+    candidates = np.asarray(list(candidate_positions), dtype=np.int64)
+    if candidates.size == 0:
+        raise ValueError("candidate_positions must not be empty")
+    cand_scores = scores[candidates]
+    order = np.lexsort((candidates, cand_scores))
+    return int(candidates[order[0]])
+
+
+__all__ = [
+    "StaticPruningResult",
+    "accumulated_scores_from_attention",
+    "select_heavy_tokens",
+    "prefill_static_prune",
+    "lowest_score_position",
+]

@@ -1,0 +1,29 @@
+"""Behavioural device models: FeFET, MOSFET, capacitors and variation."""
+
+from .fefet import FeFET, FeFETParams, multilevel_vth_targets, preisach_polarization
+from .mosfet import MOSFET, MOSFETParams
+from .rc import (
+    Capacitor,
+    WireParasitics,
+    discharge_time_to_threshold,
+    dynamic_energy,
+    rc_delay,
+    voltage_after_discharge,
+)
+from .variation import VariationModel
+
+__all__ = [
+    "FeFET",
+    "FeFETParams",
+    "multilevel_vth_targets",
+    "preisach_polarization",
+    "MOSFET",
+    "MOSFETParams",
+    "Capacitor",
+    "WireParasitics",
+    "discharge_time_to_threshold",
+    "dynamic_energy",
+    "rc_delay",
+    "voltage_after_discharge",
+    "VariationModel",
+]

@@ -1,0 +1,219 @@
+"""Behavioural ferroelectric FET (FeFET) device model.
+
+The paper's circuit simulations use the Preisach-based compact model of
+Ni et al. (ref. [35]) in HSPICE.  This module provides a behavioural Python
+equivalent that captures the three properties the UniCAIM design relies on
+(paper Sec. II-B, Fig. 2):
+
+* **Multilevel storage** — partial polarisation switching under different
+  program voltages moves the threshold voltage ``V_TH`` between ``2**bits``
+  discrete levels (Fig. 2(b)/(c)).
+* **Non-destructive read** — a small read voltage ``V_R`` produces a channel
+  current that depends on ``V_GS - V_TH`` without disturbing the stored
+  polarisation.
+* **Device-to-device variation** — the stored ``V_TH`` is perturbed by a
+  Gaussian with standard deviation 54 mV (ref. [33]), which is what limits
+  the sensing margin in the CAM / current-domain modes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FeFETParams:
+    """Electrical parameters of the behavioural FeFET model.
+
+    The defaults follow the qualitative characteristics of HfO2 FeFETs
+    reported in the papers the design cites: a ~1 V memory window, ~μA on
+    currents at read voltage and a sub-threshold slope around 80 mV/dec.
+    """
+
+    vth_low: float = 0.2
+    """Threshold voltage of the fully "on"-polarised state (volts)."""
+
+    vth_high: float = 1.2
+    """Threshold voltage of the fully "off"-polarised state (volts)."""
+
+    read_voltage: float = 0.8
+    """Gate read voltage ``V_R`` applied during CAM / CIM evaluation."""
+
+    on_current: float = 1.0e-6
+    """Saturated channel current (amps) when strongly on at ``V_R``."""
+
+    subthreshold_slope: float = 0.08
+    """Sub-threshold slope (volts / decade)."""
+
+    off_current_floor: float = 1.0e-12
+    """Leakage floor (amps)."""
+
+    program_voltage: float = 3.5
+    """Nominal full-switching program voltage ``V_P`` (volts)."""
+
+    program_pulse_width: float = 1.0e-7
+    """Program pulse width (seconds)."""
+
+    write_energy: float = 1.0e-15
+    """Energy per polarisation switching event (joules, ~fJ for FeFET)."""
+
+    coercive_voltage: float = 1.0
+    """Voltage below which essentially no polarisation switches."""
+
+    saturation_voltage: float = 4.0
+    """Voltage above which the polarisation fully saturates."""
+
+    variation_sigma: float = 0.054
+    """Device-to-device V_TH variation (volts); the paper uses 54 mV."""
+
+    @property
+    def memory_window(self) -> float:
+        """Separation between the extreme threshold voltages."""
+        return self.vth_high - self.vth_low
+
+    def level_vth(self, level: float) -> float:
+        """V_TH for a normalised polarisation ``level`` in [0, 1].
+
+        ``level = 1`` is the fully "on" state (lowest V_TH); ``level = 0``
+        the fully "off" state (highest V_TH).
+        """
+        if not 0.0 <= level <= 1.0:
+            raise ValueError("level must be in [0, 1]")
+        return self.vth_high - level * self.memory_window
+
+
+def preisach_polarization(
+    voltage: float,
+    params: FeFETParams,
+    previous: float = 0.0,
+) -> float:
+    """Saturating (Preisach-style) polarisation update for one program pulse.
+
+    Returns the new normalised polarisation in ``[0, 1]``.  A positive
+    program voltage increases polarisation toward 1 following a tanh-shaped
+    switching curve between the coercive and saturation voltages; a negative
+    voltage symmetrically erases toward 0.  Pulses below the coercive
+    voltage leave the state unchanged (non-destructive read).
+    """
+    if not 0.0 <= previous <= 1.0:
+        raise ValueError("previous polarisation must be in [0, 1]")
+    magnitude = abs(voltage)
+    if magnitude <= params.coercive_voltage:
+        return previous
+    span = max(params.saturation_voltage - params.coercive_voltage, 1e-9)
+    progress = np.clip((magnitude - params.coercive_voltage) / span, 0.0, 1.0)
+    switched_fraction = float(np.tanh(2.5 * progress) / np.tanh(2.5))
+    if voltage > 0:
+        return previous + (1.0 - previous) * switched_fraction
+    return previous * (1.0 - switched_fraction)
+
+
+class FeFET:
+    """A single FeFET with multilevel polarisation state.
+
+    The device is programmed by voltage pulses (:meth:`program`,
+    :meth:`program_level`) and read out non-destructively
+    (:meth:`drain_current`).
+    """
+
+    def __init__(
+        self,
+        params: Optional[FeFETParams] = None,
+        rng: Optional[np.random.Generator] = None,
+        apply_variation: bool = False,
+    ) -> None:
+        self.params = params or FeFETParams()
+        self._polarization = 0.0
+        self._write_count = 0
+        rng = rng or np.random.default_rng()
+        self._vth_offset = (
+            float(rng.normal(0.0, self.params.variation_sigma))
+            if apply_variation
+            else 0.0
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def polarization(self) -> float:
+        return self._polarization
+
+    @property
+    def vth(self) -> float:
+        """Current threshold voltage including device variation."""
+        return self.params.level_vth(self._polarization) + self._vth_offset
+
+    @property
+    def write_count(self) -> int:
+        return self._write_count
+
+    # ------------------------------------------------------------------
+    def program(self, voltage: float) -> float:
+        """Apply one program pulse; returns the new polarisation."""
+        new_state = preisach_polarization(voltage, self.params, self._polarization)
+        if new_state != self._polarization:
+            self._write_count += 1
+        self._polarization = new_state
+        return new_state
+
+    def program_level(self, level: float) -> None:
+        """Directly program a normalised multilevel state in [0, 1].
+
+        Models the program-verify sequence used to place the device on a
+        specific intermediate level (Fig. 2(c)); counts as one write.
+        """
+        if not 0.0 <= level <= 1.0:
+            raise ValueError("level must be in [0, 1]")
+        self._polarization = float(level)
+        self._write_count += 1
+
+    def erase(self) -> None:
+        """Erase to the fully "off" state."""
+        self.program(-self.params.saturation_voltage)
+
+    # ------------------------------------------------------------------
+    def drain_current(self, gate_voltage: Optional[float] = None) -> float:
+        """Channel current at the given gate voltage (non-destructive read).
+
+        Above threshold the current saturates toward ``on_current`` with a
+        soft square-law knee; below threshold it falls off exponentially
+        with the sub-threshold slope down to the leakage floor.
+        """
+        params = self.params
+        vgs = params.read_voltage if gate_voltage is None else float(gate_voltage)
+        overdrive = vgs - self.vth
+        if overdrive >= 0:
+            knee = params.memory_window
+            current = params.on_current * min(1.0, (overdrive / knee) ** 2 + overdrive / knee)
+            return max(current, params.off_current_floor)
+        decades = overdrive / params.subthreshold_slope
+        current = params.on_current * 10.0**decades
+        return max(current, params.off_current_floor)
+
+    def conductance(self, gate_voltage: Optional[float] = None, drain_voltage: float = 0.1) -> float:
+        """Effective channel conductance (siemens) at a small drain bias."""
+        if drain_voltage <= 0:
+            raise ValueError("drain_voltage must be > 0")
+        return self.drain_current(gate_voltage) / drain_voltage
+
+    def write_energy(self) -> float:
+        """Energy of one polarisation write event (joules)."""
+        return self.params.write_energy
+
+
+def multilevel_vth_targets(params: FeFETParams, levels: int) -> np.ndarray:
+    """Evenly spaced V_TH targets for ``levels`` storage states (Fig. 2(c))."""
+    if levels < 2:
+        raise ValueError("levels must be >= 2")
+    fractions = np.linspace(1.0, 0.0, levels)
+    return np.asarray([params.level_vth(f) for f in fractions], dtype=np.float64)
+
+
+__all__ = [
+    "FeFETParams",
+    "FeFET",
+    "preisach_polarization",
+    "multilevel_vth_targets",
+]

@@ -1,0 +1,91 @@
+"""Simple MOSFET model for the peripheral transistors of the UniCAIM array.
+
+The paper uses the 45 nm predictive technology (BSIM) model in HSPICE for
+all ordinary MOSFETs (pre-charge PMOS, discharge NMOS, pass transistors of
+the 1T1F units).  The behavioural reproduction only needs the square-law
+level of detail: on/off behaviour, drive current, and gate/junction
+capacitances for RC timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MOSFETParams:
+    """Square-law MOSFET parameters loosely matching a 45 nm node."""
+
+    vth: float = 0.4
+    """Threshold voltage (volts)."""
+
+    k_prime: float = 300e-6
+    """Process transconductance ``k' = mu Cox`` (A/V^2) times W/L."""
+
+    channel_length_modulation: float = 0.05
+    """Early-effect coefficient lambda (1/V)."""
+
+    gate_capacitance: float = 0.1e-15
+    """Gate capacitance (farads) of a minimum-size device."""
+
+    junction_capacitance: float = 0.05e-15
+    """Source/drain junction capacitance (farads)."""
+
+    leakage_current: float = 1e-12
+    """Off-state leakage (amps)."""
+
+    is_pmos: bool = False
+
+    def scaled(self, width_multiple: float) -> "MOSFETParams":
+        """Return parameters for a device ``width_multiple`` times wider."""
+        if width_multiple <= 0:
+            raise ValueError("width_multiple must be > 0")
+        return MOSFETParams(
+            vth=self.vth,
+            k_prime=self.k_prime * width_multiple,
+            channel_length_modulation=self.channel_length_modulation,
+            gate_capacitance=self.gate_capacitance * width_multiple,
+            junction_capacitance=self.junction_capacitance * width_multiple,
+            leakage_current=self.leakage_current * width_multiple,
+            is_pmos=self.is_pmos,
+        )
+
+
+class MOSFET:
+    """Square-law NMOS/PMOS device with cut-off, triode and saturation regions."""
+
+    def __init__(self, params: MOSFETParams | None = None) -> None:
+        self.params = params or MOSFETParams()
+
+    def drain_current(self, vgs: float, vds: float) -> float:
+        """Drain current for the given terminal voltages.
+
+        For PMOS devices pass the magnitudes of ``V_SG`` and ``V_SD`` (the
+        model is symmetric); the returned current is always positive.
+        """
+        params = self.params
+        vgs = abs(vgs) if params.is_pmos else vgs
+        vds = abs(vds) if params.is_pmos else vds
+        if vds < 0:
+            raise ValueError("vds must be >= 0 (fold PMOS polarities before calling)")
+        overdrive = vgs - params.vth
+        if overdrive <= 0:
+            return params.leakage_current
+        if vds < overdrive:
+            current = params.k_prime * (overdrive * vds - 0.5 * vds**2)
+        else:
+            current = 0.5 * params.k_prime * overdrive**2
+            current *= 1.0 + params.channel_length_modulation * (vds - overdrive)
+        return max(current, params.leakage_current)
+
+    def on_resistance(self, vgs: float, vds: float = 0.05) -> float:
+        """Small-signal on-resistance in the triode region (ohms)."""
+        current = self.drain_current(vgs, vds)
+        return vds / current
+
+    def is_on(self, vgs: float) -> bool:
+        vgs = abs(vgs) if self.params.is_pmos else vgs
+        return vgs > self.params.vth
+
+
+__all__ = ["MOSFETParams", "MOSFET"]

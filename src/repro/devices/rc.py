@@ -1,0 +1,149 @@
+"""RC primitives: capacitors, wire parasitics and discharge dynamics.
+
+The CAM mode of UniCAIM is a timing race: every sense line (SL) is
+pre-charged to ``V_DD`` and then discharged by the summed cell currents, so
+the SL with the *smallest* current (highest similarity) crosses the sensing
+threshold last.  The charge-domain mode accumulates similarity by sharing
+charge between the SL capacitor and a larger accumulation capacitor.  Both
+behaviours reduce to a handful of RC relations implemented here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class WireParasitics:
+    """Per-cell wire parasitics (extracted following the paper's ref. [36])."""
+
+    capacitance_per_cell: float = 0.05e-15
+    """Wire capacitance contributed by each cell on the line (farads)."""
+
+    resistance_per_cell: float = 2.0
+    """Wire resistance contributed by each cell (ohms)."""
+
+    def line_capacitance(self, cells: int) -> float:
+        if cells < 0:
+            raise ValueError("cells must be >= 0")
+        return self.capacitance_per_cell * cells
+
+    def line_resistance(self, cells: int) -> float:
+        if cells < 0:
+            raise ValueError("cells must be >= 0")
+        return self.resistance_per_cell * cells
+
+
+class Capacitor:
+    """An ideal capacitor tracking its stored voltage and charge."""
+
+    def __init__(self, capacitance: float, voltage: float = 0.0) -> None:
+        if capacitance <= 0:
+            raise ValueError("capacitance must be > 0")
+        self.capacitance = float(capacitance)
+        self.voltage = float(voltage)
+
+    @property
+    def charge(self) -> float:
+        return self.capacitance * self.voltage
+
+    @property
+    def energy(self) -> float:
+        """Stored energy ``1/2 C V^2`` (joules)."""
+        return 0.5 * self.capacitance * self.voltage**2
+
+    def precharge(self, voltage: float) -> float:
+        """Charge to ``voltage``; returns the energy drawn from the supply.
+
+        Charging a capacitor from a constant supply dissipates ``C V dV``
+        overall; the conventional accounting (used by the energy model) is
+        ``C * V_supply * delta_V``.
+        """
+        delta = voltage - self.voltage
+        energy = self.capacitance * abs(delta) * abs(voltage)
+        self.voltage = float(voltage)
+        return energy
+
+    def discharge_constant_current(self, current: float, duration: float) -> float:
+        """Discharge with a constant current for ``duration``; returns new voltage."""
+        if current < 0 or duration < 0:
+            raise ValueError("current and duration must be >= 0")
+        delta_v = current * duration / self.capacitance
+        self.voltage = max(0.0, self.voltage - delta_v)
+        return self.voltage
+
+    def share_with(self, other: "Capacitor") -> float:
+        """Connect to ``other`` and equalise voltages (charge sharing).
+
+        Returns the common voltage after sharing.  Total charge is
+        conserved; the energy difference is dissipated in the switch.
+        """
+        total_charge = self.charge + other.charge
+        total_cap = self.capacitance + other.capacitance
+        common = total_charge / total_cap
+        self.voltage = common
+        other.voltage = common
+        return common
+
+
+def discharge_time_to_threshold(
+    capacitance: float,
+    start_voltage: float,
+    threshold_voltage: float,
+    current: float,
+) -> float:
+    """Time for a constant current to pull a capacitor down to a threshold.
+
+    ``t = C * (V_start - V_th) / I``.  An (effectively) zero current returns
+    infinity — the line never crosses the threshold, which is how the
+    highest-similarity rows "win" the CAM race.
+    """
+    if capacitance <= 0:
+        raise ValueError("capacitance must be > 0")
+    if threshold_voltage > start_voltage:
+        raise ValueError("threshold must be <= start voltage")
+    if current <= 0:
+        return float("inf")
+    return capacitance * (start_voltage - threshold_voltage) / current
+
+
+def voltage_after_discharge(
+    capacitance: float,
+    start_voltage: float,
+    current: float,
+    duration: float,
+) -> float:
+    """Voltage left on a capacitor after constant-current discharge."""
+    if capacitance <= 0:
+        raise ValueError("capacitance must be > 0")
+    if duration < 0 or current < 0:
+        raise ValueError("duration and current must be >= 0")
+    return max(0.0, start_voltage - current * duration / capacitance)
+
+
+def rc_delay(resistance: float, capacitance: float, swing_fraction: float = 0.5) -> float:
+    """Elmore-style RC delay to reach a fraction of the full swing."""
+    if resistance < 0 or capacitance < 0:
+        raise ValueError("resistance and capacitance must be >= 0")
+    if not 0.0 < swing_fraction < 1.0:
+        raise ValueError("swing_fraction must be in (0, 1)")
+    return -resistance * capacitance * float(np.log(1.0 - swing_fraction))
+
+
+def dynamic_energy(capacitance: float, voltage: float) -> float:
+    """Switching energy ``C V^2`` of one full charge/discharge cycle."""
+    if capacitance < 0:
+        raise ValueError("capacitance must be >= 0")
+    return capacitance * voltage**2
+
+
+__all__ = [
+    "WireParasitics",
+    "Capacitor",
+    "discharge_time_to_threshold",
+    "voltage_after_discharge",
+    "rc_delay",
+    "dynamic_energy",
+]

@@ -1,0 +1,60 @@
+"""Device-to-device variation models.
+
+The paper evaluates the current-domain CIM linearity (Fig. 9) under FeFET
+threshold-voltage variation with a standard deviation of 54 mV (ref. [33]).
+This module centralises the statistical assumptions so every circuit model
+draws variation the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class VariationModel:
+    """Gaussian variation of FeFET threshold voltage and peripheral offsets."""
+
+    vth_sigma: float = 0.054
+    """FeFET V_TH device-to-device standard deviation (volts)."""
+
+    comparator_offset_sigma: float = 0.002
+    """Input-referred offset of sense comparators (volts)."""
+
+    current_mismatch_fraction: float = 0.02
+    """Relative mismatch of reference / mirror currents."""
+
+    seed: Optional[int] = None
+
+    def rng(self) -> np.random.Generator:
+        return np.random.default_rng(self.seed)
+
+    def sample_vth_offsets(self, shape, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """Sample per-device V_TH offsets (volts)."""
+        rng = rng or self.rng()
+        return rng.normal(0.0, self.vth_sigma, size=shape)
+
+    def sample_comparator_offsets(self, shape, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        rng = rng or self.rng()
+        return rng.normal(0.0, self.comparator_offset_sigma, size=shape)
+
+    def sample_current_mismatch(self, shape, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """Multiplicative current mismatch factors (mean 1.0)."""
+        rng = rng or self.rng()
+        return 1.0 + rng.normal(0.0, self.current_mismatch_fraction, size=shape)
+
+    @classmethod
+    def ideal(cls) -> "VariationModel":
+        """A variation model with every sigma set to zero (nominal devices)."""
+        return cls(vth_sigma=0.0, comparator_offset_sigma=0.0, current_mismatch_fraction=0.0, seed=0)
+
+    @classmethod
+    def paper_default(cls, seed: Optional[int] = None) -> "VariationModel":
+        """The 54 mV V_TH sigma quoted in the paper."""
+        return cls(seed=seed)
+
+
+__all__ = ["VariationModel"]

@@ -1,0 +1,48 @@
+"""Area / energy / delay / AEDP models and baseline accelerator comparisons."""
+
+from .workload import AttentionWorkload
+from .components import DEFAULT_COSTS, ComponentCosts
+from .area_model import AreaModel, AreaReport, DesignPoint
+from .energy_model import EnergyBreakdown, EnergyModel
+from .delay_model import DelayBreakdown, DelayModel
+from .accelerators import (
+    AcceleratorMetrics,
+    AcceleratorModel,
+    CIMFormerModel,
+    SprintModel,
+    TranCIMModel,
+    UniCAIMModel,
+    baseline_models,
+)
+from .aedp import (
+    AEDPRow,
+    format_table,
+    pruning_ratio_to_keep,
+    reduction_table,
+    table2_comparison,
+)
+
+__all__ = [
+    "AttentionWorkload",
+    "DEFAULT_COSTS",
+    "ComponentCosts",
+    "AreaModel",
+    "AreaReport",
+    "DesignPoint",
+    "EnergyBreakdown",
+    "EnergyModel",
+    "DelayBreakdown",
+    "DelayModel",
+    "AcceleratorMetrics",
+    "AcceleratorModel",
+    "CIMFormerModel",
+    "SprintModel",
+    "TranCIMModel",
+    "UniCAIMModel",
+    "baseline_models",
+    "AEDPRow",
+    "format_table",
+    "pruning_ratio_to_keep",
+    "reduction_table",
+    "table2_comparison",
+]

@@ -1,0 +1,113 @@
+"""Area-energy-delay product (AEDP) comparison (paper Table II).
+
+Table II reports the AEDP reduction of UniCAIM (1-bit and 3-bit cells)
+relative to Sprint, TranCIM and CIMFormer at two KV cache pruning ratios
+(50 % and 80 % pruned, i.e. keep ratios of 0.5 and 0.2), with the same
+pruning ratio applied to every design for fairness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .accelerators import AcceleratorMetrics, UniCAIMModel, baseline_models
+from .components import DEFAULT_COSTS, ComponentCosts
+from .workload import AttentionWorkload
+
+
+@dataclass(frozen=True)
+class AEDPRow:
+    """One row of the Table II comparison."""
+
+    pruning_ratio: float
+    cell_bits: int
+    baseline_name: str
+    baseline: AcceleratorMetrics
+    unicaim: AcceleratorMetrics
+
+    @property
+    def reduction(self) -> float:
+        """AEDP_baseline / AEDP_UniCAIM (larger is better for UniCAIM)."""
+        return self.baseline.aedp / self.unicaim.aedp
+
+
+def pruning_ratio_to_keep(pruning_ratio: float) -> float:
+    """Convert a "pruning ratio" (fraction removed) into a keep fraction."""
+    if not 0.0 <= pruning_ratio < 1.0:
+        raise ValueError("pruning_ratio must be in [0, 1)")
+    return 1.0 - pruning_ratio
+
+
+def table2_comparison(
+    workload: Optional[AttentionWorkload] = None,
+    pruning_ratios: Optional[List[float]] = None,
+    cell_bit_options: Optional[List[int]] = None,
+    costs: ComponentCosts = DEFAULT_COSTS,
+) -> List[AEDPRow]:
+    """Compute the full Table II grid of AEDP reduction factors.
+
+    The same static/dynamic keep ratio is applied to every design: for the
+    baselines it sets how many tokens their own pruning scheme retains; for
+    UniCAIM it sets both the prefill static keep ratio and the per-step
+    dynamic keep ratio, mirroring the paper's "same pruning ratio across
+    designs" protocol.
+    """
+    workload = workload or AttentionWorkload.paper_reference()
+    pruning_ratios = pruning_ratios if pruning_ratios is not None else [0.5, 0.8]
+    cell_bit_options = cell_bit_options if cell_bit_options is not None else [1, 3]
+    baselines = baseline_models(costs)
+
+    rows: List[AEDPRow] = []
+    for pruning_ratio in pruning_ratios:
+        keep = pruning_ratio_to_keep(pruning_ratio)
+        wl = workload.with_pruning(static_keep=keep, dynamic_keep=keep)
+        for cell_bits in cell_bit_options:
+            unicaim = UniCAIMModel(cell_bits=cell_bits, costs=costs).metrics(wl)
+            for name, model in baselines.items():
+                rows.append(
+                    AEDPRow(
+                        pruning_ratio=pruning_ratio,
+                        cell_bits=cell_bits,
+                        baseline_name=name,
+                        baseline=model.metrics(wl),
+                        unicaim=unicaim,
+                    )
+                )
+    return rows
+
+
+def reduction_table(rows: List[AEDPRow]) -> Dict[str, Dict[str, float]]:
+    """Nest the reduction factors as ``{condition: {baseline: reduction}}``.
+
+    Condition keys look like ``"50%/1-bit"`` to match the Table II layout.
+    """
+    table: Dict[str, Dict[str, float]] = {}
+    for row in rows:
+        condition = f"{int(round(row.pruning_ratio * 100))}%/{row.cell_bits}-bit"
+        table.setdefault(condition, {})[row.baseline_name] = row.reduction
+    return table
+
+
+def format_table(rows: List[AEDPRow]) -> str:
+    """Human-readable Table II used by the benchmark harness output."""
+    lines = [
+        "pruning  cell   baseline    AEDP(base)      AEDP(UniCAIM)   reduction",
+        "-" * 74,
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.pruning_ratio:>6.0%}  {row.cell_bits}-bit  {row.baseline_name:<10}"
+            f"  {row.baseline.aedp:>12.3e}  {row.unicaim.aedp:>14.3e}"
+            f"  {row.reduction:>8.1f}x"
+        )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "AEDPRow",
+    "pruning_ratio_to_keep",
+    "table2_comparison",
+    "reduction_table",
+    "format_table",
+]

@@ -1,0 +1,169 @@
+"""Area / device-count model (paper Fig. 10).
+
+The dominant area cost of a KV cache accelerator is the number of memory
+devices needed to hold the cached keys and values.  Static pruning bounds
+the cache at ``H + M`` tokens regardless of sequence length, and the
+multilevel UniCAIM cell stores a 3-bit signed value in a single 2x1T1F
+cell instead of one cell per bit, which is where the paper's device-count
+reductions come from.  The CAM / charge-domain peripherals add a small
+per-row overhead (the 15x -> 14.7x note in Sec. IV-A.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict
+
+from .components import DEFAULT_COSTS, ComponentCosts
+from .workload import AttentionWorkload
+
+
+class DesignPoint(str, Enum):
+    """The design configurations compared throughout the evaluation."""
+
+    NO_PRUNING = "no_pruning"
+    CONVENTIONAL_DYNAMIC = "conventional_dynamic"
+    STATIC_ONLY = "static_only"
+    UNICAIM_1BIT = "unicaim_1bit"
+    UNICAIM_3BIT = "unicaim_3bit"
+
+
+@dataclass(frozen=True)
+class AreaReport:
+    """Device count and layout-area estimate for one design point."""
+
+    design: DesignPoint
+    cached_tokens: int
+    storage_devices: int
+    peripheral_devices: int
+    adc_area_mm2: float
+    array_area_mm2: float
+    peripheral_area_mm2: float
+
+    @property
+    def total_devices(self) -> int:
+        return self.storage_devices + self.peripheral_devices
+
+    @property
+    def total_area_mm2(self) -> float:
+        return self.adc_area_mm2 + self.array_area_mm2 + self.peripheral_area_mm2
+
+
+class AreaModel:
+    """Device-count and area estimates for the compared design points."""
+
+    #: bits used to represent one key/value element in every design
+    value_bits: int = 3
+
+    def __init__(self, costs: ComponentCosts = DEFAULT_COSTS) -> None:
+        self.costs = costs
+
+    # ------------------------------------------------------------------
+    def cached_tokens(self, workload: AttentionWorkload, design: DesignPoint) -> int:
+        """Number of tokens whose KV pairs must be physically stored."""
+        if design in (DesignPoint.NO_PRUNING, DesignPoint.CONVENTIONAL_DYNAMIC):
+            return workload.cache_tokens_dense
+        return min(workload.cache_tokens_static, workload.cache_tokens_dense)
+
+    def cells_per_element(self, design: DesignPoint) -> int:
+        """Memory cells needed to store one key/value element."""
+        if design is DesignPoint.UNICAIM_3BIT:
+            return 1
+        return self.value_bits
+
+    def storage_devices(self, workload: AttentionWorkload, design: DesignPoint) -> int:
+        """Total memory cells for the K and V caches."""
+        tokens = self.cached_tokens(workload, design)
+        per_token = 2 * workload.head_dim * self.cells_per_element(design)
+        return tokens * per_token * workload.num_heads
+
+    def peripheral_devices(self, workload: AttentionWorkload, design: DesignPoint) -> int:
+        """Per-row CAM / charge-domain detector devices (UniCAIM designs only)."""
+        if design in (DesignPoint.UNICAIM_1BIT, DesignPoint.UNICAIM_3BIT):
+            tokens = self.cached_tokens(workload, design)
+            # Precharge PMOS + buffer (2T) + F_dyn + S1 + FE-INV (2T) + F_sta
+            return tokens * 8 * workload.num_heads
+        if design is DesignPoint.CONVENTIONAL_DYNAMIC:
+            # Digital top-k sorting network, roughly proportional to rows.
+            return workload.cache_tokens_dense * 24 * workload.num_heads
+        return 0
+
+    # ------------------------------------------------------------------
+    def report(self, workload: AttentionWorkload, design: DesignPoint) -> AreaReport:
+        tokens = self.cached_tokens(workload, design)
+        storage = self.storage_devices(workload, design)
+        peripheral = self.peripheral_devices(workload, design)
+
+        costs = self.costs
+        if design in (DesignPoint.UNICAIM_1BIT, DesignPoint.UNICAIM_3BIT, DesignPoint.STATIC_ONLY):
+            cell_area = costs.fefet_cell_area_um2
+        else:
+            cell_area = costs.sram_cell_area_um2
+        array_area_mm2 = storage * cell_area * 1e-6
+
+        peripheral_area = 0.0
+        if design in (DesignPoint.UNICAIM_1BIT, DesignPoint.UNICAIM_3BIT):
+            peripheral_area = tokens * (
+                costs.cam_peripheral_area_per_row_um2
+                + costs.charge_peripheral_area_per_row_um2
+            ) * 1e-6
+        elif design is DesignPoint.CONVENTIONAL_DYNAMIC:
+            peripheral_area = costs.topk_area_mm2
+
+        adc_area = workload.num_adcs * costs.adc_area_mm2
+
+        return AreaReport(
+            design=design,
+            cached_tokens=tokens,
+            storage_devices=storage,
+            peripheral_devices=peripheral,
+            adc_area_mm2=adc_area,
+            array_area_mm2=array_area_mm2,
+            peripheral_area_mm2=peripheral_area,
+        )
+
+    def device_count(self, workload: AttentionWorkload, design: DesignPoint) -> int:
+        return self.report(workload, design).total_devices
+
+    def reduction_factor(
+        self,
+        workload: AttentionWorkload,
+        design: DesignPoint,
+        baseline: DesignPoint = DesignPoint.NO_PRUNING,
+    ) -> float:
+        """Device-count reduction of ``design`` relative to ``baseline``."""
+        base = self.device_count(workload, baseline)
+        ours = self.device_count(workload, design)
+        return base / ours
+
+    def sweep_input_length(
+        self,
+        workload: AttentionWorkload,
+        designs: list[DesignPoint],
+        input_lengths: list[int],
+    ) -> Dict[DesignPoint, list[int]]:
+        """Device counts versus input length (Fig. 10(a))."""
+        series: Dict[DesignPoint, list[int]] = {d: [] for d in designs}
+        for length in input_lengths:
+            wl = workload.with_lengths(length, workload.output_len)
+            for design in designs:
+                series[design].append(self.device_count(wl, design))
+        return series
+
+    def sweep_output_length(
+        self,
+        workload: AttentionWorkload,
+        designs: list[DesignPoint],
+        output_lengths: list[int],
+    ) -> Dict[DesignPoint, list[int]]:
+        """Device counts versus output length (Fig. 10(b))."""
+        series: Dict[DesignPoint, list[int]] = {d: [] for d in designs}
+        for length in output_lengths:
+            wl = workload.with_lengths(workload.input_len, length)
+            for design in designs:
+                series[design].append(self.device_count(wl, design))
+        return series
+
+
+__all__ = ["DesignPoint", "AreaReport", "AreaModel"]

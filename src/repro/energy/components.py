@@ -1,0 +1,113 @@
+"""Per-component cost constants used by the analytic area/energy/delay models.
+
+The constants are calibrated so that the paper's reference workload (576
+cached tokens, d = 128, 64 10-bit SAR ADCs, 20 % dynamic keep ratio)
+reproduces the absolute numbers reported in Figs. 11(a) and 12(a):
+
+* dense attention: ~7.1 nJ per decoding step, dominated by ~6.5 nJ of ADC
+  conversions, and ~90 ns of latency (576 conversions / 64 ADCs x 10 ns);
+* conventional dynamic pruning: an approximate low-precision pass over all
+  rows plus a digital O(n log n) top-k sort (~0.2 nJ, ~84 ns extra);
+* UniCAIM: a ~2 ns, ~0.03 nJ CAM search plus ADC conversions for only the
+  selected rows.
+
+Every constant is a plain dataclass field so ablation benchmarks can sweep
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ComponentCosts:
+    """Energy / delay / area constants for the analytic models."""
+
+    # ---- ADC (10-bit SAR, ref. [37]) ---------------------------------
+    adc_energy: float = 11.3e-12
+    """Energy per full-precision (10-bit) conversion (joules)."""
+
+    adc_time: float = 10e-9
+    """Time per conversion (seconds)."""
+
+    adc_area_mm2: float = 0.0008
+    """Layout area of one SAR ADC (mm^2)."""
+
+    adc_low_precision_factor: float = 0.6
+    """Relative energy of the reduced-precision conversions used by the
+    approximate pass of conventional dynamic-pruning designs."""
+
+    adc_low_precision_time_factor: float = 0.72
+    """Relative conversion time of the reduced-precision approximate pass."""
+
+    # ---- CIM array ----------------------------------------------------
+    array_energy_per_row: float = 1.0e-12
+    """Analog array access energy per row per GEMV (joules)."""
+
+    array_row_time: float = 0.5e-9
+    """Array access (wordline + bitline settle) time per batch (seconds)."""
+
+    fefet_cell_area_um2: float = 0.3
+    """Layout area of one 2x1T1F UniCAIM cell at 45 nm (um^2)."""
+
+    sram_cell_area_um2: float = 0.45
+    """Layout area of a conventional 6T/8T SRAM CIM bitcell at 28-45 nm."""
+
+    digital_mac_energy: float = 0.4e-12
+    """Energy of one digital 8-bit MAC including local data movement
+    (joules) for full-digital CIM designs."""
+
+    # ---- CAM mode ------------------------------------------------------
+    cam_search_energy_per_row: float = 0.05e-12
+    """Energy of the CAM discharge race per participating row (joules)."""
+
+    cam_search_time: float = 2.0e-9
+    """Latency of one CAM search, independent of row count (seconds)."""
+
+    cam_peripheral_area_per_row_um2: float = 1.5
+    """Area of the per-row CAM detector (precharge PMOS, buffer, F_dyn)."""
+
+    # ---- Charge-domain accumulation ------------------------------------
+    charge_share_energy_per_row: float = 0.01e-12
+    """Energy of one charge-sharing event per row (joules)."""
+
+    charge_peripheral_area_per_row_um2: float = 2.0
+    """Area of C_Acc + FE-INV + F_sta per row (um^2)."""
+
+    eviction_search_time: float = 2.0e-9
+    """Latency of the FE-INV static-eviction race (seconds)."""
+
+    # ---- Digital top-k sorting (conventional dynamic pruning) ----------
+    topk_compare_energy: float = 40e-15
+    """Energy per compare-exchange of a digital top-k sorter (joules)."""
+
+    topk_compare_time: float = 3.8e-12
+    """Effective time per compare-exchange along the critical path."""
+
+    topk_area_mm2: float = 0.02
+    """Area of the digital top-k / gathering logic (mm^2)."""
+
+    # ---- Memory write ----------------------------------------------------
+    fefet_write_energy_per_cell: float = 2.0e-15
+    """Program energy per 2x1T1F cell write (joules)."""
+
+    sram_write_energy_per_bit: float = 0.2e-15
+    """Write energy per SRAM bit (joules)."""
+
+    write_cycle_time: float = 100e-9
+    """FeFET program pulse / write cycle duration (seconds)."""
+
+    # ---- Misc ------------------------------------------------------------
+    softmax_energy_per_element: float = 0.5e-12
+    """Digital softmax/normalisation energy per attended element."""
+
+    def adc_conversion_energy(self, full_precision: bool = True) -> float:
+        if full_precision:
+            return self.adc_energy
+        return self.adc_energy * self.adc_low_precision_factor
+
+
+DEFAULT_COSTS = ComponentCosts()
+
+__all__ = ["ComponentCosts", "DEFAULT_COSTS"]

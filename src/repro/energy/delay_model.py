@@ -1,0 +1,144 @@
+"""Per-step and per-generation latency model (paper Figs. 1(b) and 12).
+
+The decoding-step latency of a CIM attention engine is dominated by the
+number of ADC conversions divided by the number of ADCs that fit in the
+area/power budget (64 in the paper's reference design).  Conventional
+dynamic pruning adds an O(n log n) digital top-k sort on the critical path,
+which — as the paper points out — can *increase* latency despite reducing
+the exact-computation count.  UniCAIM replaces both the approximate scoring
+pass and the sort with a single O(1) CAM discharge race.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from .area_model import DesignPoint
+from .components import DEFAULT_COSTS, ComponentCosts
+from .workload import AttentionWorkload
+
+
+@dataclass(frozen=True)
+class DelayBreakdown:
+    """Latency components of one decoding step (seconds)."""
+
+    design: DesignPoint
+    array: float
+    adc: float
+    topk: float
+    cam: float
+
+    @property
+    def total(self) -> float:
+        return self.array + self.adc + self.topk + self.cam
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "array": self.array,
+            "adc": self.adc,
+            "topk": self.topk,
+            "cam": self.cam,
+            "total": self.total,
+        }
+
+
+class DelayModel:
+    """Analytic per-step / per-generation latency estimates."""
+
+    def __init__(self, costs: ComponentCosts = DEFAULT_COSTS) -> None:
+        self.costs = costs
+
+    # ------------------------------------------------------------------
+    def _adc_batches(self, conversions: int, num_adcs: int) -> int:
+        return int(np.ceil(conversions / num_adcs)) if conversions > 0 else 0
+
+    def step_breakdown(
+        self,
+        workload: AttentionWorkload,
+        design: DesignPoint,
+        cached_tokens: int | None = None,
+    ) -> DelayBreakdown:
+        costs = self.costs
+        if cached_tokens is None:
+            if design in (DesignPoint.NO_PRUNING, DesignPoint.CONVENTIONAL_DYNAMIC):
+                cached_tokens = workload.cache_tokens_dense
+            else:
+                cached_tokens = min(
+                    workload.cache_tokens_static, workload.cache_tokens_dense
+                )
+        attended = max(1, int(round(cached_tokens * workload.dynamic_keep_ratio)))
+
+        array = adc = topk = cam = 0.0
+        if design in (DesignPoint.NO_PRUNING, DesignPoint.STATIC_ONLY):
+            batches = self._adc_batches(cached_tokens, workload.num_adcs)
+            adc = batches * costs.adc_time
+            array = batches * costs.array_row_time
+        elif design is DesignPoint.CONVENTIONAL_DYNAMIC:
+            # Approximate scoring pass (all rows through the ADCs), then the
+            # digital sort, then the exact pass over the selected rows.
+            approx_batches = self._adc_batches(cached_tokens, workload.num_adcs)
+            exact_batches = self._adc_batches(attended, workload.num_adcs)
+            adc = approx_batches * costs.adc_time * costs.adc_low_precision_time_factor
+            adc += exact_batches * costs.adc_time
+            array = (approx_batches + exact_batches) * costs.array_row_time
+            comparisons = cached_tokens * max(1.0, np.log2(cached_tokens))
+            topk = comparisons * costs.topk_compare_time
+        elif design in (DesignPoint.UNICAIM_1BIT, DesignPoint.UNICAIM_3BIT):
+            cam = costs.cam_search_time + costs.eviction_search_time
+            batches = self._adc_batches(attended, workload.num_adcs)
+            adc = batches * costs.adc_time
+            array = batches * costs.array_row_time
+        else:
+            raise ValueError(f"unknown design point: {design}")
+
+        return DelayBreakdown(design=design, array=array, adc=adc, topk=topk, cam=cam)
+
+    def step_latency(self, workload: AttentionWorkload, design: DesignPoint) -> float:
+        return self.step_breakdown(workload, design).total
+
+    # ------------------------------------------------------------------
+    def generation_latency(self, workload: AttentionWorkload, design: DesignPoint) -> float:
+        """Total decoding latency for generating ``output_len`` tokens."""
+        total = 0.0
+        for step in range(workload.output_len):
+            if design in (DesignPoint.NO_PRUNING, DesignPoint.CONVENTIONAL_DYNAMIC):
+                tokens = workload.input_len + step + 1
+            else:
+                tokens = min(
+                    workload.cache_tokens_static, workload.input_len + step + 1
+                )
+            total += self.step_breakdown(workload, design, cached_tokens=tokens).total
+        return total
+
+    def sweep_lengths(
+        self,
+        workload: AttentionWorkload,
+        designs: List[DesignPoint],
+        input_lengths: List[int],
+        output_lengths: List[int],
+    ) -> Dict[DesignPoint, List[float]]:
+        """Generation latency along a joint (input, output) length sweep (Fig. 12(b))."""
+        if len(input_lengths) != len(output_lengths):
+            raise ValueError("input_lengths and output_lengths must have equal length")
+        series: Dict[DesignPoint, List[float]] = {d: [] for d in designs}
+        for inp, out in zip(input_lengths, output_lengths):
+            wl = workload.with_lengths(inp, out)
+            for design in designs:
+                series[design].append(self.generation_latency(wl, design))
+        return series
+
+    # ------------------------------------------------------------------
+    def dense_attention_latency(self, seq_len: int, workload: AttentionWorkload) -> float:
+        """Single-step dense attention latency at a given cache length.
+
+        Used by the Fig. 1(b) motivation plot (attention latency versus
+        sequence length for a Llama-2-7B-like layer stack).
+        """
+        wl = workload.with_lengths(max(1, seq_len - 1), 1)
+        return self.step_breakdown(wl, DesignPoint.NO_PRUNING, cached_tokens=seq_len).total
+
+
+__all__ = ["DelayBreakdown", "DelayModel"]

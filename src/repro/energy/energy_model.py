@@ -1,0 +1,171 @@
+"""Per-step and per-generation energy model (paper Fig. 11).
+
+Energy per decoding step is decomposed into the same components the paper
+plots in Fig. 11(a): the CIM array access, the ADC conversions, and the
+top-k selection logic (a digital sorter for conventional dynamic pruning,
+the CAM search for UniCAIM).  The model reproduces the paper's headline
+observations:
+
+* without pruning, ADC conversions dominate (~6.5 of ~7.1 nJ at the
+  reference workload);
+* conventional dynamic pruning barely helps (0.91x) because the
+  approximate pass still converts every row and the top-k sorter adds
+  energy;
+* UniCAIM's CAM search eliminates the approximate conversions entirely, so
+  only the selected rows are converted (~0.19x at a 20 % keep ratio), and
+  static pruning shrinks the number of rows in the first place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from .area_model import DesignPoint
+from .components import DEFAULT_COSTS, ComponentCosts
+from .workload import AttentionWorkload
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy components of one decoding step (joules)."""
+
+    design: DesignPoint
+    array: float
+    adc: float
+    topk: float
+    cam: float
+    write: float
+
+    @property
+    def total(self) -> float:
+        return self.array + self.adc + self.topk + self.cam + self.write
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "array": self.array,
+            "adc": self.adc,
+            "topk": self.topk,
+            "cam": self.cam,
+            "write": self.write,
+            "total": self.total,
+        }
+
+
+class EnergyModel:
+    """Analytic per-step / per-generation energy estimates."""
+
+    def __init__(self, costs: ComponentCosts = DEFAULT_COSTS) -> None:
+        self.costs = costs
+
+    # ------------------------------------------------------------------
+    def step_breakdown(
+        self,
+        workload: AttentionWorkload,
+        design: DesignPoint,
+        cached_tokens: int | None = None,
+    ) -> EnergyBreakdown:
+        """Energy of one decoding step for ``cached_tokens`` resident rows."""
+        costs = self.costs
+        heads = workload.num_heads
+
+        if cached_tokens is None:
+            if design in (DesignPoint.NO_PRUNING, DesignPoint.CONVENTIONAL_DYNAMIC):
+                cached_tokens = workload.cache_tokens_dense
+            else:
+                cached_tokens = min(
+                    workload.cache_tokens_static, workload.cache_tokens_dense
+                )
+        attended = max(1, int(round(cached_tokens * workload.dynamic_keep_ratio)))
+
+        array = adc = topk = cam = write = 0.0
+
+        if design is DesignPoint.NO_PRUNING:
+            array = cached_tokens * costs.array_energy_per_row
+            adc = cached_tokens * costs.adc_conversion_energy(True)
+        elif design is DesignPoint.CONVENTIONAL_DYNAMIC:
+            # Approximate pass over every row (low-precision ADC), digital
+            # top-k sort, then exact conversions for the selected rows.
+            array = 2 * cached_tokens * costs.array_energy_per_row
+            adc = cached_tokens * costs.adc_conversion_energy(False)
+            adc += attended * costs.adc_conversion_energy(True)
+            comparisons = cached_tokens * max(1.0, np.log2(cached_tokens))
+            topk = comparisons * costs.topk_compare_energy
+        elif design is DesignPoint.STATIC_ONLY:
+            array = cached_tokens * costs.array_energy_per_row
+            adc = cached_tokens * costs.adc_conversion_energy(True)
+        elif design in (DesignPoint.UNICAIM_1BIT, DesignPoint.UNICAIM_3BIT):
+            cam = cached_tokens * (
+                costs.cam_search_energy_per_row + costs.charge_share_energy_per_row
+            )
+            array = attended * costs.array_energy_per_row
+            adc = attended * costs.adc_conversion_energy(True)
+            cells_per_token = workload.head_dim * (
+                1 if design is DesignPoint.UNICAIM_3BIT else 3
+            )
+            write = cells_per_token * costs.fefet_write_energy_per_cell
+        else:
+            raise ValueError(f"unknown design point: {design}")
+
+        return EnergyBreakdown(
+            design=design,
+            array=array * heads,
+            adc=adc * heads,
+            topk=topk * heads,
+            cam=cam * heads,
+            write=write * heads,
+        )
+
+    def step_energy(self, workload: AttentionWorkload, design: DesignPoint) -> float:
+        return self.step_breakdown(workload, design).total
+
+    # ------------------------------------------------------------------
+    def generation_energy(self, workload: AttentionWorkload, design: DesignPoint) -> float:
+        """Total decoding energy for generating ``output_len`` tokens.
+
+        Dense designs see the cache grow by one token per step; static
+        pruning keeps the cache (and hence the per-step energy) fixed.
+        """
+        total = 0.0
+        for step in range(workload.output_len):
+            if design in (DesignPoint.NO_PRUNING, DesignPoint.CONVENTIONAL_DYNAMIC):
+                tokens = workload.input_len + step + 1
+            else:
+                tokens = min(
+                    workload.cache_tokens_static, workload.input_len + step + 1
+                )
+            total += self.step_breakdown(workload, design, cached_tokens=tokens).total
+        return total
+
+    def sweep_input_length(
+        self,
+        workload: AttentionWorkload,
+        designs: List[DesignPoint],
+        input_lengths: List[int],
+    ) -> Dict[DesignPoint, List[float]]:
+        """Generation energy versus input length (Fig. 11(b))."""
+        series: Dict[DesignPoint, List[float]] = {d: [] for d in designs}
+        for length in input_lengths:
+            wl = workload.with_lengths(length, workload.output_len)
+            for design in designs:
+                series[design].append(self.generation_energy(wl, design))
+        return series
+
+    def sweep_output_length(
+        self,
+        workload: AttentionWorkload,
+        designs: List[DesignPoint],
+        output_lengths: List[int],
+    ) -> Dict[DesignPoint, List[float]]:
+        """Generation energy versus output length (Fig. 11(c))."""
+        series: Dict[DesignPoint, List[float]] = {d: [] for d in designs}
+        for length in output_lengths:
+            wl = workload.with_lengths(workload.input_len, length)
+            for design in designs:
+                series[design].append(self.generation_energy(wl, design))
+        return series
+
+
+__all__ = ["EnergyBreakdown", "EnergyModel"]

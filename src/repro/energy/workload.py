@@ -1,0 +1,110 @@
+"""Workload description shared by the area / energy / delay models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class AttentionWorkload:
+    """One attention workload configuration for the circuit-level evaluation.
+
+    The paper's reference point (Sec. IV-A) is a KV cache of 576 tokens
+    (512 initial heavy tokens + 64 reserved decoding slots), hidden
+    dimension 128, 64 ADCs sensed in parallel, and a 10-bit SAR ADC.
+    """
+
+    input_len: int = 512
+    """Prompt (prefill) length in tokens."""
+
+    output_len: int = 64
+    """Number of generated tokens."""
+
+    head_dim: int = 128
+    """Hidden dimension per head (the UniCAIM array width)."""
+
+    num_heads: int = 1
+    """Heads mapped onto one array instance (costs scale linearly)."""
+
+    static_keep_ratio: float = 1.0
+    """Fraction of prompt tokens retained by prefill static pruning."""
+
+    max_heavy_tokens: int | None = None
+    """Upper bound on the heavy-token count (the fixed ``H`` of the paper's
+    array, 512 in the reference design).  ``None`` means unbounded."""
+
+    dynamic_keep_ratio: float = 1.0
+    """Fraction of cached tokens selected by dynamic (top-k) pruning."""
+
+    reserved_tokens: int = 64
+    """Decoding slots reserved in the fixed-size cache (M)."""
+
+    num_adcs: int = 64
+    """ADCs available for parallel sense-line quantisation."""
+
+    def __post_init__(self) -> None:
+        if self.input_len < 1 or self.output_len < 0:
+            raise ValueError("input_len must be >= 1 and output_len >= 0")
+        if self.head_dim < 1 or self.num_heads < 1:
+            raise ValueError("head_dim and num_heads must be >= 1")
+        if not 0.0 < self.static_keep_ratio <= 1.0:
+            raise ValueError("static_keep_ratio must be in (0, 1]")
+        if not 0.0 < self.dynamic_keep_ratio <= 1.0:
+            raise ValueError("dynamic_keep_ratio must be in (0, 1]")
+        if self.reserved_tokens < 1:
+            raise ValueError("reserved_tokens must be >= 1")
+        if self.num_adcs < 1:
+            raise ValueError("num_adcs must be >= 1")
+
+    # ------------------------------------------------------------------
+    @property
+    def heavy_tokens(self) -> int:
+        """Prompt tokens retained after prefill static pruning (H)."""
+        heavy = max(1, int(round(self.input_len * self.static_keep_ratio)))
+        if self.max_heavy_tokens is not None:
+            heavy = min(heavy, self.max_heavy_tokens)
+        return heavy
+
+    @property
+    def cache_tokens_static(self) -> int:
+        """Fixed cache size under static pruning (H + M)."""
+        return self.heavy_tokens + self.reserved_tokens
+
+    @property
+    def cache_tokens_dense(self) -> int:
+        """Cache size without any pruning (everything is kept)."""
+        return self.input_len + self.output_len
+
+    def attended_tokens(self, use_static: bool, use_dynamic: bool) -> int:
+        """Tokens whose attention scores need exact computation per step."""
+        base = self.cache_tokens_static if use_static else self.cache_tokens_dense
+        if use_dynamic:
+            return max(1, int(round(base * self.dynamic_keep_ratio)))
+        return base
+
+    def with_lengths(self, input_len: int, output_len: int) -> "AttentionWorkload":
+        return replace(self, input_len=input_len, output_len=output_len)
+
+    def with_pruning(self, static_keep: float, dynamic_keep: float) -> "AttentionWorkload":
+        return replace(
+            self,
+            static_keep_ratio=static_keep,
+            dynamic_keep_ratio=dynamic_keep,
+        )
+
+    @classmethod
+    def paper_reference(cls) -> "AttentionWorkload":
+        """512 heavy + 64 reserved tokens, d = 128, 64 ADCs, 20 % dynamic keep."""
+        return cls(
+            input_len=512,
+            output_len=64,
+            head_dim=128,
+            static_keep_ratio=1.0,
+            max_heavy_tokens=512,
+            dynamic_keep_ratio=0.2,
+            reserved_tokens=64,
+            num_adcs=64,
+        )
+
+
+__all__ = ["AttentionWorkload"]

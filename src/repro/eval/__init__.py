@@ -1,0 +1,53 @@
+"""Application-level evaluation: synthetic datasets, metrics and the harness."""
+
+from .metrics import (
+    best_f1,
+    exact_match,
+    mean_metric,
+    normalize_tokens,
+    substring_match,
+    token_f1,
+)
+from .datasets import (
+    DatasetSpec,
+    QADataset,
+    QAExample,
+    generate_dataset,
+    hotpotqa_like_spec,
+    narrativeqa_like_spec,
+)
+from .harness import (
+    POLICY_NAMES,
+    ExampleResult,
+    PolicyEvaluation,
+    build_policy_factory,
+    build_task_model,
+    cache_ratio_sweep,
+    evaluate_example,
+    evaluate_policy,
+    sweep_to_table,
+)
+
+__all__ = [
+    "best_f1",
+    "exact_match",
+    "mean_metric",
+    "normalize_tokens",
+    "substring_match",
+    "token_f1",
+    "DatasetSpec",
+    "QADataset",
+    "QAExample",
+    "generate_dataset",
+    "hotpotqa_like_spec",
+    "narrativeqa_like_spec",
+    "POLICY_NAMES",
+    "ExampleResult",
+    "PolicyEvaluation",
+    "build_policy_factory",
+    "build_task_model",
+    "cache_ratio_sweep",
+    "evaluate_example",
+    "evaluate_policy",
+    "sweep_to_table",
+]

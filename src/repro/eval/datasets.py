@@ -1,0 +1,253 @@
+"""Synthetic long-context QA datasets for the application-level evaluation.
+
+The paper evaluates its pruning algorithm on LongBench HotpotQA (multi-hop
+QA, ~1.5k-token prompts) and NarrativeQA (narrative QA, ~2.5k-token
+prompts) with LongChat-7B.  Neither the datasets nor a 7B model are
+available offline, so this module generates *synthetic* tasks with the same
+structural properties, matched to the hand-constructed induction model
+(:mod:`repro.llm.induction`):
+
+* a long context of mostly-unique filler words,
+* facts of the form ``<key> <value tokens...>`` embedded at controlled
+  depths (each fact is stated twice, as narrative restatements usually
+  are, which is what gives fact tokens higher accumulated attention than
+  filler during prefill),
+* **HotpotQA-like**: two-hop facts — ``<key> <bridge>`` in one place and
+  ``<bridge> <value...>`` far away — so answering requires retaining two
+  scattered context regions,
+* **NarrativeQA-like**: longer prompts and longer single-hop answers,
+* a trailing question ``ask <key>`` whose answer is the exact token chain
+  an ideal associative-recall model generates.
+
+Because answer recall goes through the KV cache, a policy's F1 on these
+tasks measures directly whether it kept the tokens the generation needs —
+the same quantity the paper's Fig. 13 measures on real LLMs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..llm.tokenizer import WordTokenizer
+
+
+@dataclass(frozen=True)
+class QAExample:
+    """One synthetic long-context QA example."""
+
+    prompt: str
+    """Whitespace-joined prompt: context followed by ``ask <key>``."""
+
+    answer: str
+    """Reference answer (the token chain an ideal model generates)."""
+
+    question_key: str
+    """The key token the question asks about."""
+
+    fact_positions: Dict[str, List[int]]
+    """Word positions of each fact's tokens in the prompt (for analysis)."""
+
+    hops: int
+    """1 for single-hop facts, 2 for bridge facts."""
+
+    @property
+    def prompt_length(self) -> int:
+        return len(self.prompt.split())
+
+    @property
+    def answer_length(self) -> int:
+        return len(self.answer.split())
+
+
+@dataclass(frozen=True)
+class QADataset:
+    """A set of examples plus the tokenizer covering their vocabulary."""
+
+    name: str
+    examples: List[QAExample]
+    tokenizer: WordTokenizer
+
+    def __len__(self) -> int:
+        return len(self.examples)
+
+
+@dataclass
+class DatasetSpec:
+    """Generation parameters of a synthetic QA dataset."""
+
+    name: str = "synthetic-qa"
+    num_examples: int = 8
+    prompt_length: int = 1500
+    num_facts: int = 12
+    answer_tokens: int = 3
+    hops: int = 1
+    filler_vocab: int = 4000
+    duplicate_facts: bool = True
+    question_word: str = "ask"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_examples < 1:
+            raise ValueError("num_examples must be >= 1")
+        if self.prompt_length < 32:
+            raise ValueError("prompt_length must be >= 32")
+        if self.num_facts < 1:
+            raise ValueError("num_facts must be >= 1")
+        if self.answer_tokens < 1:
+            raise ValueError("answer_tokens must be >= 1")
+        if self.hops not in (1, 2):
+            raise ValueError("hops must be 1 or 2")
+
+
+def hotpotqa_like_spec(
+    num_examples: int = 8,
+    prompt_length: int = 1500,
+    seed: int = 0,
+) -> DatasetSpec:
+    """Multi-hop QA with ~1.5k-token prompts (HotpotQA substitute)."""
+    return DatasetSpec(
+        name="hotpotqa-like",
+        num_examples=num_examples,
+        prompt_length=prompt_length,
+        num_facts=10,
+        answer_tokens=2,
+        hops=2,
+        seed=seed,
+    )
+
+
+def narrativeqa_like_spec(
+    num_examples: int = 8,
+    prompt_length: int = 2500,
+    seed: int = 1,
+) -> DatasetSpec:
+    """Single-hop narrative QA with ~2.5k-token prompts and longer answers."""
+    return DatasetSpec(
+        name="narrativeqa-like",
+        num_examples=num_examples,
+        prompt_length=prompt_length,
+        num_facts=12,
+        answer_tokens=5,
+        hops=1,
+        seed=seed,
+    )
+
+
+def generate_dataset(spec: DatasetSpec) -> QADataset:
+    """Generate a dataset and a tokenizer covering its full vocabulary."""
+    rng = np.random.default_rng(spec.seed)
+    examples = [
+        _generate_example(spec, rng, example_idx)
+        for example_idx in range(spec.num_examples)
+    ]
+    vocabulary = _collect_vocabulary(spec, examples)
+    tokenizer = WordTokenizer(vocabulary)
+    return QADataset(name=spec.name, examples=examples, tokenizer=tokenizer)
+
+
+# ----------------------------------------------------------------------
+# Internals
+# ----------------------------------------------------------------------
+def _fact_words(spec: DatasetSpec, example_idx: int, fact_idx: int) -> Dict[str, List[str]]:
+    """Unique key / bridge / value words for one fact of one example."""
+    prefix = f"e{example_idx}f{fact_idx}"
+    key = f"key_{prefix}"
+    bridge = f"bridge_{prefix}"
+    values = [f"val_{prefix}_{i}" for i in range(spec.answer_tokens)]
+    return {"key": [key], "bridge": [bridge], "values": values}
+
+
+def _generate_example(spec: DatasetSpec, rng: np.random.Generator, example_idx: int) -> QAExample:
+    facts = [_fact_words(spec, example_idx, i) for i in range(spec.num_facts)]
+
+    # Build the fact statements.  Each fact is stated twice (a narrative
+    # restatement) at two independent random locations.
+    statements: List[List[str]] = []
+    statement_fact: List[int] = []
+    for fact_idx, fact in enumerate(facts):
+        if spec.hops == 1:
+            first = fact["key"] + fact["values"]
+            segments = [first]
+        else:
+            first = fact["key"] + fact["bridge"]
+            second = fact["bridge"] + fact["values"]
+            segments = [first, second]
+        repeats = 2 if spec.duplicate_facts else 1
+        for segment in segments:
+            for _ in range(repeats):
+                statements.append(list(segment))
+                statement_fact.append(fact_idx)
+
+    fact_words_total = sum(len(s) for s in statements)
+    question_words = 2  # "ask <key>"
+    filler_total = max(0, spec.prompt_length - fact_words_total - question_words)
+
+    # Mostly-unique filler words drawn from a large pool.
+    filler_pool = [f"w{idx}" for idx in range(spec.filler_vocab)]
+    filler_words = list(rng.choice(filler_pool, size=filler_total, replace=True))
+
+    # Interleave: split the filler into len(statements)+1 chunks and place
+    # one statement after each chunk (in random order of statements).
+    order = rng.permutation(len(statements))
+    boundaries = np.sort(rng.integers(0, filler_total + 1, size=len(statements)))
+    words: List[str] = []
+    fact_positions: Dict[str, List[int]] = {}
+    cursor = 0
+    for stmt_rank, boundary in enumerate(boundaries):
+        words.extend(filler_words[cursor:boundary])
+        cursor = int(boundary)
+        stmt_idx = int(order[stmt_rank])
+        statement = statements[stmt_idx]
+        start = len(words)
+        words.extend(statement)
+        fact_name = f"fact{statement_fact[stmt_idx]}"
+        fact_positions.setdefault(fact_name, []).extend(
+            range(start, start + len(statement))
+        )
+    words.extend(filler_words[cursor:])
+
+    # The question asks about one of the facts.
+    target_idx = int(rng.integers(0, spec.num_facts))
+    target = facts[target_idx]
+    words.extend([spec.question_word, target["key"][0]])
+
+    if spec.hops == 1:
+        answer_tokens = target["values"]
+    else:
+        answer_tokens = target["bridge"] + target["values"]
+
+    return QAExample(
+        prompt=" ".join(words),
+        answer=" ".join(answer_tokens),
+        question_key=target["key"][0],
+        fact_positions=fact_positions,
+        hops=spec.hops,
+    )
+
+
+def _collect_vocabulary(spec: DatasetSpec, examples: Sequence[QAExample]) -> List[str]:
+    seen: set[str] = set()
+    vocabulary: List[str] = []
+    for word in [spec.question_word]:
+        if word not in seen:
+            seen.add(word)
+            vocabulary.append(word)
+    for example in examples:
+        for word in example.prompt.split() + example.answer.split():
+            if word not in seen:
+                seen.add(word)
+                vocabulary.append(word)
+    return vocabulary
+
+
+__all__ = [
+    "QAExample",
+    "QADataset",
+    "DatasetSpec",
+    "hotpotqa_like_spec",
+    "narrativeqa_like_spec",
+    "generate_dataset",
+]

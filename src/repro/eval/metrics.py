@@ -1,0 +1,72 @@
+"""Answer-quality metrics for the application-level evaluation.
+
+The paper reports F1 on LongBench QA tasks; LongBench's ``qa_f1_score``
+computes a bag-of-words F1 between the normalised prediction and the
+ground-truth answer.  The same definition is used here (over the word-level
+tokens of the synthetic tasks).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, List, Sequence
+
+
+def normalize_tokens(text: str) -> List[str]:
+    """Lower-case, whitespace-split normalisation used by all metrics."""
+    return [token for token in text.lower().split() if token]
+
+
+def token_f1(prediction: str, reference: str) -> float:
+    """Bag-of-words F1 between a prediction and a reference answer."""
+    pred_tokens = normalize_tokens(prediction)
+    ref_tokens = normalize_tokens(reference)
+    if not pred_tokens and not ref_tokens:
+        return 1.0
+    if not pred_tokens or not ref_tokens:
+        return 0.0
+    common = Counter(pred_tokens) & Counter(ref_tokens)
+    num_same = sum(common.values())
+    if num_same == 0:
+        return 0.0
+    precision = num_same / len(pred_tokens)
+    recall = num_same / len(ref_tokens)
+    return 2 * precision * recall / (precision + recall)
+
+
+def best_f1(prediction: str, references: Sequence[str]) -> float:
+    """F1 against the best-matching reference (LongBench convention)."""
+    if not references:
+        raise ValueError("references must not be empty")
+    return max(token_f1(prediction, reference) for reference in references)
+
+
+def exact_match(prediction: str, reference: str) -> float:
+    """1.0 when the normalised token sequences are identical, else 0.0."""
+    return 1.0 if normalize_tokens(prediction) == normalize_tokens(reference) else 0.0
+
+
+def substring_match(prediction: str, reference: str) -> float:
+    """1.0 when the normalised reference appears inside the prediction."""
+    pred = " ".join(normalize_tokens(prediction))
+    ref = " ".join(normalize_tokens(reference))
+    if not ref:
+        return 1.0
+    return 1.0 if ref in pred else 0.0
+
+
+def mean_metric(scores: Iterable[float]) -> float:
+    scores = list(scores)
+    if not scores:
+        return 0.0
+    return float(sum(scores) / len(scores))
+
+
+__all__ = [
+    "normalize_tokens",
+    "token_f1",
+    "best_f1",
+    "exact_match",
+    "substring_match",
+    "mean_metric",
+]

@@ -1,0 +1,25 @@
+"""Numpy transformer substrate with pluggable KV cache pruning policies."""
+
+from .config import ModelConfig
+from .tokenizer import WordTokenizer
+from .attention_layer import MultiHeadSelfAttention
+from .mlp import MLP
+from .block import TransformerBlock
+from .model import TransformerLM, default_position_encoder
+from .induction import InductionLayout, build_induction_model
+from .generation import GenerationResult, generate_text, greedy_generate
+
+__all__ = [
+    "ModelConfig",
+    "WordTokenizer",
+    "MultiHeadSelfAttention",
+    "MLP",
+    "TransformerBlock",
+    "TransformerLM",
+    "default_position_encoder",
+    "InductionLayout",
+    "build_induction_model",
+    "GenerationResult",
+    "generate_text",
+    "greedy_generate",
+]

@@ -1,0 +1,145 @@
+"""Multi-head self-attention layer with pluggable KV cache policies.
+
+The layer has two execution paths:
+
+* :meth:`MultiHeadSelfAttention.prefill` — full causal attention over the
+  prompt, computed densely.  The per-head raw attention scores are handed
+  to the KV cache policy so it can apply its prefill-time pruning
+  (one-shot static pruning for UniCAIM, observation-window compression for
+  SnapKV, ...).
+* :meth:`MultiHeadSelfAttention.decode` — one token at a time; the policy
+  owns the cached keys/values and performs the (possibly sparse) attention.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..core.attention import merge_heads, softmax
+from ..core.policy import KVCachePolicy
+
+
+class MultiHeadSelfAttention:
+    """Self-attention with separate Q/K/V/O projections per head.
+
+    Weights
+    -------
+    ``w_q``, ``w_k``, ``w_v`` have shape ``[heads, model_dim, head_dim]`` and
+    ``w_o`` has shape ``[heads, head_dim, model_dim]``.  Biases are omitted —
+    neither the random test model nor the hand-constructed induction model
+    needs them.
+    """
+
+    def __init__(
+        self,
+        model_dim: int,
+        num_heads: int,
+        head_dim: int,
+        w_q: Optional[np.ndarray] = None,
+        w_k: Optional[np.ndarray] = None,
+        w_v: Optional[np.ndarray] = None,
+        w_o: Optional[np.ndarray] = None,
+        seed: int = 0,
+    ) -> None:
+        if model_dim < 1 or num_heads < 1 or head_dim < 1:
+            raise ValueError("model_dim, num_heads and head_dim must be >= 1")
+        self.model_dim = int(model_dim)
+        self.num_heads = int(num_heads)
+        self.head_dim = int(head_dim)
+        self.scale = 1.0 / float(head_dim) ** 0.5
+
+        rng = np.random.default_rng(seed)
+        shape_in = (num_heads, model_dim, head_dim)
+        shape_out = (num_heads, head_dim, model_dim)
+        std = 1.0 / np.sqrt(model_dim)
+        self.w_q = self._init_weight(w_q, shape_in, rng, std)
+        self.w_k = self._init_weight(w_k, shape_in, rng, std)
+        self.w_v = self._init_weight(w_v, shape_in, rng, std)
+        self.w_o = self._init_weight(w_o, shape_out, rng, 1.0 / np.sqrt(head_dim))
+
+    @staticmethod
+    def _init_weight(
+        given: Optional[np.ndarray],
+        shape: Tuple[int, int, int],
+        rng: np.random.Generator,
+        std: float,
+    ) -> np.ndarray:
+        if given is not None:
+            arr = np.asarray(given, dtype=np.float64)
+            if arr.shape != shape:
+                raise ValueError(f"weight must have shape {shape}, got {arr.shape}")
+            return arr.copy()
+        return rng.normal(0.0, std, size=shape)
+
+    # ------------------------------------------------------------------
+    def project_qkv(self, x: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Project hidden states ``[n, model_dim]`` to per-head q/k/v ``[n, h, d]``."""
+        x = np.asarray(x, dtype=np.float64)
+        single = x.ndim == 1
+        if single:
+            x = x[None, :]
+        q = np.einsum("nm,hmd->nhd", x, self.w_q)
+        k = np.einsum("nm,hmd->nhd", x, self.w_k)
+        v = np.einsum("nm,hmd->nhd", x, self.w_v)
+        if single:
+            return q[0], k[0], v[0]
+        return q, k, v
+
+    def output_projection(self, head_outputs: np.ndarray) -> np.ndarray:
+        """Combine per-head outputs ``[..., h, d]`` into ``[..., model_dim]``."""
+        return np.einsum("...hd,hdm->...m", head_outputs, self.w_o)
+
+    # ------------------------------------------------------------------
+    def prefill(
+        self,
+        x: np.ndarray,
+        policy: Optional[KVCachePolicy] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Dense causal self-attention over the prompt.
+
+        Returns ``(output [n, model_dim], raw_scores [h, n, n])`` and, if a
+        policy is given, calls its ``prefill`` with the keys, values and the
+        scaled raw scores.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.model_dim:
+            raise ValueError(f"x must be [n, {self.model_dim}]")
+        n = x.shape[0]
+        q, k, v = self.project_qkv(x)
+
+        # [h, n(query), n(key)]
+        scores = np.einsum("qhd,khd->hqk", q, k) * self.scale
+        causal = np.tril(np.ones((n, n), dtype=bool))
+        masked = np.where(causal[None, :, :], scores, -np.inf)
+        probs = softmax(masked, axis=-1)
+        head_out = np.einsum("hqk,khd->qhd", probs, v)
+        output = self.output_projection(head_out)
+
+        if policy is not None:
+            policy.prefill(k, v, attention_matrix=scores)
+        return output, scores
+
+    def decode(
+        self,
+        x_t: np.ndarray,
+        position: int,
+        policy: KVCachePolicy,
+    ) -> np.ndarray:
+        """One decoding step through the policy-managed KV cache."""
+        x_t = np.asarray(x_t, dtype=np.float64)
+        if x_t.shape != (self.model_dim,):
+            raise ValueError(f"x_t must be [{self.model_dim}]")
+        q, k, v = self.project_qkv(x_t)
+        head_out = policy.decode_step(q, k, v, position)
+        return self.output_projection(head_out)
+
+    # ------------------------------------------------------------------
+    def parameter_count(self) -> int:
+        return int(
+            self.w_q.size + self.w_k.size + self.w_v.size + self.w_o.size
+        )
+
+
+__all__ = ["MultiHeadSelfAttention"]

@@ -1,0 +1,65 @@
+"""Transformer block: (optional) pre-layernorm, attention, MLP, residuals."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..core.policy import KVCachePolicy
+from .attention_layer import MultiHeadSelfAttention
+from .mlp import MLP
+from .ops import layer_norm
+
+
+class TransformerBlock:
+    """One pre-norm transformer block with residual connections."""
+
+    def __init__(
+        self,
+        attention: MultiHeadSelfAttention,
+        mlp: MLP,
+        use_layernorm: bool = True,
+    ) -> None:
+        if attention.model_dim != mlp.model_dim:
+            raise ValueError("attention and mlp must share model_dim")
+        self.attention = attention
+        self.mlp = mlp
+        self.use_layernorm = bool(use_layernorm)
+        self.model_dim = attention.model_dim
+
+    def _norm(self, x: np.ndarray) -> np.ndarray:
+        if self.use_layernorm:
+            return layer_norm(x)
+        return np.asarray(x, dtype=np.float64)
+
+    def prefill(
+        self,
+        x: np.ndarray,
+        policy: Optional[KVCachePolicy] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Process the whole prompt; returns (hidden states, raw attention scores)."""
+        attn_in = self._norm(x)
+        attn_out, scores = self.attention.prefill(attn_in, policy)
+        x = np.asarray(x, dtype=np.float64) + attn_out
+        x = x + self.mlp.forward(self._norm(x))
+        return x, scores
+
+    def decode(
+        self,
+        x_t: np.ndarray,
+        position: int,
+        policy: KVCachePolicy,
+    ) -> np.ndarray:
+        """Process one generated token through the policy-managed cache."""
+        attn_in = self._norm(x_t)
+        attn_out = self.attention.decode(attn_in, position, policy)
+        x_t = np.asarray(x_t, dtype=np.float64) + attn_out
+        x_t = x_t + self.mlp.forward(self._norm(x_t))
+        return x_t
+
+    def parameter_count(self) -> int:
+        return self.attention.parameter_count() + self.mlp.parameter_count()
+
+
+__all__ = ["TransformerBlock"]

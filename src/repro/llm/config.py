@@ -1,0 +1,89 @@
+"""Model configuration for the numpy transformer substrate."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Shape and behaviour parameters of :class:`repro.llm.model.TransformerLM`.
+
+    Attributes
+    ----------
+    vocab_size:
+        Number of tokens in the vocabulary.
+    model_dim:
+        Residual stream width.
+    num_layers:
+        Number of transformer blocks.
+    num_heads:
+        Attention heads per block.
+    head_dim:
+        Width of each attention head (``model_dim`` need not equal
+        ``num_heads * head_dim``; projections map between the two).
+    mlp_hidden_dim:
+        Hidden width of the feed-forward block; ``0`` disables the MLP
+        (attention-only model, used by the hand-constructed induction
+        model).
+    max_position:
+        Largest supported token position (for positional encodings).
+    use_layernorm:
+        Apply pre-layernorm in each block.  The hand-constructed model
+        disables it so its linear algebra stays exact.
+    attention_temperature:
+        Extra multiplicative factor on attention logits (the induction
+        construction uses a large value to make attention sharp).
+    """
+
+    vocab_size: int = 256
+    model_dim: int = 128
+    num_layers: int = 2
+    num_heads: int = 1
+    head_dim: int = 32
+    mlp_hidden_dim: int = 0
+    max_position: int = 8192
+    use_layernorm: bool = False
+    attention_temperature: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.vocab_size < 2:
+            raise ValueError("vocab_size must be >= 2")
+        if self.model_dim < 1:
+            raise ValueError("model_dim must be >= 1")
+        if self.num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+        if self.num_heads < 1:
+            raise ValueError("num_heads must be >= 1")
+        if self.head_dim < 1:
+            raise ValueError("head_dim must be >= 1")
+        if self.mlp_hidden_dim < 0:
+            raise ValueError("mlp_hidden_dim must be >= 0")
+        if self.max_position < 2:
+            raise ValueError("max_position must be >= 2")
+        if self.attention_temperature <= 0:
+            raise ValueError("attention_temperature must be > 0")
+
+    @property
+    def has_mlp(self) -> bool:
+        return self.mlp_hidden_dim > 0
+
+    @classmethod
+    def tiny_random(cls, vocab_size: int = 128, seed: int = 0) -> "ModelConfig":
+        """Small random model used by unit tests and throughput checks."""
+        return cls(
+            vocab_size=vocab_size,
+            model_dim=64,
+            num_layers=2,
+            num_heads=4,
+            head_dim=16,
+            mlp_hidden_dim=128,
+            max_position=2048,
+            use_layernorm=True,
+            seed=seed,
+        )
+
+
+__all__ = ["ModelConfig"]

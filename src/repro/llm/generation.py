@@ -1,0 +1,122 @@
+"""Autoregressive generation loop over a policy-managed KV cache."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.policy import KVCachePolicy, PolicyStats
+from .model import PolicyFactory, TransformerLM
+
+
+@dataclass
+class GenerationResult:
+    """Output of :func:`greedy_generate`.
+
+    Attributes
+    ----------
+    token_ids:
+        The generated token ids (prompt excluded).
+    prompt_length:
+        Number of prompt tokens.
+    policy_stats:
+        Per-layer policy statistics (cache sizes, evictions, ...).
+    logits_history:
+        Optional per-step logits (kept only when requested).
+    """
+
+    token_ids: List[int]
+    prompt_length: int
+    policy_stats: List[PolicyStats] = field(default_factory=list)
+    logits_history: Optional[List[np.ndarray]] = None
+
+    @property
+    def num_generated(self) -> int:
+        return len(self.token_ids)
+
+
+def greedy_generate(
+    model: TransformerLM,
+    prompt_ids: Sequence[int],
+    max_new_tokens: int,
+    policy_factory: Optional[PolicyFactory] = None,
+    stop_ids: Optional[Sequence[int]] = None,
+    keep_logits: bool = False,
+) -> GenerationResult:
+    """Greedy decoding with a fresh policy per layer.
+
+    Parameters
+    ----------
+    model:
+        The transformer language model.
+    prompt_ids:
+        Prompt token ids (must be non-empty).
+    max_new_tokens:
+        Maximum number of tokens to generate.
+    policy_factory:
+        ``factory(num_heads, head_dim) -> KVCachePolicy``; defaults to the
+        full-cache policy.
+    stop_ids:
+        Token ids that terminate generation (the stop token itself is not
+        included in the output).
+    keep_logits:
+        Keep the per-step logits for analysis.
+    """
+    prompt_ids = list(int(t) for t in prompt_ids)
+    if not prompt_ids:
+        raise ValueError("prompt_ids must not be empty")
+    if max_new_tokens < 0:
+        raise ValueError("max_new_tokens must be >= 0")
+    stop_set = set(int(t) for t in stop_ids) if stop_ids else set()
+
+    policies: List[KVCachePolicy] = model.make_policies(policy_factory)
+    logits = model.prefill(prompt_ids, policies)
+
+    generated: List[int] = []
+    logits_history: List[np.ndarray] = []
+    position = len(prompt_ids)
+
+    for _ in range(max_new_tokens):
+        next_id = int(np.argmax(logits))
+        if next_id in stop_set:
+            break
+        generated.append(next_id)
+        if keep_logits:
+            logits_history.append(np.asarray(logits, dtype=np.float64))
+        logits = model.decode_step(next_id, position, policies)
+        position += 1
+
+    return GenerationResult(
+        token_ids=generated,
+        prompt_length=len(prompt_ids),
+        policy_stats=[policy.stats for policy in policies],
+        logits_history=logits_history if keep_logits else None,
+    )
+
+
+def generate_text(
+    model: TransformerLM,
+    tokenizer,
+    prompt: str,
+    max_new_tokens: int,
+    policy_factory: Optional[PolicyFactory] = None,
+    stop_tokens: Optional[Sequence[str]] = None,
+) -> str:
+    """Convenience wrapper: prompt text in, generated text out."""
+    prompt_ids = tokenizer.encode(prompt)
+    stop_ids = None
+    if stop_tokens:
+        stop_ids = [tokenizer.token_to_id(tok) for tok in stop_tokens]
+    result = greedy_generate(
+        model,
+        prompt_ids,
+        max_new_tokens,
+        policy_factory=policy_factory,
+        stop_ids=stop_ids,
+    )
+    return tokenizer.decode(result.token_ids)
+
+
+__all__ = ["GenerationResult", "greedy_generate", "generate_text"]

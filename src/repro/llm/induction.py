@@ -1,0 +1,281 @@
+"""Hand-constructed induction-head transformer used for accuracy evaluation.
+
+Training a long-context LLM from scratch is not possible in this offline
+reproduction, so the application-level evaluation (paper Fig. 13) uses a
+transformer whose weights are *constructed analytically* to implement the
+classic two-layer induction mechanism:
+
+* **Layer 0 — previous-token head.**  Queries and keys live in the
+  positional subspace; the key projection applies the exact shift-by-one
+  rotation of the sinusoidal encoding, so position ``i`` attends (sharply)
+  to position ``i - 1`` and copies that token's embedding into a dedicated
+  "previous token" subspace of the residual stream.
+* **Layer 1 — induction head.**  The query is the current token's
+  embedding, the key is the *previous* token's embedding stored by layer 0,
+  and the value is the token's own embedding.  Position ``i`` holding token
+  ``A`` therefore attends to the position ``j`` whose predecessor was ``A``
+  and predicts the token found there — the "A B ... A -> B" induction rule.
+
+The mechanism performs exact associative recall over the context: given a
+prompt that contains the fact ``K V1 V2`` and ends with ``... K``, the model
+generates ``V1 V2``.  Because the recall goes through the KV cache, the
+model's accuracy is a direct, interpretable probe of what a KV cache
+pruning policy kept or lost — precisely the property the paper's
+application-level comparison measures on real LLMs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .attention_layer import MultiHeadSelfAttention
+from .block import TransformerBlock
+from .config import ModelConfig
+from .mlp import MLP
+from .model import PositionEncoder, TransformerLM
+from .ops import near_orthogonal_vectors
+from .positional import shift_rotation_matrix, sinusoidal_encoding
+
+
+@dataclass(frozen=True)
+class InductionLayout:
+    """Residual-stream layout of the hand-constructed model.
+
+    Disjoint subspaces: current-token embedding, previous-token embedding
+    (written by layer 0), positional encoding, the induction output read by
+    the unembedding, plus two scalar channels — a constant bias (1 on every
+    token) and a salience marker (1 on semantically important tokens) used
+    by the salience head.
+    """
+
+    token_dim: int = 64
+    position_dim: int = 64
+
+    @property
+    def model_dim(self) -> int:
+        return 3 * self.token_dim + self.position_dim + 2
+
+    @property
+    def token_slice(self) -> slice:
+        return slice(0, self.token_dim)
+
+    @property
+    def prev_token_slice(self) -> slice:
+        return slice(self.token_dim, 2 * self.token_dim)
+
+    @property
+    def position_slice(self) -> slice:
+        return slice(2 * self.token_dim, 2 * self.token_dim + self.position_dim)
+
+    @property
+    def output_slice(self) -> slice:
+        start = 2 * self.token_dim + self.position_dim
+        return slice(start, start + self.token_dim)
+
+    @property
+    def bias_index(self) -> int:
+        """Channel that is 1.0 on every token (constant query source)."""
+        return 3 * self.token_dim + self.position_dim
+
+    @property
+    def salience_index(self) -> int:
+        """Channel that is 1.0 on salient (fact) tokens and 0.0 elsewhere."""
+        return 3 * self.token_dim + self.position_dim + 1
+
+
+def _selector(model_dim: int, subspace: slice, out_dim: int) -> np.ndarray:
+    """Projection [model_dim, out_dim] reading ``subspace`` of the residual."""
+    width = subspace.stop - subspace.start
+    if width != out_dim:
+        raise ValueError("subspace width must equal out_dim")
+    matrix = np.zeros((model_dim, out_dim), dtype=np.float64)
+    matrix[subspace, :] = np.eye(out_dim)
+    return matrix
+
+
+def _writer(model_dim: int, subspace: slice, in_dim: int) -> np.ndarray:
+    """Output projection [in_dim, model_dim] writing into ``subspace``."""
+    width = subspace.stop - subspace.start
+    if width != in_dim:
+        raise ValueError("subspace width must equal in_dim")
+    matrix = np.zeros((in_dim, model_dim), dtype=np.float64)
+    matrix[:, subspace] = np.eye(in_dim)
+    return matrix
+
+
+def build_induction_model(
+    vocab_size: int,
+    layout: InductionLayout | None = None,
+    max_position: int = 8192,
+    prev_head_temperature: float = 20.0,
+    induction_temperature: float = 30.0,
+    salience_temperature: float = 8.0,
+    salient_token_ids: "np.ndarray | list[int] | None" = None,
+    seed: int = 0,
+) -> TransformerLM:
+    """Construct the two-layer induction transformer.
+
+    Parameters
+    ----------
+    vocab_size:
+        Number of tokens; embeddings are near-orthogonal unit vectors.
+    layout:
+        Residual-stream layout (token / position subspace sizes).
+    prev_head_temperature, induction_temperature:
+        Effective attention sharpness of the two mechanism heads (applied on
+        top of the standard ``1/sqrt(head_dim)`` scaling).
+    salience_temperature:
+        Sharpness of the salience head.  Every layer carries a second head
+        whose queries are constant and whose keys read the salience marker
+        channel, so salient (fact) tokens receive most of the attention
+        probability mass during prefill.  The head's values and output
+        projection are zero, so it never changes the computation — it only
+        shapes the attention *pattern*, modelling the empirical fact that
+        real LLM heads concentrate attention on semantically important
+        tokens, which is exactly the signal accumulated-score pruning
+        policies (H2O / SnapKV / UniCAIM) rely on.
+    salient_token_ids:
+        Vocabulary ids whose embedding carries the salience marker.  ``None``
+        marks no token as salient (the salience head then spreads its
+        attention uniformly and is inert).
+    """
+    layout = layout or InductionLayout()
+    token_dim = layout.token_dim
+    position_dim = layout.position_dim
+    model_dim = layout.model_dim
+
+    if position_dim % 2 != 0:
+        raise ValueError("position_dim must be even (sinusoidal pairs)")
+
+    config = ModelConfig(
+        vocab_size=vocab_size,
+        model_dim=model_dim,
+        num_layers=2,
+        num_heads=2,
+        head_dim=token_dim,
+        mlp_hidden_dim=0,
+        max_position=max_position,
+        use_layernorm=False,
+        attention_temperature=1.0,
+        seed=seed,
+    )
+    if token_dim != position_dim:
+        raise ValueError(
+            "this construction requires token_dim == position_dim so both "
+            "heads share a head width"
+        )
+    head_dim = token_dim
+
+    # Token embeddings occupy the current-token subspace; every token also
+    # carries the constant bias channel, and salient tokens the marker.
+    token_vectors = near_orthogonal_vectors(vocab_size, token_dim, seed=seed)
+    embedding = np.zeros((vocab_size, model_dim), dtype=np.float64)
+    embedding[:, layout.token_slice] = token_vectors
+    embedding[:, layout.bias_index] = 1.0
+    if salient_token_ids is not None:
+        salient = np.asarray(list(salient_token_ids), dtype=np.int64)
+        if salient.size and (salient.min() < 0 or salient.max() >= vocab_size):
+            raise ValueError("salient_token_ids out of vocabulary range")
+        embedding[salient, layout.salience_index] = 1.0
+
+    # Unembedding reads the induction-output subspace.
+    unembedding = np.zeros((model_dim, vocab_size), dtype=np.float64)
+    unembedding[layout.output_slice, :] = token_vectors.T
+
+    scale_compensation = float(np.sqrt(head_dim))
+
+    # Salience head, shared construction for both layers: constant query
+    # (reads the bias channel), key reads the salience marker, value and
+    # output projections are zero.  A weak positional affinity is added on
+    # the remaining head coordinates so each query's salience mass
+    # concentrates on the *most recent* salient tokens — the locality bias
+    # real attention heads exhibit — which keeps the accumulated scores of
+    # salient tokens roughly position-independent instead of favouring the
+    # start of the prompt.
+    salience_locality = 0.6
+    w_q_sal = np.zeros((model_dim, head_dim), dtype=np.float64)
+    w_q_sal[layout.bias_index, 0] = salience_temperature * scale_compensation
+    w_k_sal = np.zeros((model_dim, head_dim), dtype=np.float64)
+    w_k_sal[layout.salience_index, 0] = 1.0
+    locality_dims = head_dim - 1
+    pos_start = layout.position_slice.start
+    for coord in range(locality_dims):
+        w_q_sal[pos_start + coord, 1 + coord] = salience_locality * scale_compensation
+        w_k_sal[pos_start + coord, 1 + coord] = 1.0
+    w_v_sal = np.zeros((model_dim, head_dim), dtype=np.float64)
+    w_o_sal = np.zeros((head_dim, model_dim), dtype=np.float64)
+
+    # ---- Layer 0, head 0: previous-token head --------------------------
+    # q_i = temperature * p(i); k_j = R p(j) = p(j+1); v_j = e(t_j);
+    # output written to the previous-token subspace.
+    rotation = shift_rotation_matrix(position_dim, shift=1.0)
+
+    w_q0 = _selector(model_dim, layout.position_slice, head_dim)
+    w_q0 = w_q0 * (prev_head_temperature * scale_compensation)
+    w_k0 = np.zeros((model_dim, head_dim), dtype=np.float64)
+    w_k0[layout.position_slice, :] = rotation.T
+    w_v0 = _selector(model_dim, layout.token_slice, head_dim)
+    w_o0 = _writer(model_dim, layout.prev_token_slice, head_dim)
+
+    attn0 = MultiHeadSelfAttention(
+        model_dim,
+        num_heads=2,
+        head_dim=head_dim,
+        w_q=np.stack([w_q0, w_q_sal]),
+        w_k=np.stack([w_k0, w_k_sal]),
+        w_v=np.stack([w_v0, w_v_sal]),
+        w_o=np.stack([w_o0, w_o_sal]),
+    )
+
+    # ---- Layer 1, head 0: induction head --------------------------------
+    # q_i = temperature * e(t_i); k_j = prev-token embedding at j;
+    # v_j = e(t_j); output written to the output subspace.
+    w_q1 = _selector(model_dim, layout.token_slice, head_dim)
+    w_q1 = w_q1 * (induction_temperature * scale_compensation)
+    w_k1 = _selector(model_dim, layout.prev_token_slice, head_dim)
+    w_v1 = _selector(model_dim, layout.token_slice, head_dim)
+    w_o1 = _writer(model_dim, layout.output_slice, head_dim)
+
+    attn1 = MultiHeadSelfAttention(
+        model_dim,
+        num_heads=2,
+        head_dim=head_dim,
+        w_q=np.stack([w_q1, w_q_sal]),
+        w_k=np.stack([w_k1, w_k_sal]),
+        w_v=np.stack([w_v1, w_v_sal]),
+        w_o=np.stack([w_o1, w_o_sal]),
+    )
+
+    blocks = [
+        TransformerBlock(attn0, MLP(model_dim, 0), use_layernorm=False),
+        TransformerBlock(attn1, MLP(model_dim, 0), use_layernorm=False),
+    ]
+
+    position_encoder = _make_position_encoder(layout)
+
+    return TransformerLM(
+        config,
+        embedding=embedding,
+        unembedding=unembedding,
+        blocks=blocks,
+        position_encoder=position_encoder,
+    )
+
+
+def _make_position_encoder(layout: InductionLayout) -> PositionEncoder:
+    """Positional encoder writing sinusoidal vectors into the position subspace."""
+
+    def encode(positions: np.ndarray) -> np.ndarray:
+        positions = np.asarray(positions, dtype=np.float64)
+        enc = np.zeros(positions.shape + (layout.model_dim,), dtype=np.float64)
+        enc[..., layout.position_slice] = sinusoidal_encoding(
+            positions, layout.position_dim
+        )
+        return enc
+
+    return encode
+
+
+__all__ = ["InductionLayout", "build_induction_model"]

@@ -1,0 +1,66 @@
+"""Feed-forward block of the transformer substrate."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .ops import gelu, linear
+
+
+class MLP:
+    """Two-layer GELU feed-forward network.
+
+    A hidden dimension of zero makes the block an exact identity-skip
+    (it returns zeros, so the residual connection passes the input
+    through unchanged); the hand-constructed induction model uses that to
+    stay attention-only while keeping a uniform block structure.
+    """
+
+    def __init__(
+        self,
+        model_dim: int,
+        hidden_dim: int,
+        w_in: Optional[np.ndarray] = None,
+        w_out: Optional[np.ndarray] = None,
+        seed: int = 0,
+    ) -> None:
+        if model_dim < 1:
+            raise ValueError("model_dim must be >= 1")
+        if hidden_dim < 0:
+            raise ValueError("hidden_dim must be >= 0")
+        self.model_dim = int(model_dim)
+        self.hidden_dim = int(hidden_dim)
+        if hidden_dim == 0:
+            self.w_in = np.zeros((model_dim, 0), dtype=np.float64)
+            self.w_out = np.zeros((0, model_dim), dtype=np.float64)
+            return
+        rng = np.random.default_rng(seed)
+        if w_in is None:
+            w_in = rng.normal(0.0, 1.0 / np.sqrt(model_dim), size=(model_dim, hidden_dim))
+        if w_out is None:
+            w_out = rng.normal(0.0, 1.0 / np.sqrt(hidden_dim), size=(hidden_dim, model_dim))
+        self.w_in = np.asarray(w_in, dtype=np.float64)
+        self.w_out = np.asarray(w_out, dtype=np.float64)
+        if self.w_in.shape != (model_dim, hidden_dim):
+            raise ValueError("w_in must have shape [model_dim, hidden_dim]")
+        if self.w_out.shape != (hidden_dim, model_dim):
+            raise ValueError("w_out must have shape [hidden_dim, model_dim]")
+
+    @property
+    def is_identity(self) -> bool:
+        return self.hidden_dim == 0
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Apply the feed-forward transform (returns the residual delta)."""
+        x = np.asarray(x, dtype=np.float64)
+        if self.is_identity:
+            return np.zeros_like(x)
+        return linear(gelu(linear(x, self.w_in)), self.w_out)
+
+    def parameter_count(self) -> int:
+        return int(self.w_in.size + self.w_out.size)
+
+
+__all__ = ["MLP"]

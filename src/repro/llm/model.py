@@ -1,0 +1,185 @@
+"""The numpy transformer language model used as the evaluation substrate.
+
+:class:`TransformerLM` supports two execution modes:
+
+* ``forward_full`` — dense causal attention over a whole sequence (no KV
+  cache policy involved); used for reference outputs in tests.
+* ``prefill`` / ``decode_step`` — the autoregressive path where each layer's
+  KV cache is owned by a :class:`~repro.core.policy.KVCachePolicy`, so the
+  same model can be evaluated under any pruning scheme.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.policy import FullCachePolicy, KVCachePolicy
+from .attention_layer import MultiHeadSelfAttention
+from .block import TransformerBlock
+from .config import ModelConfig
+from .mlp import MLP
+from .ops import near_orthogonal_vectors
+from .positional import sinusoidal_encoding
+
+PolicyFactory = Callable[[int, int], KVCachePolicy]
+"""Factory signature: ``factory(num_heads, head_dim) -> policy`` (one per layer)."""
+
+PositionEncoder = Callable[[np.ndarray], np.ndarray]
+"""Maps integer positions ``[n]`` to additive encodings ``[n, model_dim]``."""
+
+
+def default_position_encoder(model_dim: int) -> PositionEncoder:
+    """Standard sinusoidal encoding spread over the full residual width."""
+    dim = model_dim if model_dim % 2 == 0 else model_dim - 1
+
+    def encode(positions: np.ndarray) -> np.ndarray:
+        positions = np.asarray(positions, dtype=np.float64)
+        enc = np.zeros(positions.shape + (model_dim,), dtype=np.float64)
+        if dim >= 2:
+            enc[..., :dim] = sinusoidal_encoding(positions, dim)
+        return enc
+
+    return encode
+
+
+class TransformerLM:
+    """Decoder-only transformer with pluggable KV cache policies."""
+
+    def __init__(
+        self,
+        config: ModelConfig,
+        embedding: Optional[np.ndarray] = None,
+        unembedding: Optional[np.ndarray] = None,
+        blocks: Optional[List[TransformerBlock]] = None,
+        position_encoder: Optional[PositionEncoder] = None,
+    ) -> None:
+        self.config = config
+        rng = np.random.default_rng(config.seed)
+
+        if embedding is None:
+            embedding = near_orthogonal_vectors(
+                config.vocab_size, config.model_dim, seed=config.seed
+            )
+        self.embedding = np.asarray(embedding, dtype=np.float64)
+        if self.embedding.shape != (config.vocab_size, config.model_dim):
+            raise ValueError("embedding must have shape [vocab, model_dim]")
+
+        if unembedding is None:
+            unembedding = self.embedding.T.copy()
+        self.unembedding = np.asarray(unembedding, dtype=np.float64)
+        if self.unembedding.shape != (config.model_dim, config.vocab_size):
+            raise ValueError("unembedding must have shape [model_dim, vocab]")
+
+        if blocks is None:
+            blocks = [
+                TransformerBlock(
+                    MultiHeadSelfAttention(
+                        config.model_dim,
+                        config.num_heads,
+                        config.head_dim,
+                        seed=config.seed + 101 * (layer + 1),
+                    ),
+                    MLP(
+                        config.model_dim,
+                        config.mlp_hidden_dim,
+                        seed=config.seed + 211 * (layer + 1),
+                    ),
+                    use_layernorm=config.use_layernorm,
+                )
+                for layer in range(config.num_layers)
+            ]
+        if len(blocks) != config.num_layers:
+            raise ValueError("number of blocks must equal config.num_layers")
+        self.blocks = blocks
+
+        self.position_encoder = position_encoder or default_position_encoder(
+            config.model_dim
+        )
+        self._rng = rng
+
+    # ------------------------------------------------------------------
+    # Embedding / unembedding
+    # ------------------------------------------------------------------
+    def embed(self, token_ids: Sequence[int], positions: Sequence[int]) -> np.ndarray:
+        """Token embeddings plus positional encodings, shape ``[n, model_dim]``."""
+        ids = np.asarray(list(token_ids), dtype=np.int64)
+        pos = np.asarray(list(positions), dtype=np.int64)
+        if ids.shape != pos.shape:
+            raise ValueError("token_ids and positions must have the same length")
+        if ids.size and (ids.min() < 0 or ids.max() >= self.config.vocab_size):
+            raise ValueError("token id out of range")
+        return self.embedding[ids] + self.position_encoder(pos)
+
+    def logits_from_hidden(self, hidden: np.ndarray) -> np.ndarray:
+        """Unembed hidden states into vocabulary logits."""
+        return np.asarray(hidden, dtype=np.float64) @ self.unembedding
+
+    # ------------------------------------------------------------------
+    # Dense reference path
+    # ------------------------------------------------------------------
+    def forward_full(self, token_ids: Sequence[int]) -> np.ndarray:
+        """Dense forward pass over a full sequence; returns logits ``[n, vocab]``."""
+        n = len(token_ids)
+        x = self.embed(token_ids, range(n))
+        for block in self.blocks:
+            x, _ = block.prefill(x, policy=None)
+        return self.logits_from_hidden(x)
+
+    # ------------------------------------------------------------------
+    # Policy-managed autoregressive path
+    # ------------------------------------------------------------------
+    def make_policies(self, factory: Optional[PolicyFactory] = None) -> List[KVCachePolicy]:
+        """Instantiate one policy per layer from ``factory`` (default: full cache)."""
+        if factory is None:
+            factory = lambda heads, dim: FullCachePolicy(heads, dim)  # noqa: E731
+        return [
+            factory(self.config.num_heads, self.config.head_dim)
+            for _ in range(self.config.num_layers)
+        ]
+
+    def prefill(
+        self,
+        prompt_ids: Sequence[int],
+        policies: List[KVCachePolicy],
+    ) -> np.ndarray:
+        """Run the prompt through every layer, filling each policy's cache.
+
+        Returns the logits for the next-token prediction at the final prompt
+        position, shape ``[vocab]``.
+        """
+        if len(policies) != self.config.num_layers:
+            raise ValueError("one policy per layer is required")
+        n = len(prompt_ids)
+        if n < 1:
+            raise ValueError("prompt must contain at least one token")
+        x = self.embed(prompt_ids, range(n))
+        for block, policy in zip(self.blocks, policies):
+            x, _ = block.prefill(x, policy)
+        logits = self.logits_from_hidden(x[-1])
+        return logits
+
+    def decode_step(
+        self,
+        token_id: int,
+        position: int,
+        policies: List[KVCachePolicy],
+    ) -> np.ndarray:
+        """Process one generated token; returns next-token logits ``[vocab]``."""
+        if len(policies) != self.config.num_layers:
+            raise ValueError("one policy per layer is required")
+        x_t = self.embed([token_id], [position])[0]
+        for block, policy in zip(self.blocks, policies):
+            x_t = block.decode(x_t, position, policy)
+        return self.logits_from_hidden(x_t)
+
+    # ------------------------------------------------------------------
+    def parameter_count(self) -> int:
+        total = int(self.embedding.size + self.unembedding.size)
+        for block in self.blocks:
+            total += block.parameter_count()
+        return total
+
+
+__all__ = ["TransformerLM", "PolicyFactory", "default_position_encoder"]

@@ -1,0 +1,111 @@
+"""A small whitespace/word-level tokenizer for the synthetic evaluation tasks.
+
+The synthetic long-context datasets (:mod:`repro.eval.datasets`) generate
+text from a controlled vocabulary, so a simple word-level tokenizer with an
+explicit vocabulary is sufficient and keeps the mapping between words and
+KV cache rows one-to-one, which makes the pruning behaviour easy to reason
+about and to test.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+
+class WordTokenizer:
+    """Word-level tokenizer over a fixed vocabulary.
+
+    Reserved tokens: ``<pad>`` (0), ``<unk>`` (1), ``<bos>`` (2),
+    ``<eos>`` (3).
+    """
+
+    PAD = "<pad>"
+    UNK = "<unk>"
+    BOS = "<bos>"
+    EOS = "<eos>"
+
+    def __init__(self, words: Iterable[str]) -> None:
+        specials = [self.PAD, self.UNK, self.BOS, self.EOS]
+        seen: Dict[str, int] = {}
+        vocab: List[str] = []
+        for word in specials:
+            seen[word] = len(vocab)
+            vocab.append(word)
+        for word in words:
+            if word not in seen:
+                seen[word] = len(vocab)
+                vocab.append(word)
+        self._vocab = vocab
+        self._index = seen
+
+    # ------------------------------------------------------------------
+    @property
+    def vocab_size(self) -> int:
+        return len(self._vocab)
+
+    @property
+    def pad_id(self) -> int:
+        return self._index[self.PAD]
+
+    @property
+    def unk_id(self) -> int:
+        return self._index[self.UNK]
+
+    @property
+    def bos_id(self) -> int:
+        return self._index[self.BOS]
+
+    @property
+    def eos_id(self) -> int:
+        return self._index[self.EOS]
+
+    def vocabulary(self) -> List[str]:
+        return list(self._vocab)
+
+    # ------------------------------------------------------------------
+    def token_to_id(self, token: str) -> int:
+        return self._index.get(token, self.unk_id)
+
+    def id_to_token(self, token_id: int) -> str:
+        if 0 <= token_id < len(self._vocab):
+            return self._vocab[token_id]
+        return self.UNK
+
+    def encode(self, text: str, add_bos: bool = False, add_eos: bool = False) -> List[int]:
+        """Encode whitespace-separated text into token ids."""
+        ids: List[int] = []
+        if add_bos:
+            ids.append(self.bos_id)
+        for word in text.split():
+            ids.append(self.token_to_id(word))
+        if add_eos:
+            ids.append(self.eos_id)
+        return ids
+
+    def encode_words(self, words: Sequence[str]) -> List[int]:
+        return [self.token_to_id(word) for word in words]
+
+    def decode(self, ids: Sequence[int], skip_special: bool = True) -> str:
+        """Decode token ids back into whitespace-joined words."""
+        specials = {self.pad_id, self.bos_id, self.eos_id}
+        words = []
+        for token_id in ids:
+            if skip_special and int(token_id) in specials:
+                continue
+            words.append(self.id_to_token(int(token_id)))
+        return " ".join(words)
+
+    @classmethod
+    def from_texts(cls, texts: Iterable[str]) -> "WordTokenizer":
+        """Build a tokenizer whose vocabulary covers every word in ``texts``."""
+        words: List[str] = []
+        seen = set()
+        for text in texts:
+            for word in text.split():
+                if word not in seen:
+                    seen.add(word)
+                    words.append(word)
+        return cls(words)
+
+
+__all__ = ["WordTokenizer"]

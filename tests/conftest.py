@@ -1,0 +1,23 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_keys(rng: np.random.Generator) -> np.ndarray:
+    """A small stack of keys, shape [16, 2 heads, 8 dim]."""
+    return rng.normal(size=(16, 2, 8))
+
+
+@pytest.fixture
+def small_values(rng: np.random.Generator) -> np.ndarray:
+    return rng.normal(size=(16, 2, 8))

@@ -1,0 +1,122 @@
+"""Tests for the figure/table series builders."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    PAPER_TABLE2_REDUCTIONS,
+    fig1_kv_scaling,
+    fig7_cam_topk,
+    fig8_charge_accumulation,
+    fig9_linearity,
+    fig10_area_sweeps,
+    fig11_energy,
+    fig12_latency,
+    format_table1,
+    table1_feature_matrix,
+    table2_reductions,
+)
+from repro.energy import DesignPoint
+
+
+class TestFig1:
+    def test_kv_cache_grows_linearly(self):
+        points = fig1_kv_scaling([1024, 2048, 4096])
+        sizes = [p.kv_cache_gib for p in points]
+        assert sizes[1] == pytest.approx(2 * sizes[0])
+        assert sizes[2] == pytest.approx(4 * sizes[0])
+
+    def test_latency_grows_with_sequence_length(self):
+        points = fig1_kv_scaling([1024, 65536])
+        assert points[1].attention_latency_us > 10 * points[0].attention_latency_us
+
+    def test_kv_cache_exceeds_weights_at_long_context(self):
+        """The paper's motivation: the KV cache outgrows the model weights."""
+        points = fig1_kv_scaling([131072])
+        assert points[0].kv_cache_gib > points[0].weight_gib
+
+
+class TestFig7And8:
+    def test_cam_selection_scores_dominate(self):
+        trace = fig7_cam_topk(num_keys=9, dim=4, k=3, seed=1)
+        selected_scores = trace.attention_scores[trace.selected_rows]
+        threshold = np.sort(trace.attention_scores)[::-1][2]
+        assert np.all(selected_scores >= threshold - 1e-9)
+
+    def test_cam_selected_rows_discharge_slowest(self):
+        trace = fig7_cam_topk(num_keys=16, dim=8, k=4, seed=2)
+        assert trace.stop_time_ns <= np.max(trace.discharge_times_ns[np.isfinite(trace.discharge_times_ns)])
+
+    def test_charge_accumulation_evicts_lowest_similarity_row(self):
+        trace = fig8_charge_accumulation(num_rows=12, dim=32, steps=15, seed=4)
+        assert trace.victim_row == trace.true_lowest_row
+
+    def test_accumulated_voltage_correlates_with_similarity(self):
+        trace = fig8_charge_accumulation(num_rows=16, dim=32, steps=20, seed=1)
+        corr = np.corrcoef(trace.accumulated_voltages, trace.true_mean_similarity)[0, 1]
+        assert corr > 0.8
+
+
+class TestFig9:
+    def test_linearity_high_under_paper_variation(self):
+        report = fig9_linearity(dim=64, vth_sigma=0.054, num_points=33)
+        assert report.r_squared > 0.995
+
+    def test_linearity_degrades_with_more_variation(self):
+        good = fig9_linearity(dim=64, vth_sigma=0.01, num_points=17, seed=1)
+        bad = fig9_linearity(dim=64, vth_sigma=0.3, num_points=17, seed=1)
+        assert bad.r_squared <= good.r_squared
+
+
+class TestFig10To12:
+    def test_area_sweep_shapes(self):
+        data = fig10_area_sweeps(input_lengths=[512, 1024], output_lengths=[64, 128])
+        assert len(data["vs_input_length"][DesignPoint.NO_PRUNING]) == 2
+        assert len(data["vs_output_length"][DesignPoint.UNICAIM_3BIT]) == 2
+
+    def test_area_sweep_unicaim_flat_in_input_length(self):
+        data = fig10_area_sweeps(input_lengths=[512, 8192], output_lengths=[64])
+        dense = data["vs_input_length"][DesignPoint.NO_PRUNING]
+        assert dense[1] > dense[0]
+
+    def test_energy_breakdown_adc_dominates_dense(self):
+        data = fig11_energy(input_lengths=[512], output_lengths=[64])
+        dense = data["breakdowns"][DesignPoint.NO_PRUNING]
+        assert dense.adc > 0.7 * dense.total
+
+    def test_energy_sweep_monotone_in_length(self):
+        data = fig11_energy(input_lengths=[512, 1024, 2048], output_lengths=[64])
+        series = data["vs_input_length"][DesignPoint.NO_PRUNING]
+        assert series[0] < series[1] < series[2]
+
+    def test_latency_breakdown_and_sweep(self):
+        data = fig12_latency(input_lengths=[512, 1024], output_lengths=[64, 128])
+        unicaim = data["breakdowns"][DesignPoint.UNICAIM_1BIT]
+        dense = data["breakdowns"][DesignPoint.NO_PRUNING]
+        assert unicaim.total < dense.total
+        assert len(data["joint_sweep"][DesignPoint.NO_PRUNING]) == 2
+
+
+class TestTables:
+    def test_table1_unicaim_has_every_capability(self):
+        rows = {row.name: row for row in table1_feature_matrix()}
+        unicaim = rows["UniCAIM"]
+        assert unicaim.static_pruning and unicaim.dynamic_pruning
+        assert unicaim.constant_time_topk and unicaim.multilevel_cell
+
+    def test_table1_baselines_lack_unified_support(self):
+        rows = {row.name: row for row in table1_feature_matrix()}
+        for name in ("TranCIM", "CIMFormer", "Sprint"):
+            row = rows[name]
+            assert not (row.static_pruning and row.dynamic_pruning)
+
+    def test_format_table1_lists_all_designs(self):
+        text = format_table1()
+        for name in ("TranCIM", "CIMFormer", "Sprint", "UniCAIM"):
+            assert name in text
+
+    def test_table2_reductions_keys_match_paper(self):
+        ours = table2_reductions()
+        assert set(ours) == set(PAPER_TABLE2_REDUCTIONS)
+        for condition, row in ours.items():
+            assert set(row) == set(PAPER_TABLE2_REDUCTIONS[condition])

@@ -1,0 +1,173 @@
+"""Tests for repro.core.attention."""
+
+import numpy as np
+import pytest
+
+from repro.core import attention as A
+
+
+class TestSoftmax:
+    def test_sums_to_one(self, rng):
+        x = rng.normal(size=(4, 7))
+        probs = A.softmax(x)
+        np.testing.assert_allclose(probs.sum(axis=-1), 1.0)
+
+    def test_handles_large_values(self):
+        probs = A.softmax(np.array([1e4, 1e4 + 1.0]))
+        assert np.isfinite(probs).all()
+        assert probs[1] > probs[0]
+
+    def test_handles_minus_inf_mask(self):
+        probs = A.softmax(np.array([0.0, -np.inf, 0.0]))
+        assert probs[1] == 0.0
+        np.testing.assert_allclose(probs.sum(), 1.0)
+
+
+class TestScores:
+    def test_single_head_dot_products(self):
+        query = np.array([1.0, 0.0])
+        keys = np.array([[1.0, 0.0], [0.0, 1.0], [-1.0, 0.0]])
+        np.testing.assert_allclose(A.attention_scores(query, keys), [1.0, 0.0, -1.0])
+
+    def test_multi_head_shape(self, rng):
+        query = rng.normal(size=(2, 8))
+        keys = rng.normal(size=(5, 2, 8))
+        scores = A.attention_scores(query, keys)
+        assert scores.shape == (2, 5)
+
+    def test_scale_applied(self):
+        query = np.array([2.0])
+        keys = np.array([[3.0]])
+        assert A.attention_scores(query, keys, scale=0.5)[0] == pytest.approx(3.0)
+
+    def test_shape_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            A.attention_scores(rng.normal(size=4), rng.normal(size=(3, 2, 4)))
+
+    def test_cosine_scores_bounded(self, rng):
+        query = rng.normal(size=8)
+        keys = rng.normal(size=(10, 8))
+        cos = A.cosine_scores(query, keys)
+        assert np.all(cos <= 1.0 + 1e-9) and np.all(cos >= -1.0 - 1e-9)
+
+    def test_cosine_of_identical_vector_is_one(self):
+        v = np.array([1.0, 2.0, 3.0])
+        assert A.cosine_scores(v, v[None, :])[0] == pytest.approx(1.0)
+
+
+class TestAttentionOutput:
+    def test_uniform_keys_average_values(self):
+        query = np.zeros(4)
+        keys = np.zeros((3, 4))
+        values = np.arange(12, dtype=float).reshape(3, 4)
+        out = A.attention_output(query, keys, values)
+        np.testing.assert_allclose(out, values.mean(axis=0))
+
+    def test_sharp_attention_selects_matching_value(self):
+        query = np.array([10.0, 0.0])
+        keys = np.array([[10.0, 0.0], [0.0, 10.0]])
+        values = np.array([[1.0, 1.0], [5.0, 5.0]])
+        out = A.attention_output(query, keys, values)
+        np.testing.assert_allclose(out, values[0], atol=1e-10)
+
+    def test_mask_excludes_tokens(self):
+        query = np.array([1.0])
+        keys = np.array([[100.0], [1.0]])
+        values = np.array([[1.0], [2.0]])
+        out = A.attention_output(query, keys, values, mask=np.array([False, True]))
+        np.testing.assert_allclose(out, [2.0])
+
+    def test_multi_head_output_shape(self, rng):
+        query = rng.normal(size=(3, 8))
+        keys = rng.normal(size=(6, 3, 8))
+        values = rng.normal(size=(6, 3, 8))
+        assert A.attention_output(query, keys, values).shape == (3, 8)
+
+    def test_sparse_equals_full_when_all_selected(self, rng):
+        query = rng.normal(size=8)
+        keys = rng.normal(size=(6, 8))
+        values = rng.normal(size=(6, 8))
+        full = A.attention_output(query, keys, values, scale=0.3)
+        sparse = A.sparse_attention_output(query, keys, values, range(6), scale=0.3)
+        np.testing.assert_allclose(full, sparse)
+
+    def test_sparse_empty_selection_raises(self, rng):
+        query = rng.normal(size=4)
+        keys = rng.normal(size=(3, 4))
+        with pytest.raises(ValueError):
+            A.sparse_attention_output(query, keys, keys, [])
+
+    def test_full_vs_sparse_error_zero_for_full_selection(self, rng):
+        query = rng.normal(size=4)
+        keys = rng.normal(size=(5, 4))
+        values = rng.normal(size=(5, 4))
+        assert A.full_vs_sparse_error(query, keys, values, range(5)) < 1e-12
+
+    def test_full_vs_sparse_error_grows_when_top_token_removed(self, rng):
+        query = np.array([5.0, 0.0, 0.0, 0.0])
+        keys = np.eye(4) * 5.0
+        values = rng.normal(size=(4, 4))
+        err_keep = A.full_vs_sparse_error(query, keys, values, [0, 1])
+        err_drop = A.full_vs_sparse_error(query, keys, values, [1, 2])
+        assert err_drop > err_keep
+
+
+class TestTopK:
+    def test_returns_largest(self):
+        idx = A.top_k_indices(np.array([0.1, 5.0, 3.0, 4.0]), 2)
+        assert idx.tolist() == [1, 3]
+
+    def test_deterministic_tie_break_prefers_lower_index(self):
+        idx = A.top_k_indices(np.array([1.0, 1.0, 1.0]), 2)
+        assert idx.tolist() == [0, 1]
+
+    def test_k_larger_than_n_clips(self):
+        idx = A.top_k_indices(np.array([1.0, 2.0]), 10)
+        assert len(idx) == 2
+
+    def test_invalid_k_raises(self):
+        with pytest.raises(ValueError):
+            A.top_k_indices(np.array([1.0]), 0)
+
+
+class TestHelpers:
+    def test_causal_mask(self):
+        mask = A.causal_mask(np.array([0, 5, 10]), query_position=5)
+        assert mask.tolist() == [True, True, False]
+
+    def test_accumulate_scores_plain_sum(self):
+        table = np.array([1.0, 2.0])
+        out = A.accumulate_scores(table, np.array([0.5, 0.5]))
+        np.testing.assert_allclose(out, [1.5, 2.5])
+
+    def test_accumulate_scores_decay(self):
+        out = A.accumulate_scores(np.array([2.0]), np.array([1.0]), decay=0.5)
+        np.testing.assert_allclose(out, [2.0])
+
+    def test_accumulate_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            A.accumulate_scores(np.zeros(2), np.zeros(3))
+
+    def test_attention_flops_formula(self):
+        assert A.attention_flops(100, 64, num_heads=2) == 2 * 2 * 100 * 64 * 2
+
+    def test_selection_overlap(self):
+        assert A.selection_overlap([1, 2, 3], [2, 3, 4]) == pytest.approx(0.5)
+        assert A.selection_overlap([], []) == 1.0
+
+    def test_recall_at_k(self):
+        assert A.recall_at_k([1, 2], [1, 3]) == pytest.approx(0.5)
+        assert A.recall_at_k([1], []) == 1.0
+
+    def test_split_and_merge_heads_roundtrip(self, rng):
+        x = rng.normal(size=(5, 12))
+        merged = A.merge_heads(A.split_heads(x, 3))
+        np.testing.assert_allclose(merged, x)
+
+    def test_split_heads_requires_divisibility(self, rng):
+        with pytest.raises(ValueError):
+            A.split_heads(rng.normal(size=(5, 10)), 3)
+
+    def test_head_mean_scores(self):
+        scores = np.array([[1.0, 3.0], [3.0, 5.0]])
+        np.testing.assert_allclose(A.head_mean_scores(scores), [2.0, 4.0])

@@ -1,0 +1,337 @@
+"""Tests for the UniCAIM array and its CAM / charge / current operating modes."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    ADCParams,
+    ArrayConfig,
+    CAMMode,
+    CAMParams,
+    ChargeDomainAccumulator,
+    ChargeDomainParams,
+    CurrentDomainCIM,
+    SARADC,
+    UniCAIMArray,
+    UniCAIMEngine,
+)
+from repro.devices import VariationModel
+
+
+def binary_array(rows=16, dim=16, seed=0, variation=None):
+    config = ArrayConfig(
+        num_rows=rows,
+        dim=dim,
+        key_bits=1,
+        query_bits=1,
+        variation=variation or VariationModel.ideal(),
+    )
+    array = UniCAIMArray(config)
+    rng = np.random.default_rng(seed)
+    keys = rng.choice([-1.0, 1.0], size=(rows, dim))
+    array.load_keys(keys, pre_quantized=True)
+    return array, keys, rng
+
+
+class TestArray:
+    def test_paper_default_geometry(self):
+        config = ArrayConfig.paper_default()
+        assert config.num_rows == 576
+        assert config.dim == 128
+        assert config.max_mac == 128
+
+    def test_cells_per_row_scales_with_query_expansion(self):
+        assert ArrayConfig(dim=128, query_bits=1).cells_per_row == 128
+        assert ArrayConfig(dim=128, query_bits=2).cells_per_row == 512
+
+    def test_write_and_readback(self):
+        array, keys, _ = binary_array()
+        np.testing.assert_allclose(array.key_of_row(3), keys[3])
+
+    def test_write_counts_and_energy(self):
+        array, _, _ = binary_array(rows=4, dim=8)
+        assert array.write_count == 4
+        assert array.total_write_energy > 0
+
+    def test_currents_anticorrelate_with_mac(self):
+        """The defining cell property at array level: higher similarity,
+        lower sense current."""
+        array, _, rng = binary_array(rows=64, dim=32)
+        query = rng.choice([-1.0, 1.0], size=32)
+        currents = array.row_currents(query, pre_quantized=True)
+        macs = array.ideal_mac(query, pre_quantized=True)
+        assert np.corrcoef(currents, macs)[0, 1] < -0.999
+
+    def test_current_to_mac_inverts_nominal_current(self):
+        array, _, rng = binary_array(rows=8, dim=16)
+        query = rng.choice([-1.0, 1.0], size=16)
+        currents = array.row_currents(query, pre_quantized=True)
+        recovered = array.current_to_mac(currents)
+        np.testing.assert_allclose(recovered, array.ideal_mac(query, pre_quantized=True), atol=1e-9)
+
+    def test_multilevel_query_expansion_mac(self):
+        config = ArrayConfig(num_rows=2, dim=4, key_bits=2, query_bits=2)
+        array = UniCAIMArray(config)
+        array.write_row(0, np.array([1.0, -0.5, 0.5, 0.0]), pre_quantized=True)
+        query = np.array([0.5, -1.0, 1.0, 0.0])
+        mac = array.ideal_mac(query, rows=[0], pre_quantized=True)[0]
+        assert mac == pytest.approx(1.5)
+        current = array.row_currents(query, rows=[0], pre_quantized=True)[0]
+        recovered = array.current_to_mac(np.array([current]))[0]
+        assert recovered == pytest.approx(1.5, abs=1e-9)
+
+    def test_erase_row(self):
+        array, _, _ = binary_array(rows=4, dim=8)
+        array.erase_row(2)
+        assert 2 not in array.occupied_rows()
+
+    def test_row_bounds_checked(self):
+        array, _, _ = binary_array(rows=4, dim=8)
+        with pytest.raises(IndexError):
+            array.write_row(10, np.zeros(8))
+
+    def test_shape_validation(self):
+        array, _, _ = binary_array(rows=4, dim=8)
+        with pytest.raises(ValueError):
+            array.write_row(0, np.zeros(9))
+        with pytest.raises(ValueError):
+            array.row_currents(np.zeros(9))
+
+    def test_variation_perturbs_currents(self):
+        ideal, _, rng = binary_array(rows=8, dim=64)
+        noisy, _, _ = binary_array(
+            rows=8, dim=64, variation=VariationModel.paper_default(seed=5)
+        )
+        query = rng.choice([-1.0, 1.0], size=64)
+        assert not np.allclose(
+            ideal.row_currents(query, pre_quantized=True),
+            noisy.row_currents(query, pre_quantized=True),
+        )
+
+
+class TestCAMMode:
+    def test_topk_matches_exact_selection_without_variation(self):
+        array, _, rng = binary_array(rows=32, dim=32)
+        cam = CAMMode(array)
+        query = rng.choice([-1.0, 1.0], size=32)
+        macs = array.ideal_mac(query, pre_quantized=True)
+        result = cam.select_topk(query, k=6, pre_quantized=True)
+        kth_score = np.sort(macs)[::-1][5]
+        assert all(macs[row] >= kth_score for row in result.selected_rows)
+
+    def test_selected_rows_have_slowest_discharge(self):
+        array, _, rng = binary_array(rows=16, dim=16)
+        cam = CAMMode(array)
+        query = rng.choice([-1.0, 1.0], size=16)
+        result = cam.select_topk(query, k=4, pre_quantized=True)
+        selected = set(int(r) for r in result.selected_rows)
+        times = result.discharge_times
+        threshold = np.sort(times)[::-1][3]
+        for idx, row in enumerate(result.candidate_rows):
+            if times[idx] > threshold:
+                assert int(row) in selected
+
+    def test_stop_time_is_k_plus_one_crossing(self):
+        array, _, rng = binary_array(rows=10, dim=8)
+        cam = CAMMode(array)
+        query = rng.choice([-1.0, 1.0], size=8)
+        result = cam.select_topk(query, k=3, pre_quantized=True)
+        assert result.stop_time == pytest.approx(np.sort(result.discharge_times)[::-1][3])
+
+    def test_k_covering_all_rows(self):
+        array, _, rng = binary_array(rows=6, dim=8)
+        cam = CAMMode(array)
+        result = cam.select_topk(rng.choice([-1.0, 1.0], size=8), k=10, pre_quantized=True)
+        assert result.k == 6
+
+    def test_energy_and_latency_positive(self):
+        array, _, rng = binary_array()
+        result = CAMMode(array).select_topk(
+            rng.choice([-1.0, 1.0], size=16), k=4, pre_quantized=True
+        )
+        assert result.energy > 0
+        assert result.latency >= CAMParams().precharge_time
+
+    def test_configure_k_reference_current(self):
+        array, _, _ = binary_array()
+        cam = CAMMode(array)
+        assert cam.configure_k(5) == pytest.approx(6 * cam.params.detector_current)
+        with pytest.raises(ValueError):
+            cam.configure_k(0)
+
+    def test_sl_voltages_higher_for_more_similar_rows(self):
+        array, _, rng = binary_array(rows=32, dim=32)
+        cam = CAMMode(array)
+        query = rng.choice([-1.0, 1.0], size=32)
+        result = cam.select_topk(query, k=8, pre_quantized=True)
+        macs = array.ideal_mac(query, pre_quantized=True)
+        assert np.corrcoef(result.sl_voltages, macs)[0, 1] > 0.99
+
+
+class TestChargeDomain:
+    def test_accumulate_moves_toward_sample(self):
+        acc = ChargeDomainAccumulator(4)
+        acc.accumulate([0, 1], np.array([1.0, 0.5]))
+        voltages = acc.accumulated_voltages
+        assert 0 < voltages[0] < 1.0
+        assert voltages[0] > voltages[1]
+
+    def test_accumulation_is_running_average(self):
+        params = ChargeDomainParams()
+        acc = ChargeDomainAccumulator(1, params)
+        for _ in range(200):
+            acc.accumulate([0], np.array([0.8]))
+        assert acc.voltage_of(0) == pytest.approx(0.8, rel=0.01)
+
+    def test_eviction_picks_lowest_accumulated_row(self):
+        acc = ChargeDomainAccumulator(4)
+        acc.accumulate([0, 1, 2, 3], np.array([0.9, 0.2, 0.7, 0.5]))
+        assert acc.eviction_search().victim_row == 1
+
+    def test_eviction_restricted_to_candidates(self):
+        acc = ChargeDomainAccumulator(4)
+        acc.accumulate([0, 1, 2, 3], np.array([0.9, 0.2, 0.7, 0.5]))
+        assert acc.eviction_search(candidate_rows=[0, 2, 3]).victim_row == 3
+
+    def test_reset_row_clears_state(self):
+        acc = ChargeDomainAccumulator(2)
+        acc.accumulate([0], np.array([0.6]))
+        acc.reset_row(0)
+        assert acc.voltage_of(0) == 0.0
+
+    def test_energy_positive(self):
+        acc = ChargeDomainAccumulator(2)
+        energy = acc.accumulate([0, 1], np.array([0.5, 0.9]))
+        assert energy > 0
+
+    def test_shape_mismatch_rejected(self):
+        acc = ChargeDomainAccumulator(2)
+        with pytest.raises(ValueError):
+            acc.accumulate([0], np.array([0.5, 0.6]))
+
+    def test_empty_candidates_rejected(self):
+        acc = ChargeDomainAccumulator(2)
+        with pytest.raises(ValueError):
+            acc.eviction_search(candidate_rows=[])
+
+
+class TestADC:
+    def test_paper_reference_energy(self):
+        params = ADCParams()
+        assert params.conversion_energy == pytest.approx(11.3e-12)
+        assert params.conversion_time == pytest.approx(10e-9)
+
+    def test_codes_within_range(self, rng):
+        adc = SARADC(input_min=0.0, input_max=1.0)
+        codes = adc.convert_array(rng.uniform(-0.5, 1.5, size=100))
+        assert codes.min() >= 0 and codes.max() <= 1023
+
+    def test_quantization_error_bounded(self, rng):
+        adc = SARADC(input_min=0.0, input_max=1.0)
+        values = rng.uniform(0, 1, size=200)
+        recon = adc.reconstruct(adc.convert_array(values))
+        assert np.max(np.abs(recon - values)) <= adc.quantization_error_bound() + 1e-12
+
+    def test_conversion_count_and_energy(self):
+        adc = SARADC()
+        adc.convert(0.5)
+        adc.convert_array(np.zeros(9))
+        assert adc.conversion_count == 10
+        assert adc.energy() == pytest.approx(10 * ADCParams().conversion_energy)
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            SARADC(input_min=1.0, input_max=0.0)
+
+
+class TestCurrentDomain:
+    def test_mac_estimates_close_to_ideal(self):
+        array, _, rng = binary_array(rows=32, dim=128)
+        cim = CurrentDomainCIM(array, num_adcs=8)
+        query = rng.choice([-1.0, 1.0], size=128)
+        readout = cim.compute_scores(query, rows=list(range(10)), pre_quantized=True)
+        assert readout.max_abs_error < 2.0  # well under 2 LSB of the 10-bit ADC
+
+    def test_latency_scales_with_adc_batches(self):
+        array, _, rng = binary_array(rows=64, dim=16)
+        cim = CurrentDomainCIM(array, num_adcs=8)
+        query = rng.choice([-1.0, 1.0], size=16)
+        r16 = cim.compute_scores(query, rows=list(range(16)), pre_quantized=True)
+        r64 = cim.compute_scores(query, rows=list(range(64)), pre_quantized=True)
+        assert r64.latency == pytest.approx(4 * r16.latency)
+
+    def test_energy_proportional_to_conversions(self):
+        array, _, rng = binary_array(rows=32, dim=16)
+        cim = CurrentDomainCIM(array)
+        query = rng.choice([-1.0, 1.0], size=16)
+        r8 = cim.compute_scores(query, rows=list(range(8)), pre_quantized=True)
+        r16 = cim.compute_scores(query, rows=list(range(16)), pre_quantized=True)
+        assert r16.energy == pytest.approx(2 * r8.energy)
+
+    def test_linearity_ideal_devices(self):
+        array, _, _ = binary_array(rows=2, dim=64)
+        report = CurrentDomainCIM(array).linearity_sweep()
+        assert report.r_squared > 0.999999
+        assert report.slope < 0  # current decreases with MAC
+
+    def test_linearity_with_paper_variation_still_high(self):
+        array, _, _ = binary_array(
+            rows=2, dim=128, variation=VariationModel.paper_default(seed=2)
+        )
+        report = CurrentDomainCIM(array).linearity_sweep()
+        assert report.r_squared > 0.99
+
+    def test_empty_rows_rejected(self):
+        array, _, rng = binary_array()
+        with pytest.raises(ValueError):
+            CurrentDomainCIM(array).compute_scores(rng.normal(size=16), rows=[])
+
+
+class TestEngine:
+    def test_full_decode_loop_keeps_occupancy_fixed(self, rng):
+        engine = UniCAIMEngine(ArrayConfig(num_rows=12, dim=16, key_bits=3, query_bits=1))
+        engine.load_prefill(rng.normal(size=(12, 16)))
+        for step in range(6):
+            result = engine.decode_step(
+                rng.normal(size=16), k=4,
+                new_key=rng.normal(size=16), new_token_position=100 + step,
+            )
+            assert engine.occupancy == 12
+            assert result.evicted_row is not None
+
+    def test_no_eviction_while_free_rows_remain(self, rng):
+        engine = UniCAIMEngine(ArrayConfig(num_rows=10, dim=8))
+        engine.load_prefill(rng.normal(size=(7, 8)))
+        result = engine.decode_step(
+            rng.normal(size=8), k=3, new_key=rng.normal(size=8), new_token_position=50
+        )
+        assert result.evicted_row is None
+        assert engine.occupancy == 8
+
+    def test_costs_accumulate(self, rng):
+        engine = UniCAIMEngine(ArrayConfig(num_rows=8, dim=8))
+        engine.load_prefill(rng.normal(size=(8, 8)))
+        for step in range(3):
+            engine.decode_step(rng.normal(size=8), k=2,
+                               new_key=rng.normal(size=8), new_token_position=step)
+        assert engine.total_energy() > 0
+        assert engine.total_latency() > 0
+        assert len(engine.step_log) == 3
+
+    def test_readout_rows_match_selection(self, rng):
+        engine = UniCAIMEngine(ArrayConfig(num_rows=8, dim=8))
+        engine.load_prefill(rng.normal(size=(8, 8)))
+        result = engine.decode_step(rng.normal(size=8), k=3)
+        np.testing.assert_array_equal(result.readout.rows, result.selection.selected_rows)
+
+    def test_token_position_tracking(self, rng):
+        engine = UniCAIMEngine(ArrayConfig(num_rows=4, dim=8))
+        engine.load_prefill(rng.normal(size=(2, 8)), token_positions=[10, 11])
+        engine.decode_step(rng.normal(size=8), k=1,
+                           new_key=rng.normal(size=8), new_token_position=42)
+        assert 42 in engine.rows_to_tokens().values()
+
+    def test_prefill_too_many_keys_rejected(self, rng):
+        engine = UniCAIMEngine(ArrayConfig(num_rows=4, dim=8))
+        with pytest.raises(ValueError):
+            engine.load_prefill(rng.normal(size=(5, 8)))

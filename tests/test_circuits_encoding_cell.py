@@ -1,0 +1,167 @@
+"""Tests for the signed encodings and the UniCAIM cell (paper Figs. 5-6)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.cell import CellParams, UniCAIMCell
+from repro.circuits.encoding import (
+    decode_key_pair,
+    decode_query_expansion,
+    encode_key_pair,
+    encode_query_bit,
+    encode_query_expansion,
+    expansion_cells,
+    quantize_to_levels,
+    quantize_vector,
+    signed_levels,
+)
+
+
+class TestSignedLevels:
+    def test_one_bit_levels(self):
+        np.testing.assert_allclose(signed_levels(1), [-1.0, 1.0])
+
+    def test_two_bit_levels_include_half_steps(self):
+        np.testing.assert_allclose(signed_levels(2), [-1.0, -0.5, 0.0, 0.5, 1.0])
+
+    def test_levels_symmetric_and_include_zero(self):
+        for bits in (2, 3, 4):
+            levels = signed_levels(bits)
+            np.testing.assert_allclose(levels, -levels[::-1])
+            assert 0.0 in levels
+
+    def test_quantize_to_levels_snaps_to_nearest(self):
+        assert quantize_to_levels(0.3, 2) == pytest.approx(0.5)
+        assert quantize_to_levels(-0.9, 1) == -1.0
+
+    def test_quantize_clips_out_of_range(self):
+        assert quantize_to_levels(5.0, 3) == 1.0
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            signed_levels(0)
+
+
+class TestQueryEncoding:
+    def test_single_bit_drives(self):
+        assert encode_query_bit(1).sign == 1
+        assert encode_query_bit(-1).sign == -1
+        with pytest.raises(ValueError):
+            encode_query_bit(0)
+
+    def test_expansion_cell_count(self):
+        assert expansion_cells(1) == 1
+        assert expansion_cells(2) == 4
+        assert expansion_cells(3) == 8
+
+    def test_expansion_roundtrip_on_grid(self):
+        for value in [-1.0, -0.5, 0.0, 0.5, 1.0]:
+            drives = encode_query_expansion(value, query_bits=2)
+            assert decode_query_expansion(drives) == pytest.approx(value)
+
+    def test_expansion_matches_paper_fig6c(self):
+        """2-bit query over 4 cells: '+1' -> all positive, '0' -> 2/2 split."""
+        assert [d.sign for d in encode_query_expansion(1.0, 2)] == [1, 1, 1, 1]
+        assert [d.sign for d in encode_query_expansion(0.0, 2)].count(1) == 2
+        assert [d.sign for d in encode_query_expansion(-1.0, 2)] == [-1, -1, -1, -1]
+
+    def test_key_pair_complementary(self):
+        p1, p1b = encode_key_pair(1.0, 1)
+        assert (p1, p1b) == (1.0, 0.0)
+        p1, p1b = encode_key_pair(-0.5, 2)
+        assert p1 + p1b == pytest.approx(1.0)
+        assert decode_key_pair(p1, p1b) == pytest.approx(-0.5)
+
+    def test_quantize_vector_on_grid(self, rng):
+        vec = quantize_vector(rng.normal(size=64), bits=3)
+        levels = set(np.round(signed_levels(3), 6))
+        assert set(np.round(vec, 6)) <= levels
+
+
+class TestUniCAIMCell:
+    def test_truth_table_1bit(self):
+        """Fig. 5(d): matching product gives low current, opposing high."""
+        params = CellParams()
+        cell = UniCAIMCell(params, key_bits=1)
+        cell.write_key(1.0)
+        assert cell.sense_current(+1) == pytest.approx(params.current_match)
+        assert cell.sense_current(-1) == pytest.approx(params.current_mismatch)
+        cell.write_key(-1.0)
+        assert cell.sense_current(+1) == pytest.approx(params.current_mismatch)
+        assert cell.sense_current(-1) == pytest.approx(params.current_match)
+
+    def test_zero_key_gives_mid_current(self):
+        params = CellParams()
+        cell = UniCAIMCell(params, key_bits=2)
+        cell.write_key(0.0)
+        assert cell.sense_current(+1) == pytest.approx(params.current_zero)
+        assert cell.sense_current(-1) == pytest.approx(params.current_zero)
+
+    def test_current_monotone_decreasing_in_product(self):
+        """Higher key*query product must always give lower I_SL."""
+        params = CellParams()
+        currents = []
+        for key in signed_levels(3):
+            cell = UniCAIMCell(params, key_bits=3)
+            cell.write_key(float(key))
+            currents.append(cell.sense_current(+1))
+        assert all(b <= a for a, b in zip(currents, currents[1:]))
+
+    def test_multilevel_query_truth_table(self):
+        """Fig. 6(d): the expanded multilevel query scales the current span."""
+        params = CellParams()
+        cell = UniCAIMCell(params, key_bits=2)
+        cell.write_key(1.0)
+        cells = expansion_cells(2)
+        full_match = cell.sense_current_multilevel(1.0, query_bits=2)
+        zero_query = cell.sense_current_multilevel(0.0, query_bits=2)
+        full_opposite = cell.sense_current_multilevel(-1.0, query_bits=2)
+        assert full_match == pytest.approx(cells * params.current_match)
+        assert full_opposite == pytest.approx(cells * params.current_mismatch)
+        assert zero_query == pytest.approx(cells * params.current_zero)
+
+    def test_write_quantizes_to_cell_levels(self):
+        cell = UniCAIMCell(key_bits=1)
+        stored = cell.write_key(0.3)
+        assert stored == 1.0
+        assert cell.key_value == 1.0
+
+    def test_threshold_voltages_complementary(self):
+        cell = UniCAIMCell(key_bits=1)
+        cell.write_key(1.0)
+        vth1, vth1b = cell.threshold_voltages
+        params = cell.params.fefet
+        assert vth1 == pytest.approx(params.vth_low)
+        assert vth1b == pytest.approx(params.vth_high)
+
+    def test_variation_shifts_current(self):
+        clean = UniCAIMCell(key_bits=1)
+        clean.write_key(1.0)
+        shifted = UniCAIMCell(key_bits=1, vth_offsets=(0.05, 0.05))
+        shifted.write_key(1.0)
+        assert shifted.sense_current(+1) != pytest.approx(clean.sense_current(+1))
+
+    def test_write_energy_and_count(self):
+        cell = UniCAIMCell()
+        cell.write_key(1.0)
+        cell.write_key(-1.0)
+        assert cell.write_count == 2
+        assert cell.write_energy() == cell.params.write_energy
+
+    def test_product_current_roundtrip(self):
+        params = CellParams()
+        for product in [-1.0, -0.5, 0.0, 0.5, 1.0]:
+            current = params.product_to_current(product)
+            assert params.current_to_product(current) == pytest.approx(product)
+
+    def test_invalid_query_bit(self):
+        cell = UniCAIMCell()
+        with pytest.raises(ValueError):
+            cell.sense_current(0)
+
+    def test_truth_table_helper(self):
+        cell = UniCAIMCell(key_bits=1)
+        cell.write_key(1.0)
+        rows = cell.truth_table([1.0, -1.0])
+        assert len(rows) == 2
+        assert rows[0][2] < rows[1][2]

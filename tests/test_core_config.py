@@ -1,0 +1,106 @@
+"""Tests for repro.core.config."""
+
+import pytest
+
+from repro.core.config import AttentionConfig, PruningConfig
+
+
+class TestPruningConfig:
+    def test_defaults_match_paper_circuit_setup(self):
+        config = PruningConfig.paper_circuit_default()
+        assert config.heavy_budget == 512
+        assert config.reserved_budget == 64
+        assert config.cache_capacity == 576
+        assert config.top_k == 64
+
+    def test_cache_capacity_is_heavy_plus_reserved(self):
+        config = PruningConfig(heavy_budget=100, reserved_budget=20)
+        assert config.cache_capacity == 120
+
+    def test_rejects_non_positive_budgets(self):
+        with pytest.raises(ValueError):
+            PruningConfig(heavy_budget=0)
+        with pytest.raises(ValueError):
+            PruningConfig(reserved_budget=0)
+
+    def test_rejects_bad_top_k(self):
+        with pytest.raises(ValueError):
+            PruningConfig(top_k=0)
+
+    def test_rejects_bad_decay(self):
+        with pytest.raises(ValueError):
+            PruningConfig(score_decay=0.0)
+        with pytest.raises(ValueError):
+            PruningConfig(score_decay=1.5)
+
+    def test_effective_top_k_clips_to_cache_length(self):
+        config = PruningConfig(top_k=64)
+        assert config.effective_top_k(10) == 10
+        assert config.effective_top_k(100) == 64
+
+    def test_effective_top_k_none_means_all(self):
+        config = PruningConfig(top_k=None)
+        assert config.effective_top_k(37) == 37
+
+    def test_with_cache_ratio_scales_total_budget(self):
+        config = PruningConfig(heavy_budget=512, reserved_budget=64, top_k=64)
+        scaled = config.with_cache_ratio(prompt_len=1000, ratio=0.25)
+        assert scaled.cache_capacity == 250
+
+    def test_with_cache_ratio_rejects_bad_ratio(self):
+        config = PruningConfig()
+        with pytest.raises(ValueError):
+            config.with_cache_ratio(1000, 0.0)
+        with pytest.raises(ValueError):
+            config.with_cache_ratio(1000, 1.5)
+
+    def test_dense_config_disables_pruning(self):
+        config = PruningConfig.dense(200)
+        assert config.cache_capacity == 200
+        assert config.top_k is None
+
+    def test_sink_and_recent_protect_validation(self):
+        with pytest.raises(ValueError):
+            PruningConfig(sink_tokens=-1)
+        with pytest.raises(ValueError):
+            PruningConfig(recent_protect=-1)
+
+
+class TestAttentionConfig:
+    def test_llama2_geometry(self):
+        config = AttentionConfig.llama2_7b()
+        assert config.num_heads == 32
+        assert config.head_dim == 128
+        assert config.num_layers == 32
+        assert config.model_dim == 4096
+
+    def test_softmax_scale_default(self):
+        config = AttentionConfig(head_dim=64)
+        assert config.softmax_scale == pytest.approx(0.125)
+
+    def test_softmax_scale_override(self):
+        config = AttentionConfig(head_dim=64, scale=0.5)
+        assert config.softmax_scale == 0.5
+
+    def test_kv_cache_bytes_linear_in_sequence_length(self):
+        config = AttentionConfig.llama2_7b()
+        one = config.kv_cache_bytes(1000)
+        two = config.kv_cache_bytes(2000)
+        assert two == 2 * one
+
+    def test_kv_cache_bytes_formula(self):
+        config = AttentionConfig(num_heads=2, head_dim=4, num_layers=3)
+        # 2 tensors * 3 layers * 2 heads * 4 dim * 5 tokens * 2 bytes
+        assert config.kv_cache_bytes(5) == 2 * 3 * 2 * 4 * 5 * 2
+
+    def test_kv_cache_bytes_rejects_negative(self):
+        with pytest.raises(ValueError):
+            AttentionConfig().kv_cache_bytes(-1)
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            AttentionConfig(num_heads=0)
+        with pytest.raises(ValueError):
+            AttentionConfig(head_dim=0)
+        with pytest.raises(ValueError):
+            AttentionConfig(num_layers=0)

@@ -1,0 +1,227 @@
+"""Tests for the behavioural device models (FeFET, MOSFET, RC, variation)."""
+
+import numpy as np
+import pytest
+
+from repro.devices import (
+    Capacitor,
+    FeFET,
+    FeFETParams,
+    MOSFET,
+    MOSFETParams,
+    VariationModel,
+    WireParasitics,
+    discharge_time_to_threshold,
+    dynamic_energy,
+    multilevel_vth_targets,
+    preisach_polarization,
+    rc_delay,
+    voltage_after_discharge,
+)
+
+
+class TestFeFET:
+    def test_program_positive_pulse_lowers_vth(self):
+        device = FeFET()
+        vth_before = device.vth
+        device.program(device.params.saturation_voltage)
+        assert device.vth < vth_before
+
+    def test_full_program_reaches_low_vth(self):
+        device = FeFET()
+        device.program(device.params.saturation_voltage)
+        assert device.vth == pytest.approx(device.params.vth_low, abs=0.05)
+
+    def test_erase_returns_to_high_vth(self):
+        device = FeFET()
+        device.program(device.params.saturation_voltage)
+        device.erase()
+        assert device.vth == pytest.approx(device.params.vth_high, abs=0.05)
+
+    def test_subcoercive_pulse_is_nondestructive(self):
+        device = FeFET()
+        device.program_level(0.5)
+        state = device.polarization
+        device.program(device.params.read_voltage)  # read voltage < coercive
+        assert device.polarization == state
+
+    def test_multilevel_programming_monotone_current(self):
+        params = FeFETParams()
+        currents = []
+        for level in np.linspace(0, 1, 5):
+            device = FeFET(params)
+            device.program_level(level)
+            currents.append(device.drain_current())
+        assert all(b >= a for a, b in zip(currents, currents[1:]))
+
+    def test_on_off_ratio_large(self):
+        on = FeFET()
+        on.program_level(1.0)
+        off = FeFET()
+        off.program_level(0.0)
+        assert on.drain_current() / off.drain_current() > 100
+
+    def test_variation_shifts_vth(self):
+        rng = np.random.default_rng(0)
+        devices = [FeFET(rng=rng, apply_variation=True) for _ in range(200)]
+        offsets = np.array([d.vth for d in devices]) - FeFETParams().vth_high
+        assert 0.03 < offsets.std() < 0.08  # around the 54 mV sigma
+
+    def test_write_count_tracks(self):
+        device = FeFET()
+        device.program_level(0.3)
+        device.program(device.params.saturation_voltage)
+        assert device.write_count == 2
+
+    def test_level_vth_bounds(self):
+        params = FeFETParams()
+        assert params.level_vth(1.0) == pytest.approx(params.vth_low)
+        assert params.level_vth(0.0) == pytest.approx(params.vth_high)
+        with pytest.raises(ValueError):
+            params.level_vth(1.5)
+
+    def test_conductance_positive(self):
+        device = FeFET()
+        device.program_level(1.0)
+        assert device.conductance() > 0
+
+    def test_multilevel_targets_evenly_spaced(self):
+        targets = multilevel_vth_targets(FeFETParams(), 5)
+        diffs = np.diff(targets)
+        np.testing.assert_allclose(diffs, diffs[0])
+
+    def test_preisach_saturates(self):
+        params = FeFETParams()
+        state = 0.0
+        for _ in range(10):
+            state = preisach_polarization(params.saturation_voltage, params, state)
+        assert state == pytest.approx(1.0, abs=1e-6)
+
+    def test_preisach_invalid_previous(self):
+        with pytest.raises(ValueError):
+            preisach_polarization(1.0, FeFETParams(), previous=2.0)
+
+
+class TestMOSFET:
+    def test_cutoff_leakage_only(self):
+        device = MOSFET()
+        assert device.drain_current(vgs=0.0, vds=1.0) == MOSFETParams().leakage_current
+
+    def test_saturation_current_quadratic_in_overdrive(self):
+        device = MOSFET()
+        i1 = device.drain_current(vgs=0.9, vds=1.0)
+        i2 = device.drain_current(vgs=1.4, vds=1.0)
+        assert i2 / i1 == pytest.approx(4.0, rel=0.15)
+
+    def test_triode_current_increases_with_vds(self):
+        device = MOSFET()
+        assert device.drain_current(1.0, 0.2) > device.drain_current(1.0, 0.1)
+
+    def test_on_resistance_positive(self):
+        assert MOSFET().on_resistance(vgs=1.0) > 0
+
+    def test_is_on(self):
+        device = MOSFET()
+        assert device.is_on(1.0)
+        assert not device.is_on(0.2)
+
+    def test_pmos_uses_magnitudes(self):
+        pmos = MOSFET(MOSFETParams(is_pmos=True))
+        assert pmos.drain_current(vgs=-1.0, vds=-0.5) > pmos.params.leakage_current
+
+    def test_scaled_width(self):
+        params = MOSFETParams().scaled(4.0)
+        assert params.k_prime == pytest.approx(4 * MOSFETParams().k_prime)
+        with pytest.raises(ValueError):
+            MOSFETParams().scaled(0.0)
+
+    def test_negative_vds_rejected(self):
+        with pytest.raises(ValueError):
+            MOSFET().drain_current(1.0, -0.1)
+
+
+class TestRC:
+    def test_capacitor_energy(self):
+        cap = Capacitor(1e-15, voltage=1.0)
+        assert cap.energy == pytest.approx(0.5e-15)
+
+    def test_precharge_returns_energy(self):
+        cap = Capacitor(2e-15)
+        energy = cap.precharge(1.0)
+        assert energy == pytest.approx(2e-15)
+        assert cap.voltage == 1.0
+
+    def test_constant_current_discharge(self):
+        cap = Capacitor(1e-15, voltage=1.0)
+        cap.discharge_constant_current(current=1e-6, duration=0.5e-9)
+        assert cap.voltage == pytest.approx(0.5)
+
+    def test_discharge_clamps_at_zero(self):
+        cap = Capacitor(1e-15, voltage=0.1)
+        cap.discharge_constant_current(1e-6, 1e-9)
+        assert cap.voltage == 0.0
+
+    def test_charge_sharing_conserves_charge(self):
+        a = Capacitor(1e-15, voltage=1.0)
+        b = Capacitor(3e-15, voltage=0.0)
+        total_before = a.charge + b.charge
+        common = a.share_with(b)
+        assert common == pytest.approx(0.25)
+        assert a.charge + b.charge == pytest.approx(total_before)
+
+    def test_discharge_time_inverse_in_current(self):
+        t1 = discharge_time_to_threshold(1e-15, 1.0, 0.5, 1e-6)
+        t2 = discharge_time_to_threshold(1e-15, 1.0, 0.5, 2e-6)
+        assert t1 == pytest.approx(2 * t2)
+
+    def test_zero_current_never_crosses(self):
+        assert discharge_time_to_threshold(1e-15, 1.0, 0.5, 0.0) == float("inf")
+
+    def test_voltage_after_discharge(self):
+        v = voltage_after_discharge(1e-15, 1.0, 1e-6, 0.25e-9)
+        assert v == pytest.approx(0.75)
+
+    def test_rc_delay_positive_and_monotone(self):
+        assert rc_delay(1e3, 1e-15) > 0
+        assert rc_delay(1e3, 1e-15, 0.9) > rc_delay(1e3, 1e-15, 0.5)
+
+    def test_dynamic_energy(self):
+        assert dynamic_energy(2e-15, 1.0) == pytest.approx(2e-15)
+
+    def test_wire_parasitics_scale_with_cells(self):
+        wire = WireParasitics()
+        assert wire.line_capacitance(100) == pytest.approx(100 * wire.capacitance_per_cell)
+        assert wire.line_resistance(10) == pytest.approx(10 * wire.resistance_per_cell)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            Capacitor(0.0)
+        with pytest.raises(ValueError):
+            discharge_time_to_threshold(1e-15, 0.5, 1.0, 1e-6)
+        with pytest.raises(ValueError):
+            rc_delay(-1, 1e-15)
+
+
+class TestVariationModel:
+    def test_paper_default_sigma(self):
+        assert VariationModel.paper_default().vth_sigma == pytest.approx(0.054)
+
+    def test_ideal_is_noise_free(self):
+        model = VariationModel.ideal()
+        offsets = model.sample_vth_offsets((100,))
+        np.testing.assert_allclose(offsets, 0.0)
+
+    def test_sampling_statistics(self):
+        model = VariationModel(vth_sigma=0.054, seed=3)
+        offsets = model.sample_vth_offsets((20000,))
+        assert offsets.std() == pytest.approx(0.054, rel=0.05)
+
+    def test_current_mismatch_mean_one(self):
+        model = VariationModel(seed=1)
+        factors = model.sample_current_mismatch((5000,))
+        assert factors.mean() == pytest.approx(1.0, abs=0.01)
+
+    def test_seeded_reproducibility(self):
+        a = VariationModel(seed=9).sample_vth_offsets((10,))
+        b = VariationModel(seed=9).sample_vth_offsets((10,))
+        np.testing.assert_array_equal(a, b)

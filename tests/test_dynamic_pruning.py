@@ -1,0 +1,139 @@
+"""Tests for the exact and CAM-approximate dynamic top-k selectors."""
+
+import numpy as np
+import pytest
+
+from repro.core.dynamic_pruning import (
+    CAMApproximateSelector,
+    CAMSelectorConfig,
+    ExactTopKSelector,
+    attention_mass_coverage,
+    quantize_signed,
+    selection_recall,
+    sweep_selector_fidelity,
+)
+
+
+class TestQuantizeSigned:
+    def test_one_bit_is_sign(self):
+        values = np.array([-3.0, -0.1, 0.2, 5.0])
+        out = quantize_signed(values, bits=1)
+        np.testing.assert_allclose(out, [-1.0, -1.0, 1.0, 1.0])
+
+    def test_levels_within_unit_interval(self, rng):
+        out = quantize_signed(rng.normal(size=100), bits=3)
+        assert np.all(np.abs(out) <= 1.0)
+
+    def test_more_bits_reduce_quantization_error(self, rng):
+        x = rng.normal(size=500)
+        scale = 2.0 * np.std(x)
+        normalised = np.clip(x / scale, -1, 1)
+        err2 = np.abs(quantize_signed(x, bits=2) - normalised).mean()
+        err4 = np.abs(quantize_signed(x, bits=4) - normalised).mean()
+        assert err4 < err2
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            quantize_signed(np.ones(3), bits=0)
+
+    def test_constant_input_does_not_crash(self):
+        out = quantize_signed(np.zeros(4), bits=2)
+        assert out.shape == (4,)
+
+
+class TestExactSelector:
+    def test_selects_true_top_k(self, rng):
+        keys = rng.normal(size=(20, 8))
+        query = keys[7] * 3.0
+        result = ExactTopKSelector().select(query, keys, k=1)
+        assert result.selected_indices[0] == 7
+
+    def test_scores_equal_exact_scores(self, rng):
+        keys = rng.normal(size=(10, 4))
+        query = rng.normal(size=4)
+        result = ExactTopKSelector().select(query, keys, k=3)
+        np.testing.assert_allclose(result.scores, result.exact_scores)
+
+    def test_k_property(self, rng):
+        keys = rng.normal(size=(10, 4))
+        result = ExactTopKSelector().select(rng.normal(size=4), keys, k=4)
+        assert result.k == 4
+
+    def test_multi_head_selection(self, rng):
+        keys = rng.normal(size=(12, 2, 6))
+        query = rng.normal(size=(2, 6))
+        result = ExactTopKSelector().select(query, keys, k=5)
+        assert len(result.selected_indices) == 5
+
+
+class TestCAMSelector:
+    def test_high_recall_on_separable_data(self, rng):
+        keys = rng.normal(size=(64, 32))
+        query = keys[10] * 2.0 + rng.normal(size=32) * 0.05
+        selector = CAMApproximateSelector(CAMSelectorConfig(key_bits=3, query_bits=2))
+        result = selector.select(query, keys, k=8)
+        assert 10 in result.selected_indices
+
+    def test_recall_improves_with_key_bits(self, rng):
+        keys = rng.normal(size=(128, 32))
+        queries = [rng.normal(size=32) for _ in range(20)]
+        recall_1bit = sweep_selector_fidelity(
+            CAMApproximateSelector(CAMSelectorConfig(key_bits=1, query_bits=1)),
+            queries, keys, k=16,
+        ).mean()
+        recall_3bit = sweep_selector_fidelity(
+            CAMApproximateSelector(CAMSelectorConfig(key_bits=3, query_bits=2)),
+            queries, keys, k=16,
+        ).mean()
+        assert recall_3bit >= recall_1bit
+
+    def test_sense_noise_reduces_recall(self, rng):
+        keys = rng.normal(size=(64, 16))
+        queries = [rng.normal(size=16) for _ in range(20)]
+        clean = sweep_selector_fidelity(
+            CAMApproximateSelector(CAMSelectorConfig(sense_noise_sigma=0.0, seed=1)),
+            queries, keys, k=8,
+        ).mean()
+        noisy = sweep_selector_fidelity(
+            CAMApproximateSelector(CAMSelectorConfig(sense_noise_sigma=10.0, seed=1)),
+            queries, keys, k=8,
+        ).mean()
+        assert noisy <= clean
+
+    def test_exact_scores_are_unquantized(self, rng):
+        keys = rng.normal(size=(10, 8))
+        query = rng.normal(size=8)
+        selector = CAMApproximateSelector()
+        result = selector.select(query, keys, k=3)
+        expected = keys @ query
+        np.testing.assert_allclose(result.exact_scores, expected)
+
+    def test_deterministic_with_seed(self, rng):
+        keys = rng.normal(size=(32, 8))
+        query = rng.normal(size=8)
+        a = CAMApproximateSelector(CAMSelectorConfig(sense_noise_sigma=0.5, seed=3))
+        b = CAMApproximateSelector(CAMSelectorConfig(sense_noise_sigma=0.5, seed=3))
+        np.testing.assert_array_equal(
+            a.select(query, keys, 5).selected_indices,
+            b.select(query, keys, 5).selected_indices,
+        )
+
+
+class TestSelectionMetrics:
+    def test_recall_one_for_exact_selector(self, rng):
+        keys = rng.normal(size=(30, 8))
+        result = ExactTopKSelector().select(rng.normal(size=8), keys, k=5)
+        assert selection_recall(result) == 1.0
+
+    def test_mass_coverage_increases_with_k(self, rng):
+        keys = rng.normal(size=(50, 16))
+        query = rng.normal(size=16)
+        selector = ExactTopKSelector()
+        cov_small = attention_mass_coverage(selector.select(query, keys, k=2))
+        cov_large = attention_mass_coverage(selector.select(query, keys, k=25))
+        assert cov_large > cov_small
+
+    def test_mass_coverage_full_selection_is_one(self, rng):
+        keys = rng.normal(size=(10, 4))
+        result = ExactTopKSelector().select(rng.normal(size=4), keys, k=10)
+        assert attention_mass_coverage(result) == pytest.approx(1.0)

@@ -1,0 +1,171 @@
+"""Tests for the application-level evaluation: metrics, datasets, harness."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    DatasetSpec,
+    build_policy_factory,
+    build_task_model,
+    cache_ratio_sweep,
+    evaluate_example,
+    evaluate_policy,
+    exact_match,
+    generate_dataset,
+    hotpotqa_like_spec,
+    narrativeqa_like_spec,
+    substring_match,
+    sweep_to_table,
+    token_f1,
+)
+from repro.eval.harness import salient_token_ids
+
+
+class TestMetrics:
+    def test_perfect_match(self):
+        assert token_f1("a b c", "a b c") == 1.0
+
+    def test_disjoint_answers(self):
+        assert token_f1("x y", "a b") == 0.0
+
+    def test_partial_overlap(self):
+        # prediction has 2 tokens, reference 3, overlap 2 -> P=1, R=2/3
+        assert token_f1("a b", "a b c") == pytest.approx(0.8)
+
+    def test_case_insensitive(self):
+        assert token_f1("Foo BAR", "foo bar") == 1.0
+
+    def test_empty_cases(self):
+        assert token_f1("", "") == 1.0
+        assert token_f1("a", "") == 0.0
+        assert token_f1("", "a") == 0.0
+
+    def test_exact_match(self):
+        assert exact_match("a b", "a  b") == 1.0
+        assert exact_match("a b", "a c") == 0.0
+
+    def test_substring_match(self):
+        assert substring_match("the answer is forty two", "forty two") == 1.0
+        assert substring_match("nothing here", "forty two") == 0.0
+
+
+class TestDatasets:
+    def test_hotpot_spec_prompt_length_respected(self):
+        spec = hotpotqa_like_spec(num_examples=2, prompt_length=300)
+        dataset = generate_dataset(spec)
+        for example in dataset.examples:
+            assert abs(example.prompt_length - 300) < 30
+
+    def test_hotpot_answers_are_two_hop(self):
+        dataset = generate_dataset(hotpotqa_like_spec(num_examples=2, prompt_length=300))
+        for example in dataset.examples:
+            assert example.hops == 2
+            assert example.answer.split()[0].startswith("bridge_")
+
+    def test_narrative_answers_single_hop(self):
+        dataset = generate_dataset(narrativeqa_like_spec(num_examples=2, prompt_length=300))
+        for example in dataset.examples:
+            assert example.hops == 1
+            assert all(tok.startswith("val_") for tok in example.answer.split())
+
+    def test_answer_tokens_present_in_prompt(self):
+        dataset = generate_dataset(hotpotqa_like_spec(num_examples=3, prompt_length=250))
+        for example in dataset.examples:
+            prompt_words = set(example.prompt.split())
+            for token in example.answer.split():
+                assert token in prompt_words
+
+    def test_question_key_ends_prompt(self):
+        dataset = generate_dataset(narrativeqa_like_spec(num_examples=2, prompt_length=250))
+        for example in dataset.examples:
+            words = example.prompt.split()
+            assert words[-2] == "ask"
+            assert words[-1] == example.question_key
+
+    def test_facts_are_duplicated(self):
+        spec = DatasetSpec(num_examples=1, prompt_length=300, num_facts=4, duplicate_facts=True)
+        dataset = generate_dataset(spec)
+        example = dataset.examples[0]
+        words = example.prompt.split()
+        assert words.count(example.question_key) >= 3  # 2 statements + question
+
+    def test_tokenizer_covers_vocabulary(self):
+        dataset = generate_dataset(hotpotqa_like_spec(num_examples=2, prompt_length=250))
+        unk = dataset.tokenizer.unk_id
+        for example in dataset.examples:
+            ids = dataset.tokenizer.encode(example.prompt + " " + example.answer)
+            assert unk not in ids
+
+    def test_deterministic_given_seed(self):
+        a = generate_dataset(hotpotqa_like_spec(num_examples=2, prompt_length=250, seed=5))
+        b = generate_dataset(hotpotqa_like_spec(num_examples=2, prompt_length=250, seed=5))
+        assert [e.prompt for e in a.examples] == [e.prompt for e in b.examples]
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            DatasetSpec(prompt_length=10)
+        with pytest.raises(ValueError):
+            DatasetSpec(hops=3)
+
+
+class TestHarness:
+    @pytest.fixture(scope="class")
+    def small_dataset(self):
+        return generate_dataset(
+            DatasetSpec(
+                name="tiny", num_examples=2, prompt_length=150,
+                num_facts=4, answer_tokens=2, hops=1, seed=3,
+            )
+        )
+
+    def test_salient_token_ids_cover_fact_words(self, small_dataset):
+        ids = salient_token_ids(small_dataset.tokenizer)
+        vocab = small_dataset.tokenizer.vocabulary()
+        assert all(vocab[i].startswith(("key_", "bridge_", "val_")) for i in ids)
+        assert len(ids) > 0
+
+    def test_full_cache_achieves_perfect_f1(self, small_dataset):
+        model = build_task_model(small_dataset.tokenizer)
+        evaluation = evaluate_policy(model, small_dataset, "full", cache_ratio=1.0)
+        assert evaluation.mean_f1 == 1.0
+
+    def test_unicaim_close_to_full_at_moderate_ratio(self, small_dataset):
+        model = build_task_model(small_dataset.tokenizer)
+        evaluation = evaluate_policy(model, small_dataset, "unicaim", cache_ratio=0.6)
+        assert evaluation.mean_f1 >= 0.75
+
+    def test_streaming_llm_degrades_at_low_ratio(self, small_dataset):
+        model = build_task_model(small_dataset.tokenizer)
+        tiny = evaluate_policy(model, small_dataset, "streaming_llm", cache_ratio=0.15)
+        full = evaluate_policy(model, small_dataset, "full", cache_ratio=1.0)
+        assert tiny.mean_f1 <= full.mean_f1
+
+    def test_evaluate_example_returns_prediction(self, small_dataset):
+        model = build_task_model(small_dataset.tokenizer)
+        example = small_dataset.examples[0]
+        factory = build_policy_factory("full", example.prompt_length, 1.0)
+        result = evaluate_example(model, small_dataset.tokenizer, example, factory)
+        assert result.prediction == example.answer
+        assert result.f1 == 1.0
+
+    def test_policy_factory_names_validated(self):
+        with pytest.raises(ValueError):
+            build_policy_factory("bogus", 100, 0.5)
+        with pytest.raises(ValueError):
+            build_policy_factory("full", 100, 0.0)
+
+    def test_all_policy_factories_construct(self):
+        from repro.eval import POLICY_NAMES
+
+        for name in POLICY_NAMES:
+            factory = build_policy_factory(name, prompt_length=200, cache_ratio=0.3)
+            policy = factory(2, 64)
+            assert policy.num_heads == 2
+
+    def test_sweep_table_formatting(self, small_dataset):
+        model = build_task_model(small_dataset.tokenizer)
+        sweep = cache_ratio_sweep(
+            small_dataset, ["full"], [1.0], max_examples=1, model=model
+        )
+        table = sweep_to_table(sweep)
+        assert "full" in table and "100%" in table

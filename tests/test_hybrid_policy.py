@@ -1,0 +1,276 @@
+"""Tests for the UniCAIM hybrid static-dynamic pruning policy."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PruningConfig
+from repro.core.dynamic_pruning import CAMApproximateSelector
+from repro.core.hybrid import UniCAIMPolicy, make_policy
+from repro.core.policy import FullCachePolicy
+
+HEADS, DIM = 2, 8
+
+
+def make_inputs(rng, n=32):
+    keys = rng.normal(size=(n, HEADS, DIM))
+    values = rng.normal(size=(n, HEADS, DIM))
+    attn = rng.normal(size=(HEADS, n, n))
+    return keys, values, attn
+
+
+def small_config(heavy=12, reserved=4, top_k=6):
+    return PruningConfig(
+        heavy_budget=heavy,
+        reserved_budget=reserved,
+        top_k=top_k,
+        sink_tokens=2,
+        recent_protect=2,
+    )
+
+
+class TestPrefill:
+    def test_retains_exactly_heavy_budget(self, rng):
+        keys, values, attn = make_inputs(rng)
+        policy = UniCAIMPolicy(HEADS, DIM, config=small_config())
+        policy.prefill(keys, values, attn)
+        assert policy.cache_size() == 12
+        assert policy.stats.retained_after_prefill == 12
+
+    def test_short_prompt_keeps_everything(self, rng):
+        keys, values, attn = make_inputs(rng, n=8)
+        policy = UniCAIMPolicy(HEADS, DIM, config=small_config())
+        policy.prefill(keys, values, attn)
+        assert policy.cache_size() == 8
+
+    def test_keeps_most_attended_token(self, rng):
+        keys, values, _ = make_inputs(rng, n=24)
+        attn = np.zeros((HEADS, 24, 24))
+        attn[:, :, 17] = 10.0
+        policy = UniCAIMPolicy(HEADS, DIM, config=small_config())
+        policy.prefill(keys, values, attn)
+        assert 17 in policy.cached_positions()
+
+    def test_prefill_without_attention_matrix(self, rng):
+        keys, values, _ = make_inputs(rng, n=20)
+        policy = UniCAIMPolicy(HEADS, DIM, config=small_config())
+        policy.prefill(keys, values, None)
+        assert policy.cache_size() == 12
+
+    def test_prefill_seeds_accumulated_scores(self, rng):
+        keys, values, attn = make_inputs(rng)
+        policy = UniCAIMPolicy(HEADS, DIM, config=small_config())
+        policy.prefill(keys, values, attn)
+        table = policy.accumulated_table()
+        assert len(table) == policy.cache_size()
+
+    def test_prefill_shape_validation(self, rng):
+        policy = UniCAIMPolicy(HEADS, DIM, config=small_config())
+        with pytest.raises(ValueError):
+            policy.prefill(rng.normal(size=(10, 3, DIM)), rng.normal(size=(10, 3, DIM)))
+
+
+class TestDecodeStep:
+    def test_output_shape(self, rng):
+        keys, values, attn = make_inputs(rng)
+        policy = UniCAIMPolicy(HEADS, DIM, config=small_config())
+        policy.prefill(keys, values, attn)
+        out = policy.decode_step(
+            rng.normal(size=(HEADS, DIM)),
+            rng.normal(size=(HEADS, DIM)),
+            rng.normal(size=(HEADS, DIM)),
+            position=32,
+        )
+        assert out.shape == (HEADS, DIM)
+
+    def test_cache_never_exceeds_capacity(self, rng):
+        keys, values, attn = make_inputs(rng)
+        config = small_config()
+        policy = UniCAIMPolicy(HEADS, DIM, config=config)
+        policy.prefill(keys, values, attn)
+        for step in range(20):
+            policy.decode_step(
+                rng.normal(size=(HEADS, DIM)),
+                rng.normal(size=(HEADS, DIM)),
+                rng.normal(size=(HEADS, DIM)),
+                position=32 + step,
+            )
+            assert policy.cache_size() <= config.cache_capacity
+
+    def test_no_eviction_until_reserved_slots_full(self, rng):
+        keys, values, attn = make_inputs(rng)
+        policy = UniCAIMPolicy(HEADS, DIM, config=small_config(reserved=4))
+        policy.prefill(keys, values, attn)
+        for step in range(4):
+            policy.decode_step(
+                rng.normal(size=(HEADS, DIM)),
+                rng.normal(size=(HEADS, DIM)),
+                rng.normal(size=(HEADS, DIM)),
+                position=32 + step,
+            )
+        assert not policy.eviction_log
+        policy.decode_step(
+            rng.normal(size=(HEADS, DIM)),
+            rng.normal(size=(HEADS, DIM)),
+            rng.normal(size=(HEADS, DIM)),
+            position=40,
+        )
+        assert len(policy.eviction_log) == 1
+
+    def test_new_token_always_cached(self, rng):
+        keys, values, attn = make_inputs(rng)
+        policy = UniCAIMPolicy(HEADS, DIM, config=small_config())
+        policy.prefill(keys, values, attn)
+        for step in range(10):
+            pos = 32 + step
+            policy.decode_step(
+                rng.normal(size=(HEADS, DIM)),
+                rng.normal(size=(HEADS, DIM)),
+                rng.normal(size=(HEADS, DIM)),
+                position=pos,
+            )
+            assert pos in policy.cached_positions()
+
+    def test_attends_at_most_top_k(self, rng):
+        keys, values, attn = make_inputs(rng)
+        policy = UniCAIMPolicy(HEADS, DIM, config=small_config(top_k=5))
+        policy.prefill(keys, values, attn)
+        policy.decode_step(
+            rng.normal(size=(HEADS, DIM)),
+            rng.normal(size=(HEADS, DIM)),
+            rng.normal(size=(HEADS, DIM)),
+            position=32,
+        )
+        assert policy.stats.records[-1].num_attended == 5
+
+    def test_eviction_prefers_lowest_accumulated_score(self, rng):
+        keys, values, _ = make_inputs(rng, n=8)
+        # Token 5 receives a strongly negative similarity from every prefill
+        # query, so with raw-score accumulation it is by far the lowest and
+        # must be the first static-eviction victim.
+        attn = np.zeros((HEADS, 8, 8))
+        attn[:, :, 5] = -10.0
+        attn[:, :, 3] = +10.0
+        config = PruningConfig(
+            heavy_budget=8,
+            reserved_budget=1,
+            top_k=4,
+            sink_tokens=0,
+            recent_protect=0,
+            use_softmax_scores=False,
+        )
+        policy = UniCAIMPolicy(HEADS, DIM, config=config)
+        policy.prefill(keys, values, attn)
+        # Fill the single reserved slot, then force one eviction.
+        for step in range(2):
+            policy.decode_step(
+                rng.normal(size=(HEADS, DIM)),
+                rng.normal(size=(HEADS, DIM)),
+                rng.normal(size=(HEADS, DIM)),
+                position=8 + step,
+            )
+        assert policy.eviction_log[0].evicted_position == 5
+
+    def test_recent_positions_protected_from_eviction(self, rng):
+        keys, values, attn = make_inputs(rng, n=10)
+        config = PruningConfig(
+            heavy_budget=9, reserved_budget=1, top_k=4, sink_tokens=0, recent_protect=4
+        )
+        policy = UniCAIMPolicy(HEADS, DIM, config=config)
+        policy.prefill(keys, values, attn)
+        for step in range(6):
+            pos = 10 + step
+            policy.decode_step(
+                rng.normal(size=(HEADS, DIM)),
+                rng.normal(size=(HEADS, DIM)),
+                rng.normal(size=(HEADS, DIM)),
+                position=pos,
+            )
+        for event in policy.eviction_log:
+            assert event.evicted_position < event.incoming_position - 4 or (
+                event.evicted_position < 10
+            )
+
+    def test_matches_full_cache_when_budget_covers_everything(self, rng):
+        n = 10
+        keys, values, attn = make_inputs(rng, n=n)
+        config = PruningConfig(
+            heavy_budget=n, reserved_budget=16, top_k=None, sink_tokens=0, recent_protect=0
+        )
+        unicaim = UniCAIMPolicy(HEADS, DIM, config=config)
+        full = FullCachePolicy(HEADS, DIM)
+        unicaim.prefill(keys, values, attn)
+        full.prefill(keys, values, attn)
+        for step in range(5):
+            q = rng.normal(size=(HEADS, DIM))
+            k = rng.normal(size=(HEADS, DIM))
+            v = rng.normal(size=(HEADS, DIM))
+            np.testing.assert_allclose(
+                unicaim.decode_step(q, k, v, n + step),
+                full.decode_step(q, k, v, n + step),
+                atol=1e-6,
+            )
+
+    def test_step_shape_validation(self, rng):
+        keys, values, attn = make_inputs(rng)
+        policy = UniCAIMPolicy(HEADS, DIM, config=small_config())
+        policy.prefill(keys, values, attn)
+        with pytest.raises(ValueError):
+            policy.decode_step(
+                rng.normal(size=(HEADS, DIM + 1)),
+                rng.normal(size=(HEADS, DIM)),
+                rng.normal(size=(HEADS, DIM)),
+                position=32,
+            )
+
+
+class TestAccumulation:
+    def test_scores_accumulate_across_steps(self, rng):
+        keys, values, attn = make_inputs(rng)
+        policy = UniCAIMPolicy(HEADS, DIM, config=small_config())
+        policy.prefill(keys, values, attn)
+        before = policy.accumulated_table()
+        policy.decode_step(
+            rng.normal(size=(HEADS, DIM)),
+            rng.normal(size=(HEADS, DIM)),
+            rng.normal(size=(HEADS, DIM)),
+            position=32,
+        )
+        after = policy.accumulated_table()
+        common = set(before) & set(after)
+        assert any(after[p] > before[p] for p in common)
+
+    def test_evicted_position_removed_from_table(self, rng):
+        keys, values, attn = make_inputs(rng)
+        policy = UniCAIMPolicy(HEADS, DIM, config=small_config(reserved=1))
+        policy.prefill(keys, values, attn)
+        for step in range(3):
+            policy.decode_step(
+                rng.normal(size=(HEADS, DIM)),
+                rng.normal(size=(HEADS, DIM)),
+                rng.normal(size=(HEADS, DIM)),
+                position=32 + step,
+            )
+        for event in policy.eviction_log:
+            assert event.evicted_position not in policy.accumulated_table()
+
+    def test_reset_clears_state(self, rng):
+        keys, values, attn = make_inputs(rng)
+        policy = UniCAIMPolicy(HEADS, DIM, config=small_config())
+        policy.prefill(keys, values, attn)
+        policy.reset()
+        assert policy.cache_size() == 0
+        assert policy.accumulated_table() == {}
+
+
+class TestFactory:
+    def test_make_policy_exact(self):
+        policy = make_policy("exact", HEADS, DIM)
+        assert isinstance(policy, UniCAIMPolicy)
+
+    def test_make_policy_cam_uses_cam_selector(self):
+        policy = make_policy("cam", HEADS, DIM)
+        assert isinstance(policy.selector, CAMApproximateSelector)
+
+    def test_make_policy_unknown_mode(self):
+        with pytest.raises(ValueError):
+            make_policy("nope", HEADS, DIM)

@@ -1,0 +1,152 @@
+"""Integration tests tying the algorithm, the hardware models and the
+evaluation harness together."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import ArrayConfig, CAMMode, UniCAIMArray, UniCAIMEngine
+from repro.core.attention import recall_at_k, top_k_indices
+from repro.core.config import PruningConfig
+from repro.core.dynamic_pruning import CAMApproximateSelector, CAMSelectorConfig
+from repro.core.hybrid import UniCAIMPolicy
+from repro.core.policy import FullCachePolicy
+from repro.devices import VariationModel
+from repro.eval import (
+    DatasetSpec,
+    build_policy_factory,
+    build_task_model,
+    evaluate_policy,
+    generate_dataset,
+)
+from repro.llm.generation import greedy_generate
+
+
+class TestAlgorithmHardwareAgreement:
+    """The floating-point policy and the circuit engine implement the same
+    pruning algorithm; their selections must agree on separable inputs."""
+
+    def test_cam_mode_matches_software_topk_on_binary_keys(self, rng):
+        dim, rows, k = 64, 48, 8
+        keys = rng.choice([-1.0, 1.0], size=(rows, dim))
+        query = rng.choice([-1.0, 1.0], size=dim)
+
+        config = ArrayConfig(num_rows=rows, dim=dim, key_bits=1, query_bits=1)
+        array = UniCAIMArray(config)
+        array.load_keys(keys, pre_quantized=True)
+        hardware = CAMMode(array).select_topk(query, k, pre_quantized=True)
+
+        software = top_k_indices(keys @ query, k)
+        recall = recall_at_k(hardware.selected_rows, software)
+        assert recall >= 0.8
+
+    def test_cam_mode_with_variation_still_finds_strong_matches(self, rng):
+        dim, rows = 64, 32
+        keys = rng.choice([-1.0, 1.0], size=(rows, dim))
+        # Row 5 is an exact match for the query -> maximal MAC.
+        query = keys[5].copy()
+        config = ArrayConfig(
+            num_rows=rows, dim=dim, key_bits=1, query_bits=1,
+            variation=VariationModel.paper_default(seed=11),
+        )
+        array = UniCAIMArray(config)
+        array.load_keys(keys, pre_quantized=True)
+        result = CAMMode(array).select_topk(query, k=4, pre_quantized=True)
+        assert 5 in result.selected_rows
+
+    def test_policy_with_cam_selector_tracks_exact_policy(self, rng):
+        """The CAM-approximate policy must attend to nearly the same tokens
+        as the exact policy on well-separated data."""
+        heads, dim, n = 1, 64, 40
+        keys = rng.normal(size=(n, heads, dim))
+        values = rng.normal(size=(n, heads, dim))
+        attn = rng.normal(size=(heads, n, n))
+        config = PruningConfig(heavy_budget=32, reserved_budget=8, top_k=8)
+
+        exact = UniCAIMPolicy(heads, dim, config=config)
+        approx = UniCAIMPolicy(
+            heads, dim, config=config,
+            selector=CAMApproximateSelector(CAMSelectorConfig(key_bits=3, query_bits=2)),
+        )
+        exact.prefill(keys, values, attn)
+        approx.prefill(keys, values, attn)
+
+        overlaps = []
+        for step in range(6):
+            q = rng.normal(size=(heads, dim))
+            k = rng.normal(size=(heads, dim))
+            v = rng.normal(size=(heads, dim))
+            exact.decode_step(q, k, v, n + step)
+            approx.decode_step(q, k, v, n + step)
+            sel_exact = set(exact.stats.records[-1].selected_positions.tolist())
+            sel_approx = set(approx.stats.records[-1].selected_positions.tolist())
+            overlaps.append(len(sel_exact & sel_approx) / len(sel_exact))
+        assert np.mean(overlaps) > 0.6
+
+    def test_engine_decode_loop_on_real_prompt_keys(self, rng):
+        """Run the circuit engine over keys produced by the transformer
+        substrate (layer-1 keys of a real prompt)."""
+        dataset = generate_dataset(
+            DatasetSpec(num_examples=1, prompt_length=120, num_facts=3,
+                        answer_tokens=2, hops=1, seed=0)
+        )
+        model = build_task_model(dataset.tokenizer)
+        example = dataset.examples[0]
+        ids = dataset.tokenizer.encode(example.prompt)
+        policies = model.make_policies()
+        model.prefill(ids, policies)
+        layer1_keys = policies[1].cached_positions()
+        keys = np.stack([k[0] for k in policies[1]._keys], axis=0)  # head 0 keys
+
+        rows = min(64, keys.shape[0])
+        engine = UniCAIMEngine(
+            ArrayConfig(num_rows=rows, dim=keys.shape[1], key_bits=3, query_bits=1)
+        )
+        engine.load_prefill(keys[:rows])
+        result = engine.decode_step(keys[0], k=8)
+        assert result.readout.rows.size == 8
+        assert np.isfinite(result.readout.mac_estimates).all()
+
+
+class TestEndToEndAccuracy:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return generate_dataset(
+            DatasetSpec(
+                name="integration", num_examples=3, prompt_length=220,
+                num_facts=5, answer_tokens=2, hops=1, seed=9,
+            )
+        )
+
+    def test_policy_accuracy_ordering(self, dataset):
+        """The qualitative Fig. 13 result on a small task: the hybrid policy
+        stays close to the full cache and beats the recency-only baseline at
+        an aggressive cache ratio."""
+        model = build_task_model(dataset.tokenizer)
+        full = evaluate_policy(model, dataset, "full", cache_ratio=1.0)
+        unicaim = evaluate_policy(model, dataset, "unicaim", cache_ratio=0.35)
+        streaming = evaluate_policy(model, dataset, "streaming_llm", cache_ratio=0.35)
+        assert full.mean_f1 == 1.0
+        assert unicaim.mean_f1 >= streaming.mean_f1
+        assert unicaim.mean_f1 >= 0.5
+
+    def test_generation_respects_policy_cache_budget(self, dataset):
+        example = dataset.examples[0]
+        ids = dataset.tokenizer.encode(example.prompt)
+        model = build_task_model(dataset.tokenizer)
+        factory = build_policy_factory("unicaim", example.prompt_length, 0.3)
+        result = greedy_generate(model, ids, max_new_tokens=3, policy_factory=factory)
+        budget = max(8, int(round(example.prompt_length * 0.3)))
+        for stats in result.policy_stats:
+            assert stats.peak_cache_size <= budget + 4
+
+    def test_full_policy_and_dense_forward_agree(self, dataset):
+        """Autoregressive generation under the full-cache policy must equal
+        the teacher-forced dense forward pass prediction-by-prediction."""
+        example = dataset.examples[0]
+        ids = dataset.tokenizer.encode(example.prompt)
+        model = build_task_model(dataset.tokenizer)
+        result = greedy_generate(model, ids, max_new_tokens=2)
+        full_ids = ids + result.token_ids
+        dense_logits = model.forward_full(full_ids)
+        # the prediction at the last prompt position equals the first token
+        assert int(np.argmax(dense_logits[len(ids) - 1])) == result.token_ids[0]

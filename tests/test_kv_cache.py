@@ -1,0 +1,208 @@
+"""Tests for the fixed-size slot-based KV cache."""
+
+import numpy as np
+import pytest
+
+from repro.core.kv_cache import SlotKVCache
+
+
+def make_cache(capacity=4, heads=2, dim=3):
+    return SlotKVCache(capacity=capacity, num_heads=heads, head_dim=dim)
+
+
+def kv(heads=2, dim=3, fill=1.0):
+    return np.full((heads, dim), fill), np.full((heads, dim), -fill)
+
+
+class TestConstruction:
+    def test_starts_empty(self):
+        cache = make_cache()
+        assert len(cache) == 0
+        assert cache.num_free_slots == 4
+        assert not cache.is_full
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            SlotKVCache(0, 1, 1)
+        with pytest.raises(ValueError):
+            SlotKVCache(1, 0, 1)
+        with pytest.raises(ValueError):
+            SlotKVCache(1, 1, 0)
+
+
+class TestAppendAndRead:
+    def test_append_fills_slots_in_order(self):
+        cache = make_cache()
+        key, value = kv()
+        slots = [cache.append(key, value, pos) for pos in range(3)]
+        assert slots == [0, 1, 2]
+        assert len(cache) == 3
+
+    def test_append_records_token_positions(self):
+        cache = make_cache()
+        key, value = kv()
+        cache.append(key, value, 10)
+        cache.append(key, value, 20)
+        assert cache.token_positions().tolist() == [10, 20]
+
+    def test_append_when_full_raises(self):
+        cache = make_cache(capacity=2)
+        key, value = kv()
+        cache.append(key, value, 0)
+        cache.append(key, value, 1)
+        with pytest.raises(RuntimeError):
+            cache.append(key, value, 2)
+
+    def test_keys_and_values_roundtrip(self):
+        cache = make_cache()
+        key, value = kv(fill=3.0)
+        cache.append(key, value, 0)
+        np.testing.assert_allclose(cache.keys()[0], key)
+        np.testing.assert_allclose(cache.values()[0], value)
+
+    def test_keys_per_head_selection(self):
+        cache = make_cache()
+        key = np.stack([np.ones(3), 2 * np.ones(3)])
+        cache.append(key, key, 0)
+        np.testing.assert_allclose(cache.keys(head=1)[0], 2 * np.ones(3))
+
+    def test_shape_validation(self):
+        cache = make_cache()
+        with pytest.raises(ValueError):
+            cache.append(np.ones((3, 3)), np.ones((2, 3)), 0)
+
+    def test_negative_position_rejected(self):
+        cache = make_cache()
+        key, value = kv()
+        with pytest.raises(ValueError):
+            cache.append(key, value, -1)
+
+    def test_gather_returns_requested_slots(self):
+        cache = make_cache()
+        for pos in range(3):
+            key = np.full((2, 3), float(pos))
+            cache.append(key, key, pos)
+        keys, values, positions = cache.gather([2, 0])
+        assert positions.tolist() == [2, 0]
+        np.testing.assert_allclose(keys[0], np.full((2, 3), 2.0))
+
+    def test_gather_unoccupied_slot_raises(self):
+        cache = make_cache()
+        key, value = kv()
+        cache.append(key, value, 0)
+        with pytest.raises(ValueError):
+            cache.gather([1])
+
+
+class TestEvictionAndReplace:
+    def test_evict_frees_slot(self):
+        cache = make_cache(capacity=2)
+        key, value = kv()
+        cache.append(key, value, 0)
+        cache.append(key, value, 1)
+        entry = cache.evict(0)
+        assert entry.token_position == 0
+        assert len(cache) == 1
+        assert cache.num_free_slots == 1
+
+    def test_evicted_slot_is_reused(self):
+        cache = make_cache(capacity=2)
+        key, value = kv()
+        cache.append(key, value, 0)
+        cache.append(key, value, 1)
+        cache.evict(0)
+        new_slot = cache.append(key, value, 2)
+        assert new_slot == 0
+
+    def test_replace_is_in_place(self):
+        """The paper's "fill the statically evicted position" operation."""
+        cache = make_cache(capacity=2)
+        key, value = kv()
+        cache.append(key, value, 0)
+        cache.append(key, value, 1)
+        evicted = cache.replace(1, key * 2, value, 5)
+        assert evicted.token_position == 1
+        assert cache.slot_of_position(5) == 1
+        assert len(cache) == 2
+
+    def test_evict_unoccupied_raises(self):
+        cache = make_cache()
+        with pytest.raises(ValueError):
+            cache.evict(0)
+
+    def test_evict_position(self):
+        cache = make_cache()
+        key, value = kv()
+        cache.append(key, value, 7)
+        entry = cache.evict_position(7)
+        assert entry.token_position == 7
+        with pytest.raises(KeyError):
+            cache.evict_position(7)
+
+    def test_eviction_count_tracks(self):
+        cache = make_cache()
+        key, value = kv()
+        cache.append(key, value, 0)
+        cache.evict(0)
+        cache.append(key, value, 1)
+        cache.evict_position(1)
+        assert cache.eviction_count == 2
+
+    def test_out_of_range_slot_raises(self):
+        cache = make_cache(capacity=2)
+        with pytest.raises(IndexError):
+            cache.evict(5)
+
+
+class TestBookkeeping:
+    def test_position_to_slot_map(self):
+        cache = make_cache()
+        key, value = kv()
+        cache.append(key, value, 3)
+        cache.append(key, value, 9)
+        assert cache.position_to_slot_map() == {3: 0, 9: 1}
+
+    def test_contains_position(self):
+        cache = make_cache()
+        key, value = kv()
+        cache.append(key, value, 3)
+        assert cache.contains_position(3)
+        assert not cache.contains_position(4)
+
+    def test_entries_report_heavy_flag(self):
+        cache = make_cache()
+        key, value = kv()
+        cache.append(key, value, 0, is_heavy=True)
+        cache.append(key, value, 1, is_heavy=False)
+        entries = cache.entries()
+        assert entries[0].is_heavy and not entries[1].is_heavy
+
+    def test_clear_resets_everything(self):
+        cache = make_cache()
+        key, value = kv()
+        cache.append(key, value, 0)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.num_free_slots == cache.capacity
+
+    def test_write_count_includes_overwrites(self):
+        cache = make_cache()
+        key, value = kv()
+        cache.append(key, value, 0)
+        cache.overwrite(0, key, value, 1)
+        assert cache.write_count == 2
+
+    def test_memory_bytes_fixed_by_capacity(self):
+        cache = make_cache(capacity=8, heads=2, dim=4)
+        expected = 2 * 8 * 2 * 4 * 4  # two float32 arrays
+        assert cache.memory_bytes() == expected
+
+    def test_capacity_never_exceeded_under_replace_loop(self):
+        cache = make_cache(capacity=3)
+        key, value = kv()
+        for pos in range(3):
+            cache.append(key, value, pos)
+        for pos in range(3, 20):
+            victim_slot = cache.slot_of_position(pos - 3)
+            cache.replace(victim_slot, key, value, pos)
+            assert len(cache) == 3

@@ -1,0 +1,144 @@
+"""Tests for the one-shot prefill static pruning."""
+
+import numpy as np
+import pytest
+
+from repro.core.static_pruning import (
+    accumulated_scores_from_attention,
+    lowest_score_position,
+    prefill_static_prune,
+    select_heavy_tokens,
+)
+
+
+class TestAccumulatedScores:
+    def test_uniform_attention_gives_causal_triangle_mass(self):
+        n = 4
+        attn = np.zeros((n, n))
+        scores = accumulated_scores_from_attention(attn, use_softmax=True)
+        # Query i spreads 1/(i+1) over keys 0..i; key 0 is seen by everyone.
+        assert scores[0] == pytest.approx(sum(1.0 / (i + 1) for i in range(n)))
+        assert scores[-1] == pytest.approx(1.0 / n)
+
+    def test_highly_attended_token_scores_highest(self):
+        n = 6
+        attn = np.zeros((n, n))
+        attn[:, 2] = 10.0  # every query loves key 2
+        scores = accumulated_scores_from_attention(attn)
+        assert int(np.argmax(scores)) == 2
+
+    def test_raw_accumulation_without_softmax(self):
+        attn = np.array([[1.0, -np.inf], [2.0, 3.0]])
+        scores = accumulated_scores_from_attention(attn, use_softmax=False, causal=False)
+        np.testing.assert_allclose(scores, [3.0, 3.0])
+
+    def test_multi_head_scores_are_head_averaged(self):
+        attn = np.zeros((2, 4, 4))
+        attn[0, :, 0] = 5.0
+        attn[1, :, 1] = 5.0
+        scores = accumulated_scores_from_attention(attn)
+        # Each head's favourite key beats the never-attended key 3, and the
+        # average reflects both heads' contributions.
+        assert scores[0] > scores[3]
+        assert scores[1] > scores[3]
+
+    def test_observation_window_restricts_queries(self):
+        n = 8
+        attn = np.zeros((n, n))
+        attn[:4, 1] = 10.0   # early queries attend to key 1
+        attn[4:, 6] = 10.0   # late queries attend to key 6
+        windowed = accumulated_scores_from_attention(attn, observation_window=4)
+        assert windowed[6] > windowed[1]
+
+    def test_bad_observation_window(self):
+        with pytest.raises(ValueError):
+            accumulated_scores_from_attention(np.zeros((3, 3)), observation_window=0)
+
+    def test_bad_shape_raises(self):
+        with pytest.raises(ValueError):
+            accumulated_scores_from_attention(np.zeros(4))
+
+
+class TestSelectHeavyTokens:
+    def test_keeps_highest_scores(self):
+        scores = np.array([0.1, 5.0, 0.2, 4.0, 0.3])
+        result = select_heavy_tokens(scores, heavy_budget=2)
+        assert result.kept_positions.tolist() == [1, 3]
+        assert result.num_dropped == 3
+
+    def test_budget_larger_than_input_keeps_all(self):
+        scores = np.arange(4, dtype=float)
+        result = select_heavy_tokens(scores, heavy_budget=10)
+        assert result.num_kept == 4
+        assert result.num_dropped == 0
+
+    def test_sink_tokens_protected(self):
+        scores = np.array([0.0, 0.0, 9.0, 9.0, 9.0])
+        result = select_heavy_tokens(scores, heavy_budget=3, sink_tokens=1)
+        assert 0 in result.kept_positions
+
+    def test_recent_tokens_protected(self):
+        scores = np.array([9.0, 9.0, 9.0, 0.0, 0.0])
+        result = select_heavy_tokens(scores, heavy_budget=3, recent_tokens=2)
+        assert 4 in result.kept_positions and 3 in result.kept_positions
+
+    def test_protected_exceeding_budget_ranked_by_score(self):
+        scores = np.array([1.0, 5.0, 3.0, 2.0])
+        result = select_heavy_tokens(
+            scores, heavy_budget=2, sink_tokens=2, recent_tokens=2
+        )
+        assert result.num_kept == 2
+        assert 1 in result.kept_positions  # highest-scoring protected token
+
+    def test_kept_positions_sorted(self):
+        scores = np.array([0.5, 0.1, 0.9, 0.7])
+        result = select_heavy_tokens(scores, heavy_budget=3)
+        assert list(result.kept_positions) == sorted(result.kept_positions)
+
+    def test_compression_ratio(self):
+        scores = np.arange(10, dtype=float)
+        result = select_heavy_tokens(scores, heavy_budget=5)
+        assert result.compression_ratio == pytest.approx(0.5)
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            select_heavy_tokens(np.ones(3), heavy_budget=0)
+
+    def test_deterministic_tie_break(self):
+        scores = np.ones(6)
+        result = select_heavy_tokens(scores, heavy_budget=3)
+        assert result.kept_positions.tolist() == [0, 1, 2]
+
+
+class TestPrefillStaticPrune:
+    def test_end_to_end_keeps_attended_token(self):
+        n = 10
+        attn = np.zeros((n, n))
+        attn[:, 7] = 8.0
+        result = prefill_static_prune(attn, heavy_budget=3)
+        assert 7 in result.kept_positions
+
+    def test_dropped_and_kept_partition_positions(self):
+        n = 12
+        attn = np.random.default_rng(0).normal(size=(n, n))
+        result = prefill_static_prune(attn, heavy_budget=5)
+        merged = np.sort(np.concatenate([result.kept_positions, result.dropped_positions]))
+        np.testing.assert_array_equal(merged, np.arange(n))
+
+
+class TestLowestScorePosition:
+    def test_finds_minimum_among_candidates(self):
+        scores = np.array([5.0, 1.0, 3.0, 0.5])
+        assert lowest_score_position(scores, [0, 2, 3]) == 3
+
+    def test_restricted_to_candidates(self):
+        scores = np.array([5.0, 0.0, 3.0])
+        assert lowest_score_position(scores, [0, 2]) == 2
+
+    def test_tie_breaks_to_earliest(self):
+        scores = np.array([1.0, 1.0, 1.0])
+        assert lowest_score_position(scores, [2, 1]) == 1
+
+    def test_empty_candidates_raise(self):
+        with pytest.raises(ValueError):
+            lowest_score_position(np.ones(3), [])

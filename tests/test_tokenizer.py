@@ -1,0 +1,67 @@
+"""Tests for the word-level tokenizer."""
+
+import pytest
+
+from repro.llm.tokenizer import WordTokenizer
+
+
+class TestWordTokenizer:
+    def test_specials_present(self):
+        tok = WordTokenizer(["a", "b"])
+        assert tok.pad_id == 0
+        assert tok.unk_id == 1
+        assert tok.bos_id == 2
+        assert tok.eos_id == 3
+
+    def test_vocab_size_counts_specials(self):
+        tok = WordTokenizer(["a", "b", "c"])
+        assert tok.vocab_size == 7
+
+    def test_duplicate_words_deduplicated(self):
+        tok = WordTokenizer(["a", "a", "b"])
+        assert tok.vocab_size == 6
+
+    def test_encode_decode_roundtrip(self):
+        tok = WordTokenizer(["hello", "world"])
+        ids = tok.encode("hello world hello")
+        assert tok.decode(ids) == "hello world hello"
+
+    def test_unknown_word_maps_to_unk(self):
+        tok = WordTokenizer(["a"])
+        assert tok.encode("zzz") == [tok.unk_id]
+
+    def test_bos_eos_flags(self):
+        tok = WordTokenizer(["a"])
+        ids = tok.encode("a", add_bos=True, add_eos=True)
+        assert ids[0] == tok.bos_id and ids[-1] == tok.eos_id
+
+    def test_decode_skips_specials_by_default(self):
+        tok = WordTokenizer(["a"])
+        ids = [tok.bos_id, tok.token_to_id("a"), tok.eos_id]
+        assert tok.decode(ids) == "a"
+
+    def test_decode_keeps_specials_when_asked(self):
+        tok = WordTokenizer(["a"])
+        text = tok.decode([tok.bos_id, tok.token_to_id("a")], skip_special=False)
+        assert "<bos>" in text
+
+    def test_id_to_token_out_of_range(self):
+        tok = WordTokenizer(["a"])
+        assert tok.id_to_token(9999) == tok.UNK
+
+    def test_encode_words(self):
+        tok = WordTokenizer(["x", "y"])
+        assert tok.encode_words(["y", "x"]) == [
+            tok.token_to_id("y"),
+            tok.token_to_id("x"),
+        ]
+
+    def test_from_texts_covers_vocabulary(self):
+        tok = WordTokenizer.from_texts(["a b c", "c d"])
+        for word in ["a", "b", "c", "d"]:
+            assert tok.token_to_id(word) != tok.unk_id
+
+    def test_vocabulary_order_stable(self):
+        tok = WordTokenizer(["b", "a"])
+        vocab = tok.vocabulary()
+        assert vocab.index("b") < vocab.index("a")
