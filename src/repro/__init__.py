@@ -7,6 +7,10 @@ efficient long-context LLM inference, rebuilt as an open Python library:
   and the baseline policies it is compared against.
 * :mod:`repro.llm` — a numpy transformer substrate whose per-layer KV cache
   is managed by pluggable pruning policies.
+* :mod:`repro.serving` — a batched multi-sequence serving engine with
+  continuous request admission; decodes many independent sequences per
+  step with per-sequence policies (single-sequence generation and the
+  evaluation harness both route through it).
 * :mod:`repro.devices` — behavioural FeFET / MOSFET / RC device models.
 * :mod:`repro.circuits` — the UniCAIM cell, array and its three operating
   modes (CAM, charge-domain CIM, current-domain CIM).

@@ -132,8 +132,12 @@ def quantize_vector(values: np.ndarray, bits: int, clip_sigma: float = 2.0) -> n
     """Normalise a real-valued vector and snap it to the signed level grid.
 
     This is the digital pre-processing step that maps real key/query vectors
-    onto what the array can physically store; it matches
-    :func:`repro.core.dynamic_pruning.quantize_signed`.
+    onto the array model's level grid.  Note the grid here is
+    :func:`signed_levels` (``2**bits + 1`` half-step levels, the Fig. 6
+    encoding realised via multi-cell expansion), which is *denser* than the
+    single-storage-cell grid of
+    :func:`repro.core.dynamic_pruning.quantize_signed`
+    (``2**bits - 1`` levels).
     """
     values = np.asarray(values, dtype=np.float64)
     std = float(np.std(values))

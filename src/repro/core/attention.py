@@ -13,11 +13,31 @@ import numpy as np
 
 
 def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
-    """Numerically stable softmax."""
+    """Numerically stable softmax.
+
+    Rows whose entries are all ``-inf`` (e.g. a fully-masked attention row)
+    would produce ``0/0 -> NaN``; such rows return a uniform distribution
+    instead, so masking bugs surface as wrong-but-finite probabilities
+    rather than silent NaN propagation.
+    """
     x = np.asarray(x, dtype=np.float64)
-    shifted = x - np.max(x, axis=axis, keepdims=True)
-    exp = np.exp(shifted)
-    return exp / np.sum(exp, axis=axis, keepdims=True)
+    row_max = np.max(x, axis=axis, keepdims=True)
+    if np.isfinite(row_max).all():
+        # Fast path (every row has at least one finite entry): identical
+        # numerics to the classic shift-exp-normalise implementation.
+        exp = np.exp(x - row_max)
+        return exp / np.sum(exp, axis=axis, keepdims=True)
+    # Guard fully-masked rows (all -inf): (-inf) - (-inf) = NaN otherwise.
+    # Only those rows become uniform; NaN inputs still propagate as NaN so
+    # genuine numerical bugs stay loud.
+    fully_masked = np.isneginf(row_max)
+    safe_max = np.where(fully_masked, 0.0, row_max)
+    exp = np.exp(x - safe_max)
+    total = np.sum(exp, axis=axis, keepdims=True)
+    n = x.shape[axis] if x.ndim else 1
+    uniform = 1.0 / max(n, 1)
+    probs = exp / np.where(fully_masked, 1.0, total)
+    return np.where(fully_masked, uniform, probs)
 
 
 def attention_scores(
@@ -85,10 +105,23 @@ def attention_probabilities(
     scale: Optional[float] = None,
     mask: Optional[np.ndarray] = None,
 ) -> np.ndarray:
-    """Softmax attention probabilities for one query over cached keys."""
+    """Softmax attention probabilities for one query over cached keys.
+
+    Raises
+    ------
+    ValueError
+        If ``mask`` excludes every key of a row: there is no token to
+        attend to, which is a caller bug that previously surfaced only as
+        silent NaN propagation.
+    """
     scores = attention_scores(query, keys, scale=scale)
     if mask is not None:
         mask = np.asarray(mask, dtype=bool)
+        if not np.all(np.any(np.broadcast_to(mask, scores.shape), axis=-1)):
+            raise ValueError(
+                "attention mask excludes every key for at least one row; "
+                "each query must be able to attend to at least one token"
+            )
         scores = np.where(mask, scores, -np.inf)
     return softmax(scores, axis=-1)
 
@@ -124,7 +157,11 @@ def sparse_attention_output(
     This is the exact sparse attention the current-domain CIM mode performs
     over the top-k dynamically selected tokens.
     """
-    selected = np.asarray(list(selected), dtype=np.int64)
+    selected = (
+        selected.astype(np.int64, copy=False)
+        if isinstance(selected, np.ndarray)
+        else np.asarray(list(selected), dtype=np.int64)
+    )
     if selected.size == 0:
         raise ValueError("selected index set must not be empty")
     keys = np.asarray(keys, dtype=np.float64)

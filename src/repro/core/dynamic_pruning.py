@@ -83,10 +83,12 @@ def quantize_signed(
     """Quantise values to the signed levels a ``bits``-bit UniCAIM cell stores.
 
     A ``bits``-bit signed cell provides ``2**bits - 1`` symmetric levels in
-    ``[-1, +1]`` (e.g. 1 bit -> {-1, +1}, 2 bits -> {-1, -1/3... actually
-    {-1, -0.5, 0, +0.5, +1} per the paper's Fig. 6 encoding uses half-step
-    levels).  The input is normalised per call by ``clip_sigma`` standard
-    deviations so that typical activations span the full level range.
+    ``[-1, +1]``: ``2**(bits-1) - 1`` negative levels, zero, and
+    ``2**(bits-1) - 1`` positive levels (e.g. 2 bits -> {-1, 0, +1},
+    3 bits -> 7 levels at multiples of 1/3).  The 1-bit cell is the
+    zero-free sign encoding {-1, +1}.  The input is normalised per call by
+    ``clip_sigma`` standard deviations so that typical activations span the
+    full level range.
 
     Returns values on the normalised level grid in ``[-1, 1]``.
     """
@@ -98,7 +100,7 @@ def quantize_signed(
     normalised = np.clip(x / scale, -1.0, 1.0)
     if bits == 1:
         return np.where(normalised >= 0, 1.0, -1.0)
-    levels_per_side = 2 ** (bits - 1)
+    levels_per_side = 2 ** (bits - 1) - 1
     step = 1.0 / levels_per_side
     return np.clip(np.round(normalised / step) * step, -1.0, 1.0)
 

@@ -73,6 +73,11 @@ class UniCAIMPolicy(KVCachePolicy):
         ``1/sqrt(head_dim)``).
     """
 
+    #: Magnitude of the synthetic recency scores used when ``prefill`` is
+    #: called without an attention map.  Small enough that one real decoding
+    #: step's scores dominate it, large enough to survive float64 rounding.
+    PREFILL_FALLBACK_EPSILON = 1e-6
+
     def __init__(
         self,
         num_heads: int,
@@ -89,8 +94,11 @@ class UniCAIMPolicy(KVCachePolicy):
             num_heads=num_heads,
             head_dim=head_dim,
         )
-        # Accumulated attention score per logical token position.
-        self._accumulated: Dict[int, float] = {}
+        # Accumulated attention score per *physical cache slot*, aligned
+        # with the cache arrays so the per-step update is one vector op
+        # (the seed kept a Dict[int, float] keyed by token position and
+        # updated it entry by entry in a Python loop).
+        self._slot_scores = np.zeros(self.cache.capacity, dtype=np.float64)
         self._generated_count = 0
         self._prefill_length = 0
         self.eviction_log: list[EvictionEvent] = []
@@ -118,9 +126,14 @@ class UniCAIMPolicy(KVCachePolicy):
             )
         else:
             # Without a prefill attention map (e.g. when the policy is used
-            # standalone), fall back to a uniform score so the selection
-            # keeps the most recent tokens via the recency protection.
-            scores = np.zeros(n, dtype=np.float64)
+            # standalone), fall back to a small position-proportional score
+            # so the selection keeps the most *recent* tokens
+            # (StreamingLLM-style).  A uniform zero score would not do that:
+            # ``select_heavy_tokens`` breaks ties toward the lowest index,
+            # which would fill the budget with the oldest tokens instead.
+            scores = np.arange(n, dtype=np.float64) * (
+                self.PREFILL_FALLBACK_EPSILON / max(n, 1)
+            )
 
         result = select_heavy_tokens(
             scores,
@@ -130,11 +143,11 @@ class UniCAIMPolicy(KVCachePolicy):
         )
 
         self.cache.clear()
-        self._accumulated = {}
+        self._slot_scores.fill(0.0)
         for position in result.kept_positions:
             pos = int(position)
-            self.cache.append(keys[pos], values[pos], pos, is_heavy=True)
-            self._accumulated[pos] = float(scores[pos])
+            slot = self.cache.append(keys[pos], values[pos], pos, is_heavy=True)
+            self._slot_scores[slot] = float(scores[pos])
         self.stats.retained_after_prefill = len(self.cache)
         self._generated_count = 0
         self.eviction_log = []
@@ -169,7 +182,7 @@ class UniCAIMPolicy(KVCachePolicy):
             query, keys, values, selected, scale=self.scale
         )
 
-        self._accumulate_step_scores(positions, selection)
+        self._accumulate_step_scores(selection)
 
         self.stats.record(
             StepRecord(
@@ -187,16 +200,24 @@ class UniCAIMPolicy(KVCachePolicy):
 
     def accumulated_score(self, position: int) -> float:
         """Accumulated attention score of a cached token position."""
-        return self._accumulated.get(int(position), 0.0)
+        slot = self.cache.slot_of_position(int(position))
+        if slot is None:
+            return 0.0
+        return float(self._slot_scores[slot])
 
     def accumulated_table(self) -> Dict[int, float]:
         """Copy of the accumulated-score table (position -> score)."""
-        return dict(self._accumulated)
+        slots = self.cache.occupied_slots()
+        positions = self.cache.token_positions()
+        return {
+            int(pos): float(self._slot_scores[slot])
+            for pos, slot in zip(positions, slots)
+        }
 
     def reset(self) -> None:
         super().reset()
         self.cache.clear()
-        self._accumulated = {}
+        self._slot_scores.fill(0.0)
         self._generated_count = 0
         self._prefill_length = 0
         self.eviction_log = []
@@ -210,17 +231,16 @@ class UniCAIMPolicy(KVCachePolicy):
         """Write the new token's KV pair, statically evicting if the cache is full."""
         self._generated_count += 1
         if not self.cache.is_full:
-            self.cache.append(key, value, position, is_heavy=False)
-            self._accumulated.setdefault(position, 0.0)
+            slot = self.cache.append(key, value, position, is_heavy=False)
+            self._slot_scores[slot] = 0.0
             return None
 
         victim_position = self._choose_eviction_victim(position)
         victim_slot = self.cache.slot_of_position(victim_position)
         assert victim_slot is not None
-        victim_score = self._accumulated.get(victim_position, 0.0)
+        victim_score = float(self._slot_scores[victim_slot])
         self.cache.replace(victim_slot, key, value, position, is_heavy=False)
-        self._accumulated.pop(victim_position, None)
-        self._accumulated.setdefault(position, 0.0)
+        self._slot_scores[victim_slot] = 0.0
         self.eviction_log.append(
             EvictionEvent(
                 step=self._generated_count,
@@ -232,35 +252,38 @@ class UniCAIMPolicy(KVCachePolicy):
         return victim_position
 
     def _choose_eviction_victim(self, incoming_position: int) -> int:
-        """Token position with the lowest accumulated score, honouring protections."""
+        """Token position with the lowest accumulated score, honouring protections.
+
+        Fully vectorized: the protection rules become boolean masks over
+        the cached-position array (the seed built Python sets and lists).
+        """
         positions = self.cache.token_positions()
-        protected = set()
+        slots = self.cache.occupied_slots()
+
+        protected = np.zeros(positions.shape, dtype=bool)
         if self.config.sink_tokens > 0:
-            protected.update(
-                int(p) for p in positions if p < self.config.sink_tokens
-            )
+            protected |= positions < self.config.sink_tokens
         if self.config.recent_protect > 0:
-            threshold = incoming_position - self.config.recent_protect
-            protected.update(int(p) for p in positions if p >= threshold)
+            protected |= positions >= incoming_position - self.config.recent_protect
 
-        candidates = [int(p) for p in positions if int(p) not in protected]
-        if not candidates:
-            candidates = [int(p) for p in positions]
+        candidates = ~protected
+        if not candidates.any():
+            candidates = np.ones(positions.shape, dtype=bool)
 
-        scores = np.asarray(
-            [self._accumulated.get(p, 0.0) for p in candidates], dtype=np.float64
-        )
-        order = np.lexsort((np.asarray(candidates), scores))
-        return int(candidates[order[0]])
+        cand_positions = positions[candidates]
+        cand_scores = self._slot_scores[slots[candidates]]
+        # Lowest score wins; ties break toward the earliest position.
+        order = np.lexsort((cand_positions, cand_scores))
+        return int(cand_positions[order[0]])
 
-    def _accumulate_step_scores(
-        self, positions: np.ndarray, selection: SelectionResult
-    ) -> None:
+    def _accumulate_step_scores(self, selection: SelectionResult) -> None:
         """Add this step's similarity scores to the accumulated table.
 
         The charge-domain CIM accumulates the (approximate) similarity of
         every row in the same cycle as the CAM comparison, so the table is
-        updated for every cached token, not only the selected ones.
+        updated for every cached token, not only the selected ones.  The
+        step scores are aligned with the occupied-slot order the selector
+        saw, so the whole update is a single vectorized scatter.
         """
         if self.config.use_softmax_scores:
             scores = np.asarray(selection.exact_scores, dtype=np.float64)
@@ -271,11 +294,11 @@ class UniCAIMPolicy(KVCachePolicy):
         else:
             step_scores = np.asarray(selection.scores, dtype=np.float64)
 
+        slots = self.cache.occupied_slots()
         decay = self.config.score_decay
-        for idx, pos in enumerate(positions):
-            pos = int(pos)
-            previous = self._accumulated.get(pos, 0.0)
-            self._accumulated[pos] = previous * decay + float(step_scores[idx])
+        if decay != 1.0:
+            self._slot_scores[slots] *= decay
+        self._slot_scores[slots] += step_scores
 
 
 def make_policy(

@@ -10,6 +10,14 @@ the statically evicted position") instead of shifting memory around.
 :class:`SlotKVCache` models exactly that: a fixed array of slots addressed
 by physical row index, with a mapping back to logical token positions so
 that causal masking and accuracy evaluation remain possible.
+
+The cache is a decode-loop hot path, so reads are zero-copy where possible:
+``keys()`` / ``values()`` / ``token_positions()`` / ``occupied_slots()``
+return cached read-only arrays that are refreshed lazily after a mutation
+instead of fancy-indexing a fresh copy on every call, and the
+position -> slot lookup is an O(1) dict maintained on write/evict.  The
+number of array materialisations performed is exposed via
+:attr:`SlotKVCache.materialization_count` so perf regressions are testable.
 """
 
 from __future__ import annotations
@@ -71,6 +79,14 @@ class SlotKVCache:
         self._free_slots: List[int] = list(range(capacity - 1, -1, -1))
         self._writes = 0
         self._evictions = 0
+        # O(1) logical-position lookup, maintained on every write/evict.
+        self._pos_to_slot: Dict[int, int] = {}
+        # Lazily refreshed read views (see the module docstring).
+        self._cached_slots: Optional[np.ndarray] = None
+        self._cached_keys: Optional[np.ndarray] = None
+        self._cached_values: Optional[np.ndarray] = None
+        self._cached_positions: Optional[np.ndarray] = None
+        self._materializations = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -95,14 +111,40 @@ class SlotKVCache:
     def eviction_count(self) -> int:
         return self._evictions
 
+    @property
+    def materialization_count(self) -> int:
+        """Number of gathered cache arrays built since construction.
+
+        Each lazy view refresh (occupied slots, keys, values or positions)
+        counts once; repeated reads between mutations are free.  Perf smoke
+        tests assert this stays O(decode steps).
+        """
+        return self._materializations
+
     def occupied_slots(self) -> np.ndarray:
-        """Physical indices of occupied slots, in ascending slot order."""
-        return np.nonzero(self._occupied)[0]
+        """Physical indices of occupied slots, in ascending slot order.
+
+        The returned array is a cached read-only view; it is refreshed only
+        after a mutation, so callers must not write to it.
+        """
+        if self._cached_slots is None:
+            slots = np.nonzero(self._occupied)[0]
+            slots.setflags(write=False)
+            self._cached_slots = slots
+            self._materializations += 1
+        return self._cached_slots
 
     def token_positions(self) -> np.ndarray:
-        """Logical token positions of the occupied slots (ascending slot order)."""
-        slots = self.occupied_slots()
-        return self._token_positions[slots]
+        """Logical token positions of the occupied slots (ascending slot order).
+
+        Cached read-only view, refreshed lazily after mutations.
+        """
+        if self._cached_positions is None:
+            positions = self._token_positions[self.occupied_slots()]
+            positions.setflags(write=False)
+            self._cached_positions = positions
+            self._materializations += 1
+        return self._cached_positions
 
     def entries(self) -> List[CacheEntry]:
         """All occupied entries as :class:`CacheEntry` records."""
@@ -116,13 +158,12 @@ class SlotKVCache:
         ]
 
     def slot_of_position(self, token_position: int) -> Optional[int]:
-        """Physical slot currently holding ``token_position`` (or ``None``)."""
-        matches = np.nonzero(
-            self._occupied & (self._token_positions == token_position)
-        )[0]
-        if matches.size == 0:
-            return None
-        return int(matches[0])
+        """Physical slot currently holding ``token_position`` (or ``None``).
+
+        O(1): served from the position -> slot map maintained on writes and
+        evictions (the seed implementation scanned every slot).
+        """
+        return self._pos_to_slot.get(int(token_position))
 
     def contains_position(self, token_position: int) -> bool:
         return self.slot_of_position(token_position) is not None
@@ -180,10 +221,12 @@ class SlotKVCache:
             is_heavy=bool(self._is_heavy[slot]),
         )
         self._occupied[slot] = False
+        self._pos_to_slot.pop(entry.token_position, None)
         self._token_positions[slot] = -1
         self._is_heavy[slot] = False
         self._free_slots.append(slot)
         self._evictions += 1
+        self._invalidate_views()
         return entry
 
     def evict_position(self, token_position: int) -> CacheEntry:
@@ -218,34 +261,55 @@ class SlotKVCache:
         self._token_positions.fill(-1)
         self._is_heavy.fill(False)
         self._free_slots = list(range(self.capacity - 1, -1, -1))
+        self._pos_to_slot = {}
+        self._invalidate_views()
 
     # ------------------------------------------------------------------
     # Reads
     # ------------------------------------------------------------------
     def keys(self, head: Optional[int] = None) -> np.ndarray:
-        """Keys of occupied slots, shape ``[n, heads, d]`` or ``[n, d]``."""
-        slots = self.occupied_slots()
-        keys = self._keys[slots]
+        """Keys of occupied slots, shape ``[n, heads, d]`` or ``[n, d]``.
+
+        Cached read-only view, refreshed lazily after mutations; per-head
+        selection slices the cached array without copying.
+        """
+        if self._cached_keys is None:
+            keys = self._keys[self.occupied_slots()]
+            keys.setflags(write=False)
+            self._cached_keys = keys
+            self._materializations += 1
         if head is None:
-            return keys
-        return keys[:, head, :]
+            return self._cached_keys
+        return self._cached_keys[:, head, :]
 
     def values(self, head: Optional[int] = None) -> np.ndarray:
-        slots = self.occupied_slots()
-        values = self._values[slots]
+        """Values of occupied slots; cached read-only view like :meth:`keys`."""
+        if self._cached_values is None:
+            values = self._values[self.occupied_slots()]
+            values.setflags(write=False)
+            self._cached_values = values
+            self._materializations += 1
         if head is None:
-            return values
-        return values[:, head, :]
+            return self._cached_values
+        return self._cached_values[:, head, :]
 
     def gather(
         self, slots: Sequence[int]
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Gather (keys, values, token_positions) for an explicit slot list."""
         slots_arr = np.asarray(list(slots), dtype=np.int64)
-        for slot in slots_arr:
-            self._check_slot(int(slot))
-            if not self._occupied[int(slot)]:
-                raise ValueError(f"slot {int(slot)} is not occupied")
+        if slots_arr.size:
+            out_of_range = (slots_arr < 0) | (slots_arr >= self.capacity)
+            if out_of_range.any():
+                bad = int(slots_arr[out_of_range][0])
+                raise IndexError(
+                    f"slot {bad} out of range for capacity {self.capacity}"
+                )
+            unoccupied = ~self._occupied[slots_arr]
+            if unoccupied.any():
+                raise ValueError(
+                    f"slot {int(slots_arr[unoccupied][0])} is not occupied"
+                )
         return (
             self._keys[slots_arr],
             self._values[slots_arr],
@@ -265,10 +329,7 @@ class SlotKVCache:
         return self._values[slot, head]
 
     def position_to_slot_map(self) -> Dict[int, int]:
-        return {
-            int(self._token_positions[slot]): int(slot)
-            for slot in self.occupied_slots()
-        }
+        return dict(self._pos_to_slot)
 
     def memory_bytes(self) -> int:
         """Bytes of key/value storage held by this cache (all slots)."""
@@ -306,10 +367,20 @@ class SlotKVCache:
             raise ValueError("token_position must be >= 0")
         self._keys[slot] = self._coerce(key, "key")
         self._values[slot] = self._coerce(value, "value")
+        if self._occupied[slot]:
+            self._pos_to_slot.pop(int(self._token_positions[slot]), None)
         self._occupied[slot] = True
         self._token_positions[slot] = int(token_position)
         self._is_heavy[slot] = bool(is_heavy)
+        self._pos_to_slot[int(token_position)] = int(slot)
         self._writes += 1
+        self._invalidate_views()
+
+    def _invalidate_views(self) -> None:
+        self._cached_slots = None
+        self._cached_keys = None
+        self._cached_values = None
+        self._cached_positions = None
 
 
 __all__ = ["SlotKVCache", "CacheEntry"]

@@ -23,8 +23,12 @@ from ..llm.generation import greedy_generate
 from ..llm.induction import build_induction_model
 from ..llm.model import PolicyFactory, TransformerLM
 from ..llm.tokenizer import WordTokenizer
+from ..serving import BatchedEngine, ServingRequest, ServingResponse
 from .datasets import QADataset, QAExample
 from .metrics import mean_metric, token_f1
+
+DEFAULT_EVAL_BATCH_SIZE = 8
+"""Sequences decoded concurrently when evaluating a dataset."""
 
 POLICY_NAMES = ("full", "unicaim", "unicaim_cam", "snapkv", "streaming_llm", "h2o", "quest")
 
@@ -150,14 +154,34 @@ def evaluate_example(
         max_new_tokens=example.answer_length,
         policy_factory=policy_factory,
     )
-    prediction = tokenizer.decode(result.token_ids)
-    stats = result.policy_stats[-1] if result.policy_stats else None
+    return _build_example_result(
+        tokenizer, example, result.token_ids, result.policy_stats
+    )
+
+
+def _build_example_result(
+    tokenizer: WordTokenizer,
+    example: QAExample,
+    token_ids: Sequence[int],
+    policy_stats: Sequence,
+) -> ExampleResult:
+    """Score one generation (serial or batched) against its reference."""
+    prediction = tokenizer.decode(list(token_ids))
+    stats = policy_stats[-1] if policy_stats else None
     return ExampleResult(
         example=example,
         prediction=prediction,
         f1=token_f1(prediction, example.answer),
         retained_after_prefill=stats.retained_after_prefill if stats else 0,
         mean_attended=stats.mean_attended if stats else 0.0,
+    )
+
+
+def _result_from_response(
+    tokenizer: WordTokenizer, example: QAExample, response: ServingResponse
+) -> ExampleResult:
+    return _build_example_result(
+        tokenizer, example, response.token_ids, response.policy_stats
     )
 
 
@@ -168,17 +192,37 @@ def evaluate_policy(
     cache_ratio: float,
     max_examples: Optional[int] = None,
     seed: int = 0,
+    batch_size: int = DEFAULT_EVAL_BATCH_SIZE,
 ) -> PolicyEvaluation:
-    """Mean F1 of ``policy_name`` at ``cache_ratio`` over a dataset."""
+    """Mean F1 of ``policy_name`` at ``cache_ratio`` over a dataset.
+
+    All examples are decoded through the batched serving engine
+    (``batch_size`` sequences in flight at a time, continuously admitted);
+    each example carries its own policy stack sized for its prompt length.
+    ``batch_size=1`` reproduces the strictly serial evaluation.
+    """
     examples = dataset.examples
     if max_examples is not None:
         examples = examples[:max_examples]
-    results = []
+    engine = BatchedEngine(model, max_batch_size=batch_size)
+    submitted = []
     for example in examples:
         factory = build_policy_factory(
             policy_name, example.prompt_length, cache_ratio, seed=seed
         )
-        results.append(evaluate_example(model, dataset.tokenizer, example, factory))
+        request_id = engine.submit(
+            ServingRequest(
+                prompt_ids=dataset.tokenizer.encode(example.prompt),
+                max_new_tokens=example.answer_length,
+                policy_factory=factory,
+            )
+        )
+        submitted.append((request_id, example))
+    responses = {response.request_id: response for response in engine.run()}
+    results = [
+        _result_from_response(dataset.tokenizer, example, responses[request_id])
+        for request_id, example in submitted
+    ]
     return PolicyEvaluation(
         policy=policy_name,
         cache_ratio=cache_ratio,

@@ -7,7 +7,12 @@ from .mlp import MLP
 from .block import TransformerBlock
 from .model import TransformerLM, default_position_encoder
 from .induction import InductionLayout, build_induction_model
-from .generation import GenerationResult, generate_text, greedy_generate
+from .generation import (
+    GenerationResult,
+    generate_text,
+    greedy_generate,
+    greedy_generate_serial,
+)
 
 __all__ = [
     "ModelConfig",
@@ -22,4 +27,5 @@ __all__ = [
     "GenerationResult",
     "generate_text",
     "greedy_generate",
+    "greedy_generate_serial",
 ]

@@ -13,7 +13,7 @@ The layer has two execution paths:
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -58,6 +58,11 @@ class MultiHeadSelfAttention:
         self.w_k = self._init_weight(w_k, shape_in, rng, std)
         self.w_v = self._init_weight(w_v, shape_in, rng, std)
         self.w_o = self._init_weight(w_o, shape_out, rng, 1.0 / np.sqrt(head_dim))
+        # Packed 2-D copies of the projection weights for the batched decode
+        # path: one BLAS GEMM per step instead of per-head einsums.  Built
+        # lazily so models that never batch pay nothing.
+        self._w_qkv_packed: Optional[np.ndarray] = None
+        self._w_o_packed: Optional[np.ndarray] = None
 
     @staticmethod
     def _init_weight(
@@ -90,6 +95,28 @@ class MultiHeadSelfAttention:
     def output_projection(self, head_outputs: np.ndarray) -> np.ndarray:
         """Combine per-head outputs ``[..., h, d]`` into ``[..., model_dim]``."""
         return np.einsum("...hd,hdm->...m", head_outputs, self.w_o)
+
+    def _packed_weights(self) -> Tuple[np.ndarray, np.ndarray]:
+        """2-D GEMM-friendly views of the Q/K/V and output weights.
+
+        ``w_qkv_packed`` is ``[model_dim, 3 * heads * head_dim]`` (Q, K, V
+        concatenated); ``w_o_packed`` is ``[heads * head_dim, model_dim]``.
+        The contraction over ``model_dim`` is element-for-element the same
+        as the per-head einsum, but a single BLAS call serves the whole
+        batch.
+        """
+        if self._w_qkv_packed is None:
+            hd = self.num_heads * self.head_dim
+            packed = np.empty((self.model_dim, 3 * hd), dtype=np.float64)
+            for i, w in enumerate((self.w_q, self.w_k, self.w_v)):
+                # [h, m, d] -> [m, h, d] -> [m, h*d]
+                packed[:, i * hd:(i + 1) * hd] = (
+                    w.transpose(1, 0, 2).reshape(self.model_dim, hd)
+                )
+            self._w_qkv_packed = packed
+            # [h, d, m] -> [h*d, m]
+            self._w_o_packed = self.w_o.reshape(hd, self.model_dim).copy()
+        return self._w_qkv_packed, self._w_o_packed
 
     # ------------------------------------------------------------------
     def prefill(
@@ -134,6 +161,40 @@ class MultiHeadSelfAttention:
         q, k, v = self.project_qkv(x_t)
         head_out = policy.decode_step(q, k, v, position)
         return self.output_projection(head_out)
+
+    def decode_batched(
+        self,
+        x: np.ndarray,
+        positions: Sequence[int],
+        policies: Sequence[KVCachePolicy],
+    ) -> np.ndarray:
+        """One decoding step for ``B`` independent sequences at once.
+
+        The Q/K/V and output projections are computed as single batched
+        einsums over all sequences; only the per-sequence cache update
+        (``policy.decode_step``) remains a loop, because each sequence owns
+        its own KV cache.  Returns the attention outputs ``[B, model_dim]``.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.model_dim:
+            raise ValueError(f"x must be [batch, {self.model_dim}]")
+        if not (x.shape[0] == len(positions) == len(policies)):
+            raise ValueError("x, positions and policies must agree on batch size")
+        batch = x.shape[0]
+        hd = self.num_heads * self.head_dim
+        w_qkv, w_o = self._packed_weights()
+        qkv = x @ w_qkv  # [B, 3*h*d], one GEMM for the whole batch
+        qkv = qkv.reshape(batch, 3, self.num_heads, self.head_dim)
+        head_out = np.stack(
+            [
+                policy.decode_step(
+                    qkv[b, 0], qkv[b, 1], qkv[b, 2], int(positions[b])
+                )
+                for b, policy in enumerate(policies)
+            ],
+            axis=0,
+        )
+        return head_out.reshape(batch, hd) @ w_o
 
     # ------------------------------------------------------------------
     def parameter_count(self) -> int:

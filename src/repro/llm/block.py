@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -57,6 +57,24 @@ class TransformerBlock:
         x_t = np.asarray(x_t, dtype=np.float64) + attn_out
         x_t = x_t + self.mlp.forward(self._norm(x_t))
         return x_t
+
+    def decode_batched(
+        self,
+        x: np.ndarray,
+        positions: Sequence[int],
+        policies: Sequence[KVCachePolicy],
+    ) -> np.ndarray:
+        """Process one generated token per sequence, ``[B, model_dim]`` in/out.
+
+        Layernorm and the MLP broadcast over the batch axis; the attention
+        layer batches its projections and loops only over the per-sequence
+        KV caches.
+        """
+        attn_in = self._norm(x)
+        attn_out = self.attention.decode_batched(attn_in, positions, policies)
+        x = np.asarray(x, dtype=np.float64) + attn_out
+        x = x + self.mlp.forward(self._norm(x))
+        return x
 
     def parameter_count(self) -> int:
         return self.attention.parameter_count() + self.mlp.parameter_count()

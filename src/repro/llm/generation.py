@@ -1,4 +1,10 @@
-"""Autoregressive generation loop over a policy-managed KV cache."""
+"""Autoregressive generation loop over a policy-managed KV cache.
+
+:func:`greedy_generate` routes through the batched serving engine
+(:mod:`repro.serving`) as a batch of one; :func:`greedy_generate_serial`
+keeps the original single-sequence loop as the bitwise reference the
+engine is tested against.
+"""
 
 from __future__ import annotations
 
@@ -8,6 +14,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..core.policy import KVCachePolicy, PolicyStats
+from ..serving.engine import BatchedEngine, ServingRequest
 from .model import PolicyFactory, TransformerLM
 
 
@@ -64,6 +71,38 @@ def greedy_generate(
     keep_logits:
         Keep the per-step logits for analysis.
     """
+    engine = BatchedEngine(model, policy_factory=policy_factory, max_batch_size=1)
+    engine.submit(
+        ServingRequest(
+            prompt_ids=prompt_ids,
+            max_new_tokens=max_new_tokens,
+            stop_ids=stop_ids,
+            keep_logits=keep_logits,
+        )
+    )
+    response = engine.run()[0]
+    return GenerationResult(
+        token_ids=response.token_ids,
+        prompt_length=response.prompt_length,
+        policy_stats=response.policy_stats,
+        logits_history=response.logits_history if keep_logits else None,
+    )
+
+
+def greedy_generate_serial(
+    model: TransformerLM,
+    prompt_ids: Sequence[int],
+    max_new_tokens: int,
+    policy_factory: Optional[PolicyFactory] = None,
+    stop_ids: Optional[Sequence[int]] = None,
+    keep_logits: bool = False,
+) -> GenerationResult:
+    """The original strictly-serial decode loop (reference implementation).
+
+    Kept as the ground truth the batched engine is verified against:
+    ``BatchedEngine`` must produce identical token ids for the same model,
+    prompts and policy configuration at any batch size.
+    """
     prompt_ids = list(int(t) for t in prompt_ids)
     if not prompt_ids:
         raise ValueError("prompt_ids must not be empty")
@@ -119,4 +158,9 @@ def generate_text(
     return tokenizer.decode(result.token_ids)
 
 
-__all__ = ["GenerationResult", "greedy_generate", "generate_text"]
+__all__ = [
+    "GenerationResult",
+    "greedy_generate",
+    "greedy_generate_serial",
+    "generate_text",
+]

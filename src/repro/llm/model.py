@@ -174,6 +174,45 @@ class TransformerLM:
             x_t = block.decode(x_t, position, policy)
         return self.logits_from_hidden(x_t)
 
+    def decode_steps_batched(
+        self,
+        token_ids: Sequence[int],
+        positions: Sequence[int],
+        policies_per_sequence: Sequence[List[KVCachePolicy]],
+    ) -> np.ndarray:
+        """Decode one token for each of ``B`` *independent* sequences.
+
+        Every sequence owns its own per-layer policy list (its KV caches);
+        the embedding, Q/K/V projections, MLP and unembedding are computed
+        as single batched operations across all sequences, which is what
+        makes multi-sequence serving faster than ``B`` serial
+        :meth:`decode_step` calls.  Returns logits ``[B, vocab]``.
+
+        A batch of one is routed through :meth:`decode_step` so that
+        single-sequence generation is bit-for-bit the serial path.
+        """
+        batch = len(token_ids)
+        if not (batch == len(positions) == len(policies_per_sequence)):
+            raise ValueError(
+                "token_ids, positions and policies_per_sequence must agree "
+                "on batch size"
+            )
+        if batch == 0:
+            return np.empty((0, self.config.vocab_size), dtype=np.float64)
+        for policies in policies_per_sequence:
+            if len(policies) != self.config.num_layers:
+                raise ValueError("one policy per layer is required")
+        if batch == 1:
+            logits = self.decode_step(
+                int(token_ids[0]), int(positions[0]), policies_per_sequence[0]
+            )
+            return logits[None, :]
+        x = self.embed(token_ids, positions)  # [B, model_dim]
+        for layer, block in enumerate(self.blocks):
+            layer_policies = [p[layer] for p in policies_per_sequence]
+            x = block.decode_batched(x, positions, layer_policies)
+        return self.logits_from_hidden(x)
+
     # ------------------------------------------------------------------
     def parameter_count(self) -> int:
         total = int(self.embedding.size + self.unembedding.size)

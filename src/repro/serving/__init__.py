@@ -1,0 +1,17 @@
+"""Batched multi-sequence serving on top of the policy-managed substrate.
+
+:class:`~repro.serving.engine.BatchedEngine` decodes many independent
+sequences per step with per-sequence KV cache policies, admits new requests
+mid-flight (continuous batching) and honours per-sequence stop conditions.
+Single-sequence generation (:func:`repro.llm.generation.greedy_generate`)
+and the accuracy harness (:mod:`repro.eval.harness`) both route through it.
+"""
+
+from .engine import BatchedEngine, SequenceSlot, ServingRequest, ServingResponse
+
+__all__ = [
+    "BatchedEngine",
+    "SequenceSlot",
+    "ServingRequest",
+    "ServingResponse",
+]

@@ -1,0 +1,304 @@
+"""Batched multi-sequence serving engine with continuous admission.
+
+The ROADMAP north-star asks for a system that serves many users at once;
+this module is the decode-side half of that: a :class:`BatchedEngine` that
+advances many independent sequences by one token per :meth:`BatchedEngine.step`,
+admitting newly submitted requests between steps (continuous batching) and
+retiring sequences as they hit their per-request stop conditions.
+
+Each sequence owns its own per-layer :class:`~repro.core.policy.KVCachePolicy`
+stack, so a single engine can serve a mix of pruning policies (e.g. one
+UniCAIM-CAM request next to a full-cache request).  The per-token model math
+(embedding, Q/K/V projections, MLP, unembedding) is batched across all
+active sequences via :meth:`~repro.llm.model.TransformerLM.decode_steps_batched`;
+only the per-sequence KV cache updates remain sequential.
+
+The engine reproduces :func:`repro.llm.generation.greedy_generate` exactly
+for a batch of one (identical serial code path).  Larger batches compute
+per-row logits that can differ from the serial path in the last float ulp
+(batched BLAS GEMMs round differently from per-sequence GEMVs); greedy
+token ids are identical in practice and asserted so in the test suite,
+but evaluations that must be strictly independent of batch composition
+should use ``max_batch_size=1``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Sequence, Set
+
+import numpy as np
+
+from ..core.policy import KVCachePolicy, PolicyStats
+
+if TYPE_CHECKING:  # imported lazily to avoid a cycle with repro.llm
+    from ..llm.model import PolicyFactory, TransformerLM
+
+
+@dataclass
+class ServingRequest:
+    """One generation request submitted to the engine.
+
+    Attributes
+    ----------
+    prompt_ids:
+        Prompt token ids (must be non-empty).
+    max_new_tokens:
+        Maximum number of tokens to generate (0 completes immediately).
+    request_id:
+        Optional caller-chosen id; auto-assigned when ``None``.
+    stop_ids:
+        Token ids that terminate the sequence (the stop token itself is not
+        included in the output).
+    policy_factory:
+        ``factory(num_heads, head_dim) -> KVCachePolicy`` for this request's
+        per-layer caches; falls back to the engine default (full cache).
+    keep_logits:
+        Keep the per-step logits on the response for analysis.
+    """
+
+    prompt_ids: Sequence[int]
+    max_new_tokens: int
+    request_id: Optional[str] = None
+    stop_ids: Optional[Sequence[int]] = None
+    policy_factory: Optional["PolicyFactory"] = None
+    keep_logits: bool = False
+
+
+@dataclass
+class ServingResponse:
+    """Completed generation for one request."""
+
+    request_id: str
+    token_ids: List[int]
+    prompt_length: int
+    finish_reason: str  # "stop" (hit a stop id) or "length" (budget reached)
+    policy_stats: List[PolicyStats] = field(default_factory=list)
+    logits_history: Optional[List[np.ndarray]] = None
+
+    @property
+    def num_generated(self) -> int:
+        return len(self.token_ids)
+
+
+@dataclass
+class SequenceSlot:
+    """In-flight decoding state of one admitted request.
+
+    ``logits`` always holds the next-token distribution produced by the most
+    recent prefill/decode step; ``position`` is the logical position the next
+    generated token will occupy.
+    """
+
+    request: ServingRequest
+    request_id: str
+    prompt_length: int
+    policies: List[KVCachePolicy]
+    stop_set: frozenset
+    logits: np.ndarray
+    position: int
+    generated: List[int] = field(default_factory=list)
+    logits_history: List[np.ndarray] = field(default_factory=list)
+
+
+class BatchedEngine:
+    """Continuous-batching greedy decode engine over a :class:`TransformerLM`.
+
+    Parameters
+    ----------
+    model:
+        The transformer substrate.
+    policy_factory:
+        Default per-layer policy factory for requests that do not carry
+        their own (``None`` means the full-cache policy).
+    max_batch_size:
+        Maximum number of sequences decoded per step.  Further submissions
+        queue and are admitted as active sequences complete.
+    """
+
+    def __init__(
+        self,
+        model: "TransformerLM",
+        policy_factory: Optional["PolicyFactory"] = None,
+        max_batch_size: int = 16,
+    ) -> None:
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        self.model = model
+        self.policy_factory = policy_factory
+        self.max_batch_size = int(max_batch_size)
+        self._pending: Deque[ServingRequest] = deque()
+        self._active: List[SequenceSlot] = []
+        self._completed: Dict[str, ServingResponse] = {}
+        self._submission_order: List[str] = []
+        self._known_ids: Set[str] = set()
+        self._ids = itertools.count()
+        self._steps = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_pending(self) -> int:
+        return len(self._pending)
+
+    @property
+    def num_active(self) -> int:
+        return len(self._active)
+
+    @property
+    def has_work(self) -> bool:
+        return bool(self._pending or self._active)
+
+    @property
+    def step_count(self) -> int:
+        return self._steps
+
+    def active_request_ids(self) -> List[str]:
+        return [slot.request_id for slot in self._active]
+
+    # ------------------------------------------------------------------
+    # Submission and admission
+    # ------------------------------------------------------------------
+    def submit(self, request: ServingRequest) -> str:
+        """Queue a request for admission; returns its request id.
+
+        Requests may be submitted at any time, including while other
+        sequences are mid-decode — they are admitted at the next step
+        boundary once a batch slot is free (continuous batching).
+        """
+        prompt_ids = [int(t) for t in request.prompt_ids]
+        if not prompt_ids:
+            raise ValueError("prompt_ids must not be empty")
+        if request.max_new_tokens < 0:
+            raise ValueError("max_new_tokens must be >= 0")
+        request_id = request.request_id
+        if request_id is None:
+            request_id = f"req-{next(self._ids)}"
+        if request_id in self._known_ids:
+            raise ValueError(f"duplicate request id {request_id!r}")
+        self._known_ids.add(request_id)
+        queued = ServingRequest(
+            prompt_ids=prompt_ids,
+            max_new_tokens=int(request.max_new_tokens),
+            request_id=request_id,
+            stop_ids=request.stop_ids,
+            policy_factory=request.policy_factory,
+            keep_logits=request.keep_logits,
+        )
+        self._pending.append(queued)
+        self._submission_order.append(request_id)
+        return request_id
+
+    def _admit(self) -> List[ServingResponse]:
+        """Prefill queued requests into free batch slots."""
+        finished: List[ServingResponse] = []
+        while self._pending and len(self._active) < self.max_batch_size:
+            request = self._pending.popleft()
+            factory = request.policy_factory or self.policy_factory
+            policies = self.model.make_policies(factory)
+            logits = self.model.prefill(list(request.prompt_ids), policies)
+            slot = SequenceSlot(
+                request=request,
+                request_id=request.request_id,
+                prompt_length=len(request.prompt_ids),
+                policies=policies,
+                stop_set=frozenset(
+                    int(t) for t in (request.stop_ids or ())
+                ),
+                logits=logits,
+                position=len(request.prompt_ids),
+            )
+            if request.max_new_tokens == 0:
+                finished.append(self._finish(slot, "length"))
+            else:
+                self._active.append(slot)
+        return finished
+
+    def _finish(self, slot: SequenceSlot, reason: str) -> ServingResponse:
+        response = ServingResponse(
+            request_id=slot.request_id,
+            token_ids=list(slot.generated),
+            prompt_length=slot.prompt_length,
+            finish_reason=reason,
+            policy_stats=[policy.stats for policy in slot.policies],
+            logits_history=(
+                list(slot.logits_history) if slot.request.keep_logits else None
+            ),
+        )
+        self._completed[slot.request_id] = response
+        return response
+
+    # ------------------------------------------------------------------
+    # Decoding
+    # ------------------------------------------------------------------
+    def step(self) -> List[ServingResponse]:
+        """Admit pending requests and advance every active sequence one token.
+
+        Returns the responses of sequences that completed during this step.
+        The per-sequence semantics mirror ``greedy_generate`` exactly: the
+        greedy token is sampled from the current logits; a stop id finishes
+        the sequence without being emitted; otherwise the token is emitted
+        and fed through one (batched) decode step — including for the final
+        token of a sequence that exhausts its budget.
+        """
+        finished = self._admit()
+        if not self._active:
+            return finished
+
+        continuing: List[SequenceSlot] = []
+        for slot in self._active:
+            next_id = int(np.argmax(slot.logits))
+            if next_id in slot.stop_set:
+                finished.append(self._finish(slot, "stop"))
+                continue
+            slot.generated.append(next_id)
+            if slot.request.keep_logits:
+                slot.logits_history.append(
+                    np.asarray(slot.logits, dtype=np.float64)
+                )
+            continuing.append(slot)
+
+        if continuing:
+            logits_batch = self.model.decode_steps_batched(
+                [slot.generated[-1] for slot in continuing],
+                [slot.position for slot in continuing],
+                [slot.policies for slot in continuing],
+            )
+            for row, slot in enumerate(continuing):
+                slot.logits = logits_batch[row]
+                slot.position += 1
+
+        still_active: List[SequenceSlot] = []
+        for slot in continuing:
+            if len(slot.generated) >= slot.request.max_new_tokens:
+                finished.append(self._finish(slot, "length"))
+            else:
+                still_active.append(slot)
+        self._active = still_active
+        self._steps += 1
+        return finished
+
+    def run(self) -> List[ServingResponse]:
+        """Drive :meth:`step` until no work remains.
+
+        Returns every completed response in submission order (including
+        requests completed by earlier calls).
+        """
+        while self.has_work:
+            self.step()
+        return [self._completed[rid] for rid in self._submission_order]
+
+    def response(self, request_id: str) -> Optional[ServingResponse]:
+        """The completed response for ``request_id`` (or ``None`` if in flight)."""
+        return self._completed.get(request_id)
+
+
+__all__ = [
+    "BatchedEngine",
+    "SequenceSlot",
+    "ServingRequest",
+    "ServingResponse",
+]

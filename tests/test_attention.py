@@ -22,6 +22,27 @@ class TestSoftmax:
         assert probs[1] == 0.0
         np.testing.assert_allclose(probs.sum(), 1.0)
 
+    def test_fully_masked_row_is_uniform_not_nan(self):
+        """An all--inf row (fully-masked attention) used to yield 0/0 -> NaN
+        that silently propagated; it must now be a uniform distribution."""
+        probs = A.softmax(np.full(4, -np.inf))
+        assert np.isfinite(probs).all()
+        np.testing.assert_allclose(probs, 0.25)
+
+    def test_nan_inputs_still_propagate(self):
+        """The fully-masked-row guard must not swallow genuine NaNs: a NaN
+        score is an upstream bug and has to stay loud."""
+        probs = A.softmax(np.array([np.nan, 1.0]))
+        assert np.isnan(probs).any()
+
+    def test_mixed_finite_and_fully_masked_rows(self):
+        x = np.array([[0.0, 1.0, -np.inf], [-np.inf, -np.inf, -np.inf]])
+        probs = A.softmax(x, axis=-1)
+        assert np.isfinite(probs).all()
+        np.testing.assert_allclose(probs.sum(axis=-1), 1.0)
+        np.testing.assert_allclose(probs[1], 1.0 / 3.0)
+        assert probs[0, 2] == 0.0
+
 
 class TestScores:
     def test_single_head_dot_products(self):
@@ -76,6 +97,21 @@ class TestAttentionOutput:
         values = np.array([[1.0], [2.0]])
         out = A.attention_output(query, keys, values, mask=np.array([False, True]))
         np.testing.assert_allclose(out, [2.0])
+
+    def test_all_false_mask_raises_instead_of_nan(self):
+        """A mask that hides every key is a caller bug; it must be a clear
+        ValueError, not silent NaN propagation through the output."""
+        query = np.array([1.0])
+        keys = np.array([[100.0], [1.0]])
+        with pytest.raises(ValueError, match="mask excludes every key"):
+            A.attention_probabilities(query, keys, mask=np.array([False, False]))
+
+    def test_multi_head_all_false_row_raises(self, rng):
+        query = rng.normal(size=(2, 4))
+        keys = rng.normal(size=(3, 2, 4))
+        mask = np.array([[True, True, True], [False, False, False]])
+        with pytest.raises(ValueError, match="mask excludes every key"):
+            A.attention_probabilities(query, keys, mask=mask)
 
     def test_multi_head_output_shape(self, rng):
         query = rng.normal(size=(3, 8))

@@ -40,6 +40,24 @@ class TestQuantizeSigned:
         out = quantize_signed(np.zeros(4), bits=2)
         assert out.shape == (4,)
 
+    @pytest.mark.parametrize("bits,max_levels", [(1, 2), (2, 3), (3, 7), (4, 15)])
+    def test_level_count_matches_bit_width(self, bits, max_levels):
+        """A bits-bit signed cell stores at most 2**bits - 1 symmetric levels
+        (the seed produced 2**bits + 1, overstating CAM selector fidelity)."""
+        # Gaussian input: the tails beyond clip_sigma realise the +-1 levels.
+        x = np.random.default_rng(0).normal(size=8000)
+        out = quantize_signed(x, bits)
+        unique = np.unique(np.round(out, 9))
+        assert unique.size <= max_levels
+        # A dense input actually realises the full grid.
+        assert unique.size == max_levels
+        np.testing.assert_allclose(unique, -unique[::-1], atol=1e-12)
+
+    def test_three_bit_grid_is_thirds(self):
+        x = np.linspace(-5.0, 5.0, 1001)
+        out = np.unique(np.round(quantize_signed(x, bits=3), 9))
+        np.testing.assert_allclose(out, np.arange(-3, 4) / 3.0, atol=1e-9)
+
 
 class TestExactSelector:
     def test_selects_true_top_k(self, rng):

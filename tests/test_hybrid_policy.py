@@ -56,6 +56,23 @@ class TestPrefill:
         policy.prefill(keys, values, None)
         assert policy.cache_size() == 12
 
+    def test_prefill_fallback_keeps_most_recent_tokens(self, rng):
+        """Without an attention map the fallback must behave like
+        StreamingLLM: sinks plus the most *recent* tokens fill the budget.
+        (The seed's zero-score fallback kept the oldest tokens, because
+        select_heavy_tokens breaks score ties toward the lowest index.)"""
+        n = 20
+        keys, values, _ = make_inputs(rng, n=n)
+        config = PruningConfig(
+            heavy_budget=12, reserved_budget=2, top_k=6,
+            sink_tokens=2, recent_protect=4,
+        )
+        policy = UniCAIMPolicy(HEADS, DIM, config=config)
+        policy.prefill(keys, values, None)
+        kept = sorted(int(p) for p in policy.cached_positions())
+        # 2 sinks + the 10 most recent of the remaining budget.
+        assert kept == [0, 1] + list(range(10, 20))
+
     def test_prefill_seeds_accumulated_scores(self, rng):
         keys, values, attn = make_inputs(rng)
         policy = UniCAIMPolicy(HEADS, DIM, config=small_config())

@@ -1,0 +1,101 @@
+"""Guards against silent perf regressions in the decode hot path.
+
+The vectorized :class:`~repro.core.kv_cache.SlotKVCache` returns cached
+views from ``keys()`` / ``values()`` / ``token_positions()`` and only
+materialises fresh gathered arrays after a mutation.  These tests pin that
+contract with the cache's ``materialization_count`` so a future change
+cannot quietly reintroduce a fancy-indexed copy per read (the seed
+behaviour, which made every decode step O(cache reads) in allocations).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PruningConfig
+from repro.core.hybrid import UniCAIMPolicy
+from repro.core.kv_cache import SlotKVCache
+
+HEADS, DIM = 2, 8
+
+# A decode step mutates the cache once (insert/replace) and then reads the
+# occupied-slot index, keys, values and positions — at most four gathered
+# arrays may be materialised per step.
+MAX_MATERIALIZATIONS_PER_STEP = 4
+
+
+class TestCacheViewCaching:
+    def test_repeated_reads_are_free(self):
+        cache = SlotKVCache(capacity=8, num_heads=HEADS, head_dim=DIM)
+        rng = np.random.default_rng(0)
+        for pos in range(6):
+            cache.append(rng.normal(size=(HEADS, DIM)), rng.normal(size=(HEADS, DIM)), pos)
+        cache.keys()
+        cache.values()
+        cache.token_positions()
+        baseline = cache.materialization_count
+        for _ in range(25):
+            cache.keys()
+            cache.values()
+            cache.token_positions()
+            cache.occupied_slots()
+        assert cache.materialization_count == baseline
+
+    def test_views_refresh_after_mutation(self):
+        cache = SlotKVCache(capacity=4, num_heads=HEADS, head_dim=DIM)
+        key = np.ones((HEADS, DIM))
+        cache.append(key, key, 0)
+        assert cache.token_positions().tolist() == [0]
+        cache.append(key * 2, key * 2, 1)
+        assert cache.token_positions().tolist() == [0, 1]
+        cache.evict_position(0)
+        assert cache.token_positions().tolist() == [1]
+        np.testing.assert_allclose(cache.keys()[0], key * 2)
+
+    def test_views_are_read_only(self):
+        cache = SlotKVCache(capacity=4, num_heads=HEADS, head_dim=DIM)
+        cache.append(np.ones((HEADS, DIM)), np.ones((HEADS, DIM)), 0)
+        with pytest.raises(ValueError):
+            cache.keys()[0, 0, 0] = 7.0
+        with pytest.raises(ValueError):
+            cache.token_positions()[0] = 3
+
+
+class TestDecodeMaterializationBudget:
+    def test_64_step_decode_is_o_steps(self, rng):
+        """A 64-token decode performs no more than O(steps) cache-array
+        materialisations — the zero-copy view optimisation must not regress."""
+        config = PruningConfig(
+            heavy_budget=24, reserved_budget=8, top_k=8,
+            sink_tokens=2, recent_protect=4,
+        )
+        policy = UniCAIMPolicy(HEADS, DIM, config=config)
+        n = 48
+        keys = rng.normal(size=(n, HEADS, DIM))
+        values = rng.normal(size=(n, HEADS, DIM))
+        attn = rng.normal(size=(HEADS, n, n))
+        policy.prefill(keys, values, attn)
+
+        start = policy.cache.materialization_count
+        steps = 64
+        for step in range(steps):
+            query = rng.normal(size=(HEADS, DIM))
+            key = rng.normal(size=(HEADS, DIM))
+            value = rng.normal(size=(HEADS, DIM))
+            policy.decode_step(query, key, value, position=n + step)
+        used = policy.cache.materialization_count - start
+        assert used <= MAX_MATERIALIZATIONS_PER_STEP * steps
+
+    def test_position_lookup_is_constant_time_map(self):
+        """slot_of_position is served by the O(1) dict, which stays in sync
+        through append / evict / replace cycles."""
+        cache = SlotKVCache(capacity=6, num_heads=1, head_dim=4)
+        vec = np.zeros((1, 4))
+        for pos in range(6):
+            cache.append(vec, vec, pos)
+        assert cache.position_to_slot_map() == {p: p for p in range(6)}
+        cache.replace(2, vec, vec, token_position=10)
+        assert cache.slot_of_position(2) is None
+        assert cache.slot_of_position(10) == 2
+        cache.evict(0)
+        assert cache.slot_of_position(0) is None
+        assert cache.position_to_slot_map() == {1: 1, 10: 2, 3: 3, 4: 4, 5: 5}

@@ -124,8 +124,15 @@ class TestEncodingProperties:
     @given(arrays(np.float64, st.integers(1, 64), elements=finite_floats), st.integers(1, 4))
     @settings(max_examples=40, deadline=None)
     def test_quantize_signed_outputs_on_grid(self, values, bits):
+        # A bits-bit signed storage cell has 2**bits - 1 symmetric levels
+        # (the circuit-side signed_levels() models query *expansion* over
+        # several cells, which legitimately realises more levels).
         out = quantize_signed(values, bits)
-        levels = signed_levels(bits) if bits > 1 else np.array([-1.0, 1.0])
+        if bits == 1:
+            levels = np.array([-1.0, 1.0])
+        else:
+            levels = np.linspace(-1.0, 1.0, 2**bits - 1)
+        assert levels.size == (2 if bits == 1 else 2**bits - 1)
         for entry in np.unique(np.round(out, 9)):
             assert np.min(np.abs(levels - entry)) < 1e-9
 
