@@ -22,7 +22,7 @@ import time
 
 import numpy as np
 import pytest
-from conftest import write_report
+from conftest import perf_gate, write_report
 
 from repro.core.config import PruningConfig
 from repro.core.hybrid import UniCAIMPolicy
@@ -110,8 +110,14 @@ def test_batch16_throughput_at_least_4x_batch1(benchmark, results_dir):
         )
     write_report(results_dir, "serving_throughput", "\n".join(lines))
     print("\n".join(lines))
-    assert tokens_per_second[4] > tokens_per_second[1]
-    assert speedup_16 >= 4.0
+    perf_gate(
+        tokens_per_second[4] > tokens_per_second[1],
+        "batch-4 throughput did not beat batch-1",
+    )
+    perf_gate(
+        speedup_16 >= 4.0,
+        f"batch-16 speedup {speedup_16:.2f}x below the 4x floor",
+    )
 
 
 # ----------------------------------------------------------------------

@@ -31,3 +31,20 @@ def quick_mode() -> bool:
     """Benchmarks default to reduced problem sizes; set REPRO_FULL_SCALE=1
     to run the paper-scale configurations (slower)."""
     return os.environ.get("REPRO_FULL_SCALE", "0") != "1"
+
+
+def perf_gate(condition: bool, message: str) -> None:
+    """Assert a wall-clock perf floor, softened on noisy shared runners.
+
+    Timing ratios are meaningful on a quiet dev box but flake on loaded CI
+    machines (noisy neighbours, single-round measurements).  With
+    ``REPRO_PERF_SOFT=1`` (set by the CI workflow) a missed floor is
+    reported in the job log instead of failing the build; locally the
+    floor stays a hard assertion.
+    """
+    if condition:
+        return
+    if os.environ.get("REPRO_PERF_SOFT", "0") == "1":
+        print(f"PERF GATE SOFT-FAILED: {message}")
+        return
+    raise AssertionError(message)

@@ -76,7 +76,13 @@ class SlotKVCache:
         self._occupied = np.zeros(capacity, dtype=bool)
         self._token_positions = np.full(capacity, -1, dtype=np.int64)
         self._is_heavy = np.zeros(capacity, dtype=bool)
-        self._free_slots: List[int] = list(range(capacity - 1, -1, -1))
+        # Free slots as an insertion-ordered dict used as a stack: popitem()
+        # allocates in ascending slot order (0 first), evicted slots are
+        # re-appended LIFO, and arbitrary removal (overwrite of a free slot)
+        # is O(1) instead of the old list.remove's O(capacity).
+        self._free_slots: Dict[int, None] = dict.fromkeys(
+            range(capacity - 1, -1, -1)
+        )
         self._writes = 0
         self._evictions = 0
         # O(1) logical-position lookup, maintained on every write/evict.
@@ -191,7 +197,7 @@ class SlotKVCache:
             raise RuntimeError(
                 "KV cache is full; evict a slot before appending"
             )
-        slot = self._free_slots.pop()
+        slot, _ = self._free_slots.popitem()
         self._write_slot(slot, key, value, token_position, is_heavy)
         return slot
 
@@ -206,8 +212,7 @@ class SlotKVCache:
         """Overwrite a slot in place (single write cycle, no data movement)."""
         self._check_slot(slot)
         if not self._occupied[slot]:
-            if slot in self._free_slots:
-                self._free_slots.remove(slot)
+            self._free_slots.pop(slot, None)
         self._write_slot(slot, key, value, token_position, is_heavy)
 
     def evict(self, slot: int) -> CacheEntry:
@@ -224,7 +229,7 @@ class SlotKVCache:
         self._pos_to_slot.pop(entry.token_position, None)
         self._token_positions[slot] = -1
         self._is_heavy[slot] = False
-        self._free_slots.append(slot)
+        self._free_slots[slot] = None
         self._evictions += 1
         self._invalidate_views()
         return entry
@@ -260,7 +265,7 @@ class SlotKVCache:
         self._occupied.fill(False)
         self._token_positions.fill(-1)
         self._is_heavy.fill(False)
-        self._free_slots = list(range(self.capacity - 1, -1, -1))
+        self._free_slots = dict.fromkeys(range(self.capacity - 1, -1, -1))
         self._pos_to_slot = {}
         self._invalidate_views()
 

@@ -50,6 +50,7 @@ class PolicyStats:
 
     prefill_tokens: int = 0
     retained_after_prefill: int = 0
+    prefill_reused_tokens: int = 0
     decode_steps: int = 0
     total_attended: int = 0
     total_evictions: int = 0
@@ -113,6 +114,29 @@ class KVCachePolicy(ABC):
         """Logical positions currently held in the cache."""
 
     # -- shared helpers ------------------------------------------------------
+    def prefill_precomputed(
+        self,
+        keys: np.ndarray,
+        values: np.ndarray,
+        attention_matrix: Optional[np.ndarray] = None,
+        reused_tokens: int = 0,
+    ) -> None:
+        """Prefill from K/V/scores computed outside the policy's own pass.
+
+        This is the entry point of the batched padding-free prefill and the
+        shared-prefix cache (:mod:`repro.serving.prefix_cache`): the caller
+        supplies the full prompt's per-layer keys, values and scaled raw
+        attention scores — of which the first ``reused_tokens`` rows were
+        restored from a prefix cache rather than recomputed — and the policy
+        applies exactly the same prefill-time pruning as :meth:`prefill`.
+        The reuse count is recorded on :attr:`stats` for observability; it
+        does not change any pruning decision.
+        """
+        if reused_tokens < 0:
+            raise ValueError("reused_tokens must be >= 0")
+        self.prefill(keys, values, attention_matrix=attention_matrix)
+        self.stats.prefill_reused_tokens = int(reused_tokens)
+
     def cache_size(self) -> int:
         return int(self.cached_positions().size)
 

@@ -23,7 +23,7 @@ from ..llm.generation import greedy_generate
 from ..llm.induction import build_induction_model
 from ..llm.model import PolicyFactory, TransformerLM
 from ..llm.tokenizer import WordTokenizer
-from ..serving import BatchedEngine, ServingRequest, ServingResponse
+from ..serving import BatchedEngine, PrefixCache, ServingRequest, ServingResponse
 from .datasets import QADataset, QAExample
 from .metrics import mean_metric, token_f1
 
@@ -193,18 +193,37 @@ def evaluate_policy(
     max_examples: Optional[int] = None,
     seed: int = 0,
     batch_size: int = DEFAULT_EVAL_BATCH_SIZE,
+    prefix_caching: bool = True,
+    prefix_cache: Optional[PrefixCache] = None,
 ) -> PolicyEvaluation:
     """Mean F1 of ``policy_name`` at ``cache_ratio`` over a dataset.
 
-    All examples are decoded through the batched serving engine
-    (``batch_size`` sequences in flight at a time, continuously admitted);
-    each example carries its own policy stack sized for its prompt length.
-    ``batch_size=1`` reproduces the strictly serial evaluation.
+    All examples are admitted through the batched serving engine's
+    prefix-grouped batched prefill and decoded ``batch_size`` sequences at a
+    time (continuously admitted); each example carries its own policy stack
+    sized for its prompt length.  ``batch_size=1`` reproduces the strictly
+    serial evaluation order.
+
+    Prefix-cache knobs
+    ------------------
+    ``prefix_caching`` (default on) lets examples that share a prompt prefix
+    reuse each other's prefill K/V and attention-score blocks — generated
+    tokens are unchanged, only redundant prefill work is skipped.  Pass an
+    explicit ``prefix_cache`` (a :class:`repro.serving.PrefixCache`, whose
+    ``max_entries`` / ``min_prefix_tokens`` knobs bound memory and the
+    smallest reusable prefix) to share one cache across several
+    ``evaluate_policy`` calls of a sweep; its ``stats`` then report hit
+    rates and tokens reused across the whole sweep.
     """
     examples = dataset.examples
     if max_examples is not None:
         examples = examples[:max_examples]
-    engine = BatchedEngine(model, max_batch_size=batch_size)
+    engine = BatchedEngine(
+        model,
+        max_batch_size=batch_size,
+        prefix_caching=prefix_caching,
+        prefix_cache=prefix_cache,
+    )
     submitted = []
     for example in examples:
         factory = build_policy_factory(
@@ -219,6 +238,18 @@ def evaluate_policy(
         )
         submitted.append((request_id, example))
     responses = {response.request_id: response for response in engine.run()}
+    errors = [
+        f"{rid}: {responses[rid].error}"
+        for rid, _ in submitted
+        if responses[rid].finish_reason == "error"
+    ]
+    if errors:
+        # An admission failure must not be silently scored as F1=0 — that
+        # would depress sweep results with no indication anything failed.
+        raise RuntimeError(
+            f"{len(errors)} example(s) failed during admission: "
+            + "; ".join(errors)
+        )
     results = [
         _result_from_response(dataset.tokenizer, example, responses[request_id])
         for request_id, example in submitted

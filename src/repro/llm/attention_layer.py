@@ -148,6 +148,91 @@ class MultiHeadSelfAttention:
             policy.prefill(k, v, attention_matrix=scores)
         return output, scores
 
+    def prefill_packed(
+        self,
+        x: np.ndarray,
+        segments: Sequence[Tuple[int, int]],
+        prefixes: Sequence[Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]],
+        policies: Sequence[Optional[KVCachePolicy]],
+    ) -> Tuple[np.ndarray, list]:
+        """Padding-free causal attention over several concatenated prompts.
+
+        ``x`` holds the (normed) hidden states of every sequence's *computed*
+        tokens, concatenated with no padding; ``segments[b] = (start, length)``
+        is sequence ``b``'s row range.  The Q/K/V projection is one packed
+        GEMM over all rows, and the output projection one packed GEMM over
+        all head outputs; only the per-sequence causal attention blocks are
+        looped, because every sequence has its own key set.
+
+        ``prefixes[b]`` optionally supplies ``(keys [p, h, d], values
+        [p, h, d], scores [h, p, p])`` of a reused prompt prefix (see
+        :mod:`repro.serving.prefix_cache`); the sequence's rows then cover
+        only the remaining suffix at positions ``p..n-1``.  Each policy
+        receives the full prompt's keys, values and scaled raw scores via
+        :meth:`~repro.core.policy.KVCachePolicy.prefill_precomputed` — the
+        same tensors :meth:`prefill` feeds it, with the reused score block
+        restored from the cache and the causally masked queries-of-the-past
+        block left at zero (no downstream consumer sees masked entries).
+
+        Returns ``(output [total, model_dim], captured)`` where
+        ``captured[b] = (keys [n, h, d], values [n, h, d], scores [h, n, n])``
+        for the whole prompt, ready for prefix-cache insertion.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.model_dim:
+            raise ValueError(f"x must be [total, {self.model_dim}]")
+        if not (len(segments) == len(prefixes) == len(policies)):
+            raise ValueError(
+                "segments, prefixes and policies must agree on batch size"
+            )
+        total = x.shape[0]
+        hd = self.num_heads * self.head_dim
+        w_qkv, w_o = self._packed_weights()
+        qkv = (x @ w_qkv).reshape(total, 3, self.num_heads, self.head_dim)
+
+        head_out = np.empty((total, self.num_heads, self.head_dim))
+        captured = []
+        for (start, length), prefix, policy in zip(segments, prefixes, policies):
+            if length < 1:
+                raise ValueError("every segment must cover at least one token")
+            rows = slice(start, start + length)
+            q = qkv[rows, 0]
+            if prefix is None:
+                p = 0
+                k_full, v_full = qkv[rows, 1], qkv[rows, 2]
+            else:
+                prefix_k, prefix_v, prefix_scores = prefix
+                p = prefix_k.shape[0]
+                k_full = np.concatenate([prefix_k, qkv[rows, 1]], axis=0)
+                v_full = np.concatenate([prefix_v, qkv[rows, 2]], axis=0)
+            n = p + length
+
+            # Scaled raw scores [h, n, n]: reused block restored, suffix
+            # query rows computed fresh.  The remaining block (prefix
+            # queries x suffix keys) is causally masked everywhere it is
+            # consumed, so it stays zero.
+            scores = np.zeros((self.num_heads, n, n))
+            if p:
+                scores[:, :p, :p] = prefix_scores
+            scores[:, p:, :] = (
+                np.einsum("qhd,khd->hqk", q, k_full) * self.scale
+            )
+
+            # Suffix query i sits at position p + i and sees keys <= p + i.
+            visible = np.tril(np.ones((length, n), dtype=bool), k=p)
+            masked = np.where(visible[None, :, :], scores[:, p:, :], -np.inf)
+            probs = softmax(masked, axis=-1)
+            head_out[rows] = np.einsum("hqk,khd->qhd", probs, v_full)
+
+            if policy is not None:
+                policy.prefill_precomputed(
+                    k_full, v_full, attention_matrix=scores, reused_tokens=p
+                )
+            captured.append((k_full, v_full, scores))
+
+        output = head_out.reshape(total, hd) @ w_o
+        return output, captured
+
     def decode(
         self,
         x_t: np.ndarray,

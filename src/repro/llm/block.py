@@ -45,6 +45,29 @@ class TransformerBlock:
         x = x + self.mlp.forward(self._norm(x))
         return x, scores
 
+    def prefill_packed(
+        self,
+        x: np.ndarray,
+        segments,
+        prefixes,
+        policies,
+    ) -> Tuple[np.ndarray, list]:
+        """Process several concatenated prompts at once (padding-free).
+
+        Layernorm and the MLP broadcast over the packed rows; the attention
+        layer runs one packed Q/K/V GEMM and per-sequence causal blocks
+        (see :meth:`MultiHeadSelfAttention.prefill_packed`).  Returns the
+        packed hidden states and the per-sequence captured
+        ``(keys, values, scores)`` tensors for prefix caching.
+        """
+        attn_in = self._norm(x)
+        attn_out, captured = self.attention.prefill_packed(
+            attn_in, segments, prefixes, policies
+        )
+        x = np.asarray(x, dtype=np.float64) + attn_out
+        x = x + self.mlp.forward(self._norm(x))
+        return x, captured
+
     def decode(
         self,
         x_t: np.ndarray,

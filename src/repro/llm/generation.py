@@ -71,7 +71,16 @@ def greedy_generate(
     keep_logits:
         Keep the per-step logits for analysis.
     """
-    engine = BatchedEngine(model, policy_factory=policy_factory, max_batch_size=1)
+    # Single-sequence generation wants the bitwise-serial code path: no
+    # packed prefill, no prefix cache (a fresh engine's cache could never
+    # hit anyway).
+    engine = BatchedEngine(
+        model,
+        policy_factory=policy_factory,
+        max_batch_size=1,
+        prefix_caching=False,
+        batched_prefill=False,
+    )
     engine.submit(
         ServingRequest(
             prompt_ids=prompt_ids,
@@ -117,13 +126,17 @@ def greedy_generate_serial(
     logits_history: List[np.ndarray] = []
     position = len(prompt_ids)
 
-    for _ in range(max_new_tokens):
+    for step in range(max_new_tokens):
         next_id = int(np.argmax(logits))
         if next_id in stop_set:
             break
         generated.append(next_id)
         if keep_logits:
             logits_history.append(np.asarray(logits, dtype=np.float64))
+        if step + 1 >= max_new_tokens:
+            # The budget is spent: decoding the final emitted token would
+            # only produce logits that are immediately discarded.
+            break
         logits = model.decode_step(next_id, position, policies)
         position += 1
 

@@ -160,6 +160,93 @@ class TransformerLM:
         logits = self.logits_from_hidden(x[-1])
         return logits
 
+    def prefill_batched(
+        self,
+        prompts: Sequence[Sequence[int]],
+        policies_per_sequence: Sequence[List[KVCachePolicy]],
+        prefixes: Optional[Sequence[Optional[List[tuple]]]] = None,
+    ) -> tuple:
+        """Padding-free batched prefill of ``B`` prompts at once.
+
+        The prompts' tokens are concatenated into one packed ragged batch:
+        every layer runs a single packed Q/K/V GEMM (and one packed output
+        GEMM) across *all* prompts' tokens, while the causal attention block
+        of each sequence is evaluated independently, so each sequence's
+        policies receive exactly the per-prompt keys, values and scaled raw
+        scores the serial :meth:`prefill` would feed them.
+
+        ``prefixes[b]``, when given, is a per-layer list of
+        ``(keys [p, h, d], values [p, h, d], scores [h, p, p])`` tensors of
+        an already-prefilled prompt prefix (``p < len(prompts[b])``, see
+        :class:`repro.serving.prefix_cache.PrefixCache`); only the remaining
+        suffix tokens are embedded and pushed through the layers, which is
+        where the shared-prefix time-to-first-token savings come from.
+
+        Returns ``(logits [B, vocab], captured)`` where ``captured[b]`` is
+        the per-layer list of full-prompt ``(keys, values, scores)`` tensors
+        (suitable for prefix-cache insertion).
+        """
+        batch = len(prompts)
+        if batch != len(policies_per_sequence):
+            raise ValueError(
+                "prompts and policies_per_sequence must agree on batch size"
+            )
+        if prefixes is None:
+            prefixes = [None] * batch
+        if len(prefixes) != batch:
+            raise ValueError("prefixes must match the batch size")
+        if batch == 0:
+            return np.empty((0, self.config.vocab_size), dtype=np.float64), []
+        for policies in policies_per_sequence:
+            if len(policies) != self.config.num_layers:
+                raise ValueError("one policy per layer is required")
+
+        prompt_lists = [[int(t) for t in prompt] for prompt in prompts]
+        reused_lengths: List[int] = []
+        for prompt, prefix in zip(prompt_lists, prefixes):
+            if len(prompt) < 1:
+                raise ValueError("prompt must contain at least one token")
+            if prefix is None:
+                reused_lengths.append(0)
+                continue
+            if len(prefix) != self.config.num_layers:
+                raise ValueError("one prefix state per layer is required")
+            p = int(prefix[0][0].shape[0])
+            if any(int(layer[0].shape[0]) != p for layer in prefix):
+                raise ValueError("prefix layers disagree on prefix length")
+            if not 0 <= p < len(prompt):
+                raise ValueError(
+                    "prefix must be strictly shorter than the prompt"
+                )
+            reused_lengths.append(p)
+
+        segments: List[tuple] = []
+        tokens: List[int] = []
+        positions: List[int] = []
+        for prompt, p in zip(prompt_lists, reused_lengths):
+            start = len(tokens)
+            tokens.extend(prompt[p:])
+            positions.extend(range(p, len(prompt)))
+            segments.append((start, len(prompt) - p))
+
+        x = self.embed(tokens, positions)
+        captured_per_sequence: List[list] = [[] for _ in range(batch)]
+        for layer, block in enumerate(self.blocks):
+            layer_prefixes = [
+                None if prefix is None else prefix[layer] for prefix in prefixes
+            ]
+            layer_policies = [p[layer] for p in policies_per_sequence]
+            x, captured = block.prefill_packed(
+                x, segments, layer_prefixes, layer_policies
+            )
+            for b in range(batch):
+                captured_per_sequence[b].append(captured[b])
+
+        last_rows = np.stack(
+            [x[start + length - 1] for start, length in segments]
+        )
+        return self.logits_from_hidden(last_rows), captured_per_sequence
+
     def decode_step(
         self,
         token_id: int,

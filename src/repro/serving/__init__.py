@@ -1,16 +1,31 @@
 """Batched multi-sequence serving on top of the policy-managed substrate.
 
-:class:`~repro.serving.engine.BatchedEngine` decodes many independent
-sequences per step with per-sequence KV cache policies, admits new requests
-mid-flight (continuous batching) and honours per-sequence stop conditions.
-Single-sequence generation (:func:`repro.llm.generation.greedy_generate`)
-and the accuracy harness (:mod:`repro.eval.harness`) both route through it.
+The admission pipeline of :class:`~repro.serving.engine.BatchedEngine` is
+
+    ``submit()`` queue -> prefix-grouped batched prefill -> continuous decode
+
+Queued requests are drained into free batch slots in *prefill waves*: each
+wave runs one padding-free batched prefill
+(:meth:`~repro.llm.model.TransformerLM.prefill_batched`) over several
+prompts at once, and requests sharing a prompt prefix are grouped so the
+shared part is computed once and restored for the rest from a
+:class:`~repro.serving.prefix_cache.PrefixCache` (per-layer K/V tensors and
+prefill attention-score blocks, keyed by prompt ids).  Admitted sequences
+then decode continuously — many independent sequences per step with
+per-sequence KV cache policies, mid-flight admission and per-sequence stop
+conditions.  Single-sequence generation
+(:func:`repro.llm.generation.greedy_generate`) and the accuracy harness
+(:mod:`repro.eval.harness`) both route through the engine.
 """
 
 from .engine import BatchedEngine, SequenceSlot, ServingRequest, ServingResponse
+from .prefix_cache import PrefixCache, PrefixCacheStats, SequencePrefix
 
 __all__ = [
     "BatchedEngine",
+    "PrefixCache",
+    "PrefixCacheStats",
+    "SequencePrefix",
     "SequenceSlot",
     "ServingRequest",
     "ServingResponse",

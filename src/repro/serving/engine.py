@@ -1,25 +1,41 @@
 """Batched multi-sequence serving engine with continuous admission.
 
-The ROADMAP north-star asks for a system that serves many users at once;
-this module is the decode-side half of that: a :class:`BatchedEngine` that
-advances many independent sequences by one token per :meth:`BatchedEngine.step`,
-admitting newly submitted requests between steps (continuous batching) and
-retiring sequences as they hit their per-request stop conditions.
+The ROADMAP north-star asks for a system that serves many users at once.
+This module is the request-level half of that: a :class:`BatchedEngine`
+whose lifecycle for every request is
+
+    ``submit()`` queue -> prefix-grouped batched prefill -> continuous decode
+
+* **Admission** (:meth:`BatchedEngine._admit`) drains queued requests into
+  free batch slots in *prefill waves*: each wave is one padding-free batched
+  prefill (:meth:`~repro.llm.model.TransformerLM.prefill_batched`) over
+  several prompts at once.  Requests that share a prompt prefix with an
+  earlier request of the same wave are deferred one wave, so the shared part
+  is computed exactly once and subsequent requests restore it from the
+  engine's :class:`~repro.serving.prefix_cache.PrefixCache` instead of
+  recomputing it.  A request whose prefill raises fails closed into a
+  ``finish_reason="error"`` response; the engine's queues stay consistent.
+* **Decode** (:meth:`BatchedEngine.step`) advances every active sequence by
+  one token via :meth:`~repro.llm.model.TransformerLM.decode_steps_batched`,
+  admitting newly submitted requests between steps (continuous batching)
+  and retiring sequences as they hit their per-request stop conditions.
+  A sequence that exhausts its token budget is retired *without* feeding
+  its final token through the model — those logits would be discarded.
 
 Each sequence owns its own per-layer :class:`~repro.core.policy.KVCachePolicy`
 stack, so a single engine can serve a mix of pruning policies (e.g. one
-UniCAIM-CAM request next to a full-cache request).  The per-token model math
-(embedding, Q/K/V projections, MLP, unembedding) is batched across all
-active sequences via :meth:`~repro.llm.model.TransformerLM.decode_steps_batched`;
-only the per-sequence KV cache updates remain sequential.
+UniCAIM-CAM request next to a full-cache request).  Prefix reuse is policy
+agnostic: the cached K/V/score tensors are pure functions of the prompt ids,
+and every policy's prefill consumes them exactly as if freshly computed.
 
-The engine reproduces :func:`repro.llm.generation.greedy_generate` exactly
-for a batch of one (identical serial code path).  Larger batches compute
-per-row logits that can differ from the serial path in the last float ulp
-(batched BLAS GEMMs round differently from per-sequence GEMVs); greedy
-token ids are identical in practice and asserted so in the test suite,
-but evaluations that must be strictly independent of batch composition
-should use ``max_batch_size=1``.
+With ``batched_prefill=False`` and ``prefix_caching=False`` the engine
+reproduces :func:`repro.llm.generation.greedy_generate_serial` exactly for a
+batch of one (identical serial code path).  Larger batches and the packed
+prefill compute logits that can differ from the serial path in the last
+float ulp (batched BLAS GEMMs round differently from per-sequence einsums);
+greedy token ids are identical in practice and asserted so in the test
+suite, but evaluations that must be strictly independent of batch
+composition should use ``max_batch_size=1`` with both knobs off.
 """
 
 from __future__ import annotations
@@ -27,11 +43,12 @@ from __future__ import annotations
 import itertools
 from collections import deque
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Sequence, Set
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from ..core.policy import KVCachePolicy, PolicyStats
+from .prefix_cache import PrefixCache, SequencePrefix, common_prefix_length
 
 if TYPE_CHECKING:  # imported lazily to avoid a cycle with repro.llm
     from ..llm.model import PolicyFactory, TransformerLM
@@ -44,14 +61,17 @@ class ServingRequest:
     Attributes
     ----------
     prompt_ids:
-        Prompt token ids (must be non-empty).
+        Prompt token ids (must be non-empty and within the model's
+        vocabulary).
     max_new_tokens:
         Maximum number of tokens to generate (0 completes immediately).
     request_id:
         Optional caller-chosen id; auto-assigned when ``None``.
     stop_ids:
         Token ids that terminate the sequence (the stop token itself is not
-        included in the output).
+        included in the output).  Normalised to a frozenset at submission,
+        so caller-side mutation of the passed sequence cannot change stop
+        behaviour mid-flight.
     policy_factory:
         ``factory(num_heads, head_dim) -> KVCachePolicy`` for this request's
         per-layer caches; falls back to the engine default (full cache).
@@ -74,9 +94,10 @@ class ServingResponse:
     request_id: str
     token_ids: List[int]
     prompt_length: int
-    finish_reason: str  # "stop" (hit a stop id) or "length" (budget reached)
+    finish_reason: str  # "stop" (hit a stop id), "length" (budget) or "error"
     policy_stats: List[PolicyStats] = field(default_factory=list)
     logits_history: Optional[List[np.ndarray]] = None
+    error: Optional[str] = None  # set when finish_reason == "error"
 
     @property
     def num_generated(self) -> int:
@@ -116,6 +137,20 @@ class BatchedEngine:
     max_batch_size:
         Maximum number of sequences decoded per step.  Further submissions
         queue and are admitted as active sequences complete.
+    prefix_cache:
+        Optional externally owned :class:`PrefixCache`, e.g. shared across
+        several engines of an evaluation sweep.  When ``None`` (and prefix
+        caching is enabled) the engine creates a private one.
+    prefix_caching:
+        Reuse shared prompt prefixes across requests at admission.  Requires
+        the batched prefill path; forced off when ``batched_prefill`` is
+        ``False``.
+    batched_prefill:
+        Prefill admission waves through the packed padding-free
+        :meth:`TransformerLM.prefill_batched`.  ``False`` restores the
+        per-request serial :meth:`TransformerLM.prefill` (bitwise identical
+        to :func:`greedy_generate_serial`; used as the reference baseline by
+        the TTFT benchmark).
     """
 
     def __init__(
@@ -123,12 +158,33 @@ class BatchedEngine:
         model: "TransformerLM",
         policy_factory: Optional["PolicyFactory"] = None,
         max_batch_size: int = 16,
+        prefix_cache: Optional[PrefixCache] = None,
+        prefix_caching: bool = True,
+        batched_prefill: bool = True,
     ) -> None:
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
         self.model = model
         self.policy_factory = policy_factory
         self.max_batch_size = int(max_batch_size)
+        self.batched_prefill = bool(batched_prefill)
+        if not self.batched_prefill:
+            # Prefix reuse rides on the packed prefill path.
+            if prefix_cache is not None:
+                raise ValueError(
+                    "an explicit prefix_cache requires batched_prefill=True "
+                    "(prefix reuse rides on the packed prefill path)"
+                )
+            prefix_caching = False
+        if prefix_cache is not None and not prefix_caching:
+            raise ValueError(
+                "an explicit prefix_cache conflicts with prefix_caching=False"
+            )
+        self.prefix_cache: Optional[PrefixCache] = (
+            (prefix_cache if prefix_cache is not None else PrefixCache())
+            if prefix_caching
+            else None
+        )
         self._pending: Deque[ServingRequest] = deque()
         self._active: List[SequenceSlot] = []
         self._completed: Dict[str, ServingResponse] = {}
@@ -168,10 +224,22 @@ class BatchedEngine:
         Requests may be submitted at any time, including while other
         sequences are mid-decode — they are admitted at the next step
         boundary once a batch slot is free (continuous batching).
+
+        Prompt token ids are validated against the model's vocabulary here,
+        so a malformed prompt is rejected before it can occupy a queue slot
+        (an out-of-range id would otherwise only surface as an exception in
+        the middle of a prefill wave).
         """
         prompt_ids = [int(t) for t in request.prompt_ids]
         if not prompt_ids:
             raise ValueError("prompt_ids must not be empty")
+        vocab_size = self.model.config.vocab_size
+        for token in prompt_ids:
+            if token < 0 or token >= vocab_size:
+                raise ValueError(
+                    f"prompt token id {token} out of range for "
+                    f"vocab_size {vocab_size}"
+                )
         if request.max_new_tokens < 0:
             raise ValueError("max_new_tokens must be >= 0")
         request_id = request.request_id
@@ -184,7 +252,11 @@ class BatchedEngine:
             prompt_ids=prompt_ids,
             max_new_tokens=int(request.max_new_tokens),
             request_id=request_id,
-            stop_ids=request.stop_ids,
+            stop_ids=(
+                frozenset(int(t) for t in request.stop_ids)
+                if request.stop_ids is not None
+                else None
+            ),
             policy_factory=request.policy_factory,
             keep_logits=request.keep_logits,
         )
@@ -193,29 +265,172 @@ class BatchedEngine:
         return request_id
 
     def _admit(self) -> List[ServingResponse]:
-        """Prefill queued requests into free batch slots."""
+        """Drain queued requests into free slots, one prefill wave at a time."""
         finished: List[ServingResponse] = []
         while self._pending and len(self._active) < self.max_batch_size:
-            request = self._pending.popleft()
-            factory = request.policy_factory or self.policy_factory
-            policies = self.model.make_policies(factory)
-            logits = self.model.prefill(list(request.prompt_ids), policies)
-            slot = SequenceSlot(
-                request=request,
-                request_id=request.request_id,
-                prompt_length=len(request.prompt_ids),
-                policies=policies,
-                stop_set=frozenset(
-                    int(t) for t in (request.stop_ids or ())
-                ),
-                logits=logits,
-                position=len(request.prompt_ids),
-            )
-            if request.max_new_tokens == 0:
-                finished.append(self._finish(slot, "length"))
-            else:
-                self._active.append(slot)
+            wave, prefixes = self._next_prefill_wave()
+            if not wave:
+                break
+            for slot in self._prefill_wave(wave, prefixes, finished):
+                if slot is None:
+                    continue  # failed into an error response already
+                if slot.request.max_new_tokens == 0:
+                    finished.append(self._finish(slot, "length"))
+                else:
+                    self._active.append(slot)
         return finished
+
+    def _next_prefill_wave(
+        self,
+    ) -> Tuple[List[ServingRequest], List[Optional[SequencePrefix]]]:
+        """Pop the next group of requests to prefill together.
+
+        Requests are taken in submission order.  When prefix caching is on,
+        a request that shares a longer prompt prefix with an earlier request
+        of the *same* wave than with anything already cached is deferred to
+        the next wave: by then the earlier request's prefill has populated
+        the cache, so the shared part is computed once instead of ``k``
+        times.  Deferred requests are pushed back to the queue front, so
+        submission order is preserved for everything else.
+        """
+        free = self.max_batch_size - len(self._active)
+        wave: List[ServingRequest] = []
+        prefixes: List[Optional[SequencePrefix]] = []
+        deferred: List[ServingRequest] = []
+        cache = self.prefix_cache
+        while self._pending and len(wave) < free:
+            request = self._pending.popleft()
+            prompt = list(request.prompt_ids)
+            if cache is not None and wave:
+                intra = max(
+                    common_prefix_length(prompt, list(peer.prompt_ids))
+                    for peer in wave
+                )
+                intra = min(intra, len(prompt) - 1)
+                # peek_length keeps the defer decision free of lookup side
+                # effects (stats, LRU order): only requests that actually
+                # prefill count as cache traffic.
+                if intra >= cache.min_prefix_tokens and intra > cache.peek_length(prompt):
+                    deferred.append(request)
+                    continue
+            wave.append(request)
+            prefixes.append(cache.lookup(prompt) if cache is not None else None)
+        if deferred:
+            self._pending.extendleft(reversed(deferred))
+        return wave, prefixes
+
+    def _prefill_wave(
+        self,
+        wave: List[ServingRequest],
+        prefixes: List[Optional[SequencePrefix]],
+        finished: List[ServingResponse],
+    ) -> List[Optional[SequenceSlot]]:
+        """Prefill one wave; failed requests become error responses."""
+        if not self.batched_prefill:
+            return [
+                self._prefill_one_serial(request, finished) for request in wave
+            ]
+        try:
+            policies_per_sequence = [
+                self.model.make_policies(
+                    request.policy_factory or self.policy_factory
+                )
+                for request in wave
+            ]
+            logits, captured = self.model.prefill_batched(
+                [list(request.prompt_ids) for request in wave],
+                policies_per_sequence,
+                [None if p is None else p.layers for p in prefixes],
+            )
+        except Exception:
+            # One bad request must not take down the wave (or the engine):
+            # retry each request alone so only the offender fails.
+            return [
+                self._prefill_one_packed(request, prefix, finished)
+                for request, prefix in zip(wave, prefixes)
+            ]
+        slots: List[Optional[SequenceSlot]] = []
+        for b, request in enumerate(wave):
+            if self.prefix_cache is not None:
+                if prefixes[b] is not None:
+                    self.prefix_cache.commit_reuse(prefixes[b])
+                self.prefix_cache.insert(list(request.prompt_ids), captured[b])
+            slots.append(
+                self._make_slot(request, policies_per_sequence[b], logits[b])
+            )
+        return slots
+
+    def _prefill_one_packed(
+        self,
+        request: ServingRequest,
+        prefix: Optional[SequencePrefix],
+        finished: List[ServingResponse],
+    ) -> Optional[SequenceSlot]:
+        try:
+            policies = self.model.make_policies(
+                request.policy_factory or self.policy_factory
+            )
+            logits, captured = self.model.prefill_batched(
+                [list(request.prompt_ids)],
+                [policies],
+                [None if prefix is None else prefix.layers],
+            )
+        except Exception as exc:
+            finished.append(self._fail(request, exc))
+            return None
+        if self.prefix_cache is not None:
+            if prefix is not None:
+                self.prefix_cache.commit_reuse(prefix)
+            self.prefix_cache.insert(list(request.prompt_ids), captured[0])
+        return self._make_slot(request, policies, logits[0])
+
+    def _prefill_one_serial(
+        self, request: ServingRequest, finished: List[ServingResponse]
+    ) -> Optional[SequenceSlot]:
+        try:
+            policies = self.model.make_policies(
+                request.policy_factory or self.policy_factory
+            )
+            logits = self.model.prefill(list(request.prompt_ids), policies)
+        except Exception as exc:
+            finished.append(self._fail(request, exc))
+            return None
+        return self._make_slot(request, policies, logits)
+
+    def _make_slot(
+        self,
+        request: ServingRequest,
+        policies: List[KVCachePolicy],
+        logits: np.ndarray,
+    ) -> SequenceSlot:
+        return SequenceSlot(
+            request=request,
+            request_id=request.request_id,
+            prompt_length=len(request.prompt_ids),
+            policies=policies,
+            stop_set=frozenset(request.stop_ids or ()),
+            logits=logits,
+            position=len(request.prompt_ids),
+        )
+
+    def _fail(self, request: ServingRequest, exc: Exception) -> ServingResponse:
+        """Turn a failed admission into a completed error response.
+
+        The request was already popped from the queue and its id recorded in
+        the submission order, so completing it (instead of dropping it on
+        the floor) is what keeps :meth:`run`'s bookkeeping consistent.
+        """
+        response = ServingResponse(
+            request_id=request.request_id,
+            token_ids=[],
+            prompt_length=len(request.prompt_ids),
+            finish_reason="error",
+            policy_stats=[],
+            logits_history=None,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+        self._completed[request.request_id] = response
+        return response
 
     def _finish(self, slot: SequenceSlot, reason: str) -> ServingResponse:
         response = ServingResponse(
@@ -240,9 +455,10 @@ class BatchedEngine:
         Returns the responses of sequences that completed during this step.
         The per-sequence semantics mirror ``greedy_generate`` exactly: the
         greedy token is sampled from the current logits; a stop id finishes
-        the sequence without being emitted; otherwise the token is emitted
-        and fed through one (batched) decode step — including for the final
-        token of a sequence that exhausts its budget.
+        the sequence without being emitted; otherwise the token is emitted.
+        A sequence whose emitted token exhausts its budget finishes
+        immediately — its final token is *not* fed through the model, since
+        the resulting logits would never be read.
         """
         finished = self._admit()
         if not self._active:
@@ -259,7 +475,10 @@ class BatchedEngine:
                 slot.logits_history.append(
                     np.asarray(slot.logits, dtype=np.float64)
                 )
-            continuing.append(slot)
+            if len(slot.generated) >= slot.request.max_new_tokens:
+                finished.append(self._finish(slot, "length"))
+            else:
+                continuing.append(slot)
 
         if continuing:
             logits_batch = self.model.decode_steps_batched(
@@ -271,13 +490,7 @@ class BatchedEngine:
                 slot.logits = logits_batch[row]
                 slot.position += 1
 
-        still_active: List[SequenceSlot] = []
-        for slot in continuing:
-            if len(slot.generated) >= slot.request.max_new_tokens:
-                finished.append(self._finish(slot, "length"))
-            else:
-                still_active.append(slot)
-        self._active = still_active
+        self._active = continuing
         self._steps += 1
         return finished
 

@@ -1,0 +1,301 @@
+"""Shared-prefix reuse of prefill work across serving requests.
+
+Many-user serving workloads repeat long prompt prefixes (a system prompt, a
+shared document, few-shot examples).  The dense prefill of those tokens is a
+pure function of the token ids — the per-layer keys, values and prefill
+attention scores of a prefix do not depend on what follows it (causal
+attention) or on the request's KV cache policy (policies only *consume* the
+prefill outputs).  :class:`PrefixCache` exploits that: it remembers, for
+recently prefilled prompts, the per-layer K/V tensors and the scaled raw
+prefill-score block of every prefix, so a new request that shares a prefix
+only has to compute its suffix tokens
+(:meth:`repro.llm.model.TransformerLM.prefill_batched`).
+
+Entries are keyed by the prompt token tuple; a lookup returns the longest
+cached common prefix, capped at ``len(prompt) - 1`` so the final prompt
+position is always recomputed (its hidden state produces the first-token
+logits, which are not stored here).  Reuse below ``min_prefix_tokens`` is
+rejected — slicing bookkeeping would cost more than the skipped GEMM rows.
+
+The stored tensors per layer are ``(keys [n, h, d], values [n, h, d],
+scores [h, n, n])`` where ``scores`` are the *scaled* raw prefill attention
+scores exactly as :meth:`repro.llm.attention_layer.MultiHeadSelfAttention.prefill`
+hands them to a policy.  Only the causally visible part of the score block
+is ever consumed downstream (``accumulated_scores_from_attention`` masks the
+upper triangle), which is what makes the top-left block of a longer prompt's
+score matrix reusable for any continuation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+LayerPrefillState = Tuple[np.ndarray, np.ndarray, np.ndarray]
+"""Per-layer prefill tensors: ``(keys [n, h, d], values [n, h, d], scaled
+raw attention scores [h, n, n])``."""
+
+
+def common_prefix_length(a: Sequence[int], b: Sequence[int]) -> int:
+    """Length of the longest common prefix of two token sequences."""
+    limit = min(len(a), len(b))
+    for i in range(limit):
+        if a[i] != b[i]:
+            return i
+    return limit
+
+
+def _owned(array: np.ndarray) -> np.ndarray:
+    """A float64 array that owns its memory.
+
+    Captured prefill tensors can be basic-indexing views into a whole
+    wave's packed QKV buffer; storing the view would pin that buffer for
+    the entry's lifetime and make :meth:`PrefixCache.memory_bytes` lie.
+    """
+    arr = np.asarray(array, dtype=np.float64)
+    if arr.base is not None:
+        arr = arr.copy()
+    return arr
+
+
+@dataclass
+class SequencePrefix:
+    """The reusable prefix handed to :meth:`TransformerLM.prefill_batched`.
+
+    ``layers[l]`` holds the layer-``l`` prefill tensors sliced to the first
+    ``length`` tokens of the prompt.
+    """
+
+    length: int
+    layers: List[LayerPrefillState]
+
+
+@dataclass
+class PrefixCacheStats:
+    """Counters for observability and the TTFT benchmark's FLOP accounting."""
+
+    lookups: int = 0
+    hits: int = 0
+    tokens_reused: int = 0
+    inserts: int = 0
+    skipped_inserts: int = 0
+    superseded_entries: int = 0
+    evictions: int = 0
+
+    @property
+    def misses(self) -> int:
+        return self.lookups - self.hits
+
+    @property
+    def hit_rate(self) -> float:
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+
+class PrefixCache:
+    """LRU cache of per-layer prefill tensors keyed by prompt token ids.
+
+    Parameters
+    ----------
+    max_entries:
+        Maximum number of cached prompts; the least recently used entry is
+        dropped first.
+    min_prefix_tokens:
+        Shortest shared prefix worth reusing.  Lookups that would reuse
+        fewer tokens report a miss.
+    max_bytes:
+        Byte budget for the stored tensors.  The per-entry score blocks are
+        O(heads * n^2) per layer, so long distinct prompts would otherwise
+        grow the cache far faster than ``max_entries`` suggests; the least
+        recently used entries are dropped until the budget holds, and an
+        entry larger than the whole budget is never stored.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 64,
+        min_prefix_tokens: int = 8,
+        max_bytes: int = 256 * 1024 * 1024,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        if min_prefix_tokens < 1:
+            raise ValueError("min_prefix_tokens must be >= 1")
+        if max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1")
+        self.max_entries = int(max_entries)
+        self.min_prefix_tokens = int(min_prefix_tokens)
+        self.max_bytes = int(max_bytes)
+        # Both dicts are insertion-ordered; re-inserting on access makes the
+        # first key the LRU victim.
+        self._entries: Dict[Tuple[int, ...], List[LayerPrefillState]] = {}
+        self._id_arrays: Dict[Tuple[int, ...], np.ndarray] = {}
+        self._entry_bytes: Dict[Tuple[int, ...], int] = {}
+        self._total_bytes = 0
+        self.stats = PrefixCacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def memory_bytes(self) -> int:
+        """Bytes held by the cached K/V/score tensors (all owned copies)."""
+        return self._total_bytes
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._id_arrays.clear()
+        self._entry_bytes.clear()
+        self._total_bytes = 0
+
+    # ------------------------------------------------------------------
+    def _best_match(
+        self, token_ids: Sequence[int]
+    ) -> Tuple[Optional[Tuple[int, ...]], int]:
+        """Longest cached prefix of ``token_ids``: ``(entry key, length)``.
+
+        Pure query — no stats, no LRU touch.  The match is capped at
+        ``len(token_ids) - 1`` and must reach ``min_prefix_tokens``;
+        ``(None, 0)`` otherwise.
+        """
+        ids = np.asarray([int(t) for t in token_ids], dtype=np.int64)
+        limit = int(ids.size) - 1
+        if limit < self.min_prefix_tokens:
+            return None, 0
+        best_key: Optional[Tuple[int, ...]] = None
+        best_len = 0
+        for key, arr in self._id_arrays.items():
+            m = min(int(arr.size), limit)
+            if m <= best_len:
+                continue
+            mismatch = np.flatnonzero(arr[:m] != ids[:m])
+            common = int(mismatch[0]) if mismatch.size else m
+            if common > best_len:
+                best_len, best_key = common, key
+        if best_key is None or best_len < self.min_prefix_tokens:
+            return None, 0
+        return best_key, best_len
+
+    def peek_length(self, token_ids: Sequence[int]) -> int:
+        """Reusable prefix length a :meth:`lookup` would return, without
+        counting a lookup, touching LRU order or building the slices.
+
+        Admission scheduling uses this to decide whether to defer a request
+        for intra-wave sharing; only requests that actually prefill perform
+        a real :meth:`lookup`.
+        """
+        return self._best_match(token_ids)[1]
+
+    def lookup(self, token_ids: Sequence[int]) -> Optional[SequencePrefix]:
+        """Longest reusable cached prefix of ``token_ids`` (or ``None``).
+
+        The match is capped at ``len(token_ids) - 1``: the last prompt token
+        must be recomputed because its final hidden state (the first-token
+        logits) is not cached.  The returned tensors are read-only views
+        into the stored entry — callers must not mutate them.
+
+        A hit counts towards ``stats.hits`` here, but ``tokens_reused`` is
+        only incremented by :meth:`commit_reuse` once the prefill that
+        consumed the prefix succeeded — a request that fails admission
+        after its lookup skipped no work.
+        """
+        self.stats.lookups += 1
+        best_key, best_len = self._best_match(token_ids)
+        if best_key is None:
+            return None
+        self._touch(best_key)
+        self.stats.hits += 1
+        p = best_len
+        layers = [
+            (keys[:p], values[:p], scores[:, :p, :p])
+            for keys, values, scores in self._entries[best_key]
+        ]
+        return SequencePrefix(length=p, layers=layers)
+
+    def commit_reuse(self, prefix: SequencePrefix) -> None:
+        """Record that a prefill actually skipped ``prefix.length`` tokens.
+
+        Called by the consumer after the prefill using the looked-up prefix
+        succeeds, so ``stats.tokens_reused`` (the basis of the benchmark's
+        FLOP-savings figure) measures realized reuse only.
+        """
+        self.stats.tokens_reused += int(prefix.length)
+
+    def insert(
+        self, token_ids: Sequence[int], layers: Sequence[LayerPrefillState]
+    ) -> bool:
+        """Store a freshly prefilled prompt's per-layer tensors.
+
+        Returns ``False`` (and stores nothing) when an existing entry
+        already covers the whole prompt — a longer or identical cached
+        prompt makes this one redundant for future lookups.  Conversely,
+        existing entries that are a prefix of the new prompt are dropped
+        (superseded): the new entry answers every lookup they could.
+
+        Prompts that share a prefix but diverge (distinct suffixes) each
+        keep their own full entry — including the O(n^2)-per-layer score
+        block — so memory grows with the number of *distinct* prompts, not
+        with sharing; ``max_entries`` bounds it.  Deduplicating the shared
+        prefix storage itself (trie / paged entries) is a ROADMAP item.
+        """
+        key = tuple(int(t) for t in token_ids)
+        if not key:
+            raise ValueError("token_ids must not be empty")
+        ids = np.asarray(key, dtype=np.int64)
+        superseded = []
+        for existing_key, arr in self._id_arrays.items():
+            if arr.size >= ids.size and not np.any(arr[: ids.size] != ids):
+                self._touch(existing_key)
+                self.stats.skipped_inserts += 1
+                return False
+            if arr.size < ids.size and not np.any(ids[: arr.size] != arr):
+                superseded.append(existing_key)
+        entry = [
+            (_owned(keys), _owned(values), _owned(scores))
+            for keys, values, scores in layers
+        ]
+        entry_bytes = sum(
+            int(k.nbytes + v.nbytes + s.nbytes) for k, v, s in entry
+        )
+        if entry_bytes > self.max_bytes:
+            # Rejecting an unstorable entry must not purge the (storable)
+            # entries it would have superseded.
+            self.stats.skipped_inserts += 1
+            return False
+        for existing_key in superseded:
+            self._drop(existing_key)
+            self.stats.superseded_entries += 1
+        self._entries[key] = entry
+        self._id_arrays[key] = ids
+        self._entry_bytes[key] = entry_bytes
+        self._total_bytes += entry_bytes
+        self.stats.inserts += 1
+        while (
+            len(self._entries) > self.max_entries
+            or self._total_bytes > self.max_bytes
+        ):
+            self._drop(next(iter(self._entries)))
+            self.stats.evictions += 1
+        return True
+
+    # ------------------------------------------------------------------
+    def _touch(self, key: Tuple[int, ...]) -> None:
+        """Mark ``key`` as most recently used."""
+        self._entries[key] = self._entries.pop(key)
+        self._id_arrays[key] = self._id_arrays.pop(key)
+
+    def _drop(self, key: Tuple[int, ...]) -> None:
+        del self._entries[key]
+        del self._id_arrays[key]
+        self._total_bytes -= self._entry_bytes.pop(key)
+
+
+__all__ = [
+    "LayerPrefillState",
+    "PrefixCache",
+    "PrefixCacheStats",
+    "SequencePrefix",
+    "common_prefix_length",
+]

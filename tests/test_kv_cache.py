@@ -125,6 +125,31 @@ class TestEvictionAndReplace:
         assert cache.slot_of_position(5) == 1
         assert len(cache) == 2
 
+    def test_overwrite_free_slot_keeps_free_list_consistent(self):
+        """Overwriting an unallocated slot (now an O(1) removal from the
+        free pool, not an O(capacity) list.remove) must preserve the
+        allocation order of the remaining free slots and never hand the
+        overwritten slot out twice."""
+        cache = make_cache(capacity=4)
+        key, value = kv()
+        cache.overwrite(1, key, value, 10)
+        assert cache.slot_of_position(10) == 1
+        assert cache.num_free_slots == 3
+        # Remaining free slots still allocate in ascending order.
+        assert [cache.append(key, value, 20 + i) for i in range(3)] == [0, 2, 3]
+        assert cache.is_full
+        with pytest.raises(RuntimeError):
+            cache.append(key, value, 99)
+
+    def test_overwrite_occupied_slot_remaps_position(self):
+        cache = make_cache(capacity=2)
+        key, value = kv()
+        cache.append(key, value, 0)
+        cache.overwrite(0, key * 2, value, 5)
+        assert cache.slot_of_position(0) is None
+        assert cache.slot_of_position(5) == 0
+        assert cache.num_free_slots == 1
+
     def test_evict_unoccupied_raises(self):
         cache = make_cache()
         with pytest.raises(ValueError):

@@ -206,6 +206,106 @@ class TestStopConditions:
         assert response.finish_reason == "length"
 
 
+class TestNoWastedFinalDecode:
+    """Budget-exhausted sequences must not decode their final emitted token."""
+
+    def test_policy_decode_steps_is_budget_minus_one(self, model, prompts):
+        """N generated tokens need N-1 decode steps: the prompt prefill
+        yields the first token's logits, and the final token is emitted
+        without being fed back through the model."""
+        n = 6
+        serial = greedy_generate_serial(model, prompts[0], n)
+        assert len(serial.token_ids) == n
+        assert all(s.decode_steps == n - 1 for s in serial.policy_stats)
+
+        engine = BatchedEngine(model, max_batch_size=2)
+        engine.submit(ServingRequest(prompt_ids=prompts[0], max_new_tokens=n))
+        engine.submit(ServingRequest(prompt_ids=prompts[1], max_new_tokens=n))
+        for response in engine.run():
+            assert response.num_generated == n
+            assert all(s.decode_steps == n - 1 for s in response.policy_stats)
+        assert engine.step_count == n
+
+    def test_stopped_sequence_unaffected(self, model, prompts):
+        reference = greedy_generate_serial(model, prompts[0], 8)
+        stop = reference.token_ids[3]
+        serial = greedy_generate_serial(model, prompts[0], 8, stop_ids=[stop])
+        # Stopping consumed no budget-exhaustion shortcut: one decode per
+        # emitted token (the stop id is seen in decoded logits).
+        assert all(
+            s.decode_steps == len(serial.token_ids) for s in serial.policy_stats
+        )
+
+
+class TestAdmissionFailureConsistency:
+    def test_out_of_vocab_prompt_rejected_at_submit(self, model):
+        engine = BatchedEngine(model)
+        with pytest.raises(ValueError):
+            engine.submit(ServingRequest(prompt_ids=[1, VOCAB], max_new_tokens=2))
+        with pytest.raises(ValueError):
+            engine.submit(ServingRequest(prompt_ids=[-1], max_new_tokens=2))
+        # The rejected submissions left no trace: the engine still runs.
+        assert engine.num_pending == 0
+        assert engine.run() == []
+
+    @pytest.mark.parametrize("batched_prefill", [True, False], ids=["batched", "serial"])
+    def test_failing_prefill_becomes_error_response(self, model, prompts, batched_prefill):
+        """A prefill exception fails only the offending request; the engine
+        stays consistent and later runs never raise KeyError."""
+
+        def broken_factory(heads, dim):
+            raise RuntimeError("policy construction exploded")
+
+        engine = BatchedEngine(
+            model, max_batch_size=4, batched_prefill=batched_prefill
+        )
+        ok_before = engine.submit(
+            ServingRequest(prompt_ids=prompts[0], max_new_tokens=3)
+        )
+        bad = engine.submit(
+            ServingRequest(
+                prompt_ids=prompts[1], max_new_tokens=3,
+                policy_factory=broken_factory,
+            )
+        )
+        ok_after = engine.submit(
+            ServingRequest(prompt_ids=prompts[2], max_new_tokens=3)
+        )
+        responses = {r.request_id: r for r in engine.run()}
+        assert set(responses) == {ok_before, bad, ok_after}
+        assert responses[bad].finish_reason == "error"
+        assert responses[bad].token_ids == []
+        assert "policy construction exploded" in responses[bad].error
+        for rid, prompt in ((ok_before, prompts[0]), (ok_after, prompts[2])):
+            want = greedy_generate_serial(model, prompt, 3)
+            assert responses[rid].token_ids == want.token_ids
+            assert responses[rid].finish_reason == "length"
+        # The engine is still serviceable after the failure.
+        rid = engine.submit(ServingRequest(prompt_ids=prompts[3], max_new_tokens=2))
+        assert engine.run()[-1].request_id == rid
+
+
+class TestStopIdsSnapshot:
+    def test_caller_mutation_after_submit_is_ignored(self, model, prompts):
+        reference = greedy_generate_serial(model, prompts[0], 8)
+        assert len(reference.token_ids) >= 3
+        stop_ids = [reference.token_ids[2]]
+        engine = BatchedEngine(model, max_batch_size=2)
+        engine.submit(
+            ServingRequest(prompt_ids=prompts[0], max_new_tokens=8, stop_ids=stop_ids)
+        )
+        # Mutating the caller's list after submit must not change stop
+        # behaviour mid-flight (stop_ids are snapshotted to a frozenset).
+        stop_ids.clear()
+        stop_ids.append(reference.token_ids[0])
+        response = engine.run()[0]
+        want = greedy_generate_serial(
+            model, prompts[0], 8, stop_ids=[reference.token_ids[2]]
+        )
+        assert response.token_ids == want.token_ids
+        assert response.finish_reason == "stop"
+
+
 class TestValidation:
     def test_empty_prompt_rejected(self, model):
         engine = BatchedEngine(model)
