@@ -26,6 +26,7 @@ from conftest import perf_gate, write_report
 
 from repro.core.config import PruningConfig
 from repro.core.hybrid import UniCAIMPolicy
+from repro.core.kv_pool import KVPoolGroup
 from repro.core.policy import StepRecord
 from repro.core.attention import sparse_attention_output
 from repro.llm.config import ModelConfig
@@ -75,20 +76,39 @@ def measure_throughput(model: TransformerLM) -> dict:
         for _ in range(NUM_REQUESTS)
     ]
     tokens_per_second = {}
+    paged_stats = {}
     for batch_size in BATCH_SIZES:
-        engine = BatchedEngine(
-            model, policy_factory=policy_factory, max_batch_size=batch_size
-        )
-        for prompt in prompts:
-            engine.submit(
-                ServingRequest(prompt_ids=prompt, max_new_tokens=NEW_TOKENS)
+        for paged in (False, True) if batch_size == max(BATCH_SIZES) else (False,):
+            kv_pools = None
+            if paged:
+                kv_pools = KVPoolGroup(
+                    model.config.num_layers,
+                    page_size=16,
+                    num_heads=model.config.num_heads,
+                    head_dim=model.config.head_dim,
+                    num_pages=4096,
+                )
+            engine = BatchedEngine(
+                model,
+                policy_factory=policy_factory,
+                max_batch_size=batch_size,
+                kv_pools=kv_pools,
             )
-        start = time.perf_counter()
-        responses = engine.run()
-        elapsed = time.perf_counter() - start
-        generated = sum(r.num_generated for r in responses)
-        assert generated == NUM_REQUESTS * NEW_TOKENS
-        tokens_per_second[batch_size] = generated / elapsed
+            for prompt in prompts:
+                engine.submit(
+                    ServingRequest(prompt_ids=prompt, max_new_tokens=NEW_TOKENS)
+                )
+            start = time.perf_counter()
+            responses = engine.run()
+            elapsed = time.perf_counter() - start
+            generated = sum(r.num_generated for r in responses)
+            assert generated == NUM_REQUESTS * NEW_TOKENS
+            if paged:
+                tokens_per_second["paged"] = generated / elapsed
+                paged_stats.update(engine.stats())
+            else:
+                tokens_per_second[batch_size] = generated / elapsed
+    tokens_per_second["paged_stats"] = paged_stats
     return tokens_per_second
 
 
@@ -108,6 +128,24 @@ def test_batch16_throughput_at_least_4x_batch1(benchmark, results_dir):
         lines.append(
             f"{batch_size:>6}  {tokens_per_second[batch_size]:>10.1f}  {ratio:>9.2f}x"
         )
+    paged_ratio = tokens_per_second["paged"] / tokens_per_second[16]
+    lines.append(
+        f"{'paged':>6}  {tokens_per_second['paged']:>10.1f}  "
+        f"{paged_ratio:>9.2f}x vs dense batch-16 (shared KV pool)"
+    )
+    stats = tokens_per_second["paged_stats"]
+    pool = stats["kv_pool"]
+    lines += [
+        "",
+        "Paged engine telemetry (batch 16, shared per-layer arenas):",
+        f"  pages in use {pool['pages_in_use']} / {pool['pages_total']}"
+        f"  (peak {pool['peak_pages_in_use']}), "
+        f"bytes in use {pool['bytes_in_use']}",
+        f"  page allocs {pool['page_allocs']}, frees {pool['page_frees']}, "
+        f"CoW splits {pool['cow_splits']}, "
+        f"prefix pages adopted {pool['prefix_pages_adopted']}",
+        f"  admission: {stats['admission']}",
+    ]
     write_report(results_dir, "serving_throughput", "\n".join(lines))
     print("\n".join(lines))
     perf_gate(
@@ -117,6 +155,11 @@ def test_batch16_throughput_at_least_4x_batch1(benchmark, results_dir):
     perf_gate(
         speedup_16 >= 4.0,
         f"batch-16 speedup {speedup_16:.2f}x below the 4x floor",
+    )
+    perf_gate(
+        paged_ratio >= 0.8,
+        f"paged batch-16 throughput {paged_ratio:.2f}x of dense "
+        "(floor 0.8x — paging must not regress the decode hot path)",
     )
 
 
@@ -149,10 +192,11 @@ class SeedReferencePolicy(UniCAIMPolicy):
 
     def _gather(self):
         slots = np.nonzero(self.cache._occupied)[0]
+        keys, values, positions = self.cache.gather(slots)
         return (
-            self.cache._keys[slots].astype(np.float64),
-            self.cache._values[slots].astype(np.float64),
-            self.cache._token_positions[slots],
+            np.asarray(keys, dtype=np.float64),
+            np.asarray(values, dtype=np.float64),
+            positions,
         )
 
     def decode_step(self, query, key, value, position):

@@ -15,6 +15,14 @@ hardware models:
 
 from .config import AttentionConfig, PruningConfig
 from .kv_cache import CacheEntry, SlotKVCache
+from .kv_pool import (
+    BlockTable,
+    KVPoolGroup,
+    PagedKVPool,
+    PagedKVStore,
+    PoolExhaustedError,
+    SharedKVPages,
+)
 from .policy import FullCachePolicy, KVCachePolicy, PolicyStats, StepRecord
 from .static_pruning import (
     StaticPruningResult,
@@ -38,6 +46,12 @@ __all__ = [
     "PruningConfig",
     "CacheEntry",
     "SlotKVCache",
+    "BlockTable",
+    "KVPoolGroup",
+    "PagedKVPool",
+    "PagedKVStore",
+    "PoolExhaustedError",
+    "SharedKVPages",
     "FullCachePolicy",
     "KVCachePolicy",
     "PolicyStats",

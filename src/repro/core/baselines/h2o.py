@@ -15,6 +15,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from ..attention import attention_output, attention_scores, head_mean_scores, softmax
+from ..kv_pool import PagedKVPool
 from ..policy import KVCachePolicy, StepRecord
 from ..static_pruning import accumulated_scores_from_attention
 
@@ -46,9 +47,11 @@ class H2OPolicy(KVCachePolicy):
             raise ValueError("recent_budget must be >= 1")
         self.heavy_budget = int(heavy_budget)
         self.recent_budget = int(recent_budget)
-        self._keys: Dict[int, np.ndarray] = {}
-        self._values: Dict[int, np.ndarray] = {}
+        self._store = self._make_store()
         self._accumulated: Dict[int, float] = {}
+
+    def _on_pool_attached(self, pool: PagedKVPool) -> None:
+        self._store = self._make_store()
 
     @classmethod
     def from_budget(
@@ -90,15 +93,21 @@ class H2OPolicy(KVCachePolicy):
         else:
             scores = np.zeros(n, dtype=np.float64)
 
-        self._keys = {}
-        self._values = {}
-        self._accumulated = {}
-        for pos in range(n):
-            self._keys[pos] = keys[pos]
-            self._values[pos] = values[pos]
-            self._accumulated[pos] = float(scores[pos])
-        self._shrink_to_budget(current_position=n - 1)
-        self.stats.retained_after_prefill = len(self._keys)
+        # Decide evictions *before* touching storage: bulk-appending the
+        # whole prompt and then shrinking would allocate
+        # ceil(n / page_size) pool pages that a partially emptied store
+        # never returns, blowing past the total_budget+1 page reservation
+        # the serving engine admits this policy under.
+        self._accumulated = {pos: float(scores[pos]) for pos in range(n)}
+        kept = set(range(n))
+        while len(kept) > self.total_budget:
+            victim = self._choose_victim(kept, current_position=n - 1)
+            kept.discard(victim)
+            self._accumulated.pop(victim, None)
+        kept_list = sorted(kept)
+        self._store.clear()
+        self._store.bulk_append(kept_list, keys[kept_list], values[kept_list])
+        self.stats.retained_after_prefill = len(self._store)
 
     def decode_step(
         self,
@@ -110,13 +119,15 @@ class H2OPolicy(KVCachePolicy):
         self._check_step_shapes(query, key, value)
         query = np.asarray(query, dtype=np.float64)
         position = int(position)
-        self._keys[position] = np.asarray(key, dtype=np.float64)
-        self._values[position] = np.asarray(value, dtype=np.float64)
+        self._store.put(
+            position,
+            np.asarray(key, dtype=np.float64),
+            np.asarray(value, dtype=np.float64),
+        )
         self._accumulated.setdefault(position, 0.0)
 
-        positions = sorted(self._keys)
-        keys = np.stack([self._keys[p] for p in positions], axis=0)
-        values = np.stack([self._values[p] for p in positions], axis=0)
+        positions = sorted(self._store.positions())
+        keys, values = self._store.gather(positions)
 
         raw = head_mean_scores(attention_scores(query, keys, scale=self.scale))
         probs = softmax(raw)
@@ -130,7 +141,7 @@ class H2OPolicy(KVCachePolicy):
         self.stats.record(
             StepRecord(
                 position=position,
-                cache_size=len(self._keys),
+                cache_size=len(self._store),
                 num_attended=len(positions),
                 evicted_position=evicted,
             )
@@ -138,31 +149,51 @@ class H2OPolicy(KVCachePolicy):
         return output
 
     def cached_positions(self) -> np.ndarray:
-        return np.asarray(sorted(self._keys), dtype=np.int64)
+        return np.asarray(sorted(self._store.positions()), dtype=np.int64)
+
+    def release_kv(self) -> None:
+        self._store.release()
+        self._accumulated = {}
+
+    def decode_page_demand(self) -> int:
+        return self._store.append_page_demand()
+
+    def max_cached_tokens(self, prompt_len: int, max_new_tokens: int) -> int:
+        # +1 for the insert-then-shrink transient of every decode step.
+        return min(
+            super().max_cached_tokens(prompt_len, max_new_tokens),
+            self.total_budget + 1,
+        )
 
     def reset(self) -> None:
         super().reset()
-        self._keys = {}
-        self._values = {}
+        self._store.clear()
         self._accumulated = {}
 
     # ------------------------------------------------------------------
+    def _choose_victim(self, positions, current_position: int) -> int:
+        """Lowest-accumulated-score non-recent position (H2O's rule).
+
+        Falls back to the full candidate set when every cached token is
+        recent; ties break toward the earliest position.
+        """
+        recent_threshold = current_position - self.recent_budget + 1
+        candidates = [p for p in positions if p < recent_threshold]
+        if not candidates:
+            candidates = list(positions)
+        return min(candidates, key=lambda p: (self._accumulated.get(p, 0.0), p))
+
     def _shrink_to_budget(self, current_position: int) -> Optional[int]:
         """Evict lowest-accumulated-score non-recent tokens until within budget.
 
         Returns the last evicted position (or ``None``).
         """
         last_evicted: Optional[int] = None
-        while len(self._keys) > self.total_budget:
-            recent_threshold = current_position - self.recent_budget + 1
-            candidates = [p for p in self._keys if p < recent_threshold]
-            if not candidates:
-                candidates = list(self._keys)
-            victim = min(
-                candidates, key=lambda p: (self._accumulated.get(p, 0.0), p)
+        while len(self._store) > self.total_budget:
+            victim = self._choose_victim(
+                self._store.positions(), current_position
             )
-            del self._keys[victim]
-            del self._values[victim]
+            self._store.drop(victim)
             self._accumulated.pop(victim, None)
             last_evicted = victim
         return last_evicted

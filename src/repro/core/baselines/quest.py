@@ -15,11 +15,11 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..attention import (
-    attention_scores,
     head_mean_scores,
     sparse_attention_output,
     top_k_indices,
 )
+from ..kv_pool import PagedKVPool, SharedKVPages
 from ..policy import KVCachePolicy, StepRecord
 
 
@@ -51,9 +51,17 @@ class QuestPolicy(KVCachePolicy):
             raise ValueError("num_pages must be >= 1")
         self.page_size = int(page_size)
         self.num_pages = int(num_pages)
-        self._keys: List[np.ndarray] = []
-        self._values: List[np.ndarray] = []
+        self._store = self._make_store()
         self._positions: List[int] = []
+
+    def _on_pool_attached(self, pool: PagedKVPool) -> None:
+        self._store = self._make_store()
+
+    @property
+    def adopts_prefix_pages(self) -> bool:
+        # Quest retains the whole prompt verbatim, so a shared prefix's
+        # pool pages can be installed zero-copy like the full cache's.
+        return True
 
     @classmethod
     def from_budget(
@@ -81,14 +89,40 @@ class QuestPolicy(KVCachePolicy):
         values: np.ndarray,
         attention_matrix: Optional[np.ndarray] = None,
     ) -> None:
+        self._load_prompt(keys, values, adopt=None)
+
+    def prefill_precomputed(
+        self,
+        keys: np.ndarray,
+        values: np.ndarray,
+        attention_matrix: Optional[np.ndarray] = None,
+        reused_tokens: int = 0,
+        prefix_pages: Optional[SharedKVPages] = None,
+    ) -> None:
+        if reused_tokens < 0:
+            raise ValueError("reused_tokens must be >= 0")
+        self._load_prompt(keys, values, adopt=prefix_pages)
+        self.stats.prefill_reused_tokens = int(reused_tokens)
+
+    def _load_prompt(
+        self,
+        keys: np.ndarray,
+        values: np.ndarray,
+        adopt: Optional[SharedKVPages],
+    ) -> None:
         self._check_prefill_shapes(keys, values)
         keys = np.asarray(keys, dtype=np.float64)
         values = np.asarray(values, dtype=np.float64)
-        self._keys = [keys[i] for i in range(keys.shape[0])]
-        self._values = [values[i] for i in range(values.shape[0])]
-        self._positions = list(range(keys.shape[0]))
-        self.stats.prefill_tokens = keys.shape[0]
-        self.stats.retained_after_prefill = keys.shape[0]
+        n = keys.shape[0]
+        self._store.clear()
+        start = 0
+        if adopt is not None and adopt.length <= n and self._store.can_adopt(adopt):
+            self._store.adopt_prefix(adopt)
+            start = adopt.length
+        self._store.bulk_append(range(start, n), keys[start:], values[start:])
+        self._positions = list(range(n))
+        self.stats.prefill_tokens = n
+        self.stats.retained_after_prefill = n
 
     def decode_step(
         self,
@@ -99,12 +133,14 @@ class QuestPolicy(KVCachePolicy):
     ) -> np.ndarray:
         self._check_step_shapes(query, key, value)
         query = np.asarray(query, dtype=np.float64)
-        self._keys.append(np.asarray(key, dtype=np.float64))
-        self._values.append(np.asarray(value, dtype=np.float64))
+        self._store.put(
+            int(position),
+            np.asarray(key, dtype=np.float64),
+            np.asarray(value, dtype=np.float64),
+        )
         self._positions.append(int(position))
 
-        keys = np.stack(self._keys, axis=0)
-        values = np.stack(self._values, axis=0)
+        keys, values = self._store.gather(self._positions)
         n = keys.shape[0]
 
         selected = self._select_page_tokens(query, keys)
@@ -127,10 +163,16 @@ class QuestPolicy(KVCachePolicy):
     def cached_positions(self) -> np.ndarray:
         return np.asarray(self._positions, dtype=np.int64)
 
+    def release_kv(self) -> None:
+        self._store.release()
+        self._positions = []
+
+    def decode_page_demand(self) -> int:
+        return self._store.append_page_demand()
+
     def reset(self) -> None:
         super().reset()
-        self._keys = []
-        self._values = []
+        self._store.clear()
         self._positions = []
 
     # ------------------------------------------------------------------

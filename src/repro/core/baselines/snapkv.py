@@ -12,11 +12,12 @@ token and all cached tokens are attended to.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 import numpy as np
 
 from ..attention import attention_output
+from ..kv_pool import PagedKVPool
 from ..policy import KVCachePolicy, StepRecord
 from ..static_pruning import accumulated_scores_from_attention
 
@@ -73,9 +74,11 @@ class SnapKVPolicy(KVCachePolicy):
         self.prompt_budget = int(prompt_budget)
         self.observation_window = int(observation_window)
         self.pool_kernel = int(pool_kernel)
-        self._keys: Dict[int, np.ndarray] = {}
-        self._values: Dict[int, np.ndarray] = {}
+        self._store = self._make_store()
         self._kept_prompt_positions: List[int] = []
+
+    def _on_pool_attached(self, pool: PagedKVPool) -> None:
+        self._store = self._make_store()
 
     @classmethod
     def from_budget(
@@ -135,8 +138,9 @@ class SnapKVPolicy(KVCachePolicy):
             chosen = candidates[order[:remaining_budget]]
             kept = sorted(set(window_positions) | set(int(p) for p in chosen))
 
-        self._keys = {p: keys[p] for p in kept}
-        self._values = {p: values[p] for p in kept}
+        self._store.clear()
+        kept = list(kept)
+        self._store.bulk_append(kept, keys[kept], values[kept])
         self._kept_prompt_positions = list(kept)
         self.stats.retained_after_prefill = len(kept)
 
@@ -150,12 +154,14 @@ class SnapKVPolicy(KVCachePolicy):
         self._check_step_shapes(query, key, value)
         query = np.asarray(query, dtype=np.float64)
         position = int(position)
-        self._keys[position] = np.asarray(key, dtype=np.float64)
-        self._values[position] = np.asarray(value, dtype=np.float64)
+        self._store.put(
+            position,
+            np.asarray(key, dtype=np.float64),
+            np.asarray(value, dtype=np.float64),
+        )
 
-        positions = sorted(self._keys)
-        keys = np.stack([self._keys[p] for p in positions], axis=0)
-        values = np.stack([self._values[p] for p in positions], axis=0)
+        positions = sorted(self._store.positions())
+        keys, values = self._store.gather(positions)
         output = attention_output(query, keys, values, scale=self.scale)
 
         self.stats.record(
@@ -168,15 +174,30 @@ class SnapKVPolicy(KVCachePolicy):
         return output
 
     def cached_positions(self) -> np.ndarray:
-        return np.asarray(sorted(self._keys), dtype=np.int64)
+        return np.asarray(sorted(self._store.positions()), dtype=np.int64)
 
     def kept_prompt_positions(self) -> np.ndarray:
         return np.asarray(self._kept_prompt_positions, dtype=np.int64)
 
+    def release_kv(self) -> None:
+        self._store.release()
+
+    def decode_page_demand(self) -> int:
+        return self._store.append_page_demand()
+
+    def max_cached_tokens(self, prompt_len: int, max_new_tokens: int) -> int:
+        prompt_kept = min(
+            int(prompt_len),
+            max(self.observation_window, self.prompt_budget),
+        )
+        return min(
+            super().max_cached_tokens(prompt_len, max_new_tokens),
+            prompt_kept + int(max_new_tokens),
+        )
+
     def reset(self) -> None:
         super().reset()
-        self._keys = {}
-        self._values = {}
+        self._store.clear()
         self._kept_prompt_positions = []
 
 

@@ -6,16 +6,21 @@ recent tokens, regardless of content.  It is the canonical *static,
 fixed-pattern* policy: cheap and memory-bounded, but it permanently loses
 any information that falls outside the window, which is exactly the failure
 mode the paper's Fig. 13 comparison highlights.
+
+K/V rows live in a :class:`~repro.core.kv_pool.PagedKVStore` (slots are
+recycled as the window slides, so the store never outgrows
+``sink_tokens + window`` rows — at most a handful of pool pages).
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional, Tuple
+from typing import Deque, List, Optional
 
 import numpy as np
 
 from ..attention import attention_output
+from ..kv_pool import PagedKVPool
 from ..policy import KVCachePolicy, StepRecord
 
 
@@ -49,8 +54,9 @@ class StreamingLLMPolicy(KVCachePolicy):
             raise ValueError("window must be >= 1")
         self.sink_tokens = int(sink_tokens)
         self.window = int(window)
-        self._sinks: list[Tuple[int, np.ndarray, np.ndarray]] = []
-        self._window: Deque[Tuple[int, np.ndarray, np.ndarray]] = deque(maxlen=window)
+        self._store = self._make_store()
+        self._sink_positions: List[int] = []
+        self._window_positions: Deque[int] = deque()
 
     @classmethod
     def from_budget(
@@ -73,6 +79,9 @@ class StreamingLLMPolicy(KVCachePolicy):
             scale=scale,
         )
 
+    def _on_pool_attached(self, pool: PagedKVPool) -> None:
+        self._store = self._make_store()
+
     # ------------------------------------------------------------------
     def prefill(
         self,
@@ -86,15 +95,15 @@ class StreamingLLMPolicy(KVCachePolicy):
         n = keys.shape[0]
         self.stats.prefill_tokens = n
 
-        self._sinks = [
-            (pos, keys[pos], values[pos])
-            for pos in range(min(self.sink_tokens, n))
-        ]
-        self._window.clear()
-        start = min(self.sink_tokens, n)
-        for pos in range(start, n):
-            self._window.append((pos, keys[pos], values[pos]))
-        self.stats.retained_after_prefill = len(self._sinks) + len(self._window)
+        sinks = min(self.sink_tokens, n)
+        self._sink_positions = list(range(sinks))
+        window_start = max(sinks, n - self.window)
+        self._window_positions = deque(range(window_start, n))
+
+        kept = self._sink_positions + list(self._window_positions)
+        self._store.clear()
+        self._store.bulk_append(kept, keys[kept], values[kept])
+        self.stats.retained_after_prefill = len(kept)
 
     def decode_step(
         self,
@@ -106,37 +115,53 @@ class StreamingLLMPolicy(KVCachePolicy):
         self._check_step_shapes(query, key, value)
         query = np.asarray(query, dtype=np.float64)
         evicted: Optional[int] = None
-        if len(self._window) == self._window.maxlen and self._window.maxlen > 0:
-            evicted = int(self._window[0][0])
-        self._window.append(
-            (int(position), np.asarray(key, dtype=np.float64), np.asarray(value, dtype=np.float64))
+        if len(self._window_positions) == self.window:
+            evicted = self._window_positions.popleft()
+            self._store.drop(evicted)
+        self._window_positions.append(int(position))
+        self._store.put(
+            int(position),
+            np.asarray(key, dtype=np.float64),
+            np.asarray(value, dtype=np.float64),
         )
 
-        entries = self._sinks + list(self._window)
-        keys = np.stack([entry[1] for entry in entries], axis=0)
-        values = np.stack([entry[2] for entry in entries], axis=0)
+        order = self._sink_positions + list(self._window_positions)
+        keys, values = self._store.gather(order)
         output = attention_output(query, keys, values, scale=self.scale)
 
         self.stats.record(
             StepRecord(
                 position=int(position),
-                cache_size=len(entries),
-                num_attended=len(entries),
+                cache_size=len(order),
+                num_attended=len(order),
                 evicted_position=evicted,
             )
         )
         return output
 
     def cached_positions(self) -> np.ndarray:
-        positions = [entry[0] for entry in self._sinks] + [
-            entry[0] for entry in self._window
-        ]
+        positions = self._sink_positions + list(self._window_positions)
         return np.asarray(positions, dtype=np.int64)
+
+    def release_kv(self) -> None:
+        self._store.release()
+        self._sink_positions = []
+        self._window_positions = deque()
+
+    def decode_page_demand(self) -> int:
+        return self._store.append_page_demand()
+
+    def max_cached_tokens(self, prompt_len: int, max_new_tokens: int) -> int:
+        return min(
+            super().max_cached_tokens(prompt_len, max_new_tokens),
+            self.sink_tokens + self.window,
+        )
 
     def reset(self) -> None:
         super().reset()
-        self._sinks = []
-        self._window.clear()
+        self._store.clear()
+        self._sink_positions = []
+        self._window_positions = deque()
 
 
 __all__ = ["StreamingLLMPolicy"]

@@ -94,6 +94,7 @@ class UniCAIMPolicy(KVCachePolicy):
             num_heads=num_heads,
             head_dim=head_dim,
         )
+        self._cache_dtype = self.cache.dtype
         # Accumulated attention score per *physical cache slot*, aligned
         # with the cache arrays so the per-step update is one vector op
         # (the seed kept a Dict[int, float] keyed by token position and
@@ -102,6 +103,37 @@ class UniCAIMPolicy(KVCachePolicy):
         self._generated_count = 0
         self._prefill_length = 0
         self.eviction_log: list[EvictionEvent] = []
+
+    # ------------------------------------------------------------------
+    # Paged storage
+    # ------------------------------------------------------------------
+    def _on_pool_attached(self, pool) -> None:
+        """Rebind the slot cache onto the engine's shared per-layer arena.
+
+        The cache keeps its float32 write dtype regardless of the arena
+        dtype, so quantisation (and therefore generation) is identical to
+        the standalone dense layout.
+        """
+        self.cache = SlotKVCache(
+            capacity=self.config.cache_capacity,
+            num_heads=self.num_heads,
+            head_dim=self.head_dim,
+            dtype=self._cache_dtype,
+            pool=pool,
+        )
+        self._slot_scores = np.zeros(self.cache.capacity, dtype=np.float64)
+
+    def release_kv(self) -> None:
+        self.cache.release()
+
+    def decode_page_demand(self) -> int:
+        return self.cache.decode_page_demand()
+
+    def max_cached_tokens(self, prompt_len: int, max_new_tokens: int) -> int:
+        return min(
+            super().max_cached_tokens(prompt_len, max_new_tokens),
+            self.cache.capacity,
+        )
 
     # ------------------------------------------------------------------
     # Prefill stage: one-shot static pruning

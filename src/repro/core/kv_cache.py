@@ -1,4 +1,4 @@
-"""Fixed-size, slot-based KV cache.
+"""Fixed-size, slot-based KV cache as a view over paged pool storage.
 
 The hardware motivation (paper Sec. III-A.2 and Fig. 3b) is that the UniCAIM
 array has a fixed number of rows: ``H`` rows hold the heavy tokens retained
@@ -11,13 +11,23 @@ the statically evicted position") instead of shifting memory around.
 by physical row index, with a mapping back to logical token positions so
 that causal masking and accuracy evaluation remain possible.
 
+Since the paged-KV refactor the slot *data* no longer lives in a private
+dense array: slots map onto pages of a :class:`~repro.core.kv_pool.PagedKVPool`
+through a :class:`~repro.core.kv_pool.BlockTable`.  Standalone caches own a
+private single-page pool (behaviourally identical to the old dense array);
+the serving engine instead binds every sequence's caches to one shared
+per-layer arena, so pages are allocated on demand, shared prefix pages are
+stored once, and a write into a shared page copy-on-write splits it.  The
+public API is unchanged, so every ``KVCachePolicy`` backend runs unmodified.
+
 The cache is a decode-loop hot path, so reads are zero-copy where possible:
 ``keys()`` / ``values()`` / ``token_positions()`` / ``occupied_slots()``
 return cached read-only arrays that are refreshed lazily after a mutation
-instead of fancy-indexing a fresh copy on every call, and the
-position -> slot lookup is an O(1) dict maintained on write/evict.  The
-number of array materialisations performed is exposed via
-:attr:`SlotKVCache.materialization_count` so perf regressions are testable.
+instead of gathering a fresh copy on every call, and the position -> slot
+lookup is an O(1) dict maintained on write/evict.  The number of gathered
+arrays built — including the block-table gathers of the paged path — is
+exposed via :attr:`SlotKVCache.materialization_count` so perf regressions
+are testable.
 """
 
 from __future__ import annotations
@@ -26,6 +36,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from .kv_pool import BlockTable, PagedKVPool
 
 
 @dataclass
@@ -50,7 +62,14 @@ class SlotKVCache:
     head_dim:
         Dimensionality of each key / value vector.
     dtype:
-        Storage dtype; the behavioural model defaults to float32.
+        *Write* dtype: keys/values are coerced through it before being
+        stored, so quantisation behaviour (float32 by default) is the same
+        whether the backing pool stores float32 or float64.
+    pool:
+        Optional shared :class:`~repro.core.kv_pool.PagedKVPool` to
+        allocate slot pages from.  ``None`` (standalone use) creates a
+        private pool whose page size equals ``capacity`` — one lazily
+        allocated page, matching the old dense layout.
     """
 
     def __init__(
@@ -59,6 +78,7 @@ class SlotKVCache:
         num_heads: int,
         head_dim: int,
         dtype: np.dtype = np.float32,
+        pool: Optional[PagedKVPool] = None,
     ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
@@ -71,8 +91,21 @@ class SlotKVCache:
         self.head_dim = int(head_dim)
         self.dtype = np.dtype(dtype)
 
-        self._keys = np.zeros((capacity, num_heads, head_dim), dtype=self.dtype)
-        self._values = np.zeros((capacity, num_heads, head_dim), dtype=self.dtype)
+        if pool is None:
+            pool = PagedKVPool(
+                page_size=self.capacity,
+                num_heads=self.num_heads,
+                head_dim=self.head_dim,
+                dtype=self.dtype,
+            )
+        elif pool.num_heads != self.num_heads or pool.head_dim != self.head_dim:
+            raise ValueError(
+                f"pool geometry ({pool.num_heads}, {pool.head_dim}) does not "
+                f"match cache ({self.num_heads}, {self.head_dim})"
+            )
+        self.pool = pool
+        self._table = BlockTable(pool)
+
         self._occupied = np.zeros(capacity, dtype=bool)
         self._token_positions = np.full(capacity, -1, dtype=np.int64)
         self._is_heavy = np.zeros(capacity, dtype=bool)
@@ -122,8 +155,10 @@ class SlotKVCache:
         """Number of gathered cache arrays built since construction.
 
         Each lazy view refresh (occupied slots, keys, values or positions)
-        counts once; repeated reads between mutations are free.  Perf smoke
-        tests assert this stays O(decode steps).
+        counts once, as does every explicit :meth:`gather` — under paging
+        each of those is a block-table gather over pool pages.  Repeated
+        reads between mutations are free.  Perf smoke tests assert this
+        stays O(decode steps).
         """
         return self._materializations
 
@@ -252,22 +287,31 @@ class SlotKVCache:
 
         This is the paper's "directly fill with newly-generated KV in the
         statically evicted position" operation: a single write cycle with no
-        memory swapping.
+        memory swapping.  If the slot's page is shared with another block
+        table (an adopted prefix page), the write copy-on-write splits it
+        first, so sharers never observe the eviction.
         """
         evicted = self.evict(evict_slot)
         self.overwrite(evict_slot, key, value, token_position, is_heavy)
         return evicted
 
     def clear(self) -> None:
-        """Reset the cache to empty."""
-        self._keys.fill(0.0)
-        self._values.fill(0.0)
+        """Reset the cache to empty, releasing its pool pages."""
+        self._table.release()
         self._occupied.fill(False)
         self._token_positions.fill(-1)
         self._is_heavy.fill(False)
         self._free_slots = dict.fromkeys(range(self.capacity - 1, -1, -1))
         self._pos_to_slot = {}
         self._invalidate_views()
+
+    def release(self) -> None:
+        """Return every held page to the pool (idempotent alias of clear).
+
+        The serving engine calls this when a sequence retires so the shared
+        arena gets its pages back; a released cache can be reused.
+        """
+        self.clear()
 
     # ------------------------------------------------------------------
     # Reads
@@ -279,7 +323,7 @@ class SlotKVCache:
         selection slices the cached array without copying.
         """
         if self._cached_keys is None:
-            keys = self._keys[self.occupied_slots()]
+            keys = self._table.gather_keys(self.occupied_slots())
             keys.setflags(write=False)
             self._cached_keys = keys
             self._materializations += 1
@@ -290,7 +334,7 @@ class SlotKVCache:
     def values(self, head: Optional[int] = None) -> np.ndarray:
         """Values of occupied slots; cached read-only view like :meth:`keys`."""
         if self._cached_values is None:
-            values = self._values[self.occupied_slots()]
+            values = self._table.gather_values(self.occupied_slots())
             values.setflags(write=False)
             self._cached_values = values
             self._materializations += 1
@@ -301,7 +345,12 @@ class SlotKVCache:
     def gather(
         self, slots: Sequence[int]
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Gather (keys, values, token_positions) for an explicit slot list."""
+        """Gather (keys, values, token_positions) for an explicit slot list.
+
+        Counts one materialisation: under paging this is a fresh
+        block-table gather over pool pages, so the perf-smoke budget keeps
+        guarding the decode hot path.
+        """
         slots_arr = np.asarray(list(slots), dtype=np.int64)
         if slots_arr.size:
             out_of_range = (slots_arr < 0) | (slots_arr >= self.capacity)
@@ -315,34 +364,72 @@ class SlotKVCache:
                 raise ValueError(
                     f"slot {int(slots_arr[unoccupied][0])} is not occupied"
                 )
-        return (
-            self._keys[slots_arr],
-            self._values[slots_arr],
-            self._token_positions[slots_arr],
-        )
+        keys, values = self._table.gather(slots_arr)
+        self._materializations += 1
+        return keys, values, self._token_positions[slots_arr]
 
     def key_at(self, slot: int, head: Optional[int] = None) -> np.ndarray:
         self._check_slot(slot)
+        row = self._row(self._table.gather_keys, slot)
         if head is None:
-            return self._keys[slot]
-        return self._keys[slot, head]
+            return row
+        return row[head]
 
     def value_at(self, slot: int, head: Optional[int] = None) -> np.ndarray:
         self._check_slot(slot)
+        row = self._row(self._table.gather_values, slot)
         if head is None:
-            return self._values[slot]
-        return self._values[slot, head]
+            return row
+        return row[head]
 
     def position_to_slot_map(self) -> Dict[int, int]:
         return dict(self._pos_to_slot)
 
     def memory_bytes(self) -> int:
-        """Bytes of key/value storage held by this cache (all slots)."""
-        return int(self._keys.nbytes + self._values.nbytes)
+        """Bytes of key/value storage the full slot grid would occupy.
+
+        This is the cache's *logical* footprint (``capacity`` rows in the
+        cache's write dtype) — the dense baseline the paged pool is
+        measured against.  See :meth:`resident_bytes` for what is actually
+        allocated.
+        """
+        return int(
+            2 * self.capacity * self.num_heads * self.head_dim
+            * self.dtype.itemsize
+        )
+
+    def resident_bytes(self) -> int:
+        """Bytes of pool pages this cache currently holds references to."""
+        return self._table.pages_held() * self.pool.page_bytes
+
+    def pages_held(self) -> int:
+        return self._table.pages_held()
+
+    def decode_page_demand(self) -> int:
+        """Pages the next decode-step write could pull from the pool.
+
+        Conservative: 1 when the next append target's block is unallocated,
+        or when any held page is shared (an in-place replace would then
+        copy-on-write split it); 0 otherwise.  The serving engine sums this
+        over a batch before stepping so a decode wave never hits pool
+        exhaustion mid-GEMM.
+        """
+        if self._free_slots:
+            next_slot = next(reversed(self._free_slots))
+            if self._table.would_allocate(next_slot):
+                return 1
+        return 1 if self._table.any_shared() else 0
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _row(self, gather, slot: int) -> np.ndarray:
+        try:
+            return gather(np.asarray([slot], dtype=np.int64))[0]
+        except (ValueError, IndexError):
+            # Never-written slot: the dense layout returned zeros.
+            return np.zeros((self.num_heads, self.head_dim), dtype=self.pool.dtype)
+
     def _check_slot(self, slot: int) -> None:
         if not 0 <= slot < self.capacity:
             raise IndexError(
@@ -370,8 +457,9 @@ class SlotKVCache:
     ) -> None:
         if token_position < 0:
             raise ValueError("token_position must be >= 0")
-        self._keys[slot] = self._coerce(key, "key")
-        self._values[slot] = self._coerce(value, "value")
+        self._table.write(
+            slot, self._coerce(key, "key"), self._coerce(value, "value")
+        )
         if self._occupied[slot]:
             self._pos_to_slot.pop(int(self._token_positions[slot]), None)
         self._occupied[slot] = True

@@ -1,0 +1,713 @@
+"""Paged KV storage: a shared page arena with refcounts and copy-on-write.
+
+The paper's hardware model is a *fixed* number of CAM rows shared between
+heavy and generated tokens.  The serving analogue of that constraint is a
+fixed byte budget of KV memory shared between *sequences*: instead of one
+dense K/V array per sequence per layer (memory scales with
+``max_batch_size x capacity`` even when most slots are empty), a
+:class:`PagedKVPool` owns a single per-layer arena of fixed-size pages and
+every sequence maps its logical cache slots onto pool pages through a
+:class:`BlockTable` — the vLLM-style paged-attention layout, specialised to
+this repo's policy-managed caches.
+
+Three properties make the pool the enabling architecture for the serving
+roadmap:
+
+* **On-demand allocation** — pages are allocated on first write, so a
+  sequence whose policy retains 32 tokens costs one page, not a full
+  ``capacity``-sized array.  Admission can therefore be gated on *page
+  availability* rather than a fixed slot grid.
+* **Refcounted sharing** — a page referenced by several block tables (e.g.
+  a shared prompt prefix inserted once by the
+  :class:`~repro.serving.prefix_cache.PrefixCache`) is stored once.
+  :class:`SharedKVPages` is the handle that carries such a page run between
+  its owner and adopters.
+* **Copy-on-write** — writing through a block table to a page whose
+  refcount is above one first splits the page (allocates a private copy),
+  so sharers never observe each other's evictions/overwrites and the paged
+  engine stays token-identical to the dense path.
+
+Everything here is plain numpy and single-threaded, matching the rest of
+the behavioural model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Page size (tokens per page) used when a store creates its own private
+#: pool.  Small enough that short sequences do not over-allocate, large
+#: enough that block tables stay short.
+DEFAULT_PAGE_SIZE = 32
+
+
+class PoolExhaustedError(RuntimeError):
+    """A fixed-size pool has no free page left.
+
+    Serving code treats this as an admission/back-pressure signal: the
+    engine fails the affected request closed (``finish_reason="error"``)
+    or keeps it queued until pages are released — it never crashes the
+    batch.
+    """
+
+
+@dataclass
+class PoolStats:
+    """Counters accumulated over a pool's lifetime."""
+
+    page_allocs: int = 0
+    page_frees: int = 0
+    cow_splits: int = 0
+    prefix_pages_adopted: int = 0
+    peak_pages_in_use: int = 0
+    gathers: int = 0
+
+
+class PagedKVPool:
+    """A page arena of key/value rows with a free list and refcounts.
+
+    Parameters
+    ----------
+    page_size:
+        Tokens per page.
+    num_heads, head_dim:
+        Geometry of each stored K/V row (``[num_heads, head_dim]``).
+    num_pages:
+        Arena size in pages.  ``None`` makes the pool *growable* (used for
+        private per-policy pools outside the serving engine); a fixed pool
+        raises :class:`PoolExhaustedError` when empty.
+    dtype:
+        Storage dtype of the arena.  The serving engine uses float64 (the
+        model's compute dtype); :class:`~repro.core.kv_cache.SlotKVCache`
+        coerces writes through its own dtype first, so quantisation
+        behaviour is independent of the arena dtype.
+    """
+
+    def __init__(
+        self,
+        page_size: int,
+        num_heads: int,
+        head_dim: int,
+        num_pages: Optional[int] = None,
+        dtype: np.dtype = np.float64,
+    ) -> None:
+        if page_size < 1:
+            raise ValueError("page_size must be >= 1")
+        if num_heads < 1 or head_dim < 1:
+            raise ValueError("num_heads and head_dim must be >= 1")
+        if num_pages is not None and num_pages < 1:
+            raise ValueError("num_pages must be >= 1 (or None for growable)")
+        self.page_size = int(page_size)
+        self.num_heads = int(num_heads)
+        self.head_dim = int(head_dim)
+        self.dtype = np.dtype(dtype)
+        self.fixed = num_pages is not None
+
+        initial = int(num_pages) if self.fixed else 0
+        shape = (initial, self.page_size, self.num_heads, self.head_dim)
+        self._keys = np.zeros(shape, dtype=self.dtype)
+        self._values = np.zeros(shape, dtype=self.dtype)
+        # Free pages as a stack popped from the end: descending init order
+        # means pages are handed out ascending (0 first), which keeps tests
+        # and debugging deterministic.
+        self._free: List[int] = list(range(initial - 1, -1, -1))
+        self._refcounts: List[int] = [0] * initial
+        self._in_use = 0
+        self.stats = PoolStats()
+
+    @classmethod
+    def from_byte_budget(
+        cls,
+        page_size: int,
+        num_heads: int,
+        head_dim: int,
+        total_bytes: int,
+        dtype: np.dtype = np.float64,
+    ) -> "PagedKVPool":
+        """Fixed pool holding as many pages as ``total_bytes`` affords."""
+        row_bytes = 2 * num_heads * head_dim * np.dtype(dtype).itemsize
+        page_bytes = page_size * row_bytes
+        num_pages = max(1, int(total_bytes) // page_bytes)
+        return cls(page_size, num_heads, head_dim, num_pages=num_pages, dtype=dtype)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def total_pages(self) -> int:
+        """Arena size in pages (current size for growable pools)."""
+        return len(self._refcounts)
+
+    @property
+    def free_pages(self) -> int:
+        return len(self._free)
+
+    @property
+    def pages_in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def page_bytes(self) -> int:
+        """Bytes of K + V storage per page."""
+        return int(
+            2 * self.page_size * self.num_heads * self.head_dim * self.dtype.itemsize
+        )
+
+    @property
+    def bytes_in_use(self) -> int:
+        return self._in_use * self.page_bytes
+
+    @property
+    def bytes_total(self) -> int:
+        return self.total_pages * self.page_bytes
+
+    def refcount(self, page: int) -> int:
+        self._check_page(page)
+        return self._refcounts[page]
+
+    def is_shared(self, page: int) -> bool:
+        return self.refcount(page) > 1
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def alloc(self) -> int:
+        """Allocate a page with refcount 1."""
+        if not self._free:
+            if self.fixed:
+                raise PoolExhaustedError(
+                    f"KV pool exhausted: all {self.total_pages} pages "
+                    f"({self.bytes_total} bytes) are in use"
+                )
+            self._grow()
+        page = self._free.pop()
+        self._refcounts[page] = 1
+        self._in_use += 1
+        self.stats.page_allocs += 1
+        if self._in_use > self.stats.peak_pages_in_use:
+            self.stats.peak_pages_in_use = self._in_use
+        return page
+
+    def incref(self, page: int) -> None:
+        """Add a reference to an allocated page."""
+        self._check_allocated(page)
+        self._refcounts[page] += 1
+
+    def decref(self, page: int) -> None:
+        """Drop a reference; the page returns to the free list at zero.
+
+        Dropping a reference to a free page raises — a double free would
+        otherwise silently hand the same page to two sequences.
+        """
+        self._check_page(page)
+        if self._refcounts[page] <= 0:
+            raise ValueError(f"double free of pool page {page}")
+        self._refcounts[page] -= 1
+        if self._refcounts[page] == 0:
+            self._free.append(page)
+            self._in_use -= 1
+            self.stats.page_frees += 1
+
+    def copy_page(self, src: int) -> int:
+        """Allocate a private copy of ``src`` (the copy-on-write split).
+
+        The caller keeps its reference to ``src`` and must ``decref`` it
+        once the copy has replaced it in the caller's block table.
+        """
+        self._check_allocated(src)
+        dst = self.alloc()
+        self._keys[dst] = self._keys[src]
+        self._values[dst] = self._values[src]
+        self.stats.cow_splits += 1
+        return dst
+
+    # ------------------------------------------------------------------
+    # Row access
+    # ------------------------------------------------------------------
+    def page_keys(self, page: int) -> np.ndarray:
+        """Writable key rows of one allocated page, ``[page_size, h, d]``."""
+        self._check_allocated(page)
+        return self._keys[page]
+
+    def page_values(self, page: int) -> np.ndarray:
+        self._check_allocated(page)
+        return self._values[page]
+
+    def gather_keys(self, pages: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+        """Gather key rows by parallel (page, offset) index arrays."""
+        self.stats.gathers += 1
+        return self._keys[pages, offsets]
+
+    def gather_values(self, pages: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+        self.stats.gathers += 1
+        return self._values[pages, offsets]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _grow(self) -> None:
+        old = self.total_pages
+        new = max(4, old * 2)
+        shape = (new, self.page_size, self.num_heads, self.head_dim)
+        keys = np.zeros(shape, dtype=self.dtype)
+        values = np.zeros(shape, dtype=self.dtype)
+        if old:
+            keys[:old] = self._keys
+            values[:old] = self._values
+        self._keys = keys
+        self._values = values
+        self._refcounts.extend([0] * (new - old))
+        self._free.extend(range(new - 1, old - 1, -1))
+
+    def _check_page(self, page: int) -> None:
+        if not 0 <= page < self.total_pages:
+            raise IndexError(f"page {page} out of range for pool of {self.total_pages}")
+
+    def _check_allocated(self, page: int) -> None:
+        self._check_page(page)
+        if self._refcounts[page] <= 0:
+            raise ValueError(f"page {page} is not allocated")
+
+
+@dataclass(frozen=True)
+class SharedKVPages:
+    """A refcounted run of pool pages holding tokens ``0..length-1``.
+
+    Token ``i`` lives at ``(page_ids[i // page_size], i % page_size)``.
+    The handle itself carries no reference — holders manage refcounts via
+    :meth:`incref` / :meth:`decref` (the prefix cache holds one reference
+    per entry; every adopting block table holds its own).
+    """
+
+    pool: PagedKVPool
+    page_ids: Tuple[int, ...]
+    length: int
+
+    def __post_init__(self) -> None:
+        needed = math.ceil(self.length / self.pool.page_size)
+        if len(self.page_ids) < needed:
+            raise ValueError(
+                f"{len(self.page_ids)} pages cannot cover {self.length} tokens"
+            )
+
+    def incref(self) -> None:
+        for page in self.page_ids:
+            self.pool.incref(page)
+
+    def decref(self) -> None:
+        for page in self.page_ids:
+            self.pool.decref(page)
+
+    def prefix(self, length: int) -> "SharedKVPages":
+        """The handle covering only the first ``length`` tokens."""
+        if not 0 < length <= self.length:
+            raise ValueError(f"length {length} outside (0, {self.length}]")
+        pages = math.ceil(length / self.pool.page_size)
+        return SharedKVPages(self.pool, self.page_ids[:pages], length)
+
+    @property
+    def full_pages(self) -> int:
+        """Pages entirely covered by the run (never CoW-split by adopters)."""
+        return self.length // self.pool.page_size
+
+    def materialize(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Contiguous ``(keys [length, h, d], values)`` copies of the run."""
+        ps = self.pool.page_size
+        idx = np.arange(self.length, dtype=np.int64)
+        pages = np.asarray(self.page_ids, dtype=np.int64)[idx // ps]
+        offsets = idx % ps
+        return (
+            self.pool.gather_keys(pages, offsets),
+            self.pool.gather_values(pages, offsets),
+        )
+
+
+class BlockTable:
+    """Per-sequence mapping of logical cache slots onto pool pages.
+
+    Slot ``s`` lives in block ``s // page_size`` at offset
+    ``s % page_size``.  Blocks allocate lazily on first write; a write into
+    a *shared* block (refcount above one — e.g. an adopted prefix page)
+    first splits it via :meth:`PagedKVPool.copy_page`, which is the
+    copy-on-write step that keeps sharers isolated.
+    """
+
+    _MISSING = -1
+
+    def __init__(self, pool: PagedKVPool) -> None:
+        self.pool = pool
+        self._pages: List[int] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def page_ids(self) -> Tuple[int, ...]:
+        return tuple(p for p in self._pages if p != self._MISSING)
+
+    def pages_held(self) -> int:
+        return sum(1 for p in self._pages if p != self._MISSING)
+
+    def would_allocate(self, slot: int) -> bool:
+        """Would a write to ``slot`` need a page from the pool?
+
+        True when the slot's block is unallocated *or* shared (a write
+        would trigger a CoW split, which allocates).
+        """
+        block = slot // self.pool.page_size
+        if block >= len(self._pages) or self._pages[block] == self._MISSING:
+            return True
+        return self.pool.is_shared(self._pages[block])
+
+    def any_shared(self) -> bool:
+        return any(
+            p != self._MISSING and self.pool.is_shared(p) for p in self._pages
+        )
+
+    # ------------------------------------------------------------------
+    def adopt(self, shared: SharedKVPages) -> None:
+        """Install a shared page run as this table's first blocks (zero-copy).
+
+        The table must be empty; the adopted pages are incref'd and cover
+        slots ``0..shared.length-1``.  Later writes into the final partial
+        page CoW-split it automatically.
+        """
+        if self._pages:
+            raise RuntimeError("adopt requires an empty block table")
+        if shared.pool is not self.pool:
+            raise ValueError("cannot adopt pages from a different pool")
+        shared.incref()
+        self._pages = list(shared.page_ids)
+        self.pool.stats.prefix_pages_adopted += len(shared.page_ids)
+
+    def write(self, slot: int, key: np.ndarray, value: np.ndarray) -> None:
+        """Write one K/V row, allocating / CoW-splitting as needed."""
+        page, offset = self._writable(slot)
+        self.pool.page_keys(page)[offset] = key
+        self.pool.page_values(page)[offset] = value
+
+    def write_span(
+        self, start_slot: int, keys: np.ndarray, values: np.ndarray
+    ) -> None:
+        """Write ``n`` consecutive rows starting at ``start_slot``.
+
+        Vectorised per touched page — the prefill bulk-load path.
+        """
+        n = keys.shape[0]
+        ps = self.pool.page_size
+        written = 0
+        while written < n:
+            slot = start_slot + written
+            page, offset = self._writable(slot)
+            take = min(ps - offset, n - written)
+            self.pool.page_keys(page)[offset : offset + take] = (
+                keys[written : written + take]
+            )
+            self.pool.page_values(page)[offset : offset + take] = (
+                values[written : written + take]
+            )
+            written += take
+
+    def gather_keys(self, slots: np.ndarray) -> np.ndarray:
+        pages, offsets = self._locate(slots)
+        return self.pool.gather_keys(pages, offsets)
+
+    def gather_values(self, slots: np.ndarray) -> np.ndarray:
+        pages, offsets = self._locate(slots)
+        return self.pool.gather_values(pages, offsets)
+
+    def gather(self, slots: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        pages, offsets = self._locate(slots)
+        return (
+            self.pool.gather_keys(pages, offsets),
+            self.pool.gather_values(pages, offsets),
+        )
+
+    def release(self) -> None:
+        """Drop every page reference held by this table (idempotent)."""
+        pages, self._pages = self._pages, []
+        for page in pages:
+            if page != self._MISSING:
+                self.pool.decref(page)
+
+    def detach(self) -> Tuple[int, ...]:
+        """Empty the table and hand its page references to the caller.
+
+        No refcounts change: ownership of one reference per returned page
+        transfers to the caller (e.g. to wrap in a
+        :class:`SharedKVPages`).  Raises if any block is unallocated —
+        a page run with holes cannot be addressed contiguously.
+        """
+        if any(page == self._MISSING for page in self._pages):
+            raise RuntimeError("cannot detach a block table with holes")
+        pages, self._pages = tuple(self._pages), []
+        return pages
+
+    # ------------------------------------------------------------------
+    def _writable(self, slot: int) -> Tuple[int, int]:
+        if slot < 0:
+            raise IndexError("slot must be >= 0")
+        block, offset = divmod(slot, self.pool.page_size)
+        while len(self._pages) <= block:
+            self._pages.append(self._MISSING)
+        page = self._pages[block]
+        if page == self._MISSING:
+            page = self.pool.alloc()
+            self._pages[block] = page
+        elif self.pool.is_shared(page):
+            split = self.pool.copy_page(page)
+            self.pool.decref(page)
+            self._pages[block] = split
+            page = split
+        return page, offset
+
+    def _locate(self, slots: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        slots = np.asarray(slots, dtype=np.int64)
+        blocks = slots // self.pool.page_size
+        offsets = slots - blocks * self.pool.page_size
+        table = np.asarray(self._pages, dtype=np.int64)
+        if slots.size and (blocks.max(initial=-1) >= table.size):
+            raise IndexError("gather of a slot beyond the block table")
+        pages = table[blocks] if table.size else blocks.copy()
+        if slots.size and (pages == self._MISSING).any():
+            raise ValueError("gather of a slot whose page was never written")
+        return pages, offsets
+
+
+class PagedKVStore:
+    """Growable position-keyed K/V store over a paged pool.
+
+    This is the storage substrate of the append-mostly policies (full
+    cache, StreamingLLM, H2O, SnapKV, Quest): K/V rows are keyed by logical
+    token position, slots are recycled LIFO after :meth:`drop`, and reads
+    gather rows in whatever order the policy asks for, so each policy keeps
+    its own ordering semantics bit-for-bit.
+
+    Without an explicit ``pool`` the store owns a private growable pool —
+    behaviourally identical to the dense per-policy arrays it replaces.
+    """
+
+    def __init__(
+        self,
+        num_heads: int,
+        head_dim: int,
+        pool: Optional[PagedKVPool] = None,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        dtype: np.dtype = np.float64,
+    ) -> None:
+        if pool is None:
+            pool = PagedKVPool(page_size, num_heads, head_dim, dtype=dtype)
+        elif pool.num_heads != num_heads or pool.head_dim != head_dim:
+            raise ValueError(
+                "pool geometry "
+                f"({pool.num_heads}, {pool.head_dim}) does not match store "
+                f"({num_heads}, {head_dim})"
+            )
+        self.pool = pool
+        self._table = BlockTable(pool)
+        self._slot_of: Dict[int, int] = {}
+        self._free_slots: List[int] = []
+        self._high_water = 0
+
+    def __len__(self) -> int:
+        return len(self._slot_of)
+
+    def __contains__(self, position: int) -> bool:
+        return int(position) in self._slot_of
+
+    def positions(self) -> List[int]:
+        """Stored positions in insertion order."""
+        return list(self._slot_of)
+
+    def pages_held(self) -> int:
+        return self._table.pages_held()
+
+    def memory_bytes(self) -> int:
+        return self.pages_held() * self.pool.page_bytes
+
+    # ------------------------------------------------------------------
+    def put(self, position: int, key: np.ndarray, value: np.ndarray) -> None:
+        """Insert or overwrite the K/V row of ``position``."""
+        position = int(position)
+        slot = self._slot_of.get(position)
+        if slot is None:
+            slot = self._free_slots.pop() if self._free_slots else self._next_slot()
+            self._slot_of[position] = slot
+        self._table.write(slot, key, value)
+
+    def bulk_append(
+        self, positions: Sequence[int], keys: np.ndarray, values: np.ndarray
+    ) -> None:
+        """Insert many *new* positions at once (the prefill bulk load).
+
+        Requires a store with no recycled free slots so the rows land in
+        consecutive slots and can be written one page-span at a time.
+        """
+        if self._free_slots:
+            raise RuntimeError("bulk_append requires a store without free slots")
+        if len(positions) != keys.shape[0] or keys.shape != values.shape:
+            raise ValueError("positions, keys and values must agree on length")
+        start = self._high_water
+        for i, position in enumerate(positions):
+            position = int(position)
+            if position in self._slot_of:
+                raise ValueError(f"position {position} already stored")
+            self._slot_of[position] = start + i
+        self._high_water = start + len(positions)
+        self._table.write_span(start, keys, values)
+
+    def drop(self, position: int) -> None:
+        """Forget ``position`` and recycle its slot."""
+        slot = self._slot_of.pop(int(position))
+        self._free_slots.append(slot)
+
+    def gather(
+        self, positions: Sequence[int]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(keys [n, h, d], values)`` in exactly the order given."""
+        slots = np.asarray(
+            [self._slot_of[int(p)] for p in positions], dtype=np.int64
+        )
+        return self._table.gather(slots)
+
+    def adopt_prefix(self, shared: SharedKVPages) -> None:
+        """Zero-copy adoption of a shared prefix covering positions 0..p-1.
+
+        The store must be empty; position ``i`` maps to slot ``i`` for the
+        adopted run, so later appends continue seamlessly at slot ``p`` —
+        the first write into the final partial page CoW-splits it.
+        """
+        if self._slot_of or self._free_slots or self._high_water:
+            raise RuntimeError("adopt_prefix requires an empty store")
+        self._table.adopt(shared)
+        self._slot_of = {pos: pos for pos in range(shared.length)}
+        self._high_water = shared.length
+
+    def can_adopt(self, shared: Optional[SharedKVPages]) -> bool:
+        """Whether :meth:`adopt_prefix` would be a zero-copy pool share."""
+        return (
+            shared is not None
+            and shared.pool is self.pool
+            and not self._slot_of
+            and not self._free_slots
+            and not self._high_water
+        )
+
+    def append_page_demand(self) -> int:
+        """Pages the next :meth:`put` of a new position could allocate."""
+        slot = self._free_slots[-1] if self._free_slots else self._high_water
+        return 1 if self._table.would_allocate(slot) else 0
+
+    def clear(self) -> None:
+        """Release every page and forget all positions (idempotent)."""
+        self._table.release()
+        self._slot_of = {}
+        self._free_slots = []
+        self._high_water = 0
+
+    release = clear
+
+    # ------------------------------------------------------------------
+    def _next_slot(self) -> int:
+        slot = self._high_water
+        self._high_water += 1
+        return slot
+
+
+class KVPoolGroup:
+    """One :class:`PagedKVPool` per transformer layer.
+
+    The serving engine owns a group sized from a byte budget and hands
+    layer ``i``'s pool to every sequence's layer-``i`` policy, so all
+    sequences (and the prefix cache) share the same fixed arena per layer.
+    """
+
+    def __init__(
+        self,
+        num_layers: int,
+        page_size: int,
+        num_heads: int,
+        head_dim: int,
+        num_pages: Optional[int] = None,
+        dtype: np.dtype = np.float64,
+    ) -> None:
+        if num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+        self.pools = [
+            PagedKVPool(page_size, num_heads, head_dim, num_pages=num_pages, dtype=dtype)
+            for _ in range(num_layers)
+        ]
+
+    @classmethod
+    def from_byte_budget(
+        cls,
+        num_layers: int,
+        page_size: int,
+        num_heads: int,
+        head_dim: int,
+        total_bytes: int,
+        dtype: np.dtype = np.float64,
+    ) -> "KVPoolGroup":
+        """Fixed per-layer pools splitting ``total_bytes`` evenly."""
+        row_bytes = 2 * num_heads * head_dim * np.dtype(dtype).itemsize
+        page_bytes = page_size * row_bytes
+        per_layer = int(total_bytes) // num_layers
+        num_pages = max(1, per_layer // page_bytes)
+        return cls(
+            num_layers, page_size, num_heads, head_dim,
+            num_pages=num_pages, dtype=dtype,
+        )
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.pools)
+
+    @property
+    def page_size(self) -> int:
+        return self.pools[0].page_size
+
+    def layer(self, index: int) -> PagedKVPool:
+        return self.pools[index]
+
+    def stats(self) -> Dict[str, int]:
+        """Aggregate telemetry across all layers."""
+        out = {
+            "pages_total": 0,
+            "pages_free": 0,
+            "pages_in_use": 0,
+            "peak_pages_in_use": 0,
+            "bytes_total": 0,
+            "bytes_in_use": 0,
+            "page_allocs": 0,
+            "page_frees": 0,
+            "cow_splits": 0,
+            "prefix_pages_adopted": 0,
+            "gathers": 0,
+        }
+        for pool in self.pools:
+            out["pages_total"] += pool.total_pages
+            out["pages_free"] += pool.free_pages
+            out["pages_in_use"] += pool.pages_in_use
+            out["peak_pages_in_use"] += pool.stats.peak_pages_in_use
+            out["bytes_total"] += pool.bytes_total
+            out["bytes_in_use"] += pool.bytes_in_use
+            out["page_allocs"] += pool.stats.page_allocs
+            out["page_frees"] += pool.stats.page_frees
+            out["cow_splits"] += pool.stats.cow_splits
+            out["prefix_pages_adopted"] += pool.stats.prefix_pages_adopted
+            out["gathers"] += pool.stats.gathers
+        return out
+
+
+__all__ = [
+    "DEFAULT_PAGE_SIZE",
+    "BlockTable",
+    "KVPoolGroup",
+    "PagedKVPool",
+    "PagedKVStore",
+    "PoolExhaustedError",
+    "PoolStats",
+    "SharedKVPages",
+]

@@ -20,10 +20,23 @@ Protocol
    another), selects which cached tokens participate in attention, computes
    the sparse attention output and returns it together with bookkeeping
    information.
+
+Paged storage
+-------------
+Every policy stores its K/V rows through the paged arena of
+:mod:`repro.core.kv_pool`.  Standalone policies own private growable pools
+(behaviourally identical to dense per-policy arrays); the serving engine
+calls :meth:`KVCachePolicy.attach_pool` right after construction to rebind
+a freshly built policy onto the engine's shared per-layer arena, which is
+what lets sequences share pages (prefix reuse, on-demand allocation,
+page-gated admission).  :meth:`release_kv` hands the pages back when the
+sequence retires; :meth:`max_cached_tokens` / :meth:`max_kv_pages` bound a
+request's lifetime page demand for admission control.
 """
 
 from __future__ import annotations
 
+import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import List, Optional
@@ -31,6 +44,7 @@ from typing import List, Optional
 import numpy as np
 
 from .attention import attention_output
+from .kv_pool import PagedKVPool, PagedKVStore, SharedKVPages
 
 
 @dataclass
@@ -88,6 +102,7 @@ class KVCachePolicy(ABC):
         self.head_dim = int(head_dim)
         self.scale = scale if scale is not None else 1.0 / float(head_dim) ** 0.5
         self.stats = PolicyStats()
+        self.kv_pool: Optional[PagedKVPool] = None
 
     # -- required interface -------------------------------------------------
     @abstractmethod
@@ -113,6 +128,54 @@ class KVCachePolicy(ABC):
     def cached_positions(self) -> np.ndarray:
         """Logical positions currently held in the cache."""
 
+    # -- paged-storage interface --------------------------------------------
+    def attach_pool(self, pool: PagedKVPool) -> None:
+        """Rebind this (still empty) policy's KV storage onto a shared arena.
+
+        Must be called before the first ``prefill``; rebinding a policy
+        that already stores tokens would orphan its pages.
+        """
+        if self.cache_size() > 0:
+            raise RuntimeError(
+                "attach_pool requires an empty policy (call it right after "
+                "construction, before prefill)"
+            )
+        self.kv_pool = pool
+        self._on_pool_attached(pool)
+
+    def _on_pool_attached(self, pool: PagedKVPool) -> None:
+        """Subclass hook: move the policy's storage onto ``pool``."""
+
+    def release_kv(self) -> None:
+        """Return every held pool page; stats stay valid after release."""
+
+    def decode_page_demand(self) -> int:
+        """Pages the next ``decode_step`` could pull from the shared pool."""
+        return 0
+
+    @property
+    def adopts_prefix_pages(self) -> bool:
+        """Whether ``prefill_precomputed`` can zero-copy adopt shared pages."""
+        return False
+
+    def max_cached_tokens(self, prompt_len: int, max_new_tokens: int) -> int:
+        """Upper bound on K/V rows this policy ever stores for one request.
+
+        Includes any transient overshoot (insert-then-evict patterns).  The
+        serving engine converts this into a page reservation at admission,
+        which is what guarantees an admitted sequence can always complete
+        without pool exhaustion.
+        """
+        return int(prompt_len) + int(max_new_tokens)
+
+    def max_kv_pages(
+        self, prompt_len: int, max_new_tokens: int, page_size: int
+    ) -> int:
+        """Page-count form of :meth:`max_cached_tokens`."""
+        return math.ceil(
+            self.max_cached_tokens(prompt_len, max_new_tokens) / int(page_size)
+        )
+
     # -- shared helpers ------------------------------------------------------
     def prefill_precomputed(
         self,
@@ -120,6 +183,7 @@ class KVCachePolicy(ABC):
         values: np.ndarray,
         attention_matrix: Optional[np.ndarray] = None,
         reused_tokens: int = 0,
+        prefix_pages: Optional[SharedKVPages] = None,
     ) -> None:
         """Prefill from K/V/scores computed outside the policy's own pass.
 
@@ -131,6 +195,13 @@ class KVCachePolicy(ABC):
         applies exactly the same prefill-time pruning as :meth:`prefill`.
         The reuse count is recorded on :attr:`stats` for observability; it
         does not change any pruning decision.
+
+        ``prefix_pages`` optionally hands over the shared pool pages holding
+        those reused rows.  Policies whose prefill retains the whole prompt
+        (``adopts_prefix_pages``) install the pages into their block table
+        instead of copying the rows — storage-level zero-copy; all others
+        ignore the handle and copy only what they retain.  Either way the
+        stored values are identical, so generation is unchanged.
         """
         if reused_tokens < 0:
             raise ValueError("reused_tokens must be >= 0")
@@ -163,19 +234,32 @@ class KVCachePolicy(ABC):
             if np.asarray(tensor).shape != expected:
                 raise ValueError(f"{name} must have shape {expected}")
 
+    def _make_store(self) -> PagedKVStore:
+        """A K/V store on the attached shared pool (or a private one)."""
+        return PagedKVStore(self.num_heads, self.head_dim, pool=self.kv_pool)
+
 
 class FullCachePolicy(KVCachePolicy):
     """No pruning: every token is cached and attended to (dense attention).
 
     This is the accuracy upper bound ("full cache" curve in Fig. 13) and the
-    cost upper bound ("no pruning" bars in Figs. 10-12).
+    cost upper bound ("no pruning" bars in Figs. 10-12).  K/V rows live in a
+    paged store in insertion order (= position order); on a shared pool the
+    policy zero-copy adopts prefix pages, since it retains the whole prompt
+    verbatim.
     """
 
     def __init__(self, num_heads: int, head_dim: int, scale: Optional[float] = None) -> None:
         super().__init__(num_heads, head_dim, scale)
-        self._keys: List[np.ndarray] = []
-        self._values: List[np.ndarray] = []
+        self._store = self._make_store()
         self._positions: List[int] = []
+
+    def _on_pool_attached(self, pool: PagedKVPool) -> None:
+        self._store = self._make_store()
+
+    @property
+    def adopts_prefix_pages(self) -> bool:
+        return True
 
     def prefill(
         self,
@@ -183,14 +267,40 @@ class FullCachePolicy(KVCachePolicy):
         values: np.ndarray,
         attention_matrix: Optional[np.ndarray] = None,
     ) -> None:
+        self._load_prompt(keys, values, adopt=None)
+
+    def prefill_precomputed(
+        self,
+        keys: np.ndarray,
+        values: np.ndarray,
+        attention_matrix: Optional[np.ndarray] = None,
+        reused_tokens: int = 0,
+        prefix_pages: Optional[SharedKVPages] = None,
+    ) -> None:
+        if reused_tokens < 0:
+            raise ValueError("reused_tokens must be >= 0")
+        self._load_prompt(keys, values, adopt=prefix_pages)
+        self.stats.prefill_reused_tokens = int(reused_tokens)
+
+    def _load_prompt(
+        self,
+        keys: np.ndarray,
+        values: np.ndarray,
+        adopt: Optional[SharedKVPages],
+    ) -> None:
         self._check_prefill_shapes(keys, values)
         keys = np.asarray(keys, dtype=np.float64)
         values = np.asarray(values, dtype=np.float64)
-        self._keys = [keys[i] for i in range(keys.shape[0])]
-        self._values = [values[i] for i in range(values.shape[0])]
-        self._positions = list(range(keys.shape[0]))
-        self.stats.prefill_tokens = keys.shape[0]
-        self.stats.retained_after_prefill = keys.shape[0]
+        n = keys.shape[0]
+        self._store.clear()
+        start = 0
+        if adopt is not None and adopt.length <= n and self._store.can_adopt(adopt):
+            self._store.adopt_prefix(adopt)
+            start = adopt.length
+        self._store.bulk_append(range(start, n), keys[start:], values[start:])
+        self._positions = list(range(n))
+        self.stats.prefill_tokens = n
+        self.stats.retained_after_prefill = n
 
     def decode_step(
         self,
@@ -200,11 +310,13 @@ class FullCachePolicy(KVCachePolicy):
         position: int,
     ) -> np.ndarray:
         self._check_step_shapes(query, key, value)
-        self._keys.append(np.asarray(key, dtype=np.float64))
-        self._values.append(np.asarray(value, dtype=np.float64))
+        self._store.put(
+            int(position),
+            np.asarray(key, dtype=np.float64),
+            np.asarray(value, dtype=np.float64),
+        )
         self._positions.append(int(position))
-        keys = np.stack(self._keys, axis=0)
-        values = np.stack(self._values, axis=0)
+        keys, values = self._store.gather(self._positions)
         output = attention_output(
             np.asarray(query, dtype=np.float64), keys, values, scale=self.scale
         )
@@ -220,10 +332,16 @@ class FullCachePolicy(KVCachePolicy):
     def cached_positions(self) -> np.ndarray:
         return np.asarray(self._positions, dtype=np.int64)
 
+    def release_kv(self) -> None:
+        self._store.release()
+        self._positions = []
+
+    def decode_page_demand(self) -> int:
+        return self._store.append_page_demand()
+
     def reset(self) -> None:
         super().reset()
-        self._keys = []
-        self._values = []
+        self._store.clear()
         self._positions = []
 
 

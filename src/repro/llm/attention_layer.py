@@ -167,8 +167,13 @@ class MultiHeadSelfAttention:
         ``prefixes[b]`` optionally supplies ``(keys [p, h, d], values
         [p, h, d], scores [h, p, p])`` of a reused prompt prefix (see
         :mod:`repro.serving.prefix_cache`); the sequence's rows then cover
-        only the remaining suffix at positions ``p..n-1``.  Each policy
-        receives the full prompt's keys, values and scaled raw scores via
+        only the remaining suffix at positions ``p..n-1``.  A fourth
+        element, when present, is the prefix's shared
+        :class:`~repro.core.kv_pool.SharedKVPages` handle: policies whose
+        prefill retains the whole prompt adopt those pool pages zero-copy
+        instead of re-storing the rows (storage dedup across sequences).
+        Each policy receives the full prompt's keys, values and scaled raw
+        scores via
         :meth:`~repro.core.policy.KVCachePolicy.prefill_precomputed` — the
         same tensors :meth:`prefill` feeds it, with the reused score block
         restored from the cache and the causally masked queries-of-the-past
@@ -197,11 +202,13 @@ class MultiHeadSelfAttention:
                 raise ValueError("every segment must cover at least one token")
             rows = slice(start, start + length)
             q = qkv[rows, 0]
+            prefix_pages = None
             if prefix is None:
                 p = 0
                 k_full, v_full = qkv[rows, 1], qkv[rows, 2]
             else:
-                prefix_k, prefix_v, prefix_scores = prefix
+                prefix_k, prefix_v, prefix_scores, *rest = prefix
+                prefix_pages = rest[0] if rest else None
                 p = prefix_k.shape[0]
                 k_full = np.concatenate([prefix_k, qkv[rows, 1]], axis=0)
                 v_full = np.concatenate([prefix_v, qkv[rows, 2]], axis=0)
@@ -226,7 +233,11 @@ class MultiHeadSelfAttention:
 
             if policy is not None:
                 policy.prefill_precomputed(
-                    k_full, v_full, attention_matrix=scores, reused_tokens=p
+                    k_full,
+                    v_full,
+                    attention_matrix=scores,
+                    reused_tokens=p,
+                    prefix_pages=prefix_pages,
                 )
             captured.append((k_full, v_full, scores))
 

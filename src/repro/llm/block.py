@@ -56,9 +56,12 @@ class TransformerBlock:
 
         Layernorm and the MLP broadcast over the packed rows; the attention
         layer runs one packed Q/K/V GEMM and per-sequence causal blocks
-        (see :meth:`MultiHeadSelfAttention.prefill_packed`).  Returns the
-        packed hidden states and the per-sequence captured
-        ``(keys, values, scores)`` tensors for prefix caching.
+        (see :meth:`MultiHeadSelfAttention.prefill_packed`).  ``prefixes``
+        entries may carry a shared-pool page handle as their fourth element
+        (see :mod:`repro.core.kv_pool`), which flows through to the
+        policies for zero-copy prefix adoption.  Returns the packed hidden
+        states and the per-sequence captured ``(keys, values, scores)``
+        tensors for prefix caching.
         """
         attn_in = self._norm(x)
         attn_out, captured = self.attention.prefill_packed(

@@ -15,6 +15,7 @@ from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
+from ..core.kv_pool import KVPoolGroup
 from ..core.policy import FullCachePolicy, KVCachePolicy
 from .attention_layer import MultiHeadSelfAttention
 from .block import TransformerBlock
@@ -130,14 +131,33 @@ class TransformerLM:
     # ------------------------------------------------------------------
     # Policy-managed autoregressive path
     # ------------------------------------------------------------------
-    def make_policies(self, factory: Optional[PolicyFactory] = None) -> List[KVCachePolicy]:
-        """Instantiate one policy per layer from ``factory`` (default: full cache)."""
+    def make_policies(
+        self,
+        factory: Optional[PolicyFactory] = None,
+        kv_pools: Optional[KVPoolGroup] = None,
+    ) -> List[KVCachePolicy]:
+        """Instantiate one policy per layer from ``factory`` (default: full cache).
+
+        ``kv_pools``, when given, binds layer ``i``'s policy to the shared
+        per-layer page arena ``kv_pools.layer(i)`` (see
+        :mod:`repro.core.kv_pool`): its K/V rows are then gathered through a
+        block table over pool pages shared with every other sequence of the
+        serving engine, instead of a private dense array.
+        """
         if factory is None:
             factory = lambda heads, dim: FullCachePolicy(heads, dim)  # noqa: E731
-        return [
+        if kv_pools is not None and kv_pools.num_layers != self.config.num_layers:
+            raise ValueError(
+                "kv_pools must have one pool per transformer layer"
+            )
+        policies = [
             factory(self.config.num_heads, self.config.head_dim)
             for _ in range(self.config.num_layers)
         ]
+        if kv_pools is not None:
+            for layer, policy in enumerate(policies):
+                policy.attach_pool(kv_pools.layer(layer))
+        return policies
 
     def prefill(
         self,
@@ -180,7 +200,10 @@ class TransformerLM:
         an already-prefilled prompt prefix (``p < len(prompts[b])``, see
         :class:`repro.serving.prefix_cache.PrefixCache`); only the remaining
         suffix tokens are embedded and pushed through the layers, which is
-        where the shared-prefix time-to-first-token savings come from.
+        where the shared-prefix time-to-first-token savings come from.  An
+        optional fourth element per layer carries the prefix's shared pool
+        pages (:class:`~repro.core.kv_pool.SharedKVPages`) so paged
+        policies can adopt the stored rows zero-copy.
 
         Returns ``(logits [B, vocab], captured)`` where ``captured[b]`` is
         the per-layer list of full-prompt ``(keys, values, scores)`` tensors
@@ -273,7 +296,9 @@ class TransformerLM:
         the embedding, Q/K/V projections, MLP and unembedding are computed
         as single batched operations across all sequences, which is what
         makes multi-sequence serving faster than ``B`` serial
-        :meth:`decode_step` calls.  Returns logits ``[B, vocab]``.
+        :meth:`decode_step` calls.  Each policy's cached K/V rows are
+        gathered through its block table over (possibly shared) pool pages
+        — see :mod:`repro.core.kv_pool`.  Returns logits ``[B, vocab]``.
 
         A batch of one is routed through :meth:`decode_step` so that
         single-sequence generation is bit-for-bit the serial path.

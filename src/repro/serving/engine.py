@@ -22,11 +22,42 @@ whose lifecycle for every request is
   A sequence that exhausts its token budget is retired *without* feeding
   its final token through the model — those logits would be discarded.
 
+Paged KV storage
+----------------
+With ``kv_pools`` (a :class:`~repro.core.kv_pool.KVPoolGroup` of fixed
+per-layer page arenas) every admitted sequence's policies store their K/V
+rows in the *shared* arena through per-sequence block tables, instead of
+private dense arrays:
+
+* Admission is gated on **page availability**: each request's per-layer
+  worst-case page demand (:meth:`~repro.core.policy.KVCachePolicy.max_kv_pages`,
+  minus the full pages of an adoptable cached prefix) is reserved against
+  the arena, so an admitted sequence can always run to completion.  A
+  request that cannot fit waits in the queue while others retire; one that
+  could never fit — even after shedding prefix-cache pages — fails closed
+  into ``finish_reason="error"``.  ``max_batch_size=None`` removes the slot
+  grid entirely and lets pages alone bound concurrency.
+* A prefix-cache hit hands the new sequence the prefix's *pool pages*:
+  whole-prompt-retaining policies adopt them zero-copy, so a shared prefix
+  occupies memory once across all sharers until a policy evicts/overwrites
+  into a shared page (copy-on-write split).
+* Before every decode wave the engine sums the batch's worst-case page
+  demand for the step; if the arena cannot cover it (possible only in the
+  corner where evicting still-shared prefix-cache entries let usage
+  overshoot the reservations), the newest sequences fail closed instead of
+  crashing the batch mid-GEMM.
+* :meth:`BatchedEngine.stats` reports pool telemetry: pages in use/free,
+  bytes, copy-on-write splits, prefix pages adopted, reservation state.
+
 Each sequence owns its own per-layer :class:`~repro.core.policy.KVCachePolicy`
 stack, so a single engine can serve a mix of pruning policies (e.g. one
 UniCAIM-CAM request next to a full-cache request).  Prefix reuse is policy
 agnostic: the cached K/V/score tensors are pure functions of the prompt ids,
 and every policy's prefill consumes them exactly as if freshly computed.
+Paged and dense engines are token- and ``PolicyStats``-identical for every
+policy: the pool stores the same float values and every gather preserves
+each policy's ordering (asserted across all seven policies in the test
+suite).
 
 With ``batched_prefill=False`` and ``prefix_caching=False`` the engine
 reproduces :func:`repro.llm.generation.greedy_generate_serial` exactly for a
@@ -43,10 +74,20 @@ from __future__ import annotations
 import itertools
 from collections import deque
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 import numpy as np
 
+from ..core.kv_pool import KVPoolGroup, PoolExhaustedError
 from ..core.policy import KVCachePolicy, PolicyStats
 from .prefix_cache import PrefixCache, SequencePrefix, common_prefix_length
 
@@ -110,7 +151,9 @@ class SequenceSlot:
 
     ``logits`` always holds the next-token distribution produced by the most
     recent prefill/decode step; ``position`` is the logical position the next
-    generated token will occupy.
+    generated token will occupy.  ``page_reservation`` (paged engines only)
+    is the per-layer page count reserved for this sequence at admission,
+    returned to the accounting when the sequence retires.
     """
 
     request: ServingRequest
@@ -122,6 +165,17 @@ class SequenceSlot:
     position: int
     generated: List[int] = field(default_factory=list)
     logits_history: List[np.ndarray] = field(default_factory=list)
+    page_reservation: Optional[List[int]] = None
+
+
+@dataclass
+class _WaveItem:
+    """One admission-wave member: request plus its pre-built state."""
+
+    request: ServingRequest
+    prefix: Optional[SequencePrefix]
+    policies: List[KVCachePolicy]
+    reservation: Optional[List[int]]
 
 
 class BatchedEngine:
@@ -136,11 +190,15 @@ class BatchedEngine:
         their own (``None`` means the full-cache policy).
     max_batch_size:
         Maximum number of sequences decoded per step.  Further submissions
-        queue and are admitted as active sequences complete.
+        queue and are admitted as active sequences complete.  ``None``
+        (allowed only with ``kv_pools``) removes the fixed slot grid:
+        concurrency is then bounded by page availability alone.
     prefix_cache:
         Optional externally owned :class:`PrefixCache`, e.g. shared across
         several engines of an evaluation sweep.  When ``None`` (and prefix
-        caching is enabled) the engine creates a private one.
+        caching is enabled) the engine creates a private one — paged over
+        ``kv_pools`` when those are given.  An explicit cache must be built
+        over the same ``kv_pools`` as the engine (or neither).
     prefix_caching:
         Reuse shared prompt prefixes across requests at admission.  Requires
         the batched prefill path; forced off when ``batched_prefill`` is
@@ -151,22 +209,48 @@ class BatchedEngine:
         per-request serial :meth:`TransformerLM.prefill` (bitwise identical
         to :func:`greedy_generate_serial`; used as the reference baseline by
         the TTFT benchmark).
+    kv_pools:
+        Optional :class:`~repro.core.kv_pool.KVPoolGroup` of *fixed*
+        per-layer page arenas shared by every sequence (and the prefix
+        cache).  See the module docstring for the admission and
+        copy-on-write semantics.  ``None`` keeps the dense per-sequence
+        layout.
     """
 
     def __init__(
         self,
         model: "TransformerLM",
         policy_factory: Optional["PolicyFactory"] = None,
-        max_batch_size: int = 16,
+        max_batch_size: Optional[int] = 16,
         prefix_cache: Optional[PrefixCache] = None,
         prefix_caching: bool = True,
         batched_prefill: bool = True,
+        kv_pools: Optional[KVPoolGroup] = None,
     ) -> None:
-        if max_batch_size < 1:
+        if kv_pools is not None:
+            if kv_pools.num_layers != model.config.num_layers:
+                raise ValueError(
+                    "kv_pools must have one pool per transformer layer"
+                )
+            if any(not pool.fixed for pool in kv_pools.pools):
+                raise ValueError(
+                    "engine kv_pools must be fixed-size (page-gated "
+                    "admission needs a hard arena bound)"
+                )
+        if max_batch_size is None:
+            if kv_pools is None:
+                raise ValueError(
+                    "max_batch_size=None requires kv_pools (page-gated "
+                    "admission)"
+                )
+        elif max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
         self.model = model
         self.policy_factory = policy_factory
-        self.max_batch_size = int(max_batch_size)
+        self.max_batch_size = (
+            None if max_batch_size is None else int(max_batch_size)
+        )
+        self.kv_pools = kv_pools
         self.batched_prefill = bool(batched_prefill)
         if not self.batched_prefill:
             # Prefix reuse rides on the packed prefill path.
@@ -180,8 +264,17 @@ class BatchedEngine:
             raise ValueError(
                 "an explicit prefix_cache conflicts with prefix_caching=False"
             )
+        if prefix_cache is not None and prefix_cache.kv_pools is not kv_pools:
+            raise ValueError(
+                "an explicit prefix_cache must share the engine's kv_pools "
+                "(or both must be dense)"
+            )
         self.prefix_cache: Optional[PrefixCache] = (
-            (prefix_cache if prefix_cache is not None else PrefixCache())
+            (
+                prefix_cache
+                if prefix_cache is not None
+                else PrefixCache(kv_pools=kv_pools)
+            )
             if prefix_caching
             else None
         )
@@ -192,6 +285,13 @@ class BatchedEngine:
         self._known_ids: Set[str] = set()
         self._ids = itertools.count()
         self._steps = 0
+        num_layers = model.config.num_layers
+        self._reserved_pages: List[int] = [0] * num_layers
+        self._page_deferrals = 0
+        self._infeasible_failures = 0
+        self._decode_page_failures = 0
+        self._cache_inserts_skipped = 0
+        self._peak_active = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -214,6 +314,54 @@ class BatchedEngine:
 
     def active_request_ids(self) -> List[str]:
         return [slot.request_id for slot in self._active]
+
+    def stats(self) -> Dict[str, object]:
+        """Engine, pool and prefix-cache telemetry as one nested dict.
+
+        ``kv_pool`` aggregates the per-layer arenas (pages/bytes in use and
+        free, peak usage, copy-on-write splits, prefix pages adopted,
+        outstanding admission reservations); ``prefix_cache`` reports entry
+        count, bytes, hit rate, tokens reused and pool pages held by cached
+        prefixes.  Both are ``None`` when the corresponding feature is off.
+        """
+        out: Dict[str, object] = {
+            "steps": self._steps,
+            "pending": len(self._pending),
+            "active": len(self._active),
+            "peak_active": self._peak_active,
+            "completed": len(self._completed),
+            "admission": {
+                "page_deferrals": self._page_deferrals,
+                "infeasible_failures": self._infeasible_failures,
+                "decode_page_failures": self._decode_page_failures,
+                "cache_inserts_skipped": self._cache_inserts_skipped,
+            },
+            "kv_pool": None,
+            "prefix_cache": None,
+        }
+        if self.kv_pools is not None:
+            pool_stats = self.kv_pools.stats()
+            pool_stats["reserved_pages"] = int(sum(self._reserved_pages))
+            out["kv_pool"] = pool_stats
+        if self.prefix_cache is not None:
+            cache = self.prefix_cache
+            out["prefix_cache"] = {
+                "entries": len(cache),
+                "bytes": cache.memory_bytes(),
+                "lookups": cache.stats.lookups,
+                "hits": cache.stats.hits,
+                "hit_rate": cache.stats.hit_rate,
+                "tokens_reused": cache.stats.tokens_reused,
+                "pages_held": (
+                    sum(
+                        cache.pages_held(layer)
+                        for layer in range(self.model.config.num_layers)
+                    )
+                    if self.kv_pools is not None
+                    else 0
+                ),
+            }
+        return out
 
     # ------------------------------------------------------------------
     # Submission and admission
@@ -267,22 +415,28 @@ class BatchedEngine:
     def _admit(self) -> List[ServingResponse]:
         """Drain queued requests into free slots, one prefill wave at a time."""
         finished: List[ServingResponse] = []
-        while self._pending and len(self._active) < self.max_batch_size:
-            wave, prefixes = self._next_prefill_wave()
+        while self._pending and self._has_free_slot():
+            wave = self._next_prefill_wave(finished)
             if not wave:
                 break
-            for slot in self._prefill_wave(wave, prefixes, finished):
+            for slot in self._prefill_wave(wave, finished):
                 if slot is None:
                     continue  # failed into an error response already
                 if slot.request.max_new_tokens == 0:
                     finished.append(self._finish(slot, "length"))
                 else:
                     self._active.append(slot)
+            self._peak_active = max(self._peak_active, len(self._active))
         return finished
 
+    def _has_free_slot(self) -> bool:
+        if self.max_batch_size is None:
+            return True
+        return len(self._active) < self.max_batch_size
+
     def _next_prefill_wave(
-        self,
-    ) -> Tuple[List[ServingRequest], List[Optional[SequencePrefix]]]:
+        self, finished: List[ServingResponse]
+    ) -> List[_WaveItem]:
         """Pop the next group of requests to prefill together.
 
         Requests are taken in submission order.  When prefix caching is on,
@@ -292,19 +446,28 @@ class BatchedEngine:
         the cache, so the shared part is computed once instead of ``k``
         times.  Deferred requests are pushed back to the queue front, so
         submission order is preserved for everything else.
+
+        On a paged engine every member additionally reserves its worst-case
+        page demand; a request that does not fit right now stops the drain
+        (it retries once sequences retire and release pages), and one that
+        could never fit fails closed.
         """
-        free = self.max_batch_size - len(self._active)
-        wave: List[ServingRequest] = []
-        prefixes: List[Optional[SequencePrefix]] = []
+        free = (
+            None
+            if self.max_batch_size is None
+            else self.max_batch_size - len(self._active)
+        )
+        wave: List[_WaveItem] = []
         deferred: List[ServingRequest] = []
+        blocked: List[ServingRequest] = []
         cache = self.prefix_cache
-        while self._pending and len(wave) < free:
+        while self._pending and (free is None or len(wave) < free):
             request = self._pending.popleft()
             prompt = list(request.prompt_ids)
             if cache is not None and wave:
                 intra = max(
-                    common_prefix_length(prompt, list(peer.prompt_ids))
-                    for peer in wave
+                    common_prefix_length(prompt, list(item.request.prompt_ids))
+                    for item in wave
                 )
                 intra = min(intra, len(prompt) - 1)
                 # peek_length keeps the defer decision free of lookup side
@@ -313,104 +476,240 @@ class BatchedEngine:
                 if intra >= cache.min_prefix_tokens and intra > cache.peek_length(prompt):
                     deferred.append(request)
                     continue
-            wave.append(request)
-            prefixes.append(cache.lookup(prompt) if cache is not None else None)
-        if deferred:
-            self._pending.extendleft(reversed(deferred))
-        return wave, prefixes
+            prefix = cache.lookup(prompt) if cache is not None else None
+            try:
+                policies = self.model.make_policies(
+                    request.policy_factory or self.policy_factory,
+                    kv_pools=self.kv_pools,
+                )
+            except Exception as exc:
+                if prefix is not None:
+                    prefix.release()
+                finished.append(self._fail(request, exc))
+                continue
+            reservation: Optional[List[int]] = None
+            if self.kv_pools is not None:
+                reservation = self._page_demand(policies, request, prefix)
+                verdict = self._try_reserve(reservation, request, wave, finished)
+                if verdict != "reserved":
+                    # Unpin the looked-up prefix pages: a re-queued request
+                    # repeats its lookup next wave, a failed one never
+                    # prefills.
+                    if prefix is not None:
+                        prefix.release()
+                    if verdict == "wait":
+                        blocked.append(request)
+                        break
+                    continue  # "failed": already completed as an error
+            wave.append(_WaveItem(request, prefix, policies, reservation))
+        for request in reversed(blocked + deferred):
+            self._pending.appendleft(request)
+        return wave
+
+    def _page_demand(
+        self,
+        policies: List[KVCachePolicy],
+        request: ServingRequest,
+        prefix: Optional[SequencePrefix],
+    ) -> List[int]:
+        """Worst-case per-layer page demand of one request's lifetime.
+
+        The full pages of an adoptable cached prefix are credited: they are
+        shared, already accounted to the prefix cache, and never written by
+        a whole-prompt-retaining policy (the partial tail page *is* counted
+        — its copy-on-write split needs a fresh page).
+        """
+        prompt_len = len(request.prompt_ids)
+        demands: List[int] = []
+        for layer, policy in enumerate(policies):
+            pool = self.kv_pools.layer(layer)
+            pages = policy.max_kv_pages(
+                prompt_len, request.max_new_tokens, pool.page_size
+            )
+            if (
+                prefix is not None
+                and prefix.pages is not None
+                and policy.adopts_prefix_pages
+            ):
+                pages = max(0, pages - prefix.pages[layer].full_pages)
+            demands.append(pages)
+        return demands
+
+    def _try_reserve(
+        self,
+        reservation: List[int],
+        request: ServingRequest,
+        wave: List[_WaveItem],
+        finished: List[ServingResponse],
+    ) -> str:
+        """Reserve ``reservation`` pages or decide the request's fate.
+
+        Returns ``"reserved"`` on success, ``"wait"`` when retiring
+        sequences will free enough pages (the caller re-queues the
+        request), or ``"failed"`` when the request could never fit — even
+        after shedding prefix-cache entries — and was completed closed as
+        an error response.
+        """
+        while True:
+            if self._reservation_fits(reservation):
+                for layer, pages in enumerate(reservation):
+                    self._reserved_pages[layer] += pages
+                return "reserved"
+            if self._active or wave:
+                # Retiring sequences will release pages; wait in the queue.
+                self._page_deferrals += 1
+                return "wait"
+            # Nothing running and nothing about to run: only cached prefix
+            # pages can be crowding the arena — shed them LRU-first.
+            if self.prefix_cache is not None and self.prefix_cache.drop_lru_entry():
+                continue
+            self._infeasible_failures += 1
+            finished.append(
+                self._fail(
+                    request,
+                    PoolExhaustedError(
+                        "request needs more KV pool pages than the arena "
+                        f"holds (demand {reservation} pages/layer)"
+                    ),
+                )
+            )
+            return "failed"
+
+    def _reservation_fits(self, reservation: List[int]) -> bool:
+        for layer, pages in enumerate(reservation):
+            pool = self.kv_pools.layer(layer)
+            cached = (
+                self.prefix_cache.pages_held(layer)
+                if self.prefix_cache is not None
+                else 0
+            )
+            if self._reserved_pages[layer] + cached + pages > pool.total_pages:
+                return False
+        return True
+
+    def _release_reservation(self, reservation: Optional[List[int]]) -> None:
+        if reservation is None:
+            return
+        for layer, pages in enumerate(reservation):
+            self._reserved_pages[layer] -= pages
+
+    def _cache_insert(self, prompt_ids: List[int], captured) -> None:
+        """Insert into the prefix cache unless it would starve reservations.
+
+        Cache pages come out of the same arena the admitted sequences'
+        reservations draw on, so an insert is only allowed while the free
+        pages left afterwards still cover every outstanding reservation
+        (conservatively assuming no sequence has allocated yet).  Under
+        page pressure the cache therefore stops growing before it can
+        push an admitted sequence into decode-time exhaustion.
+        """
+        if self.kv_pools is not None:
+            for layer in range(self.kv_pools.num_layers):
+                pool = self.kv_pools.layer(layer)
+                insert_pages = -(-len(prompt_ids) // pool.page_size)
+                if pool.free_pages - insert_pages < self._reserved_pages[layer]:
+                    self._cache_inserts_skipped += 1
+                    return
+        self.prefix_cache.insert(prompt_ids, captured)
+
+    def _retire_item(self, item: _WaveItem) -> None:
+        for policy in item.policies:
+            policy.release_kv()
+        self._release_reservation(item.reservation)
 
     def _prefill_wave(
         self,
-        wave: List[ServingRequest],
-        prefixes: List[Optional[SequencePrefix]],
+        wave: List[_WaveItem],
         finished: List[ServingResponse],
     ) -> List[Optional[SequenceSlot]]:
         """Prefill one wave; failed requests become error responses."""
         if not self.batched_prefill:
-            return [
-                self._prefill_one_serial(request, finished) for request in wave
-            ]
+            return [self._prefill_one_serial(item, finished) for item in wave]
         try:
-            policies_per_sequence = [
-                self.model.make_policies(
-                    request.policy_factory or self.policy_factory
-                )
-                for request in wave
-            ]
             logits, captured = self.model.prefill_batched(
-                [list(request.prompt_ids) for request in wave],
-                policies_per_sequence,
-                [None if p is None else p.layers for p in prefixes],
+                [list(item.request.prompt_ids) for item in wave],
+                [item.policies for item in wave],
+                [
+                    None if item.prefix is None else item.prefix.layer_states()
+                    for item in wave
+                ],
             )
         except Exception:
             # One bad request must not take down the wave (or the engine):
-            # retry each request alone so only the offender fails.
+            # retry each request alone so only the offender fails.  The
+            # failed joint attempt may have left partial rows in some
+            # policies' stores; rebuilding from released policies keeps the
+            # pool accounting exact.
+            for item in wave:
+                for policy in item.policies:
+                    policy.release_kv()
             return [
-                self._prefill_one_packed(request, prefix, finished)
-                for request, prefix in zip(wave, prefixes)
+                self._prefill_one_packed(item, finished) for item in wave
             ]
         slots: List[Optional[SequenceSlot]] = []
-        for b, request in enumerate(wave):
+        for b, item in enumerate(wave):
             if self.prefix_cache is not None:
-                if prefixes[b] is not None:
-                    self.prefix_cache.commit_reuse(prefixes[b])
-                self.prefix_cache.insert(list(request.prompt_ids), captured[b])
-            slots.append(
-                self._make_slot(request, policies_per_sequence[b], logits[b])
-            )
+                if item.prefix is not None:
+                    self.prefix_cache.commit_reuse(item.prefix)
+                self._cache_insert(list(item.request.prompt_ids), captured[b])
+            if item.prefix is not None:
+                item.prefix.release()  # adoption holds its own references
+            slots.append(self._make_slot(item, logits[b]))
         return slots
 
     def _prefill_one_packed(
         self,
-        request: ServingRequest,
-        prefix: Optional[SequencePrefix],
+        item: _WaveItem,
         finished: List[ServingResponse],
     ) -> Optional[SequenceSlot]:
         try:
             policies = self.model.make_policies(
-                request.policy_factory or self.policy_factory
+                item.request.policy_factory or self.policy_factory,
+                kv_pools=self.kv_pools,
             )
+            item.policies = policies
             logits, captured = self.model.prefill_batched(
-                [list(request.prompt_ids)],
+                [list(item.request.prompt_ids)],
                 [policies],
-                [None if prefix is None else prefix.layers],
+                [None if item.prefix is None else item.prefix.layer_states()],
             )
         except Exception as exc:
-            finished.append(self._fail(request, exc))
+            self._retire_item(item)
+            finished.append(self._fail(item.request, exc))
             return None
+        finally:
+            if item.prefix is not None:
+                item.prefix.release()
         if self.prefix_cache is not None:
-            if prefix is not None:
-                self.prefix_cache.commit_reuse(prefix)
-            self.prefix_cache.insert(list(request.prompt_ids), captured[0])
-        return self._make_slot(request, policies, logits[0])
+            if item.prefix is not None:
+                self.prefix_cache.commit_reuse(item.prefix)
+            self._cache_insert(list(item.request.prompt_ids), captured[0])
+        return self._make_slot(item, logits[0])
 
     def _prefill_one_serial(
-        self, request: ServingRequest, finished: List[ServingResponse]
+        self, item: _WaveItem, finished: List[ServingResponse]
     ) -> Optional[SequenceSlot]:
         try:
-            policies = self.model.make_policies(
-                request.policy_factory or self.policy_factory
+            logits = self.model.prefill(
+                list(item.request.prompt_ids), item.policies
             )
-            logits = self.model.prefill(list(request.prompt_ids), policies)
         except Exception as exc:
-            finished.append(self._fail(request, exc))
+            self._retire_item(item)
+            finished.append(self._fail(item.request, exc))
             return None
-        return self._make_slot(request, policies, logits)
+        return self._make_slot(item, logits)
 
-    def _make_slot(
-        self,
-        request: ServingRequest,
-        policies: List[KVCachePolicy],
-        logits: np.ndarray,
-    ) -> SequenceSlot:
+    def _make_slot(self, item: _WaveItem, logits: np.ndarray) -> SequenceSlot:
+        request = item.request
         return SequenceSlot(
             request=request,
             request_id=request.request_id,
             prompt_length=len(request.prompt_ids),
-            policies=policies,
+            policies=item.policies,
             stop_set=frozenset(request.stop_ids or ()),
             logits=logits,
             position=len(request.prompt_ids),
+            page_reservation=item.reservation,
         )
 
     def _fail(self, request: ServingRequest, exc: Exception) -> ServingResponse:
@@ -432,7 +731,9 @@ class BatchedEngine:
         self._completed[request.request_id] = response
         return response
 
-    def _finish(self, slot: SequenceSlot, reason: str) -> ServingResponse:
+    def _finish(
+        self, slot: SequenceSlot, reason: str, error: Optional[str] = None
+    ) -> ServingResponse:
         response = ServingResponse(
             request_id=slot.request_id,
             token_ids=list(slot.generated),
@@ -442,7 +743,13 @@ class BatchedEngine:
             logits_history=(
                 list(slot.logits_history) if slot.request.keep_logits else None
             ),
+            error=error,
         )
+        # Retiring hands every pool page back to the shared arena and
+        # releases the admission reservation; stats survive release.
+        for policy in slot.policies:
+            policy.release_kv()
+        self._release_reservation(slot.page_reservation)
         self._completed[slot.request_id] = response
         return response
 
@@ -480,6 +787,9 @@ class BatchedEngine:
             else:
                 continuing.append(slot)
 
+        if self.kv_pools is not None and continuing:
+            continuing = self._enforce_decode_pages(continuing, finished)
+
         if continuing:
             logits_batch = self.model.decode_steps_batched(
                 [slot.generated[-1] for slot in continuing],
@@ -493,6 +803,43 @@ class BatchedEngine:
         self._active = continuing
         self._steps += 1
         return finished
+
+    def _enforce_decode_pages(
+        self,
+        continuing: List[SequenceSlot],
+        finished: List[ServingResponse],
+    ) -> List[SequenceSlot]:
+        """Fail sequences closed (newest first) until the decode wave fits.
+
+        Unreachable while admission reservations hold (they bound lifetime
+        demand); this is the safety net for the corner where prefix-cache
+        churn lets pool usage overshoot — without it a mid-batch
+        :class:`PoolExhaustedError` would corrupt half-advanced sequences.
+        """
+        num_layers = self.model.config.num_layers
+        while continuing:
+            demand = [0] * num_layers
+            for slot in continuing:
+                for layer, policy in enumerate(slot.policies):
+                    demand[layer] += policy.decode_page_demand()
+            if all(
+                demand[layer] <= self.kv_pools.layer(layer).free_pages
+                for layer in range(num_layers)
+            ):
+                return continuing
+            victim = continuing.pop()
+            self._decode_page_failures += 1
+            finished.append(
+                self._finish(
+                    victim,
+                    "error",
+                    error=(
+                        "PoolExhaustedError: KV pool cannot cover the next "
+                        "decode step"
+                    ),
+                )
+            )
+        return continuing
 
     def run(self) -> List[ServingResponse]:
         """Drive :meth:`step` until no work remains.

@@ -24,18 +24,46 @@ hands them to a policy.  Only the causally visible part of the score block
 is ever consumed downstream (``accumulated_scores_from_attention`` masks the
 upper triangle), which is what makes the top-left block of a longer prompt's
 score matrix reusable for any continuation.
+
+Paged entries
+-------------
+When the cache is built over the serving engine's shared
+:class:`~repro.core.kv_pool.KVPoolGroup`, entries store their K/V rows as
+refcounted *pool pages* (:class:`~repro.core.kv_pool.SharedKVPages`)
+instead of owned dense copies.  A hit then hands the page run to the
+admitted sequence, whose whole-prompt-retaining policies adopt the pages
+zero-copy: the prefix's KV occupies pool memory once however many
+sequences share it, at admission *and* for the rest of decode.  Pages stay
+shared until a sharer overwrites one (copy-on-write split) and are freed
+when the last reference — cache entry or sequence — drops.  The prefill
+*score* blocks remain owned arrays (they are prefill-only and never
+shared with decode).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
+
+from ..core.kv_pool import (
+    BlockTable,
+    KVPoolGroup,
+    PoolExhaustedError,
+    SharedKVPages,
+)
 
 LayerPrefillState = Tuple[np.ndarray, np.ndarray, np.ndarray]
 """Per-layer prefill tensors: ``(keys [n, h, d], values [n, h, d], scaled
 raw attention scores [h, n, n])``."""
+
+LayerPrefixState = Union[
+    LayerPrefillState,
+    Tuple[np.ndarray, np.ndarray, np.ndarray, Optional[SharedKVPages]],
+]
+"""A :data:`LayerPrefillState` optionally extended with the shared pool
+pages holding the same rows (paged entries)."""
 
 
 def common_prefix_length(a: Sequence[int], b: Sequence[int]) -> int:
@@ -61,15 +89,58 @@ def _owned(array: np.ndarray) -> np.ndarray:
 
 
 @dataclass
+class _CachedLayer:
+    """One layer of a cache entry: dense K/V copies *or* pool pages."""
+
+    scores: np.ndarray
+    keys: Optional[np.ndarray] = None
+    values: Optional[np.ndarray] = None
+    pages: Optional[SharedKVPages] = None
+
+    def materialize_prefix(
+        self, length: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        if self.pages is not None:
+            return self.pages.prefix(length).materialize()
+        return self.keys[:length], self.values[:length]
+
+
+@dataclass
 class SequencePrefix:
     """The reusable prefix handed to :meth:`TransformerLM.prefill_batched`.
 
     ``layers[l]`` holds the layer-``l`` prefill tensors sliced to the first
-    ``length`` tokens of the prompt.
+    ``length`` tokens of the prompt; ``pages[l]`` (paged cache only) is the
+    shared pool-page run holding the same rows, which paged policies adopt
+    zero-copy instead of re-storing them.
+
+    A paged prefix is *pinned*: :meth:`PrefixCache.lookup` takes one page
+    reference per layer on the consumer's behalf, so the pages survive
+    even if the cache entry is LRU-evicted or shed for page pressure
+    before the prefill that uses them runs.  The consumer must call
+    :meth:`release` exactly once when done (idempotent).
     """
 
     length: int
     layers: List[LayerPrefillState]
+    pages: Optional[List[SharedKVPages]] = None
+    _pinned: bool = False
+
+    def layer_states(self) -> List[LayerPrefixState]:
+        """Per-layer tuples as consumed by ``prefill_batched``."""
+        if self.pages is None:
+            return list(self.layers)
+        return [
+            (keys, values, scores, shared)
+            for (keys, values, scores), shared in zip(self.layers, self.pages)
+        ]
+
+    def release(self) -> None:
+        """Drop the lookup's page pins (no-op for dense prefixes)."""
+        if self._pinned and self.pages is not None:
+            for shared in self.pages:
+                shared.decref()
+        self._pinned = False
 
 
 @dataclass
@@ -112,6 +183,12 @@ class PrefixCache:
         grow the cache far faster than ``max_entries`` suggests; the least
         recently used entries are dropped until the budget holds, and an
         entry larger than the whole budget is never stored.
+    kv_pools:
+        Optional shared per-layer page arenas
+        (:class:`~repro.core.kv_pool.KVPoolGroup`).  When given, entry K/V
+        rows are stored as refcounted pool pages that admitted sequences
+        adopt zero-copy (see the module docstring); without it entries own
+        dense copies (standalone / dense-engine use).
     """
 
     def __init__(
@@ -119,6 +196,7 @@ class PrefixCache:
         max_entries: int = 64,
         min_prefix_tokens: int = 8,
         max_bytes: int = 256 * 1024 * 1024,
+        kv_pools: Optional[KVPoolGroup] = None,
     ) -> None:
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
@@ -129,9 +207,10 @@ class PrefixCache:
         self.max_entries = int(max_entries)
         self.min_prefix_tokens = int(min_prefix_tokens)
         self.max_bytes = int(max_bytes)
+        self.kv_pools = kv_pools
         # Both dicts are insertion-ordered; re-inserting on access makes the
         # first key the LRU victim.
-        self._entries: Dict[Tuple[int, ...], List[LayerPrefillState]] = {}
+        self._entries: Dict[Tuple[int, ...], List[_CachedLayer]] = {}
         self._id_arrays: Dict[Tuple[int, ...], np.ndarray] = {}
         self._entry_bytes: Dict[Tuple[int, ...], int] = {}
         self._total_bytes = 0
@@ -141,14 +220,35 @@ class PrefixCache:
         return len(self._entries)
 
     def memory_bytes(self) -> int:
-        """Bytes held by the cached K/V/score tensors (all owned copies)."""
+        """Bytes held by the cached tensors (owned copies + held pages)."""
         return self._total_bytes
 
+    def pages_held(self, layer: int) -> int:
+        """Pool pages layer ``layer``'s entries currently reference."""
+        if self.kv_pools is None:
+            return 0
+        return sum(
+            len(entry[layer].pages.page_ids)
+            for entry in self._entries.values()
+            if entry[layer].pages is not None
+        )
+
     def clear(self) -> None:
-        self._entries.clear()
-        self._id_arrays.clear()
-        self._entry_bytes.clear()
-        self._total_bytes = 0
+        for key in list(self._entries):
+            self._drop(key)
+
+    def drop_lru_entry(self) -> bool:
+        """Drop the least recently used entry (page-pressure shedding).
+
+        Returns ``False`` when the cache is already empty.  The engine uses
+        this when a request cannot be admitted because cached prefix pages
+        are crowding the pool and nothing else will free them.
+        """
+        if not self._entries:
+            return False
+        self._drop(next(iter(self._entries)))
+        self.stats.evictions += 1
+        return True
 
     # ------------------------------------------------------------------
     def _best_match(
@@ -193,8 +293,10 @@ class PrefixCache:
 
         The match is capped at ``len(token_ids) - 1``: the last prompt token
         must be recomputed because its final hidden state (the first-token
-        logits) is not cached.  The returned tensors are read-only views
-        into the stored entry — callers must not mutate them.
+        logits) is not cached.  The returned tensors are read-only for the
+        caller; for paged entries the K/V blocks are materialised fresh
+        from the shared pages (the pages themselves travel alongside for
+        zero-copy adoption).
 
         A hit counts towards ``stats.hits`` here, but ``tokens_reused`` is
         only incremented by :meth:`commit_reuse` once the prefill that
@@ -208,11 +310,21 @@ class PrefixCache:
         self._touch(best_key)
         self.stats.hits += 1
         p = best_len
-        layers = [
-            (keys[:p], values[:p], scores[:, :p, :p])
-            for keys, values, scores in self._entries[best_key]
-        ]
-        return SequencePrefix(length=p, layers=layers)
+        entry = self._entries[best_key]
+        layers: List[LayerPrefillState] = []
+        pages: Optional[List[SharedKVPages]] = (
+            [] if self.kv_pools is not None else None
+        )
+        for cached in entry:
+            keys, values = cached.materialize_prefix(p)
+            layers.append((keys, values, cached.scores[:, :p, :p]))
+            if pages is not None:
+                shared = cached.pages.prefix(p)
+                shared.incref()  # pin for the consumer; released after use
+                pages.append(shared)
+        return SequencePrefix(
+            length=p, layers=layers, pages=pages, _pinned=pages is not None
+        )
 
     def commit_reuse(self, prefix: SequencePrefix) -> None:
         """Record that a prefill actually skipped ``prefix.length`` tokens.
@@ -234,11 +346,15 @@ class PrefixCache:
         existing entries that are a prefix of the new prompt are dropped
         (superseded): the new entry answers every lookup they could.
 
+        On a paged cache the K/V rows are written into freshly allocated
+        pool pages exactly once; if the pool cannot supply the pages the
+        insert is skipped (caching is an optimisation — admission already
+        succeeded) and any partially allocated pages are returned.
+
         Prompts that share a prefix but diverge (distinct suffixes) each
         keep their own full entry — including the O(n^2)-per-layer score
         block — so memory grows with the number of *distinct* prompts, not
-        with sharing; ``max_entries`` bounds it.  Deduplicating the shared
-        prefix storage itself (trie / paged entries) is a ROADMAP item.
+        with sharing; ``max_entries`` bounds it.
         """
         key = tuple(int(t) for t in token_ids)
         if not key:
@@ -252,16 +368,17 @@ class PrefixCache:
                 return False
             if arr.size < ids.size and not np.any(ids[: arr.size] != arr):
                 superseded.append(existing_key)
-        entry = [
-            (_owned(keys), _owned(values), _owned(scores))
-            for keys, values, scores in layers
-        ]
-        entry_bytes = sum(
-            int(k.nbytes + v.nbytes + s.nbytes) for k, v, s in entry
-        )
+        entry = self._build_entry(layers)
+        if entry is None:
+            # Pool pages unavailable: skip caching, keep the pool for
+            # sequences (and keep the entries this one would supersede).
+            self.stats.skipped_inserts += 1
+            return False
+        entry_bytes = sum(self._layer_bytes(cached) for cached in entry)
         if entry_bytes > self.max_bytes:
             # Rejecting an unstorable entry must not purge the (storable)
             # entries it would have superseded.
+            self._release_entry(entry)
             self.stats.skipped_inserts += 1
             return False
         for existing_key in superseded:
@@ -281,12 +398,70 @@ class PrefixCache:
         return True
 
     # ------------------------------------------------------------------
+    def _build_entry(
+        self, layers: Sequence[LayerPrefillState]
+    ) -> Optional[List[_CachedLayer]]:
+        if self.kv_pools is None:
+            return [
+                _CachedLayer(
+                    scores=_owned(scores),
+                    keys=_owned(keys),
+                    values=_owned(values),
+                )
+                for keys, values, scores in layers
+            ]
+        if len(layers) != self.kv_pools.num_layers:
+            raise ValueError("one prefill state per pool layer is required")
+        entry: List[_CachedLayer] = []
+        try:
+            for layer_index, (keys, values, scores) in enumerate(layers):
+                shared = self._write_pages(layer_index, keys, values)
+                entry.append(_CachedLayer(scores=_owned(scores), pages=shared))
+        except PoolExhaustedError:
+            self._release_entry(entry)
+            return None
+        return entry
+
+    def _write_pages(
+        self, layer_index: int, keys: np.ndarray, values: np.ndarray
+    ) -> SharedKVPages:
+        """Copy one layer's K/V rows into freshly allocated pool pages.
+
+        Reuses the block table's span-write (page walk, allocation,
+        rollback) and detaches the resulting page run into the entry's
+        :class:`SharedKVPages` reference.
+        """
+        pool = self.kv_pools.layer(layer_index)
+        keys = np.asarray(keys, dtype=np.float64)
+        values = np.asarray(values, dtype=np.float64)
+        table = BlockTable(pool)
+        try:
+            table.write_span(0, keys, values)
+        except PoolExhaustedError:
+            table.release()
+            raise
+        return SharedKVPages(pool, table.detach(), keys.shape[0])
+
+    def _layer_bytes(self, cached: _CachedLayer) -> int:
+        total = int(cached.scores.nbytes)
+        if cached.pages is not None:
+            total += len(cached.pages.page_ids) * cached.pages.pool.page_bytes
+        else:
+            total += int(cached.keys.nbytes + cached.values.nbytes)
+        return total
+
+    def _release_entry(self, entry: Sequence[_CachedLayer]) -> None:
+        for cached in entry:
+            if cached.pages is not None:
+                cached.pages.decref()
+
     def _touch(self, key: Tuple[int, ...]) -> None:
         """Mark ``key`` as most recently used."""
         self._entries[key] = self._entries.pop(key)
         self._id_arrays[key] = self._id_arrays.pop(key)
 
     def _drop(self, key: Tuple[int, ...]) -> None:
+        self._release_entry(self._entries[key])
         del self._entries[key]
         del self._id_arrays[key]
         self._total_bytes -= self._entry_bytes.pop(key)
@@ -294,6 +469,7 @@ class PrefixCache:
 
 __all__ = [
     "LayerPrefillState",
+    "LayerPrefixState",
     "PrefixCache",
     "PrefixCacheStats",
     "SequencePrefix",

@@ -94,8 +94,9 @@ class TestAlgorithmHardwareAgreement:
         ids = dataset.tokenizer.encode(example.prompt)
         policies = model.make_policies()
         model.prefill(ids, policies)
-        layer1_keys = policies[1].cached_positions()
-        keys = np.stack([k[0] for k in policies[1]._keys], axis=0)  # head 0 keys
+        layer1_positions = policies[1].cached_positions()
+        all_keys, _ = policies[1]._store.gather(layer1_positions.tolist())
+        keys = all_keys[:, 0, :]  # head 0 keys
 
         rows = min(64, keys.shape[0])
         engine = UniCAIMEngine(

@@ -1,0 +1,296 @@
+"""Unit tests for the paged KV pool: refcounts, CoW, exhaustion, stores."""
+
+import numpy as np
+import pytest
+
+from repro.core.kv_cache import SlotKVCache
+from repro.core.kv_pool import (
+    BlockTable,
+    KVPoolGroup,
+    PagedKVPool,
+    PagedKVStore,
+    PoolExhaustedError,
+    SharedKVPages,
+)
+
+HEADS, DIM = 2, 4
+
+
+def row(fill):
+    return np.full((HEADS, DIM), float(fill))
+
+
+def make_pool(num_pages=4, page_size=4):
+    return PagedKVPool(page_size, HEADS, DIM, num_pages=num_pages)
+
+
+class TestPagedKVPool:
+    def test_alloc_hands_out_pages_in_order(self):
+        pool = make_pool()
+        assert [pool.alloc() for _ in range(4)] == [0, 1, 2, 3]
+        assert pool.free_pages == 0 and pool.pages_in_use == 4
+
+    def test_fixed_pool_exhaustion_raises(self):
+        pool = make_pool(num_pages=1)
+        pool.alloc()
+        with pytest.raises(PoolExhaustedError):
+            pool.alloc()
+
+    def test_growable_pool_never_exhausts(self):
+        pool = PagedKVPool(2, HEADS, DIM)  # num_pages=None -> growable
+        pages = [pool.alloc() for _ in range(20)]
+        assert len(set(pages)) == 20
+
+    def test_decref_returns_page_to_free_list(self):
+        pool = make_pool(num_pages=1)
+        page = pool.alloc()
+        pool.decref(page)
+        assert pool.free_pages == 1
+        assert pool.alloc() == page
+
+    def test_double_free_raises(self):
+        pool = make_pool()
+        page = pool.alloc()
+        pool.decref(page)
+        with pytest.raises(ValueError):
+            pool.decref(page)
+
+    def test_incref_keeps_page_alive_until_last_reference(self):
+        pool = make_pool()
+        page = pool.alloc()
+        pool.incref(page)
+        pool.decref(page)
+        assert pool.refcount(page) == 1 and pool.pages_in_use == 1
+        pool.decref(page)
+        assert pool.pages_in_use == 0
+
+    def test_incref_of_free_page_raises(self):
+        pool = make_pool()
+        with pytest.raises(ValueError):
+            pool.incref(0)
+
+    def test_copy_page_copies_rows_and_counts_split(self):
+        pool = make_pool()
+        src = pool.alloc()
+        pool.page_keys(src)[0] = row(7)
+        dst = pool.copy_page(src)
+        assert dst != src
+        np.testing.assert_allclose(pool.page_keys(dst)[0], row(7))
+        assert pool.stats.cow_splits == 1
+
+    def test_byte_accounting(self):
+        pool = make_pool(num_pages=3, page_size=4)
+        assert pool.page_bytes == 2 * 4 * HEADS * DIM * 8
+        pool.alloc()
+        assert pool.bytes_in_use == pool.page_bytes
+        assert pool.bytes_total == 3 * pool.page_bytes
+
+
+class TestBlockTable:
+    def test_write_allocates_lazily_and_gathers(self):
+        pool = make_pool()
+        table = BlockTable(pool)
+        table.write(0, row(1), -row(1))
+        table.write(5, row(2), -row(2))  # second page
+        assert table.pages_held() == 2
+        keys, values = table.gather(np.asarray([5, 0]))
+        np.testing.assert_allclose(keys[0], row(2))
+        np.testing.assert_allclose(values[1], -row(1))
+
+    def test_gather_of_unwritten_slot_raises(self):
+        pool = make_pool()
+        table = BlockTable(pool)
+        table.write(0, row(1), row(1))
+        with pytest.raises((ValueError, IndexError)):
+            table.gather(np.asarray([4]))
+
+    def test_write_to_shared_page_splits_and_preserves_sharer(self):
+        """The copy-on-write split: an adopter's overwrite/evict must never
+        be visible to the other holders of the page."""
+        pool = make_pool()
+        donor = BlockTable(pool)
+        donor.write_span(0, np.stack([row(1), row(2)]), np.stack([row(1), row(2)]))
+        shared = SharedKVPages(pool, donor.page_ids, 2)
+
+        adopter = BlockTable(pool)
+        adopter.adopt(shared)
+        assert pool.refcount(shared.page_ids[0]) == 2
+
+        adopter.write(0, row(99), row(99))  # CoW split
+        assert pool.stats.cow_splits == 1
+        np.testing.assert_allclose(donor.gather_keys(np.asarray([0]))[0], row(1))
+        np.testing.assert_allclose(adopter.gather_keys(np.asarray([0]))[0], row(99))
+        assert pool.refcount(shared.page_ids[0]) == 1  # adopter moved off
+
+    def test_release_is_idempotent(self):
+        pool = make_pool()
+        table = BlockTable(pool)
+        table.write(0, row(1), row(1))
+        table.release()
+        table.release()
+        assert pool.pages_in_use == 0
+
+    def test_adopt_requires_empty_table_and_same_pool(self):
+        pool = make_pool()
+        donor = BlockTable(pool)
+        donor.write(0, row(1), row(1))
+        shared = SharedKVPages(pool, donor.page_ids, 1)
+        occupied = BlockTable(pool)
+        occupied.write(0, row(2), row(2))
+        with pytest.raises(RuntimeError):
+            occupied.adopt(shared)
+        other = BlockTable(make_pool())
+        with pytest.raises(ValueError):
+            other.adopt(shared)
+
+
+class TestSharedKVPages:
+    def test_prefix_slices_page_run(self):
+        pool = make_pool(page_size=2, num_pages=4)
+        table = BlockTable(pool)
+        rows = np.stack([row(i) for i in range(5)])
+        table.write_span(0, rows, rows)
+        shared = SharedKVPages(pool, table.page_ids, 5)
+        assert shared.full_pages == 2
+        sliced = shared.prefix(3)
+        assert len(sliced.page_ids) == 2 and sliced.length == 3
+        keys, _ = sliced.materialize()
+        np.testing.assert_allclose(keys, rows[:3])
+
+    def test_coverage_validated(self):
+        pool = make_pool(page_size=2, num_pages=4)
+        page = pool.alloc()
+        with pytest.raises(ValueError):
+            SharedKVPages(pool, (page,), 5)
+
+
+class TestPagedKVStore:
+    def test_put_drop_gather_in_requested_order(self):
+        store = PagedKVStore(HEADS, DIM, page_size=2)
+        for pos in (3, 1, 7):
+            store.put(pos, row(pos), -row(pos))
+        store.drop(1)
+        store.put(9, row(9), -row(9))  # recycles slot of position 1
+        keys, values = store.gather([9, 3, 7])
+        np.testing.assert_allclose(keys[0], row(9))
+        np.testing.assert_allclose(keys[1], row(3))
+        np.testing.assert_allclose(values[2], -row(7))
+        assert sorted(store.positions()) == [3, 7, 9]
+
+    def test_bulk_append_matches_row_by_row(self):
+        rng = np.random.default_rng(0)
+        keys = rng.normal(size=(7, HEADS, DIM))
+        values = rng.normal(size=(7, HEADS, DIM))
+        bulk = PagedKVStore(HEADS, DIM, page_size=3)
+        bulk.bulk_append(range(7), keys, values)
+        single = PagedKVStore(HEADS, DIM, page_size=3)
+        for i in range(7):
+            single.put(i, keys[i], values[i])
+        k1, v1 = bulk.gather(range(7))
+        k2, v2 = single.gather(range(7))
+        np.testing.assert_array_equal(k1, k2)
+        np.testing.assert_array_equal(v1, v2)
+
+    def test_adopt_prefix_then_append_splits_only_partial_page(self):
+        """Split-on-evict/overwrite: appends after adoption CoW-split the
+        partial tail page; the fully covered pages stay shared."""
+        pool = make_pool(page_size=2, num_pages=8)
+        donor = PagedKVStore(HEADS, DIM, pool=pool)
+        rows = np.stack([row(i) for i in range(3)])
+        donor.bulk_append(range(3), rows, rows)
+        shared = SharedKVPages(pool, tuple(donor._table.page_ids), 3)
+
+        adopter = PagedKVStore(HEADS, DIM, pool=pool)
+        adopter.adopt_prefix(shared)
+        adopter.put(3, row(33), row(33))  # lands in the partial tail page
+        assert pool.stats.cow_splits == 1
+        assert pool.refcount(shared.page_ids[0]) == 2  # full page still shared
+        np.testing.assert_allclose(donor.gather([2])[0][0], row(2))
+        np.testing.assert_allclose(adopter.gather([2])[0][0], row(2))
+        np.testing.assert_allclose(adopter.gather([3])[0][0], row(33))
+
+    def test_append_page_demand(self):
+        store = PagedKVStore(HEADS, DIM, page_size=2)
+        assert store.append_page_demand() == 1  # first page not yet allocated
+        store.put(0, row(0), row(0))
+        assert store.append_page_demand() == 0  # page has a free row
+        store.put(1, row(1), row(1))
+        assert store.append_page_demand() == 1  # next page needed
+
+    def test_pool_exhaustion_propagates(self):
+        pool = make_pool(num_pages=1, page_size=1)
+        store = PagedKVStore(HEADS, DIM, pool=pool)
+        store.put(0, row(0), row(0))
+        with pytest.raises(PoolExhaustedError):
+            store.put(1, row(1), row(1))
+
+
+class TestSlotKVCacheOnSharedPool:
+    def test_two_caches_share_one_arena(self):
+        pool = make_pool(num_pages=2, page_size=4)
+        a = SlotKVCache(4, HEADS, DIM, pool=pool)
+        b = SlotKVCache(4, HEADS, DIM, pool=pool)
+        a.append(row(1), row(1), 0)
+        b.append(row(2), row(2), 0)
+        assert pool.pages_in_use == 2
+        a.release()
+        assert pool.pages_in_use == 1
+        np.testing.assert_allclose(b.keys()[0], row(2))
+
+    def test_third_cache_hits_exhaustion(self):
+        pool = make_pool(num_pages=2, page_size=4)
+        for _ in range(2):
+            SlotKVCache(4, HEADS, DIM, pool=pool).append(row(1), row(1), 0)
+        c = SlotKVCache(4, HEADS, DIM, pool=pool)
+        with pytest.raises(PoolExhaustedError):
+            c.append(row(3), row(3), 0)
+
+    def test_gather_counts_materialization(self):
+        """Satellite fix: explicit gathers are block-table gathers now and
+        must count toward the perf-smoke materialisation budget."""
+        cache = SlotKVCache(4, HEADS, DIM)
+        cache.append(row(1), row(1), 0)
+        cache.append(row(2), row(2), 1)
+        before = cache.materialization_count
+        cache.gather([0, 1])
+        assert cache.materialization_count == before + 1
+
+    def test_write_dtype_coercion_is_pool_independent(self):
+        """A float32 cache over a float64 arena must store float32-rounded
+        values — quantisation identical to the standalone dense layout."""
+        pool = PagedKVPool(4, HEADS, DIM, num_pages=2, dtype=np.float64)
+        shared_cache = SlotKVCache(4, HEADS, DIM, pool=pool)
+        private_cache = SlotKVCache(4, HEADS, DIM)
+        value = np.full((HEADS, DIM), 1.0 + 1e-9)  # not float32-representable
+        shared_cache.append(value, value, 0)
+        private_cache.append(value, value, 0)
+        np.testing.assert_array_equal(
+            np.asarray(shared_cache.keys(), dtype=np.float64),
+            np.asarray(private_cache.keys(), dtype=np.float64),
+        )
+
+    def test_resident_bytes_tracks_pages_not_capacity(self):
+        pool = make_pool(num_pages=4, page_size=2)
+        cache = SlotKVCache(8, HEADS, DIM, pool=pool)
+        assert cache.resident_bytes() == 0
+        cache.append(row(1), row(1), 0)
+        assert cache.resident_bytes() == pool.page_bytes
+        assert cache.memory_bytes() == 2 * 8 * HEADS * DIM * 4  # logical float32
+
+
+class TestKVPoolGroup:
+    def test_from_byte_budget_splits_evenly(self):
+        group = KVPoolGroup.from_byte_budget(
+            num_layers=2, page_size=4, num_heads=HEADS, head_dim=DIM,
+            total_bytes=8 * 2 * 4 * HEADS * DIM * 8,
+        )
+        assert group.num_layers == 2
+        assert all(pool.total_pages == 4 for pool in group.pools)
+
+    def test_stats_aggregate(self):
+        group = KVPoolGroup(2, 4, HEADS, DIM, num_pages=4)
+        group.layer(0).alloc()
+        stats = group.stats()
+        assert stats["pages_total"] == 8
+        assert stats["pages_in_use"] == 1
+        assert stats["page_allocs"] == 1

@@ -1,0 +1,270 @@
+"""Paged engine vs dense engine: token- and stats-identical serving.
+
+The acceptance property of the paged-KV refactor: an engine whose
+sequences store K/V in the shared per-layer page arenas (``kv_pools``)
+must produce byte-identical generated tokens and identical
+``PolicyStats`` to the dense per-sequence layout, for every policy
+flavour and batch size — pages only change *where* rows live, never what
+any policy computes.  Pool-pressure behaviour (queueing on page
+availability, failing closed on infeasible demand) is exercised here too.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.kv_pool import KVPoolGroup
+from repro.eval.harness import POLICY_NAMES, build_policy_factory
+from repro.llm.config import ModelConfig
+from repro.llm.model import TransformerLM
+from repro.serving import BatchedEngine, PrefixCache, ServingRequest
+
+VOCAB = 89
+HEADS, HEAD_DIM, LAYERS = 2, 8, 2
+
+
+@pytest.fixture(scope="module")
+def model():
+    config = ModelConfig(
+        vocab_size=VOCAB,
+        model_dim=HEADS * HEAD_DIM,
+        num_heads=HEADS,
+        head_dim=HEAD_DIM,
+        num_layers=LAYERS,
+        mlp_hidden_dim=24,
+        seed=5,
+    )
+    return TransformerLM(config)
+
+
+@pytest.fixture(scope="module")
+def shared_prefix_prompts():
+    """Prompts sharing a 14-token prefix, with varied unique suffixes."""
+    rng = np.random.default_rng(23)
+    shared = list(map(int, rng.integers(0, VOCAB, size=14)))
+    return [
+        shared + list(map(int, rng.integers(0, VOCAB, size=n)))
+        for n in (3, 6, 2, 8, 5, 3, 7, 4, 6, 2, 5, 3, 4, 8, 2, 6)
+    ]
+
+
+def make_pools(num_pages=600, page_size=8):
+    return KVPoolGroup(
+        LAYERS, page_size=page_size, num_heads=HEADS, head_dim=HEAD_DIM,
+        num_pages=num_pages,
+    )
+
+
+def run_engine(model, prompts, *, kv_pools=None, batch_size=4,
+               policy_factory=None, max_new_tokens=7):
+    engine = BatchedEngine(
+        model,
+        policy_factory=policy_factory,
+        max_batch_size=batch_size,
+        kv_pools=kv_pools,
+    )
+    for prompt in prompts:
+        engine.submit(
+            ServingRequest(prompt_ids=prompt, max_new_tokens=max_new_tokens)
+        )
+    return engine, engine.run()
+
+
+def assert_stats_identical(dense, paged):
+    assert dense.prefill_tokens == paged.prefill_tokens
+    assert dense.retained_after_prefill == paged.retained_after_prefill
+    assert dense.prefill_reused_tokens == paged.prefill_reused_tokens
+    assert dense.decode_steps == paged.decode_steps
+    assert dense.total_attended == paged.total_attended
+    assert dense.total_evictions == paged.total_evictions
+    assert dense.peak_cache_size == paged.peak_cache_size
+    assert len(dense.records) == len(paged.records)
+    for a, b in zip(dense.records, paged.records):
+        assert a.position == b.position
+        assert a.cache_size == b.cache_size
+        assert a.num_attended == b.num_attended
+        assert a.evicted_position == b.evicted_position
+        if a.selected_positions is None:
+            assert b.selected_positions is None
+        else:
+            np.testing.assert_array_equal(
+                a.selected_positions, b.selected_positions
+            )
+
+
+class TestPagedDenseEquivalence:
+    @pytest.mark.parametrize("policy_name", POLICY_NAMES)
+    @pytest.mark.parametrize("batch_size", [1, 4, 16])
+    def test_tokens_and_stats_identical(
+        self, model, shared_prefix_prompts, policy_name, batch_size
+    ):
+        factory = build_policy_factory(
+            policy_name, prompt_length=len(shared_prefix_prompts[0]),
+            cache_ratio=0.6,
+        )
+        _, dense = run_engine(
+            model, shared_prefix_prompts,
+            batch_size=batch_size, policy_factory=factory,
+        )
+        engine, paged = run_engine(
+            model, shared_prefix_prompts, kv_pools=make_pools(),
+            batch_size=batch_size, policy_factory=factory,
+        )
+        for d, p in zip(dense, paged):
+            assert d.finish_reason == p.finish_reason != "error"
+            assert d.token_ids == p.token_ids
+            assert len(d.policy_stats) == len(p.policy_stats) == LAYERS
+            for ds, ps in zip(d.policy_stats, p.policy_stats):
+                assert_stats_identical(ds, ps)
+        stats = engine.stats()
+        # Every page went back to the arena or is held by the prefix cache.
+        assert stats["kv_pool"]["reserved_pages"] == 0
+        held = stats["prefix_cache"]["pages_held"]
+        assert stats["kv_pool"]["pages_in_use"] == held
+
+    def test_prefix_pages_shared_and_cow_split(
+        self, model, shared_prefix_prompts
+    ):
+        """Full-cache sequences adopt the cached prefix pages zero-copy and
+        split only on their own writes."""
+        engine, responses = run_engine(
+            model, shared_prefix_prompts, kv_pools=make_pools(), batch_size=4
+        )
+        assert all(r.finish_reason != "error" for r in responses)
+        pool_stats = engine.stats()["kv_pool"]
+        assert pool_stats["prefix_pages_adopted"] > 0
+        assert pool_stats["cow_splits"] > 0
+
+    def test_max_batch_size_none_is_page_bounded(
+        self, model, shared_prefix_prompts
+    ):
+        engine, responses = run_engine(
+            model, shared_prefix_prompts, kv_pools=make_pools(),
+            batch_size=None,
+        )
+        assert all(r.finish_reason == "length" for r in responses)
+        assert engine.stats()["peak_active"] == len(shared_prefix_prompts)
+
+    def test_max_batch_size_none_requires_pools(self, model):
+        with pytest.raises(ValueError):
+            BatchedEngine(model, max_batch_size=None)
+
+    def test_growable_pools_rejected(self, model):
+        growable = KVPoolGroup(LAYERS, 8, HEADS, HEAD_DIM)  # no num_pages
+        with pytest.raises(ValueError):
+            BatchedEngine(model, kv_pools=growable)
+
+    def test_explicit_prefix_cache_must_share_pools(self, model):
+        pools = make_pools()
+        with pytest.raises(ValueError):
+            BatchedEngine(
+                model, kv_pools=pools, prefix_cache=PrefixCache()
+            )
+
+
+class TestPagePressure:
+    def test_small_pool_queues_and_completes_everything(
+        self, model, shared_prefix_prompts
+    ):
+        """A pool too small for the whole batch serialises admission
+        (page-gated) but still completes every request correctly."""
+        _, dense = run_engine(model, shared_prefix_prompts, batch_size=16)
+        # ~2 full-cache sequences' worth of pages per layer.
+        pools = make_pools(num_pages=10, page_size=8)
+        engine, paged = run_engine(
+            model, shared_prefix_prompts, kv_pools=pools, batch_size=16
+        )
+        for d, p in zip(dense, paged):
+            assert p.finish_reason == d.finish_reason != "error"
+            assert p.token_ids == d.token_ids
+        assert engine.stats()["admission"]["page_deferrals"] > 0
+        assert engine.stats()["peak_active"] < len(shared_prefix_prompts)
+
+    def test_infeasible_request_fails_closed(self, model):
+        """A request whose worst-case demand exceeds the whole arena must
+        become finish_reason="error", not crash the engine."""
+        pools = make_pools(num_pages=2, page_size=4)
+        engine = BatchedEngine(model, kv_pools=pools, max_batch_size=4)
+        rng = np.random.default_rng(1)
+        huge = list(map(int, rng.integers(0, VOCAB, size=60)))
+        small = list(map(int, rng.integers(0, VOCAB, size=5)))
+        huge_id = engine.submit(ServingRequest(prompt_ids=huge, max_new_tokens=4))
+        small_id = engine.submit(ServingRequest(prompt_ids=small, max_new_tokens=3))
+        responses = {r.request_id: r for r in engine.run()}
+        assert responses[huge_id].finish_reason == "error"
+        assert "PoolExhaustedError" in responses[huge_id].error
+        assert responses[small_id].finish_reason == "length"
+        assert engine.stats()["admission"]["infeasible_failures"] == 1
+
+    def test_h2o_long_prompt_stays_within_page_reservation(self):
+        """Regression: H2O prefill must not bulk-store the whole prompt
+        before shrinking — a 512-token prompt under a 16-token budget
+        would otherwise pin ~32 pages forever against a 2-page
+        reservation, breaking page-gated admission for everyone else."""
+        from repro.core.baselines import H2OPolicy
+        from repro.core.kv_pool import PagedKVPool
+
+        rng = np.random.default_rng(3)
+        pool = PagedKVPool(16, HEADS, HEAD_DIM, num_pages=64)
+        policy = H2OPolicy(HEADS, HEAD_DIM, heavy_budget=8, recent_budget=8)
+        policy.attach_pool(pool)
+        n = 512
+        keys = rng.normal(size=(n, HEADS, HEAD_DIM))
+        values = rng.normal(size=(n, HEADS, HEAD_DIM))
+        attn = rng.normal(size=(HEADS, n, n))
+        policy.prefill(keys, values, attn)
+        reserved = policy.max_kv_pages(n, max_new_tokens=4, page_size=16)
+        assert pool.pages_in_use <= reserved
+
+        # Same retained set as the reference shrink-after-store semantics.
+        dense = H2OPolicy(HEADS, HEAD_DIM, heavy_budget=8, recent_budget=8)
+        dense.prefill(keys, values, attn)
+        np.testing.assert_array_equal(
+            policy.cached_positions(), dense.cached_positions()
+        )
+
+    def test_lookup_pins_pages_across_cache_eviction(self, model):
+        """Regression: a looked-up prefix must survive its cache entry
+        being shed/LRU-evicted before the prefill that adopts it runs."""
+        from repro.serving import PrefixCache
+
+        pools = make_pools(num_pages=64, page_size=4)
+        cache = PrefixCache(min_prefix_tokens=2, kv_pools=pools)
+        rng = np.random.default_rng(9)
+        prompt = list(map(int, rng.integers(0, VOCAB, size=12)))
+        captured = [
+            (
+                rng.normal(size=(12, HEADS, HEAD_DIM)),
+                rng.normal(size=(12, HEADS, HEAD_DIM)),
+                rng.normal(size=(HEADS, 12, 12)),
+            )
+            for _ in range(LAYERS)
+        ]
+        assert cache.insert(prompt, captured)
+        prefix = cache.lookup(prompt + [1])
+        assert prefix is not None and prefix.pages is not None
+        expected_keys = [layer[0][: prefix.length].copy() for layer in captured]
+
+        assert cache.drop_lru_entry()  # entry gone, pages must survive
+        for layer, shared in enumerate(prefix.pages):
+            np.testing.assert_allclose(
+                shared.materialize()[0], expected_keys[layer]
+            )
+        prefix.release()
+        prefix.release()  # idempotent
+        assert all(pool.pages_in_use == 0 for pool in pools.pools)
+
+    def test_pool_drains_fully_after_run(self, model, shared_prefix_prompts):
+        pools = make_pools(num_pages=40, page_size=8)
+        engine, responses = run_engine(
+            model, shared_prefix_prompts, kv_pools=pools, batch_size=4
+        )
+        assert all(r.finish_reason != "error" for r in responses)
+        stats = engine.stats()
+        assert stats["kv_pool"]["reserved_pages"] == 0
+        # Only prefix-cache entries may still hold pages.
+        assert (
+            stats["kv_pool"]["pages_in_use"]
+            == stats["prefix_cache"]["pages_held"]
+        )
+        engine.prefix_cache.clear()
+        assert sum(p.pages_in_use for p in pools.pools) == 0

@@ -321,10 +321,10 @@ class TestPrefixCacheUnit:
             prompts, [model.make_policies(None) for _ in prompts]
         )
         cache.insert(prompts[0], captured[0])
-        for keys, values, scores in cache._entries[tuple(prompts[0])]:
-            assert keys.base is None
-            assert values.base is None
-            assert scores.base is None
+        for cached in cache._entries[tuple(prompts[0])]:
+            assert cached.keys.base is None
+            assert cached.values.base is None
+            assert cached.scores.base is None
 
     def test_peek_length_has_no_side_effects(self):
         cache = PrefixCache(min_prefix_tokens=2)
