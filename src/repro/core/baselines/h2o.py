@@ -158,6 +158,12 @@ class H2OPolicy(KVCachePolicy):
     def decode_page_demand(self) -> int:
         return self._store.append_page_demand()
 
+    def kv_pages_held(self) -> int:
+        return self._store.pages_held()
+
+    def kv_shared_pages(self) -> int:
+        return self._store.shared_page_count()
+
     def max_cached_tokens(self, prompt_len: int, max_new_tokens: int) -> int:
         # +1 for the insert-then-shrink transient of every decode step.
         return min(

@@ -19,11 +19,10 @@ from ..attention import (
     sparse_attention_output,
     top_k_indices,
 )
-from ..kv_pool import PagedKVPool, SharedKVPages
-from ..policy import KVCachePolicy, StepRecord
+from ..policy import KVCachePolicy, StepRecord, WholePromptStoreMixin
 
 
-class QuestPolicy(KVCachePolicy):
+class QuestPolicy(WholePromptStoreMixin, KVCachePolicy):
     """Page-based dynamic top-k selection over an unpruned cache.
 
     Parameters
@@ -54,15 +53,6 @@ class QuestPolicy(KVCachePolicy):
         self._store = self._make_store()
         self._positions: List[int] = []
 
-    def _on_pool_attached(self, pool: PagedKVPool) -> None:
-        self._store = self._make_store()
-
-    @property
-    def adopts_prefix_pages(self) -> bool:
-        # Quest retains the whole prompt verbatim, so a shared prefix's
-        # pool pages can be installed zero-copy like the full cache's.
-        return True
-
     @classmethod
     def from_budget(
         cls,
@@ -83,47 +73,6 @@ class QuestPolicy(KVCachePolicy):
         )
 
     # ------------------------------------------------------------------
-    def prefill(
-        self,
-        keys: np.ndarray,
-        values: np.ndarray,
-        attention_matrix: Optional[np.ndarray] = None,
-    ) -> None:
-        self._load_prompt(keys, values, adopt=None)
-
-    def prefill_precomputed(
-        self,
-        keys: np.ndarray,
-        values: np.ndarray,
-        attention_matrix: Optional[np.ndarray] = None,
-        reused_tokens: int = 0,
-        prefix_pages: Optional[SharedKVPages] = None,
-    ) -> None:
-        if reused_tokens < 0:
-            raise ValueError("reused_tokens must be >= 0")
-        self._load_prompt(keys, values, adopt=prefix_pages)
-        self.stats.prefill_reused_tokens = int(reused_tokens)
-
-    def _load_prompt(
-        self,
-        keys: np.ndarray,
-        values: np.ndarray,
-        adopt: Optional[SharedKVPages],
-    ) -> None:
-        self._check_prefill_shapes(keys, values)
-        keys = np.asarray(keys, dtype=np.float64)
-        values = np.asarray(values, dtype=np.float64)
-        n = keys.shape[0]
-        self._store.clear()
-        start = 0
-        if adopt is not None and adopt.length <= n and self._store.can_adopt(adopt):
-            self._store.adopt_prefix(adopt)
-            start = adopt.length
-        self._store.bulk_append(range(start, n), keys[start:], values[start:])
-        self._positions = list(range(n))
-        self.stats.prefill_tokens = n
-        self.stats.retained_after_prefill = n
-
     def decode_step(
         self,
         query: np.ndarray,
@@ -159,21 +108,6 @@ class QuestPolicy(KVCachePolicy):
             )
         )
         return output
-
-    def cached_positions(self) -> np.ndarray:
-        return np.asarray(self._positions, dtype=np.int64)
-
-    def release_kv(self) -> None:
-        self._store.release()
-        self._positions = []
-
-    def decode_page_demand(self) -> int:
-        return self._store.append_page_demand()
-
-    def reset(self) -> None:
-        super().reset()
-        self._store.clear()
-        self._positions = []
 
     # ------------------------------------------------------------------
     def _page_bounds(self, keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray, List[np.ndarray]]:

@@ -185,6 +185,12 @@ class SnapKVPolicy(KVCachePolicy):
     def decode_page_demand(self) -> int:
         return self._store.append_page_demand()
 
+    def kv_pages_held(self) -> int:
+        return self._store.pages_held()
+
+    def kv_shared_pages(self) -> int:
+        return self._store.shared_page_count()
+
     def max_cached_tokens(self, prompt_len: int, max_new_tokens: int) -> int:
         prompt_kept = min(
             int(prompt_len),

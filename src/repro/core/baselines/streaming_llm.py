@@ -20,7 +20,7 @@ from typing import Deque, List, Optional
 import numpy as np
 
 from ..attention import attention_output
-from ..kv_pool import PagedKVPool
+from ..kv_pool import PagedKVPool, SharedKVPages
 from ..policy import KVCachePolicy, StepRecord
 
 
@@ -105,6 +105,54 @@ class StreamingLLMPolicy(KVCachePolicy):
         self._store.bulk_append(kept, keys[kept], values[kept])
         self.stats.retained_after_prefill = len(kept)
 
+    def prefill_extend(
+        self,
+        keys: np.ndarray,
+        values: np.ndarray,
+        attention_matrix: Optional[np.ndarray] = None,
+        start: int = 0,
+        final: bool = False,
+        reused_tokens: int = 0,
+        prefix_pages: Optional[SharedKVPages] = None,
+    ) -> None:
+        """Truly incremental: the sink/window selection is position-only, so
+        the window slides per chunk.
+
+        Tokens that fall out of the window are dropped *before* the chunk's
+        new rows are stored, and rows already outside the final window are
+        never stored at all — the store therefore never holds more than
+        ``sink_tokens + window`` rows, matching the one-shot prefill's page
+        footprint (and the admission reservation) at every chunk boundary.
+        """
+        if start < 0:
+            raise ValueError("start must be >= 0")
+        self._check_prefill_shapes(keys, values)
+        keys = np.asarray(keys, dtype=np.float64)
+        values = np.asarray(values, dtype=np.float64)
+        n = keys.shape[0]
+        if start == 0:
+            self._store.clear()
+            self._sink_positions = []
+            self._window_positions = deque()
+
+        sinks = min(self.sink_tokens, n)
+        window_start = max(sinks, n - self.window)
+        while self._window_positions and self._window_positions[0] < window_start:
+            self._store.drop(self._window_positions.popleft())
+        for pos in range(start, sinks):
+            self._sink_positions.append(pos)
+            self._store.put(pos, keys[pos], values[pos])
+        for pos in range(max(start, window_start), n):
+            self._window_positions.append(pos)
+            self._store.put(pos, keys[pos], values[pos])
+
+        if final:
+            self.stats.prefill_tokens = n
+            self.stats.retained_after_prefill = len(
+                self._sink_positions
+            ) + len(self._window_positions)
+            self.stats.prefill_reused_tokens = int(reused_tokens)
+
     def decode_step(
         self,
         query: np.ndarray,
@@ -150,6 +198,12 @@ class StreamingLLMPolicy(KVCachePolicy):
 
     def decode_page_demand(self) -> int:
         return self._store.append_page_demand()
+
+    def kv_pages_held(self) -> int:
+        return self._store.pages_held()
+
+    def kv_shared_pages(self) -> int:
+        return self._store.shared_page_count()
 
     def max_cached_tokens(self, prompt_len: int, max_new_tokens: int) -> int:
         return min(

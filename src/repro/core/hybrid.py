@@ -129,6 +129,12 @@ class UniCAIMPolicy(KVCachePolicy):
     def decode_page_demand(self) -> int:
         return self.cache.decode_page_demand()
 
+    def kv_pages_held(self) -> int:
+        return self.cache.pages_held()
+
+    def kv_shared_pages(self) -> int:
+        return self.cache.shared_page_count()
+
     def max_cached_tokens(self, prompt_len: int, max_new_tokens: int) -> int:
         return min(
             super().max_cached_tokens(prompt_len, max_new_tokens),

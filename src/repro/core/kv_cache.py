@@ -405,6 +405,10 @@ class SlotKVCache:
     def pages_held(self) -> int:
         return self._table.pages_held()
 
+    def shared_page_count(self) -> int:
+        """Held pages currently shared with another table or cache entry."""
+        return self._table.shared_page_count()
+
     def decode_page_demand(self) -> int:
         """Pages the next decode-step write could pull from the pool.
 

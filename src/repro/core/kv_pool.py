@@ -350,6 +350,36 @@ class BlockTable:
     def pages_held(self) -> int:
         return sum(1 for p in self._pages if p != self._MISSING)
 
+    def shared_page_count(self) -> int:
+        """Held pages whose refcount is above one (CoW-split candidates)."""
+        return sum(
+            1
+            for p in self._pages
+            if p != self._MISSING and self.pool.is_shared(p)
+        )
+
+    def block_is_shared(self, slot: int) -> bool:
+        """Whether ``slot``'s block is allocated *and* currently shared."""
+        block = slot // self.pool.page_size
+        if block >= len(self._pages) or self._pages[block] == self._MISSING:
+            return False
+        return self.pool.is_shared(self._pages[block])
+
+    def page_run(self, count: int) -> Tuple[int, ...]:
+        """The first ``count`` allocated pages of this table, in block order.
+
+        Raises if the run has holes — a page run with gaps cannot back a
+        contiguous :class:`SharedKVPages`.
+        """
+        if count > len(self._pages):
+            raise RuntimeError(
+                f"table holds {len(self._pages)} blocks, {count} requested"
+            )
+        run = tuple(self._pages[:count])
+        if any(page == self._MISSING for page in run):
+            raise RuntimeError("cannot share a page run with holes")
+        return run
+
     def would_allocate(self, slot: int) -> bool:
         """Would a write to ``slot`` need a page from the pool?
 
@@ -599,6 +629,47 @@ class PagedKVStore:
         """Pages the next :meth:`put` of a new position could allocate."""
         slot = self._free_slots[-1] if self._free_slots else self._high_water
         return 1 if self._table.would_allocate(slot) else 0
+
+    def shared_page_count(self) -> int:
+        """Held pages currently shared with another table or cache entry."""
+        return self._table.shared_page_count()
+
+    def append_cow_risk(self) -> int:
+        """1 when the next new-position write lands in a *shared* block.
+
+        Append-only stores (full cache, Quest) never rewrite old rows, so
+        the only copy-on-write a future append can trigger is the split of
+        the partial block the next write goes into; fully covered shared
+        prefix pages below it are never touched.  Admission control uses
+        this instead of counting every shared page as a potential split.
+        """
+        slot = self._free_slots[-1] if self._free_slots else self._high_water
+        return 1 if self._table.block_is_shared(slot) else 0
+
+    def share_prefix(self, length: int) -> Optional[SharedKVPages]:
+        """Refcounted handle to the pool pages holding positions ``0..length-1``.
+
+        Returns ``None`` unless those positions are identity-mapped onto the
+        table's first slots (the layout produced by a from-empty prefill or
+        prefix adoption) — only then do the first blocks form a contiguous
+        page run another sequence could adopt.  On success the returned
+        handle *owns one reference per page* (this store keeps its own), so
+        the run survives this store's release; the caller must eventually
+        ``decref()`` it.
+        """
+        if length < 1 or length > self._high_water:
+            return None
+        for pos in range(length):
+            if self._slot_of.get(pos) != pos:
+                return None
+        blocks = math.ceil(length / self.pool.page_size)
+        try:
+            pages = self._table.page_run(blocks)
+        except RuntimeError:
+            return None
+        shared = SharedKVPages(self.pool, pages, length)
+        shared.incref()
+        return shared
 
     def clear(self) -> None:
         """Release every page and forget all positions (idempotent)."""

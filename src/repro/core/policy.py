@@ -153,6 +153,41 @@ class KVCachePolicy(ABC):
         """Pages the next ``decode_step`` could pull from the shared pool."""
         return 0
 
+    def kv_pages_held(self) -> int:
+        """Pool pages this policy's storage currently references."""
+        return 0
+
+    def kv_shared_pages(self) -> int:
+        """Held pages shared with other tables (potential CoW splits)."""
+        return 0
+
+    def remaining_kv_pages(
+        self, prompt_len: int, max_new_tokens: int, page_size: int
+    ) -> int:
+        """Upper bound on pages this policy could still *allocate* from the
+        pool over the rest of the request's lifetime.
+
+        This is the allocated-so-far-aware form of :meth:`max_kv_pages`:
+        pages already held no longer need covering (they are out of the
+        free list), and every held *shared* page may cost one more
+        allocation when a write copy-on-write splits it.  The serving
+        scheduler keeps ``sum(remaining) <= free_pages`` per layer, which
+        preserves the run-to-completion guarantee while reclaiming the
+        slack of the admission-time worst case as sequences progress.
+        """
+        worst = self.max_kv_pages(prompt_len, max_new_tokens, page_size)
+        return max(0, worst - self.kv_pages_held()) + self.kv_shared_pages()
+
+    def prompt_page_run(self, length: int) -> Optional[SharedKVPages]:
+        """Refcounted pool-page run holding prompt rows ``0..length-1``.
+
+        Policies that retain the whole prompt verbatim in pool pages return
+        a handle (with one owned reference per page) that the prefix cache
+        can store *by reference* instead of writing a second paged copy;
+        everyone else returns ``None``.
+        """
+        return None
+
     @property
     def adopts_prefix_pages(self) -> bool:
         """Whether ``prefill_precomputed`` can zero-copy adopt shared pages."""
@@ -208,6 +243,48 @@ class KVCachePolicy(ABC):
         self.prefill(keys, values, attention_matrix=attention_matrix)
         self.stats.prefill_reused_tokens = int(reused_tokens)
 
+    def prefill_extend(
+        self,
+        keys: np.ndarray,
+        values: np.ndarray,
+        attention_matrix: Optional[np.ndarray] = None,
+        start: int = 0,
+        final: bool = False,
+        reused_tokens: int = 0,
+        prefix_pages: Optional[SharedKVPages] = None,
+    ) -> None:
+        """Consume one chunk of an incrementally prefilled prompt.
+
+        The chunked-prefill entry point: the caller hands over the
+        *cumulative* prompt tensors after every chunk iteration — ``keys``/
+        ``values`` of shape ``[m, h, d]`` and the scaled raw score block
+        ``[h, m, m]`` covering every prompt token processed so far, of
+        which rows ``start:`` are new since the previous call (``start`` is
+        0 on the first call).  ``final`` marks the last chunk; only then is
+        the prompt complete.
+
+        The default defers all pruning to the final chunk and then runs the
+        exact one-shot :meth:`prefill_precomputed`, so any policy is
+        chunk-size-invariant *by construction* — selection that depends on
+        whole-prompt statistics (H2O/SnapKV accumulated scores, UniCAIM
+        heavy-token selection) cannot be applied per-chunk without
+        re-deriving the one-shot result, and re-summing per chunk would
+        reorder the floating-point accumulation.  Backends whose retention
+        rule is chunk-local (full cache, Quest, StreamingLLM) override this
+        to move rows into pool storage as each chunk lands.
+        """
+        if start < 0:
+            raise ValueError("start must be >= 0")
+        if not final:
+            return
+        self.prefill_precomputed(
+            keys,
+            values,
+            attention_matrix=attention_matrix,
+            reused_tokens=reused_tokens,
+            prefix_pages=prefix_pages,
+        )
+
     def cache_size(self) -> int:
         return int(self.cached_positions().size)
 
@@ -239,20 +316,19 @@ class KVCachePolicy(ABC):
         return PagedKVStore(self.num_heads, self.head_dim, pool=self.kv_pool)
 
 
-class FullCachePolicy(KVCachePolicy):
-    """No pruning: every token is cached and attended to (dense attention).
+class WholePromptStoreMixin:
+    """Shared storage behaviour of whole-prompt-retaining paged policies.
 
-    This is the accuracy upper bound ("full cache" curve in Fig. 13) and the
-    cost upper bound ("no pruning" bars in Figs. 10-12).  K/V rows live in a
-    paged store in insertion order (= position order); on a shared pool the
-    policy zero-copy adopts prefix pages, since it retains the whole prompt
-    verbatim.
+    Mixed into policies (full cache, Quest) that keep *every* prompt token
+    verbatim in an append-only :class:`~repro.core.kv_pool.PagedKVStore`
+    exposed as ``self._store`` with position bookkeeping in
+    ``self._positions``.  Retention being the identity is what makes the
+    whole surface shareable: one-shot and chunked prefill commit rows as
+    they arrive (with zero-copy adoption of shared prefix pages), the
+    remaining-page accounting only ever risks a copy-on-write split on the
+    append tail block, and the stored prompt rows can be published to the
+    prefix cache by reference (:meth:`prompt_page_run`).
     """
-
-    def __init__(self, num_heads: int, head_dim: int, scale: Optional[float] = None) -> None:
-        super().__init__(num_heads, head_dim, scale)
-        self._store = self._make_store()
-        self._positions: List[int] = []
 
     def _on_pool_attached(self, pool: PagedKVPool) -> None:
         self._store = self._make_store()
@@ -282,6 +358,47 @@ class FullCachePolicy(KVCachePolicy):
         self._load_prompt(keys, values, adopt=prefix_pages)
         self.stats.prefill_reused_tokens = int(reused_tokens)
 
+    def prefill_extend(
+        self,
+        keys: np.ndarray,
+        values: np.ndarray,
+        attention_matrix: Optional[np.ndarray] = None,
+        start: int = 0,
+        final: bool = False,
+        reused_tokens: int = 0,
+        prefix_pages: Optional[SharedKVPages] = None,
+    ) -> None:
+        """Truly incremental: every chunk's rows go straight into the store.
+
+        Retention is the identity, so each chunk can be committed as it
+        lands — the final store content is position-for-position what the
+        one-shot load produces.
+        """
+        if start < 0:
+            raise ValueError("start must be >= 0")
+        self._check_prefill_shapes(keys, values)
+        keys = np.asarray(keys, dtype=np.float64)
+        values = np.asarray(values, dtype=np.float64)
+        n = keys.shape[0]
+        if start == 0:
+            self._store.clear()
+            first = 0
+            if (
+                prefix_pages is not None
+                and prefix_pages.length <= n
+                and self._store.can_adopt(prefix_pages)
+            ):
+                self._store.adopt_prefix(prefix_pages)
+                first = prefix_pages.length
+            self._store.bulk_append(range(first, n), keys[first:], values[first:])
+        else:
+            self._store.bulk_append(range(start, n), keys[start:], values[start:])
+        self._positions = list(range(n))
+        self.stats.prefill_tokens = n
+        self.stats.retained_after_prefill = n
+        if final:
+            self.stats.prefill_reused_tokens = int(reused_tokens)
+
     def _load_prompt(
         self,
         keys: np.ndarray,
@@ -301,6 +418,57 @@ class FullCachePolicy(KVCachePolicy):
         self._positions = list(range(n))
         self.stats.prefill_tokens = n
         self.stats.retained_after_prefill = n
+
+    def cached_positions(self) -> np.ndarray:
+        return np.asarray(self._positions, dtype=np.int64)
+
+    def release_kv(self) -> None:
+        self._store.release()
+        self._positions = []
+
+    def decode_page_demand(self) -> int:
+        return self._store.append_page_demand()
+
+    def kv_pages_held(self) -> int:
+        return self._store.pages_held()
+
+    def kv_shared_pages(self) -> int:
+        return self._store.shared_page_count()
+
+    def remaining_kv_pages(
+        self, prompt_len: int, max_new_tokens: int, page_size: int
+    ) -> int:
+        # Append-only: shared *full* prefix pages are never written, so the
+        # only CoW risk is the partial block the next append lands in.
+        worst = self.max_kv_pages(prompt_len, max_new_tokens, page_size)
+        return (
+            max(0, worst - self._store.pages_held())
+            + self._store.append_cow_risk()
+        )
+
+    def prompt_page_run(self, length: int) -> Optional[SharedKVPages]:
+        return self._store.share_prefix(length)
+
+    def reset(self) -> None:
+        super().reset()
+        self._store.clear()
+        self._positions = []
+
+
+class FullCachePolicy(WholePromptStoreMixin, KVCachePolicy):
+    """No pruning: every token is cached and attended to (dense attention).
+
+    This is the accuracy upper bound ("full cache" curve in Fig. 13) and the
+    cost upper bound ("no pruning" bars in Figs. 10-12).  K/V rows live in a
+    paged store in insertion order (= position order); on a shared pool the
+    policy zero-copy adopts prefix pages, since it retains the whole prompt
+    verbatim.
+    """
+
+    def __init__(self, num_heads: int, head_dim: int, scale: Optional[float] = None) -> None:
+        super().__init__(num_heads, head_dim, scale)
+        self._store = self._make_store()
+        self._positions: List[int] = []
 
     def decode_step(
         self,
@@ -329,25 +497,11 @@ class FullCachePolicy(KVCachePolicy):
         )
         return output
 
-    def cached_positions(self) -> np.ndarray:
-        return np.asarray(self._positions, dtype=np.int64)
-
-    def release_kv(self) -> None:
-        self._store.release()
-        self._positions = []
-
-    def decode_page_demand(self) -> int:
-        return self._store.append_page_demand()
-
-    def reset(self) -> None:
-        super().reset()
-        self._store.clear()
-        self._positions = []
-
 
 __all__ = [
     "KVCachePolicy",
     "FullCachePolicy",
     "PolicyStats",
     "StepRecord",
+    "WholePromptStoreMixin",
 ]

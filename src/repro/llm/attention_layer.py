@@ -148,48 +148,73 @@ class MultiHeadSelfAttention:
             policy.prefill(k, v, attention_matrix=scores)
         return output, scores
 
-    def prefill_packed(
+    def prefill_chunk(
         self,
         x: np.ndarray,
         segments: Sequence[Tuple[int, int]],
-        prefixes: Sequence[Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]],
+        priors: Sequence[Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]],
         policies: Sequence[Optional[KVCachePolicy]],
+        extends: Optional[Sequence[Optional[tuple]]] = None,
+        buffers: Optional[Sequence[Optional[tuple]]] = None,
     ) -> Tuple[np.ndarray, list]:
-        """Padding-free causal attention over several concatenated prompts.
+        """Padding-free causal attention over one *chunk* of several prompts.
 
-        ``x`` holds the (normed) hidden states of every sequence's *computed*
-        tokens, concatenated with no padding; ``segments[b] = (start, length)``
-        is sequence ``b``'s row range.  The Q/K/V projection is one packed
+        This is the iteration primitive of chunked prefill: ``x`` holds the
+        (normed) hidden states of every sequence's chunk tokens,
+        concatenated with no padding; ``segments[b] = (start, length)`` is
+        sequence ``b``'s row range.  The Q/K/V projection is one packed
         GEMM over all rows, and the output projection one packed GEMM over
         all head outputs; only the per-sequence causal attention blocks are
         looped, because every sequence has its own key set.
 
-        ``prefixes[b]`` optionally supplies ``(keys [p, h, d], values
-        [p, h, d], scores [h, p, p])`` of a reused prompt prefix (see
-        :mod:`repro.serving.prefix_cache`); the sequence's rows then cover
-        only the remaining suffix at positions ``p..n-1``.  A fourth
-        element, when present, is the prefix's shared
-        :class:`~repro.core.kv_pool.SharedKVPages` handle: policies whose
-        prefill retains the whole prompt adopt those pool pages zero-copy
-        instead of re-storing the rows (storage dedup across sequences).
-        Each policy receives the full prompt's keys, values and scaled raw
-        scores via
-        :meth:`~repro.core.policy.KVCachePolicy.prefill_precomputed` — the
-        same tensors :meth:`prefill` feeds it, with the reused score block
-        restored from the cache and the causally masked queries-of-the-past
-        block left at zero (no downstream consumer sees masked entries).
+        ``priors[b]`` optionally supplies ``(keys [p, h, d], values
+        [p, h, d], scores [h, p, p])`` covering the ``p`` prompt tokens
+        *before* this chunk — earlier chunks of the same prompt and/or a
+        prefix restored from :mod:`repro.serving.prefix_cache`; the chunk's
+        queries attend against the prior keys concatenated with their own.
+        A whole-prompt prefill is the one-chunk special case (``p = 0``).
+
+        ``extends[b]``, when given, is ``(fed, final, reused_tokens,
+        prefix_pages)`` describing how to feed sequence ``b``'s policy: the
+        cumulative ``(k_full, v_full, scores)`` tensors are handed to
+        :meth:`~repro.core.policy.KVCachePolicy.prefill_extend` with
+        ``start=fed`` (rows already fed by earlier chunks), so incremental
+        backends commit just the new rows while deferred backends wait for
+        ``final``.  ``prefix_pages`` carries the shared pool pages of a
+        reused prefix (:class:`~repro.core.kv_pool.SharedKVPages`) for
+        zero-copy adoption on the first chunk.  ``extends=None`` treats
+        every sequence as a final single chunk with ``reused_tokens`` and
+        pages taken from 4-tuple priors (the legacy packed-prefill call).
+
+        ``buffers[b]``, when given, is the sequence's full-prompt-sized
+        ``(k_buf [N, h, d], v_buf [N, h, d], s_buf [h, N, N])``
+        accumulation arrays (see
+        :meth:`~repro.llm.model.PrefillState.preallocate`) whose first
+        ``p`` rows/blocks already hold the prior; the chunk's keys, values
+        and score rows are written *in place* and the returned tensors are
+        growing views — no per-chunk re-copy of the accumulated state.
+
+        The reused/prior score block is restored as-is and the causally
+        masked queries-of-the-past block is left at zero (no downstream
+        consumer sees masked entries), so chaining chunks reproduces the
+        one-shot score matrix.
 
         Returns ``(output [total, model_dim], captured)`` where
         ``captured[b] = (keys [n, h, d], values [n, h, d], scores [h, n, n])``
-        for the whole prompt, ready for prefix-cache insertion.
+        covers every prompt token processed so far — the next chunk's prior,
+        and (at the final chunk) the prefix-cache insertion payload.
         """
         x = np.asarray(x, dtype=np.float64)
         if x.ndim != 2 or x.shape[1] != self.model_dim:
             raise ValueError(f"x must be [total, {self.model_dim}]")
-        if not (len(segments) == len(prefixes) == len(policies)):
+        if not (len(segments) == len(priors) == len(policies)):
             raise ValueError(
-                "segments, prefixes and policies must agree on batch size"
+                "segments, priors and policies must agree on batch size"
             )
+        if extends is not None and len(extends) != len(segments):
+            raise ValueError("extends must match the batch size")
+        if buffers is not None and len(buffers) != len(segments):
+            raise ValueError("buffers must match the batch size")
         total = x.shape[0]
         hd = self.num_heads * self.head_dim
         w_qkv, w_o = self._packed_weights()
@@ -197,52 +222,92 @@ class MultiHeadSelfAttention:
 
         head_out = np.empty((total, self.num_heads, self.head_dim))
         captured = []
-        for (start, length), prefix, policy in zip(segments, prefixes, policies):
+        for b, ((start, length), prior, policy) in enumerate(
+            zip(segments, priors, policies)
+        ):
             if length < 1:
                 raise ValueError("every segment must cover at least one token")
             rows = slice(start, start + length)
             q = qkv[rows, 0]
-            prefix_pages = None
-            if prefix is None:
+            prior_pages = None
+            if prior is None:
                 p = 0
-                k_full, v_full = qkv[rows, 1], qkv[rows, 2]
             else:
-                prefix_k, prefix_v, prefix_scores, *rest = prefix
-                prefix_pages = rest[0] if rest else None
-                p = prefix_k.shape[0]
-                k_full = np.concatenate([prefix_k, qkv[rows, 1]], axis=0)
-                v_full = np.concatenate([prefix_v, qkv[rows, 2]], axis=0)
+                prior_k, prior_v, prior_scores, *rest = prior
+                prior_pages = rest[0] if rest else None
+                p = prior_k.shape[0]
             n = p + length
+            buffer = buffers[b] if buffers is not None else None
 
-            # Scaled raw scores [h, n, n]: reused block restored, suffix
-            # query rows computed fresh.  The remaining block (prefix
-            # queries x suffix keys) is causally masked everywhere it is
+            # Scaled raw scores [h, n, n]: prior block restored, chunk
+            # query rows computed fresh.  The remaining block (prior
+            # queries x chunk keys) is causally masked everywhere it is
             # consumed, so it stays zero.
-            scores = np.zeros((self.num_heads, n, n))
-            if p:
-                scores[:, :p, :p] = prefix_scores
-            scores[:, p:, :] = (
-                np.einsum("qhd,khd->hqk", q, k_full) * self.scale
-            )
+            if buffer is not None:
+                # In-place accumulation: the prior already occupies the
+                # buffers' first p rows/blocks (written by earlier chunks
+                # or the prefix seed); only this chunk's rows are copied.
+                k_buf, v_buf, s_buf = buffer
+                if n > k_buf.shape[0]:
+                    raise ValueError(
+                        "chunk extends past the preallocated prompt buffers"
+                    )
+                k_buf[p:n] = qkv[rows, 1]
+                v_buf[p:n] = qkv[rows, 2]
+                k_full, v_full = k_buf[:n], v_buf[:n]
+                scores = s_buf[:, :n, :n]
+                chunk_scores = s_buf[:, p:n, :n]
+                np.einsum("qhd,khd->hqk", q, k_full, out=chunk_scores)
+                chunk_scores *= self.scale
+            else:
+                if p == 0:
+                    k_full, v_full = qkv[rows, 1], qkv[rows, 2]
+                else:
+                    k_full = np.concatenate([prior_k, qkv[rows, 1]], axis=0)
+                    v_full = np.concatenate([prior_v, qkv[rows, 2]], axis=0)
+                scores = np.zeros((self.num_heads, n, n))
+                if p:
+                    scores[:, :p, :p] = prior_scores
+                scores[:, p:, :] = (
+                    np.einsum("qhd,khd->hqk", q, k_full) * self.scale
+                )
 
-            # Suffix query i sits at position p + i and sees keys <= p + i.
+            # Chunk query i sits at position p + i and sees keys <= p + i.
             visible = np.tril(np.ones((length, n), dtype=bool), k=p)
             masked = np.where(visible[None, :, :], scores[:, p:, :], -np.inf)
             probs = softmax(masked, axis=-1)
             head_out[rows] = np.einsum("hqk,khd->qhd", probs, v_full)
 
             if policy is not None:
-                policy.prefill_precomputed(
+                if extends is None:
+                    fed, final, reused, pages = 0, True, p, prior_pages
+                else:
+                    fed, final, reused, pages = extends[b]
+                policy.prefill_extend(
                     k_full,
                     v_full,
                     attention_matrix=scores,
-                    reused_tokens=p,
-                    prefix_pages=prefix_pages,
+                    start=fed,
+                    final=final,
+                    reused_tokens=reused,
+                    prefix_pages=pages,
                 )
             captured.append((k_full, v_full, scores))
 
         output = head_out.reshape(total, hd) @ w_o
         return output, captured
+
+    def prefill_packed(
+        self,
+        x: np.ndarray,
+        segments: Sequence[Tuple[int, int]],
+        prefixes: Sequence[Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]],
+        policies: Sequence[Optional[KVCachePolicy]],
+    ) -> Tuple[np.ndarray, list]:
+        """Whole-prompt packed prefill: :meth:`prefill_chunk` with every
+        sequence's remaining prompt as one final chunk (``prefixes`` as the
+        priors)."""
+        return self.prefill_chunk(x, segments, prefixes, policies)
 
     def decode(
         self,

@@ -71,6 +71,34 @@ class TransformerBlock:
         x = x + self.mlp.forward(self._norm(x))
         return x, captured
 
+    def prefill_chunk(
+        self,
+        x: np.ndarray,
+        segments,
+        priors,
+        policies,
+        extends=None,
+        buffers=None,
+    ) -> Tuple[np.ndarray, list]:
+        """Process one prefill chunk of several prompts (padding-free).
+
+        Layernorm and the MLP broadcast over the packed chunk rows; the
+        attention layer attends the chunk queries against the accumulated
+        prior K/V (see :meth:`MultiHeadSelfAttention.prefill_chunk`) and
+        feeds each policy incrementally through ``prefill_extend``.
+        ``buffers`` optionally supplies per-sequence full-prompt
+        accumulation arrays written in place.  Returns the packed hidden
+        states of the chunk rows and the per-sequence accumulated
+        ``(keys, values, scores)`` tensors (the next chunk's priors).
+        """
+        attn_in = self._norm(x)
+        attn_out, captured = self.attention.prefill_chunk(
+            attn_in, segments, priors, policies, extends, buffers
+        )
+        x = np.asarray(x, dtype=np.float64) + attn_out
+        x = x + self.mlp.forward(self._norm(x))
+        return x, captured
+
     def decode(
         self,
         x_t: np.ndarray,

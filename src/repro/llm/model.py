@@ -11,11 +11,12 @@
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..core.kv_pool import KVPoolGroup
+from ..core.kv_pool import KVPoolGroup, SharedKVPages
 from ..core.policy import FullCachePolicy, KVCachePolicy
 from .attention_layer import MultiHeadSelfAttention
 from .block import TransformerBlock
@@ -29,6 +30,112 @@ PolicyFactory = Callable[[int, int], KVCachePolicy]
 
 PositionEncoder = Callable[[np.ndarray], np.ndarray]
 """Maps integer positions ``[n]`` to additive encodings ``[n, model_dim]``."""
+
+
+@dataclass(eq=False)
+class PrefillState:
+    """Accumulated state of one partially prefilled prompt.
+
+    ``layers[l]`` holds the layer-``l`` ``(keys [p, h, d], values [p, h, d],
+    scaled raw scores [h, p, p])`` tensors covering the first ``processed``
+    prompt tokens — the *prior* the next chunk's queries attend against.
+    The dense accumulation is required for chunk-size invariance: pruning
+    policies must see the *unpruned* prompt tensors at their final-chunk
+    selection, so the state cannot be rebuilt from a policy's (possibly
+    pruned) pool pages.  Its footprint matches the one-shot path's captured
+    tensors (the ``[h, n, n]`` score block dominates either way).
+
+    ``buffers``, when set (see :meth:`preallocate`), are full-prompt-sized
+    per-layer ``(keys [N, h, d], values [N, h, d], scores [h, N, N])``
+    arrays that chunk iterations write *in place*; ``layers`` are then
+    growing views into them, so absorbing an ``N``-token prompt copies
+    each row and score block once instead of once per remaining chunk.
+    Without buffers each chunk concatenates/copies the accumulated state —
+    correct, but Theta(chunks x N^2) traffic on long prompts.
+
+    ``fed`` counts the rows already handed to the policies via
+    ``prefill_extend``; ``reused_tokens``/``prefix_pages`` describe a
+    prefix restored from the serving layer's prefix cache (``prefix_pages``
+    is consumed by the first chunk's policy feed, which is where zero-copy
+    page adoption happens).
+    """
+
+    layers: List[Tuple[np.ndarray, np.ndarray, np.ndarray]]
+    processed: int = 0
+    fed: int = 0
+    reused_tokens: int = 0
+    prefix_pages: Optional[List[Optional["SharedKVPages"]]] = None
+    buffers: Optional[List[Tuple[np.ndarray, np.ndarray, np.ndarray]]] = None
+
+    @classmethod
+    def from_prefix(cls, prefix: Sequence[tuple]) -> "PrefillState":
+        """Seed a state from per-layer prefix tuples ``(k, v, scores[, pages])``."""
+        layers = [(k, v, scores) for k, v, scores, *_ in prefix]
+        pages = [layer[3] if len(layer) > 3 else None for layer in prefix]
+        p = int(layers[0][0].shape[0])
+        return cls(
+            layers=layers,
+            processed=p,
+            fed=0,
+            reused_tokens=p,
+            prefix_pages=pages if any(pg is not None for pg in pages) else None,
+        )
+
+    @classmethod
+    def preallocate(
+        cls,
+        num_layers: int,
+        total_tokens: int,
+        num_heads: int,
+        head_dim: int,
+        prefix: Optional[Sequence[tuple]] = None,
+    ) -> "PrefillState":
+        """An empty (or prefix-seeded) state with in-place chunk buffers.
+
+        ``total_tokens`` must be the prompt's full length; a reused prefix
+        is copied into the buffers once, here, and later chunks append
+        after it.
+        """
+        if total_tokens < 1:
+            raise ValueError("total_tokens must be >= 1")
+        buffers = [
+            (
+                np.zeros((total_tokens, num_heads, head_dim)),
+                np.zeros((total_tokens, num_heads, head_dim)),
+                np.zeros((num_heads, total_tokens, total_tokens)),
+            )
+            for _ in range(num_layers)
+        ]
+        p = 0
+        reused = 0
+        pages: List[Optional["SharedKVPages"]] = [None] * num_layers
+        if prefix is not None:
+            if len(prefix) != num_layers:
+                raise ValueError("one prefix state per layer is required")
+            p = int(prefix[0][0].shape[0])
+            if p >= total_tokens:
+                raise ValueError("prefix must be strictly shorter than the prompt")
+            reused = p
+            for layer, entry in enumerate(prefix):
+                keys, values, scores = entry[0], entry[1], entry[2]
+                buf_k, buf_v, buf_s = buffers[layer]
+                buf_k[:p] = keys
+                buf_v[:p] = values
+                buf_s[:, :p, :p] = scores
+                if len(entry) > 3:
+                    pages[layer] = entry[3]
+        layers = [
+            (buf_k[:p], buf_v[:p], buf_s[:, :p, :p])
+            for buf_k, buf_v, buf_s in buffers
+        ]
+        return cls(
+            layers=layers,
+            processed=p,
+            fed=0,
+            reused_tokens=reused,
+            prefix_pages=pages if any(pg is not None for pg in pages) else None,
+            buffers=buffers,
+        )
 
 
 def default_position_encoder(model_dim: int) -> PositionEncoder:
@@ -180,20 +287,146 @@ class TransformerLM:
         logits = self.logits_from_hidden(x[-1])
         return logits
 
+    def prefill_chunk_batched(
+        self,
+        chunks: Sequence[Sequence[int]],
+        states: Sequence[Optional[PrefillState]],
+        policies_per_sequence: Sequence[Optional[List[KVCachePolicy]]],
+        finals: Sequence[bool],
+    ) -> Tuple[List[Optional[np.ndarray]], List[PrefillState]]:
+        """Run one chunk iteration for ``B`` independent in-flight prefills.
+
+        ``chunks[b]`` is sequence ``b``'s next span of prompt token ids;
+        ``states[b]`` is its accumulated :class:`PrefillState` (``None``
+        for the first chunk) and ``finals[b]`` marks the chunk that
+        completes the prompt.  All chunks' tokens are embedded and pushed
+        through every layer as one packed ragged batch — the same packed
+        Q/K/V and output GEMMs as whole-prompt batched prefill, just over
+        the scheduled chunk rows only — while each sequence's chunk queries
+        attend against its own accumulated prior K/V.  Policies are fed
+        incrementally via ``prefill_extend`` (final-chunk semantics are
+        identical to one-shot prefill for every backend).
+
+        Returns ``(logits, new_states)``: ``logits[b]`` is the next-token
+        distribution ``[vocab]`` for final chunks (``None`` otherwise — the
+        unembedding of intermediate rows is never needed), and
+        ``new_states[b]`` the state to carry into the next iteration.  At
+        the final chunk ``new_states[b].layers`` holds the whole prompt's
+        per-layer ``(keys, values, scores)`` — the prefix-cache insertion
+        payload.
+        """
+        batch = len(chunks)
+        if not (batch == len(states) == len(policies_per_sequence) == len(finals)):
+            raise ValueError(
+                "chunks, states, policies_per_sequence and finals must agree "
+                "on batch size"
+            )
+        if batch == 0:
+            return [], []
+        for policies in policies_per_sequence:
+            if policies is not None and len(policies) != self.config.num_layers:
+                raise ValueError("one policy per layer is required")
+
+        chunk_lists = [[int(t) for t in chunk] for chunk in chunks]
+        segments: List[tuple] = []
+        tokens: List[int] = []
+        positions: List[int] = []
+        for chunk, state in zip(chunk_lists, states):
+            if len(chunk) < 1:
+                raise ValueError("every chunk must contain at least one token")
+            processed = 0 if state is None else state.processed
+            start = len(tokens)
+            tokens.extend(chunk)
+            positions.extend(range(processed, processed + len(chunk)))
+            segments.append((start, len(chunk)))
+
+        x = self.embed(tokens, positions)
+        captured_per_sequence: List[list] = [[] for _ in range(batch)]
+        for layer, block in enumerate(self.blocks):
+            layer_priors = [
+                None
+                if state is None or state.processed == 0
+                else state.layers[layer]
+                for state in states
+            ]
+            layer_policies = [
+                None if p is None else p[layer] for p in policies_per_sequence
+            ]
+            layer_extends = []
+            for b, state in enumerate(states):
+                fed = 0 if state is None else state.fed
+                reused = 0 if state is None else state.reused_tokens
+                pages = None
+                if (
+                    state is not None
+                    and state.prefix_pages is not None
+                    and fed == 0
+                ):
+                    pages = state.prefix_pages[layer]
+                layer_extends.append((fed, bool(finals[b]), reused, pages))
+            layer_buffers = [
+                None
+                if state is None or state.buffers is None
+                else state.buffers[layer]
+                for state in states
+            ]
+            x, captured = block.prefill_chunk(
+                x, segments, layer_priors, layer_policies, layer_extends,
+                layer_buffers,
+            )
+            for b in range(batch):
+                captured_per_sequence[b].append(captured[b])
+
+        new_states: List[PrefillState] = []
+        logits: List[Optional[np.ndarray]] = []
+        final_rows = []
+        final_indices = []
+        for b, (state, chunk, (start, length)) in enumerate(
+            zip(states, chunk_lists, segments)
+        ):
+            total = (0 if state is None else state.processed) + len(chunk)
+            new_states.append(
+                PrefillState(
+                    layers=captured_per_sequence[b],
+                    processed=total,
+                    fed=total,
+                    reused_tokens=0 if state is None else state.reused_tokens,
+                    prefix_pages=None,  # consumed by this chunk's policy feed
+                    buffers=None if state is None else state.buffers,
+                )
+            )
+            logits.append(None)
+            if finals[b]:
+                final_rows.append(x[start + length - 1])
+                final_indices.append(b)
+        if final_rows:
+            final_logits = self.logits_from_hidden(np.stack(final_rows))
+            for row, b in enumerate(final_indices):
+                logits[b] = final_logits[row]
+        return logits, new_states
+
     def prefill_batched(
         self,
         prompts: Sequence[Sequence[int]],
         policies_per_sequence: Sequence[List[KVCachePolicy]],
         prefixes: Optional[Sequence[Optional[List[tuple]]]] = None,
+        chunk_tokens: Optional[int] = None,
     ) -> tuple:
         """Padding-free batched prefill of ``B`` prompts at once.
 
-        The prompts' tokens are concatenated into one packed ragged batch:
-        every layer runs a single packed Q/K/V GEMM (and one packed output
-        GEMM) across *all* prompts' tokens, while the causal attention block
-        of each sequence is evaluated independently, so each sequence's
-        policies receive exactly the per-prompt keys, values and scaled raw
-        scores the serial :meth:`prefill` would feed them.
+        A driver over :meth:`prefill_chunk_batched` iterations: the
+        prompts' (non-reused) tokens are processed in per-sequence chunks
+        of at most ``chunk_tokens`` ids — every iteration runs a single
+        packed Q/K/V GEMM (and one packed output GEMM) across all prompts'
+        scheduled rows, while the causal attention block of each sequence
+        is evaluated independently, so each sequence's policies receive
+        exactly the per-prompt keys, values and scaled raw scores the
+        serial :meth:`prefill` would feed them.  ``chunk_tokens=None``
+        (the default) processes every prompt in one iteration — the
+        classic whole-prompt batched prefill.  Generated tokens and policy
+        statistics are chunk-size-invariant (asserted across all policies
+        in the test suite); the serving engine's scheduler picks chunk
+        sizes dynamically instead of calling this driver.
 
         ``prefixes[b]``, when given, is a per-layer list of
         ``(keys [p, h, d], values [p, h, d], scores [h, p, p])`` tensors of
@@ -218,6 +451,8 @@ class TransformerLM:
             prefixes = [None] * batch
         if len(prefixes) != batch:
             raise ValueError("prefixes must match the batch size")
+        if chunk_tokens is not None and chunk_tokens < 1:
+            raise ValueError("chunk_tokens must be >= 1 (or None)")
         if batch == 0:
             return np.empty((0, self.config.vocab_size), dtype=np.float64), []
         for policies in policies_per_sequence:
@@ -225,50 +460,71 @@ class TransformerLM:
                 raise ValueError("one policy per layer is required")
 
         prompt_lists = [[int(t) for t in prompt] for prompt in prompts]
-        reused_lengths: List[int] = []
+        states: List[Optional[PrefillState]] = []
         for prompt, prefix in zip(prompt_lists, prefixes):
             if len(prompt) < 1:
                 raise ValueError("prompt must contain at least one token")
-            if prefix is None:
-                reused_lengths.append(0)
-                continue
-            if len(prefix) != self.config.num_layers:
-                raise ValueError("one prefix state per layer is required")
-            p = int(prefix[0][0].shape[0])
-            if any(int(layer[0].shape[0]) != p for layer in prefix):
-                raise ValueError("prefix layers disagree on prefix length")
-            if not 0 <= p < len(prompt):
-                raise ValueError(
-                    "prefix must be strictly shorter than the prompt"
+            if prefix is not None:
+                if len(prefix) != self.config.num_layers:
+                    raise ValueError("one prefix state per layer is required")
+                p = int(prefix[0][0].shape[0])
+                if any(int(layer[0].shape[0]) != p for layer in prefix):
+                    raise ValueError("prefix layers disagree on prefix length")
+                if not 0 <= p < len(prompt):
+                    raise ValueError(
+                        "prefix must be strictly shorter than the prompt"
+                    )
+            suffix_len = len(prompt) - (p if prefix is not None else 0)
+            if chunk_tokens is not None and chunk_tokens < suffix_len:
+                # Multi-chunk prompt: preallocate in-place accumulation
+                # buffers so each chunk appends instead of re-copying the
+                # state (single-chunk prompts keep the copy-free one-shot
+                # layout).
+                states.append(
+                    PrefillState.preallocate(
+                        self.config.num_layers,
+                        len(prompt),
+                        self.config.num_heads,
+                        self.config.head_dim,
+                        prefix=prefix,
+                    )
                 )
-            reused_lengths.append(p)
+            elif prefix is not None:
+                states.append(PrefillState.from_prefix(prefix))
+            else:
+                states.append(None)
 
-        segments: List[tuple] = []
-        tokens: List[int] = []
-        positions: List[int] = []
-        for prompt, p in zip(prompt_lists, reused_lengths):
-            start = len(tokens)
-            tokens.extend(prompt[p:])
-            positions.extend(range(p, len(prompt)))
-            segments.append((start, len(prompt) - p))
-
-        x = self.embed(tokens, positions)
-        captured_per_sequence: List[list] = [[] for _ in range(batch)]
-        for layer, block in enumerate(self.blocks):
-            layer_prefixes = [
-                None if prefix is None else prefix[layer] for prefix in prefixes
-            ]
-            layer_policies = [p[layer] for p in policies_per_sequence]
-            x, captured = block.prefill_packed(
-                x, segments, layer_prefixes, layer_policies
+        logits_out: List[Optional[np.ndarray]] = [None] * batch
+        while True:
+            indices = []
+            chunks = []
+            sub_states = []
+            sub_policies = []
+            sub_finals = []
+            for b, prompt in enumerate(prompt_lists):
+                done = 0 if states[b] is None else states[b].processed
+                if done >= len(prompt):
+                    continue
+                take = len(prompt) - done
+                if chunk_tokens is not None:
+                    take = min(take, chunk_tokens)
+                indices.append(b)
+                chunks.append(prompt[done : done + take])
+                sub_states.append(states[b])
+                sub_policies.append(policies_per_sequence[b])
+                sub_finals.append(done + take == len(prompt))
+            if not indices:
+                break
+            chunk_logits, new_states = self.prefill_chunk_batched(
+                chunks, sub_states, sub_policies, sub_finals
             )
-            for b in range(batch):
-                captured_per_sequence[b].append(captured[b])
+            for row, b in enumerate(indices):
+                states[b] = new_states[row]
+                if chunk_logits[row] is not None:
+                    logits_out[b] = chunk_logits[row]
 
-        last_rows = np.stack(
-            [x[start + length - 1] for start, length in segments]
-        )
-        return self.logits_from_hidden(last_rows), captured_per_sequence
+        captured_per_sequence = [state.layers for state in states]
+        return np.stack(logits_out), captured_per_sequence
 
     def decode_step(
         self,
@@ -333,4 +589,9 @@ class TransformerLM:
         return total
 
 
-__all__ = ["TransformerLM", "PolicyFactory", "default_position_encoder"]
+__all__ = [
+    "PrefillState",
+    "TransformerLM",
+    "PolicyFactory",
+    "default_position_encoder",
+]

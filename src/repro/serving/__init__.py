@@ -1,17 +1,21 @@
 """Batched multi-sequence serving on top of the policy-managed substrate.
 
-The admission pipeline of :class:`~repro.serving.engine.BatchedEngine` is
+The request lifecycle of :class:`~repro.serving.engine.BatchedEngine` is
 
-    ``submit()`` queue -> prefix-grouped batched prefill -> continuous decode
+    ``submit()`` queue -> scheduled (chunked) prefill -> continuous decode
 
-Queued requests are drained into free batch slots in *prefill waves*: each
-wave runs one padding-free batched prefill
-(:meth:`~repro.llm.model.TransformerLM.prefill_batched`) over several
-prompts at once, and requests sharing a prompt prefix are grouped so the
-shared part is computed once and restored for the rest from a
-:class:`~repro.serving.prefix_cache.PrefixCache` (per-layer K/V tensors and
-prefill attention-score blocks, keyed by prompt ids).  Admitted sequences
-then decode continuously — many independent sequences per step with
+Scheduling is iteration-level (:mod:`repro.serving.scheduler`): every
+engine step the :class:`~repro.serving.scheduler.Scheduler` emits one
+:class:`~repro.serving.scheduler.ScheduleBatch` of decode slots (every
+active sequence advances one token, ordered so same-policy sequences are
+contiguous) plus prefill chunks under a ``max_tokens_per_step`` token
+budget, so a long prompt is absorbed a chunk at a time between decode
+steps and in-flight sequences never stall behind it.  Requests sharing a
+prompt prefix reuse each other's prefill through a
+:class:`~repro.serving.prefix_cache.PrefixCache` (per-layer K/V tensors
+and prefill attention-score blocks, keyed by prompt ids; on paged engines
+entries reference the inserting sequence's own pool pages).  Admitted
+sequences decode continuously — many independent sequences per step with
 per-sequence KV cache policies, mid-flight admission and per-sequence stop
 conditions.  Single-sequence generation
 (:func:`repro.llm.generation.greedy_generate`) and the accuracy harness
@@ -20,11 +24,23 @@ conditions.  Single-sequence generation
 
 from .engine import BatchedEngine, SequenceSlot, ServingRequest, ServingResponse
 from .prefix_cache import PrefixCache, PrefixCacheStats, SequencePrefix
+from .scheduler import (
+    PrefillChunk,
+    PrefillingSequence,
+    ScheduleBatch,
+    Scheduler,
+    SchedulerPolicy,
+)
 
 __all__ = [
     "BatchedEngine",
+    "PrefillChunk",
+    "PrefillingSequence",
     "PrefixCache",
     "PrefixCacheStats",
+    "ScheduleBatch",
+    "Scheduler",
+    "SchedulerPolicy",
     "SequencePrefix",
     "SequenceSlot",
     "ServingRequest",

@@ -1,24 +1,33 @@
-"""Batched multi-sequence serving engine with continuous admission.
+"""Batched multi-sequence serving engine with iteration-level scheduling.
 
 The ROADMAP north-star asks for a system that serves many users at once.
 This module is the request-level half of that: a :class:`BatchedEngine`
 whose lifecycle for every request is
 
-    ``submit()`` queue -> prefix-grouped batched prefill -> continuous decode
+    ``submit()`` queue -> scheduled (chunked) prefill -> continuous decode
 
-* **Admission** (:meth:`BatchedEngine._admit`) drains queued requests into
-  free batch slots in *prefill waves*: each wave is one padding-free batched
-  prefill (:meth:`~repro.llm.model.TransformerLM.prefill_batched`) over
-  several prompts at once.  Requests that share a prompt prefix with an
-  earlier request of the same wave are deferred one wave, so the shared part
-  is computed exactly once and subsequent requests restore it from the
-  engine's :class:`~repro.serving.prefix_cache.PrefixCache` instead of
-  recomputing it.  A request whose prefill raises fails closed into a
-  ``finish_reason="error"`` response; the engine's queues stay consistent.
-* **Decode** (:meth:`BatchedEngine.step`) advances every active sequence by
-  one token via :meth:`~repro.llm.model.TransformerLM.decode_steps_batched`,
-  admitting newly submitted requests between steps (continuous batching)
-  and retiring sequences as they hit their per-request stop conditions.
+Scheduling lives in :class:`~repro.serving.scheduler.Scheduler`; the
+engine's :meth:`~BatchedEngine.step` is a thin execution loop around
+``Scheduler.next_batch()``:
+
+* **Admission + prefill** — the scheduler drains queued requests into the
+  in-flight prefill set (prefix-cache lookups, deferral of requests whose
+  best prefix match is still being prefilled, page-gated admission) and
+  emits this step's :class:`~repro.serving.scheduler.PrefillChunk` list.
+  The engine runs all scheduled chunks as one padding-free packed pass
+  (:meth:`~repro.llm.model.TransformerLM.prefill_chunk_batched`);
+  sequences whose final chunk lands are promoted into the decode set the
+  same step.  With ``max_tokens_per_step`` unset every prompt is a single
+  chunk — the classic whole-prompt prefill wave.  A request whose prefill
+  raises fails closed into a ``finish_reason="error"`` response; the
+  engine's queues stay consistent.
+* **Decode** — every active sequence advances one token per step via
+  :meth:`~repro.llm.model.TransformerLM.decode_steps_batched`, every step,
+  regardless of how much prefill is outstanding: with a token budget set,
+  a giant prompt is absorbed a chunk at a time *between* decode steps, so
+  in-flight sequences keep emitting tokens (no head-of-line blocking).
+  Decode slots are ordered policy-homogeneously (same-policy sequences
+  contiguous; spans in ``stats()["scheduler"]["decode_groups"]``).
   A sequence that exhausts its token budget is retired *without* feeding
   its final token through the model — those logits would be discarded.
 
@@ -26,70 +35,76 @@ Paged KV storage
 ----------------
 With ``kv_pools`` (a :class:`~repro.core.kv_pool.KVPoolGroup` of fixed
 per-layer page arenas) every admitted sequence's policies store their K/V
-rows in the *shared* arena through per-sequence block tables, instead of
-private dense arrays:
+rows in the *shared* arena through per-sequence block tables.  Admission is
+gated on page availability with allocated-so-far accounting: per layer the
+scheduler keeps ``sum(remaining demand) <= free pages``, where a sequence's
+remaining demand starts at its (prefix-credited) worst case and shrinks to
+"pages actually held + what decode can still allocate" as its prefill
+lands.  The slack reclaimed versus the old worst-case-lifetime reservations
+is reported as ``reservation_delta`` in :meth:`BatchedEngine.stats`.  A
+request that cannot fit right now waits in the queue; one that could never
+fit — even after shedding prefix-cache pages — fails closed.
+``max_batch_size=None`` removes the slot grid entirely and lets pages alone
+bound concurrency.
 
-* Admission is gated on **page availability**: each request's per-layer
-  worst-case page demand (:meth:`~repro.core.policy.KVCachePolicy.max_kv_pages`,
-  minus the full pages of an adoptable cached prefix) is reserved against
-  the arena, so an admitted sequence can always run to completion.  A
-  request that cannot fit waits in the queue while others retire; one that
-  could never fit — even after shedding prefix-cache pages — fails closed
-  into ``finish_reason="error"``.  ``max_batch_size=None`` removes the slot
-  grid entirely and lets pages alone bound concurrency.
 * A prefix-cache hit hands the new sequence the prefix's *pool pages*:
-  whole-prompt-retaining policies adopt them zero-copy, so a shared prefix
-  occupies memory once across all sharers until a policy evicts/overwrites
-  into a shared page (copy-on-write split).
+  whole-prompt-retaining policies adopt them zero-copy on their first
+  prefill chunk, so a shared prefix occupies memory once across all
+  sharers until a policy evicts/overwrites into a shared page
+  (copy-on-write split).
+* When a whole-prompt-retaining sequence finishes prefill, the prefix
+  cache stores its prompt *by reference*: the entry refcounts the
+  sequence's own pool pages instead of writing a second paged copy
+  (``cache_inserts_by_reference``), and the sequence's later appends into
+  the shared tail page CoW-split it so the entry never observes them.
 * Before every decode wave the engine sums the batch's worst-case page
-  demand for the step; if the arena cannot cover it (possible only in the
-  corner where evicting still-shared prefix-cache entries let usage
-  overshoot the reservations), the newest sequences fail closed instead of
-  crashing the batch mid-GEMM.
-* :meth:`BatchedEngine.stats` reports pool telemetry: pages in use/free,
-  bytes, copy-on-write splits, prefix pages adopted, reservation state.
+  demand for the step; if the arena cannot cover it, the newest sequences
+  fail closed instead of crashing the batch mid-GEMM.
 
 Each sequence owns its own per-layer :class:`~repro.core.policy.KVCachePolicy`
 stack, so a single engine can serve a mix of pruning policies (e.g. one
 UniCAIM-CAM request next to a full-cache request).  Prefix reuse is policy
-agnostic: the cached K/V/score tensors are pure functions of the prompt ids,
-and every policy's prefill consumes them exactly as if freshly computed.
-Paged and dense engines are token- and ``PolicyStats``-identical for every
-policy: the pool stores the same float values and every gather preserves
-each policy's ordering (asserted across all seven policies in the test
-suite).
+agnostic, and chunked prefill is chunk-size invariant: generated tokens and
+``PolicyStats`` are identical to one-shot prefill for every policy (the
+chunk boundary only changes *when* compute happens, never what any policy
+stores or selects — asserted across all seven policies in the test suite).
 
 With ``batched_prefill=False`` and ``prefix_caching=False`` the engine
 reproduces :func:`repro.llm.generation.greedy_generate_serial` exactly for a
-batch of one (identical serial code path).  Larger batches and the packed
-prefill compute logits that can differ from the serial path in the last
-float ulp (batched BLAS GEMMs round differently from per-sequence einsums);
-greedy token ids are identical in practice and asserted so in the test
-suite, but evaluations that must be strictly independent of batch
-composition should use ``max_batch_size=1`` with both knobs off.
+batch of one (identical serial code path).  Larger batches, the packed
+prefill and chunked prefill compute logits that can differ from the serial
+path in the last float ulp (batched BLAS GEMMs round differently from
+per-sequence einsums); greedy token ids are identical in practice and
+asserted so in the test suite, but evaluations that must be strictly
+independent of batch composition should use ``max_batch_size=1`` with both
+knobs off.
 """
 
 from __future__ import annotations
 
 import itertools
-from collections import deque
+import math
 from dataclasses import dataclass, field
 from typing import (
     TYPE_CHECKING,
-    Deque,
     Dict,
     List,
     Optional,
     Sequence,
     Set,
-    Tuple,
 )
 
 import numpy as np
 
-from ..core.kv_pool import KVPoolGroup, PoolExhaustedError
+from ..core.kv_pool import KVPoolGroup
 from ..core.policy import KVCachePolicy, PolicyStats
-from .prefix_cache import PrefixCache, SequencePrefix, common_prefix_length
+from .prefix_cache import PrefixCache
+from .scheduler import (
+    PrefillChunk,
+    PrefillingSequence,
+    Scheduler,
+    SchedulerPolicy,
+)
 
 if TYPE_CHECKING:  # imported lazily to avoid a cycle with repro.llm
     from ..llm.model import PolicyFactory, TransformerLM
@@ -151,9 +166,10 @@ class SequenceSlot:
 
     ``logits`` always holds the next-token distribution produced by the most
     recent prefill/decode step; ``position`` is the logical position the next
-    generated token will occupy.  ``page_reservation`` (paged engines only)
-    is the per-layer page count reserved for this sequence at admission,
-    returned to the accounting when the sequence retires.
+    generated token will occupy.  ``worst_case_pages`` (paged engines only)
+    is the per-layer admission-time worst-case page demand, kept for the
+    ``reservation_delta`` telemetry — actual page accounting follows the
+    policies' allocated-so-far state.
     """
 
     request: ServingRequest
@@ -165,17 +181,8 @@ class SequenceSlot:
     position: int
     generated: List[int] = field(default_factory=list)
     logits_history: List[np.ndarray] = field(default_factory=list)
-    page_reservation: Optional[List[int]] = None
-
-
-@dataclass
-class _WaveItem:
-    """One admission-wave member: request plus its pre-built state."""
-
-    request: ServingRequest
-    prefix: Optional[SequencePrefix]
-    policies: List[KVCachePolicy]
-    reservation: Optional[List[int]]
+    worst_case_pages: List[int] = field(default_factory=list)
+    admission_index: int = 0  # monotonically increasing admission order
 
 
 class BatchedEngine:
@@ -189,10 +196,11 @@ class BatchedEngine:
         Default per-layer policy factory for requests that do not carry
         their own (``None`` means the full-cache policy).
     max_batch_size:
-        Maximum number of sequences decoded per step.  Further submissions
-        queue and are admitted as active sequences complete.  ``None``
-        (allowed only with ``kv_pools``) removes the fixed slot grid:
-        concurrency is then bounded by page availability alone.
+        Maximum number of sequences admitted concurrently (prefilling +
+        decoding).  Further submissions queue and are admitted as active
+        sequences complete.  ``None`` (allowed only with ``kv_pools``)
+        removes the fixed slot grid: concurrency is then bounded by page
+        availability alone.
     prefix_cache:
         Optional externally owned :class:`PrefixCache`, e.g. shared across
         several engines of an evaluation sweep.  When ``None`` (and prefix
@@ -204,17 +212,26 @@ class BatchedEngine:
         the batched prefill path; forced off when ``batched_prefill`` is
         ``False``.
     batched_prefill:
-        Prefill admission waves through the packed padding-free
-        :meth:`TransformerLM.prefill_batched`.  ``False`` restores the
+        Prefill through the packed padding-free
+        :meth:`TransformerLM.prefill_chunk_batched`.  ``False`` restores the
         per-request serial :meth:`TransformerLM.prefill` (bitwise identical
         to :func:`greedy_generate_serial`; used as the reference baseline by
-        the TTFT benchmark).
+        the TTFT benchmark).  Chunked prefill rides on the packed path, so
+        a token budget requires ``batched_prefill=True``.
     kv_pools:
         Optional :class:`~repro.core.kv_pool.KVPoolGroup` of *fixed*
         per-layer page arenas shared by every sequence (and the prefix
         cache).  See the module docstring for the admission and
         copy-on-write semantics.  ``None`` keeps the dense per-sequence
         layout.
+    scheduler_policy:
+        :class:`~repro.serving.scheduler.SchedulerPolicy` knobs (token
+        budget, prefill floor, decode grouping).
+    max_tokens_per_step:
+        Convenience shorthand for
+        ``SchedulerPolicy(max_tokens_per_step=...)`` — the per-step token
+        budget that turns on chunked prefill.  Mutually exclusive with an
+        explicit ``scheduler_policy``.
     """
 
     def __init__(
@@ -226,6 +243,8 @@ class BatchedEngine:
         prefix_caching: bool = True,
         batched_prefill: bool = True,
         kv_pools: Optional[KVPoolGroup] = None,
+        scheduler_policy: Optional[SchedulerPolicy] = None,
+        max_tokens_per_step: Optional[int] = None,
     ) -> None:
         if kv_pools is not None:
             if kv_pools.num_layers != model.config.num_layers:
@@ -245,6 +264,14 @@ class BatchedEngine:
                 )
         elif max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
+        if scheduler_policy is not None and max_tokens_per_step is not None:
+            raise ValueError(
+                "pass either scheduler_policy or max_tokens_per_step, not both"
+            )
+        if scheduler_policy is None:
+            scheduler_policy = SchedulerPolicy(
+                max_tokens_per_step=max_tokens_per_step
+            )
         self.model = model
         self.policy_factory = policy_factory
         self.max_batch_size = (
@@ -253,6 +280,11 @@ class BatchedEngine:
         self.kv_pools = kv_pools
         self.batched_prefill = bool(batched_prefill)
         if not self.batched_prefill:
+            if scheduler_policy.max_tokens_per_step is not None:
+                raise ValueError(
+                    "chunked prefill (max_tokens_per_step) requires "
+                    "batched_prefill=True (chunks ride on the packed path)"
+                )
             # Prefix reuse rides on the packed prefill path.
             if prefix_cache is not None:
                 raise ValueError(
@@ -278,19 +310,23 @@ class BatchedEngine:
             if prefix_caching
             else None
         )
-        self._pending: Deque[ServingRequest] = deque()
-        self._active: List[SequenceSlot] = []
+        self.scheduler = Scheduler(
+            model=model,
+            policy=scheduler_policy,
+            default_policy_factory=policy_factory,
+            max_batch_size=self.max_batch_size,
+            kv_pools=kv_pools,
+            prefix_cache=self.prefix_cache,
+        )
         self._completed: Dict[str, ServingResponse] = {}
         self._submission_order: List[str] = []
         self._known_ids: Set[str] = set()
         self._ids = itertools.count()
         self._steps = 0
-        num_layers = model.config.num_layers
-        self._reserved_pages: List[int] = [0] * num_layers
-        self._page_deferrals = 0
-        self._infeasible_failures = 0
+        self._admissions = 0
         self._decode_page_failures = 0
         self._cache_inserts_skipped = 0
+        self._cache_inserts_by_reference = 0
         self._peak_active = 0
 
     # ------------------------------------------------------------------
@@ -298,50 +334,67 @@ class BatchedEngine:
     # ------------------------------------------------------------------
     @property
     def num_pending(self) -> int:
-        return len(self._pending)
+        return self.scheduler.num_pending
 
     @property
     def num_active(self) -> int:
-        return len(self._active)
+        return len(self.scheduler.active)
+
+    @property
+    def num_prefilling(self) -> int:
+        return self.scheduler.num_prefilling
 
     @property
     def has_work(self) -> bool:
-        return bool(self._pending or self._active)
+        return self.scheduler.has_work
 
     @property
     def step_count(self) -> int:
         return self._steps
 
     def active_request_ids(self) -> List[str]:
-        return [slot.request_id for slot in self._active]
+        return [slot.request_id for slot in self.scheduler.active]
 
     def stats(self) -> Dict[str, object]:
-        """Engine, pool and prefix-cache telemetry as one nested dict.
+        """Engine, scheduler, pool and prefix-cache telemetry as one dict.
 
-        ``kv_pool`` aggregates the per-layer arenas (pages/bytes in use and
-        free, peak usage, copy-on-write splits, prefix pages adopted,
-        outstanding admission reservations); ``prefix_cache`` reports entry
-        count, bytes, hit rate, tokens reused and pool pages held by cached
-        prefixes.  Both are ``None`` when the corresponding feature is off.
+        ``scheduler`` reports the iteration-level scheduler (token budget,
+        chunks/tokens scheduled, chunked prompts, decode group spans);
+        ``kv_pool`` aggregates the per-layer arenas, with
+        ``reserved_pages`` the *current* outstanding demand under
+        allocated-so-far accounting, ``worst_case_reserved_pages`` what the
+        old lifetime reservations would still hold, and
+        ``reservation_delta`` the admission headroom the tighter accounting
+        reclaimed; ``prefix_cache`` reports entry count, bytes, hit rate,
+        tokens reused, by-reference inserts and pool pages held by cached
+        prefixes.  ``kv_pool``/``prefix_cache`` are ``None`` when the
+        corresponding feature is off.
         """
         out: Dict[str, object] = {
             "steps": self._steps,
-            "pending": len(self._pending),
-            "active": len(self._active),
+            "pending": self.scheduler.num_pending,
+            "prefilling": self.scheduler.num_prefilling,
+            "active": len(self.scheduler.active),
             "peak_active": self._peak_active,
             "completed": len(self._completed),
             "admission": {
-                "page_deferrals": self._page_deferrals,
-                "infeasible_failures": self._infeasible_failures,
+                "page_deferrals": self.scheduler.page_deferrals,
+                "infeasible_failures": self.scheduler.infeasible_failures,
                 "decode_page_failures": self._decode_page_failures,
                 "cache_inserts_skipped": self._cache_inserts_skipped,
+                "cache_inserts_by_reference": self._cache_inserts_by_reference,
             },
+            "scheduler": self.scheduler.stats(),
             "kv_pool": None,
             "prefix_cache": None,
         }
         if self.kv_pools is not None:
             pool_stats = self.kv_pools.stats()
-            pool_stats["reserved_pages"] = int(sum(self._reserved_pages))
+            remaining = self.scheduler.remaining_page_totals()
+            worst = self.scheduler.worst_case_page_totals()
+            pool_stats["reserved_pages"] = int(sum(remaining))
+            pool_stats["worst_case_reserved_pages"] = int(sum(worst))
+            pool_stats["reservation_delta"] = int(sum(worst) - sum(remaining))
             out["kv_pool"] = pool_stats
         if self.prefix_cache is not None:
             cache = self.prefix_cache
@@ -352,6 +405,7 @@ class BatchedEngine:
                 "hits": cache.stats.hits,
                 "hit_rate": cache.stats.hit_rate,
                 "tokens_reused": cache.stats.tokens_reused,
+                "inserts_by_reference": cache.stats.inserts_by_reference,
                 "pages_held": (
                     sum(
                         cache.pages_held(layer)
@@ -364,7 +418,7 @@ class BatchedEngine:
         return out
 
     # ------------------------------------------------------------------
-    # Submission and admission
+    # Submission
     # ------------------------------------------------------------------
     def submit(self, request: ServingRequest) -> str:
         """Queue a request for admission; returns its request id.
@@ -376,7 +430,7 @@ class BatchedEngine:
         Prompt token ids are validated against the model's vocabulary here,
         so a malformed prompt is rejected before it can occupy a queue slot
         (an out-of-range id would otherwise only surface as an exception in
-        the middle of a prefill wave).
+        the middle of a prefill pass).
         """
         prompt_ids = [int(t) for t in request.prompt_ids]
         if not prompt_ids:
@@ -408,312 +462,197 @@ class BatchedEngine:
             policy_factory=request.policy_factory,
             keep_logits=request.keep_logits,
         )
-        self._pending.append(queued)
+        self.scheduler.enqueue(queued)
         self._submission_order.append(request_id)
         return request_id
 
-    def _admit(self) -> List[ServingResponse]:
-        """Drain queued requests into free slots, one prefill wave at a time."""
-        finished: List[ServingResponse] = []
-        while self._pending and self._has_free_slot():
-            wave = self._next_prefill_wave(finished)
-            if not wave:
-                break
-            for slot in self._prefill_wave(wave, finished):
-                if slot is None:
-                    continue  # failed into an error response already
-                if slot.request.max_new_tokens == 0:
-                    finished.append(self._finish(slot, "length"))
-                else:
-                    self._active.append(slot)
-            self._peak_active = max(self._peak_active, len(self._active))
-        return finished
-
-    def _has_free_slot(self) -> bool:
-        if self.max_batch_size is None:
-            return True
-        return len(self._active) < self.max_batch_size
-
-    def _next_prefill_wave(
-        self, finished: List[ServingResponse]
-    ) -> List[_WaveItem]:
-        """Pop the next group of requests to prefill together.
-
-        Requests are taken in submission order.  When prefix caching is on,
-        a request that shares a longer prompt prefix with an earlier request
-        of the *same* wave than with anything already cached is deferred to
-        the next wave: by then the earlier request's prefill has populated
-        the cache, so the shared part is computed once instead of ``k``
-        times.  Deferred requests are pushed back to the queue front, so
-        submission order is preserved for everything else.
-
-        On a paged engine every member additionally reserves its worst-case
-        page demand; a request that does not fit right now stops the drain
-        (it retries once sequences retire and release pages), and one that
-        could never fit fails closed.
-        """
-        free = (
-            None
-            if self.max_batch_size is None
-            else self.max_batch_size - len(self._active)
-        )
-        wave: List[_WaveItem] = []
-        deferred: List[ServingRequest] = []
-        blocked: List[ServingRequest] = []
-        cache = self.prefix_cache
-        while self._pending and (free is None or len(wave) < free):
-            request = self._pending.popleft()
-            prompt = list(request.prompt_ids)
-            if cache is not None and wave:
-                intra = max(
-                    common_prefix_length(prompt, list(item.request.prompt_ids))
-                    for item in wave
-                )
-                intra = min(intra, len(prompt) - 1)
-                # peek_length keeps the defer decision free of lookup side
-                # effects (stats, LRU order): only requests that actually
-                # prefill count as cache traffic.
-                if intra >= cache.min_prefix_tokens and intra > cache.peek_length(prompt):
-                    deferred.append(request)
-                    continue
-            prefix = cache.lookup(prompt) if cache is not None else None
-            try:
-                policies = self.model.make_policies(
-                    request.policy_factory or self.policy_factory,
-                    kv_pools=self.kv_pools,
-                )
-            except Exception as exc:
-                if prefix is not None:
-                    prefix.release()
-                finished.append(self._fail(request, exc))
-                continue
-            reservation: Optional[List[int]] = None
-            if self.kv_pools is not None:
-                reservation = self._page_demand(policies, request, prefix)
-                verdict = self._try_reserve(reservation, request, wave, finished)
-                if verdict != "reserved":
-                    # Unpin the looked-up prefix pages: a re-queued request
-                    # repeats its lookup next wave, a failed one never
-                    # prefills.
-                    if prefix is not None:
-                        prefix.release()
-                    if verdict == "wait":
-                        blocked.append(request)
-                        break
-                    continue  # "failed": already completed as an error
-            wave.append(_WaveItem(request, prefix, policies, reservation))
-        for request in reversed(blocked + deferred):
-            self._pending.appendleft(request)
-        return wave
-
-    def _page_demand(
-        self,
-        policies: List[KVCachePolicy],
-        request: ServingRequest,
-        prefix: Optional[SequencePrefix],
-    ) -> List[int]:
-        """Worst-case per-layer page demand of one request's lifetime.
-
-        The full pages of an adoptable cached prefix are credited: they are
-        shared, already accounted to the prefix cache, and never written by
-        a whole-prompt-retaining policy (the partial tail page *is* counted
-        — its copy-on-write split needs a fresh page).
-        """
-        prompt_len = len(request.prompt_ids)
-        demands: List[int] = []
-        for layer, policy in enumerate(policies):
-            pool = self.kv_pools.layer(layer)
-            pages = policy.max_kv_pages(
-                prompt_len, request.max_new_tokens, pool.page_size
-            )
-            if (
-                prefix is not None
-                and prefix.pages is not None
-                and policy.adopts_prefix_pages
-            ):
-                pages = max(0, pages - prefix.pages[layer].full_pages)
-            demands.append(pages)
-        return demands
-
-    def _try_reserve(
-        self,
-        reservation: List[int],
-        request: ServingRequest,
-        wave: List[_WaveItem],
-        finished: List[ServingResponse],
-    ) -> str:
-        """Reserve ``reservation`` pages or decide the request's fate.
-
-        Returns ``"reserved"`` on success, ``"wait"`` when retiring
-        sequences will free enough pages (the caller re-queues the
-        request), or ``"failed"`` when the request could never fit — even
-        after shedding prefix-cache entries — and was completed closed as
-        an error response.
-        """
-        while True:
-            if self._reservation_fits(reservation):
-                for layer, pages in enumerate(reservation):
-                    self._reserved_pages[layer] += pages
-                return "reserved"
-            if self._active or wave:
-                # Retiring sequences will release pages; wait in the queue.
-                self._page_deferrals += 1
-                return "wait"
-            # Nothing running and nothing about to run: only cached prefix
-            # pages can be crowding the arena — shed them LRU-first.
-            if self.prefix_cache is not None and self.prefix_cache.drop_lru_entry():
-                continue
-            self._infeasible_failures += 1
-            finished.append(
-                self._fail(
-                    request,
-                    PoolExhaustedError(
-                        "request needs more KV pool pages than the arena "
-                        f"holds (demand {reservation} pages/layer)"
-                    ),
-                )
-            )
-            return "failed"
-
-    def _reservation_fits(self, reservation: List[int]) -> bool:
-        for layer, pages in enumerate(reservation):
-            pool = self.kv_pools.layer(layer)
-            cached = (
-                self.prefix_cache.pages_held(layer)
-                if self.prefix_cache is not None
-                else 0
-            )
-            if self._reserved_pages[layer] + cached + pages > pool.total_pages:
-                return False
-        return True
-
-    def _release_reservation(self, reservation: Optional[List[int]]) -> None:
-        if reservation is None:
-            return
-        for layer, pages in enumerate(reservation):
-            self._reserved_pages[layer] -= pages
-
-    def _cache_insert(self, prompt_ids: List[int], captured) -> None:
-        """Insert into the prefix cache unless it would starve reservations.
-
-        Cache pages come out of the same arena the admitted sequences'
-        reservations draw on, so an insert is only allowed while the free
-        pages left afterwards still cover every outstanding reservation
-        (conservatively assuming no sequence has allocated yet).  Under
-        page pressure the cache therefore stops growing before it can
-        push an admitted sequence into decode-time exhaustion.
-        """
-        if self.kv_pools is not None:
-            for layer in range(self.kv_pools.num_layers):
-                pool = self.kv_pools.layer(layer)
-                insert_pages = -(-len(prompt_ids) // pool.page_size)
-                if pool.free_pages - insert_pages < self._reserved_pages[layer]:
-                    self._cache_inserts_skipped += 1
-                    return
-        self.prefix_cache.insert(prompt_ids, captured)
-
-    def _retire_item(self, item: _WaveItem) -> None:
-        for policy in item.policies:
-            policy.release_kv()
-        self._release_reservation(item.reservation)
-
-    def _prefill_wave(
-        self,
-        wave: List[_WaveItem],
-        finished: List[ServingResponse],
-    ) -> List[Optional[SequenceSlot]]:
-        """Prefill one wave; failed requests become error responses."""
+    # ------------------------------------------------------------------
+    # Prefill execution
+    # ------------------------------------------------------------------
+    def _run_prefill_chunks(
+        self, chunks: List[PrefillChunk], finished: List[ServingResponse]
+    ) -> None:
+        """Execute one step's scheduled chunks as a single packed pass."""
         if not self.batched_prefill:
-            return [self._prefill_one_serial(item, finished) for item in wave]
+            for chunk in chunks:
+                self._prefill_one_serial(chunk.seq, finished)
+            return
+        seqs = [chunk.seq for chunk in chunks]
         try:
-            logits, captured = self.model.prefill_batched(
-                [list(item.request.prompt_ids) for item in wave],
-                [item.policies for item in wave],
-                [
-                    None if item.prefix is None else item.prefix.layer_states()
-                    for item in wave
-                ],
+            logits_list, new_states = self.model.prefill_chunk_batched(
+                [chunk.tokens for chunk in chunks],
+                [seq.state for seq in seqs],
+                [seq.policies for seq in seqs],
+                [chunk.final for chunk in chunks],
             )
         except Exception:
-            # One bad request must not take down the wave (or the engine):
-            # retry each request alone so only the offender fails.  The
+            # One bad request must not take down the pass (or the engine):
+            # restart each member alone so only the offender fails.  The
             # failed joint attempt may have left partial rows in some
-            # policies' stores; rebuilding from released policies keeps the
+            # policies' stores; rebuilding from fresh policies keeps the
             # pool accounting exact.
-            for item in wave:
-                for policy in item.policies:
-                    policy.release_kv()
-            return [
-                self._prefill_one_packed(item, finished) for item in wave
-            ]
-        slots: List[Optional[SequenceSlot]] = []
-        for b, item in enumerate(wave):
-            if self.prefix_cache is not None:
-                if item.prefix is not None:
-                    self.prefix_cache.commit_reuse(item.prefix)
-                self._cache_insert(list(item.request.prompt_ids), captured[b])
-            if item.prefix is not None:
-                item.prefix.release()  # adoption holds its own references
-            slots.append(self._make_slot(item, logits[b]))
-        return slots
-
-    def _prefill_one_packed(
-        self,
-        item: _WaveItem,
-        finished: List[ServingResponse],
-    ) -> Optional[SequenceSlot]:
-        try:
-            policies = self.model.make_policies(
-                item.request.policy_factory or self.policy_factory,
-                kv_pools=self.kv_pools,
-            )
-            item.policies = policies
-            logits, captured = self.model.prefill_batched(
-                [list(item.request.prompt_ids)],
-                [policies],
-                [None if item.prefix is None else item.prefix.layer_states()],
-            )
-        except Exception as exc:
-            self._retire_item(item)
-            finished.append(self._fail(item.request, exc))
-            return None
-        finally:
-            if item.prefix is not None:
-                item.prefix.release()
-        if self.prefix_cache is not None:
-            if item.prefix is not None:
-                self.prefix_cache.commit_reuse(item.prefix)
-            self._cache_insert(list(item.request.prompt_ids), captured[0])
-        return self._make_slot(item, logits[0])
+            for seq in seqs:
+                self._restart_prefill_alone(seq, finished)
+            return
+        for chunk, logits, state in zip(chunks, logits_list, new_states):
+            seq = chunk.seq
+            seq.state = state
+            seq.done = state.processed
+            if seq.prefix is not None:
+                # Adoption holds its own page references from the first
+                # chunk on; drop the lookup's pins (idempotent).
+                seq.prefix.release()
+            if chunk.final:
+                self._complete_prefill(seq, logits, finished)
 
     def _prefill_one_serial(
-        self, item: _WaveItem, finished: List[ServingResponse]
-    ) -> Optional[SequenceSlot]:
+        self, seq: PrefillingSequence, finished: List[ServingResponse]
+    ) -> None:
         try:
-            logits = self.model.prefill(
-                list(item.request.prompt_ids), item.policies
+            logits = self.model.prefill(seq.prompt, seq.policies)
+        except Exception as exc:
+            self._abort_prefilling(seq, finished, exc)
+            return
+        seq.done = len(seq.prompt)
+        self._finish_or_promote(seq, logits, finished)
+
+    def _restart_prefill_alone(
+        self, seq: PrefillingSequence, finished: List[ServingResponse]
+    ) -> None:
+        """Recovery path: rerun one sequence's whole prefill in isolation."""
+        for policy in seq.policies:
+            policy.release_kv()
+        if seq.prefix is not None:
+            seq.prefix.release()
+            seq.prefix = None  # retry cold; reuse was never committed
+        seq.state = None
+        seq.done = 0
+        try:
+            seq.policies = self.model.make_policies(
+                seq.request.policy_factory or self.policy_factory,
+                kv_pools=self.kv_pools,
+            )
+            logits, captured = self.model.prefill_batched(
+                [seq.prompt], [seq.policies]
             )
         except Exception as exc:
-            self._retire_item(item)
-            finished.append(self._fail(item.request, exc))
-            return None
-        return self._make_slot(item, logits)
+            self._abort_prefilling(seq, finished, exc)
+            return
+        seq.done = len(seq.prompt)
+        from ..llm.model import PrefillState  # local: avoids an import cycle
 
-    def _make_slot(self, item: _WaveItem, logits: np.ndarray) -> SequenceSlot:
-        request = item.request
-        return SequenceSlot(
-            request=request,
-            request_id=request.request_id,
-            prompt_length=len(request.prompt_ids),
-            policies=item.policies,
-            stop_set=frozenset(request.stop_ids or ()),
-            logits=logits,
-            position=len(request.prompt_ids),
-            page_reservation=item.reservation,
+        seq.state = PrefillState(
+            layers=captured[0], processed=len(seq.prompt), fed=len(seq.prompt)
         )
+        self._complete_prefill(seq, logits[0], finished)
 
+    def _complete_prefill(
+        self,
+        seq: PrefillingSequence,
+        logits: np.ndarray,
+        finished: List[ServingResponse],
+    ) -> None:
+        """Final chunk landed: publish to the prefix cache and promote."""
+        if self.prefix_cache is not None:
+            if seq.prefix is not None:
+                self.prefix_cache.commit_reuse(seq.prefix)
+            self._cache_insert(seq.prompt, seq.state.layers, seq.policies)
+        self._finish_or_promote(seq, logits, finished)
+
+    def _finish_or_promote(
+        self,
+        seq: PrefillingSequence,
+        logits: np.ndarray,
+        finished: List[ServingResponse],
+    ) -> None:
+        self._admissions += 1
+        slot = SequenceSlot(
+            request=seq.request,
+            request_id=seq.request.request_id,
+            prompt_length=len(seq.prompt),
+            policies=seq.policies,
+            stop_set=frozenset(seq.request.stop_ids or ()),
+            logits=logits,
+            position=len(seq.prompt),
+            worst_case_pages=list(seq.worst_case_pages),
+            admission_index=self._admissions,
+        )
+        if seq.request.max_new_tokens == 0:
+            self.scheduler.remove_prefilling(seq)
+            finished.append(self._finish(slot, "length"))
+            return
+        self.scheduler.promote(seq, slot)
+        self._peak_active = max(self._peak_active, len(self.scheduler.active))
+
+    def _abort_prefilling(
+        self,
+        seq: PrefillingSequence,
+        finished: List[ServingResponse],
+        exc: Exception,
+    ) -> None:
+        for policy in seq.policies:
+            policy.release_kv()
+        if seq.prefix is not None:
+            seq.prefix.release()
+        self.scheduler.remove_prefilling(seq)
+        finished.append(self._fail(seq.request, exc))
+
+    # ------------------------------------------------------------------
+    # Prefix-cache publication
+    # ------------------------------------------------------------------
+    def _cache_insert(
+        self,
+        prompt_ids: List[int],
+        captured: list,
+        policies: List[KVCachePolicy],
+    ) -> None:
+        """Publish a finished prefill to the prefix cache.
+
+        Preferred path (paged engines): when every layer's policy retains
+        the whole prompt in pool pages, the entry *references* the
+        sequence's own pages (refcount bump, zero page writes) — the
+        sequence's later appends into the shared tail page copy-on-write
+        split it, so the entry is immutable.  Fallback: copy the K/V rows
+        into fresh pages, gated so the cache never claims pages an
+        admitted sequence's outstanding demand still needs.
+        """
+        if self.kv_pools is None:
+            self.prefix_cache.insert(prompt_ids, captured)
+            return
+        n = len(prompt_ids)
+        runs = [policy.prompt_page_run(n) for policy in policies]
+        if all(run is not None for run in runs):
+            # Sharing flips the tail partial page shared (a future CoW
+            # split): admit the insert only while one extra page per layer
+            # stays coverable.
+            extra = 1 if n % self.kv_pools.page_size else 0
+            if self.scheduler.can_insert_pages([extra] * len(runs)):
+                if self.prefix_cache.insert(
+                    prompt_ids, captured, shared_pages=runs
+                ):
+                    self._cache_inserts_by_reference += 1
+                return
+            for run in runs:
+                run.decref()
+            self._cache_inserts_skipped += 1
+            return
+        for run in runs:
+            if run is not None:
+                run.decref()
+        insert_pages = [
+            math.ceil(n / self.kv_pools.layer(layer).page_size)
+            for layer in range(self.kv_pools.num_layers)
+        ]
+        if not self.scheduler.can_insert_pages(insert_pages):
+            self._cache_inserts_skipped += 1
+            return
+        self.prefix_cache.insert(prompt_ids, captured)
+
+    # ------------------------------------------------------------------
+    # Completion bookkeeping
+    # ------------------------------------------------------------------
     def _fail(self, request: ServingRequest, exc: Exception) -> ServingResponse:
-        """Turn a failed admission into a completed error response.
+        """Turn a failed admission/prefill into a completed error response.
 
         The request was already popped from the queue and its id recorded in
         the submission order, so completing it (instead of dropping it on
@@ -745,19 +684,18 @@ class BatchedEngine:
             ),
             error=error,
         )
-        # Retiring hands every pool page back to the shared arena and
-        # releases the admission reservation; stats survive release.
+        # Retiring hands every pool page back to the shared arena; the
+        # sequence's outstanding demand leaves the admission sum with it.
         for policy in slot.policies:
             policy.release_kv()
-        self._release_reservation(slot.page_reservation)
         self._completed[slot.request_id] = response
         return response
 
     # ------------------------------------------------------------------
-    # Decoding
+    # Stepping
     # ------------------------------------------------------------------
     def step(self) -> List[ServingResponse]:
-        """Admit pending requests and advance every active sequence one token.
+        """Run one scheduler iteration: prefill chunks, then decode.
 
         Returns the responses of sequences that completed during this step.
         The per-sequence semantics mirror ``greedy_generate`` exactly: the
@@ -767,12 +705,23 @@ class BatchedEngine:
         immediately — its final token is *not* fed through the model, since
         the resulting logits would never be read.
         """
-        finished = self._admit()
-        if not self._active:
+        finished: List[ServingResponse] = []
+        batch = self.scheduler.next_batch()
+        for request, exc in batch.failures:
+            finished.append(self._fail(request, exc))
+        if batch.prefill:
+            self._run_prefill_chunks(batch.prefill, finished)
+
+        slots, _groups = self.scheduler.decode_plan(batch)
+        if not slots:
+            if batch.prefill:
+                # A prefill-only iteration (e.g. a long prompt chunking
+                # with no active decodes) is still a scheduler step.
+                self._steps += 1
             return finished
 
         continuing: List[SequenceSlot] = []
-        for slot in self._active:
+        for slot in slots:
             next_id = int(np.argmax(slot.logits))
             if next_id in slot.stop_set:
                 finished.append(self._finish(slot, "stop"))
@@ -800,7 +749,7 @@ class BatchedEngine:
                 slot.logits = logits_batch[row]
                 slot.position += 1
 
-        self._active = continuing
+        self.scheduler.set_active(continuing)
         self._steps += 1
         return finished
 
@@ -811,10 +760,11 @@ class BatchedEngine:
     ) -> List[SequenceSlot]:
         """Fail sequences closed (newest first) until the decode wave fits.
 
-        Unreachable while admission reservations hold (they bound lifetime
-        demand); this is the safety net for the corner where prefix-cache
-        churn lets pool usage overshoot — without it a mid-batch
-        :class:`PoolExhaustedError` would corrupt half-advanced sequences.
+        Unreachable while the admission invariant holds (outstanding
+        demand never exceeds free pages); this is the safety net for the
+        corner where prefix-cache churn lets pool usage overshoot —
+        without it a mid-batch :class:`PoolExhaustedError` would corrupt
+        half-advanced sequences.
         """
         num_layers = self.model.config.num_layers
         while continuing:
@@ -827,7 +777,10 @@ class BatchedEngine:
                 for layer in range(num_layers)
             ):
                 return continuing
-            victim = continuing.pop()
+            # Newest admission first: decode order is policy-grouped, so
+            # list position no longer encodes recency.
+            victim = max(continuing, key=lambda slot: slot.admission_index)
+            continuing.remove(victim)
             self._decode_page_failures += 1
             finished.append(
                 self._finish(

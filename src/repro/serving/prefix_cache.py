@@ -151,6 +151,7 @@ class PrefixCacheStats:
     hits: int = 0
     tokens_reused: int = 0
     inserts: int = 0
+    inserts_by_reference: int = 0
     skipped_inserts: int = 0
     superseded_entries: int = 0
     evictions: int = 0
@@ -224,14 +225,19 @@ class PrefixCache:
         return self._total_bytes
 
     def pages_held(self, layer: int) -> int:
-        """Pool pages layer ``layer``'s entries currently reference."""
+        """Distinct pool pages layer ``layer``'s entries currently reference.
+
+        Counted as a set: by-reference entries of prompts sharing a prefix
+        can reference the same underlying pages, which occupy pool memory
+        once however many entries point at them.
+        """
         if self.kv_pools is None:
             return 0
-        return sum(
-            len(entry[layer].pages.page_ids)
-            for entry in self._entries.values()
-            if entry[layer].pages is not None
-        )
+        pages = set()
+        for entry in self._entries.values():
+            if entry[layer].pages is not None:
+                pages.update(entry[layer].pages.page_ids)
+        return len(pages)
 
     def clear(self) -> None:
         for key in list(self._entries):
@@ -336,7 +342,10 @@ class PrefixCache:
         self.stats.tokens_reused += int(prefix.length)
 
     def insert(
-        self, token_ids: Sequence[int], layers: Sequence[LayerPrefillState]
+        self,
+        token_ids: Sequence[int],
+        layers: Sequence[LayerPrefillState],
+        shared_pages: Optional[Sequence[SharedKVPages]] = None,
     ) -> bool:
         """Store a freshly prefilled prompt's per-layer tensors.
 
@@ -346,10 +355,19 @@ class PrefixCache:
         existing entries that are a prefix of the new prompt are dropped
         (superseded): the new entry answers every lookup they could.
 
-        On a paged cache the K/V rows are written into freshly allocated
-        pool pages exactly once; if the pool cannot supply the pages the
-        insert is skipped (caching is an optimisation — admission already
-        succeeded) and any partially allocated pages are returned.
+        ``shared_pages`` (paged caches only) inserts *by reference*: each
+        layer's handle must already point at pool pages holding the
+        prompt's K/V rows — typically the inserting sequence's own pages
+        (:meth:`~repro.core.policy.KVCachePolicy.prompt_page_run`) — and
+        the entry stores the refcounted handle instead of writing a second
+        paged copy.  The cache takes ownership of the passed references
+        (they are released on every non-storing path), and copy-on-write
+        keeps the entry immutable when the originating sequence later
+        writes into a shared page.  Without ``shared_pages`` the K/V rows
+        are copied into freshly allocated pool pages exactly once; if the
+        pool cannot supply the pages the insert is skipped (caching is an
+        optimisation — admission already succeeded) and any partially
+        allocated pages are returned.
 
         Prompts that share a prefix but diverge (distinct suffixes) each
         keep their own full entry — including the O(n^2)-per-layer score
@@ -357,6 +375,19 @@ class PrefixCache:
         with sharing; ``max_entries`` bounds it.
         """
         key = tuple(int(t) for t in token_ids)
+        if shared_pages is not None:
+            if self.kv_pools is None:
+                for shared in shared_pages:
+                    shared.decref()
+                raise ValueError("shared_pages requires a paged cache (kv_pools)")
+            if len(shared_pages) != self.kv_pools.num_layers or any(
+                shared.length != len(key) for shared in shared_pages
+            ):
+                for shared in shared_pages:
+                    shared.decref()
+                raise ValueError(
+                    "shared_pages must cover the whole prompt, one run per layer"
+                )
         if not key:
             raise ValueError("token_ids must not be empty")
         ids = np.asarray(key, dtype=np.int64)
@@ -365,10 +396,13 @@ class PrefixCache:
             if arr.size >= ids.size and not np.any(arr[: ids.size] != ids):
                 self._touch(existing_key)
                 self.stats.skipped_inserts += 1
+                if shared_pages is not None:
+                    for shared in shared_pages:
+                        shared.decref()
                 return False
             if arr.size < ids.size and not np.any(ids[: arr.size] != arr):
                 superseded.append(existing_key)
-        entry = self._build_entry(layers)
+        entry = self._build_entry(layers, shared_pages)
         if entry is None:
             # Pool pages unavailable: skip caching, keep the pool for
             # sequences (and keep the entries this one would supersede).
@@ -389,6 +423,8 @@ class PrefixCache:
         self._entry_bytes[key] = entry_bytes
         self._total_bytes += entry_bytes
         self.stats.inserts += 1
+        if shared_pages is not None:
+            self.stats.inserts_by_reference += 1
         while (
             len(self._entries) > self.max_entries
             or self._total_bytes > self.max_bytes
@@ -399,7 +435,9 @@ class PrefixCache:
 
     # ------------------------------------------------------------------
     def _build_entry(
-        self, layers: Sequence[LayerPrefillState]
+        self,
+        layers: Sequence[LayerPrefillState],
+        shared_pages: Optional[Sequence[SharedKVPages]] = None,
     ) -> Optional[List[_CachedLayer]]:
         if self.kv_pools is None:
             return [
@@ -411,7 +449,17 @@ class PrefixCache:
                 for keys, values, scores in layers
             ]
         if len(layers) != self.kv_pools.num_layers:
+            if shared_pages is not None:
+                for shared in shared_pages:
+                    shared.decref()
             raise ValueError("one prefill state per pool layer is required")
+        if shared_pages is not None:
+            # By-reference entry: the handles already own one reference per
+            # page; no pool writes, no exhaustion path.
+            return [
+                _CachedLayer(scores=_owned(scores), pages=shared)
+                for (keys, values, scores), shared in zip(layers, shared_pages)
+            ]
         entry: List[_CachedLayer] = []
         try:
             for layer_index, (keys, values, scores) in enumerate(layers):

@@ -1,0 +1,585 @@
+"""Iteration-level scheduling: chunked prefill co-scheduled with decode.
+
+Until this subsystem existed, :class:`~repro.serving.engine.BatchedEngine`
+prefilled an entire admission wave before any in-flight sequence got its
+next token — one long prompt froze every active decode (head-of-line
+blocking).  The :class:`Scheduler` fixes that with Sarathi/Orca-style
+iteration-level scheduling: every engine step it emits one
+:class:`ScheduleBatch` containing
+
+* **decode slots** — every active sequence advances one token, every step,
+  unconditionally (decode never waits for prefill), ordered so that
+  same-policy sequences are contiguous (*policy-homogeneous grouping*, the
+  hook for batching selector math across sequences later); and
+* **prefill chunks** — each in-flight prompt contributes at most the token
+  budget left after decode (``SchedulerPolicy.max_tokens_per_step`` minus
+  one token per active sequence), so a 10k-token prompt is absorbed over
+  many steps instead of stalling the step it arrives in.
+
+``max_tokens_per_step=None`` (the default) disables chunking: prompts are
+prefilled whole at admission, reproducing the classic wave behaviour.
+Generated tokens and ``PolicyStats`` are chunk-size-invariant for every
+policy (asserted across all seven in the test suite), so the budget is a
+pure latency/throughput knob.
+
+Admission control (paged engines)
+---------------------------------
+The scheduler also owns page-gated admission, with *allocated-so-far*
+accounting that is tighter than the previous worst-case lifetime
+reservations: per layer it maintains
+
+    ``sum over admitted sequences of remaining_kv_pages() <= free pages``
+
+where :meth:`~repro.core.policy.KVCachePolicy.remaining_kv_pages` counts
+only the pages a policy could still *allocate* (its worst case minus pages
+already held, plus one per held shared page for potential copy-on-write
+splits).  Every allocation a sequence makes moves one page from the free
+list while shrinking that sequence's remaining demand, so the inequality —
+and with it the run-to-completion guarantee — is preserved as the batch
+runs, while the slack between a request's admission-time worst case and
+what it actually holds is returned to the admission budget the moment its
+prefill lands.  The reclaimed slack is reported as ``reservation_delta``
+in :meth:`BatchedEngine.stats`.
+
+A request that cannot fit *now* waits in the queue (``page_deferrals``);
+one that could never fit — even after shedding prefix-cache pages — fails
+closed.  Requests whose best prefix match is a prompt still being
+prefilled are deferred until that prefill publishes its cache entry, so a
+shared prefix is computed exactly once (the former intra-wave deferral,
+generalised to chunked prefill).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Tuple,
+)
+
+from ..core.kv_pool import KVPoolGroup, PoolExhaustedError
+from ..core.policy import KVCachePolicy
+from .prefix_cache import PrefixCache, SequencePrefix, common_prefix_length
+
+if TYPE_CHECKING:  # imported lazily to avoid cycles
+    from ..llm.model import PrefillState, TransformerLM
+    from .engine import SequenceSlot, ServingRequest
+
+
+@dataclass
+class SchedulerPolicy:
+    """Knobs of the iteration-level scheduler.
+
+    Attributes
+    ----------
+    max_tokens_per_step:
+        Token budget of one engine step.  Each active decode sequence
+        consumes one token; the remainder is handed to prefill chunks in
+        submission order.  ``None`` disables chunking (whole-prompt
+        prefill at admission).
+    min_prefill_tokens_per_step:
+        Floor on prefill progress when active decodes fill (or exceed) the
+        budget, so a saturated decode batch cannot starve prefill forever.
+        Ignored when nothing is prefilling.
+    group_by_policy:
+        Order decode slots so same-policy sequences are contiguous and
+        record the group spans in telemetry (stable: submission order is
+        kept within a group).
+    """
+
+    max_tokens_per_step: Optional[int] = None
+    min_prefill_tokens_per_step: int = 1
+    group_by_policy: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_tokens_per_step is not None and self.max_tokens_per_step < 1:
+            raise ValueError("max_tokens_per_step must be >= 1 (or None)")
+        if self.min_prefill_tokens_per_step < 0:
+            raise ValueError("min_prefill_tokens_per_step must be >= 0")
+
+
+@dataclass(eq=False)
+class PrefillingSequence:
+    """An admitted request whose prompt is not fully prefilled yet.
+
+    ``done`` counts prompt tokens covered so far (including a reused
+    prefix); ``state`` is the model-layer accumulated
+    :class:`~repro.llm.model.PrefillState` threading chunk iterations.
+    ``initial_demand`` is the page-credit-adjusted admission demand used
+    for page accounting until the first chunk lands (after which the
+    policies' own allocated-so-far accounting takes over);
+    ``worst_case_pages`` is the admission-time worst case kept for the
+    ``reservation_delta`` telemetry.
+    """
+
+    request: "ServingRequest"
+    prompt: List[int]
+    policies: List[KVCachePolicy]
+    prefix: Optional[SequencePrefix] = None
+    state: Optional["PrefillState"] = None
+    done: int = 0
+    chunks_taken: int = 0
+    initial_demand: List[int] = field(default_factory=list)
+    worst_case_pages: List[int] = field(default_factory=list)
+
+    @property
+    def started(self) -> bool:
+        return self.state is not None and self.state.fed > 0
+
+    @property
+    def tokens_left(self) -> int:
+        return len(self.prompt) - self.done
+
+
+@dataclass
+class PrefillChunk:
+    """One scheduled span of one sequence's prompt."""
+
+    seq: PrefillingSequence
+    tokens: List[int]
+    final: bool
+
+
+@dataclass
+class ScheduleBatch:
+    """What one engine step executes: prefill chunks, then decode slots.
+
+    ``decode``/``decode_groups`` are filled by :meth:`Scheduler.decode_plan`
+    *after* the chunks ran — sequences whose final chunk lands this step
+    join the decode set the same step, so the executed decode order (and
+    its policy-homogeneous grouping) can only be known post-prefill.
+    ``failures`` are requests that failed admission (bad policy factory,
+    infeasible page demand) for the engine to complete as error
+    responses.
+    """
+
+    prefill: List[PrefillChunk] = field(default_factory=list)
+    decode: List["SequenceSlot"] = field(default_factory=list)
+    decode_groups: List[Tuple[str, int, int]] = field(default_factory=list)
+    failures: List[Tuple["ServingRequest", Exception]] = field(default_factory=list)
+
+
+def policy_group_key(policies: List[KVCachePolicy]) -> str:
+    """Grouping key of one sequence's policy stack.
+
+    Class name of the layer-0 policy, refined by the selector type for
+    policies that carry one (UniCAIM exact vs CAM) — sequences with equal
+    keys run identical selector math, which is what a future batched
+    selector implementation needs to be contiguous.
+    """
+    head = policies[0]
+    key = type(head).__name__
+    selector = getattr(head, "selector", None)
+    if selector is not None:
+        key = f"{key}/{type(selector).__name__}"
+    return key
+
+
+class Scheduler:
+    """Owns the request queue, in-flight prefills and active decode set.
+
+    The engine's ``step()`` is a thin execution loop around this class:
+    ``next_batch()`` performs admission (policy construction, prefix
+    lookup/deferral, page gating) and chunk budgeting; the engine runs the
+    returned work against the model and reports transitions back via
+    :meth:`promote` / :meth:`remove_prefilling` / :meth:`set_active`.
+    """
+
+    def __init__(
+        self,
+        model: "TransformerLM",
+        policy: SchedulerPolicy,
+        default_policy_factory,
+        max_batch_size: Optional[int],
+        kv_pools: Optional[KVPoolGroup],
+        prefix_cache: Optional[PrefixCache],
+    ) -> None:
+        self.model = model
+        self.policy = policy
+        self.default_policy_factory = default_policy_factory
+        self.max_batch_size = max_batch_size
+        self.kv_pools = kv_pools
+        self.prefix_cache = prefix_cache
+        self._pending: Deque["ServingRequest"] = deque()
+        self._prefilling: List[PrefillingSequence] = []
+        self._active: List["SequenceSlot"] = []
+        # telemetry
+        self._page_deferrals = 0
+        self._infeasible_failures = 0
+        self._prefill_chunks_scheduled = 0
+        self._prefill_tokens_scheduled = 0
+        self._chunked_prompts = 0
+        self._budget_throttled_steps = 0
+        self._last_decode_groups: List[Tuple[str, int, int]] = []
+        self._grouped_decode_steps = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_pending(self) -> int:
+        return len(self._pending)
+
+    @property
+    def num_prefilling(self) -> int:
+        return len(self._prefilling)
+
+    @property
+    def active(self) -> List["SequenceSlot"]:
+        return self._active
+
+    @property
+    def has_work(self) -> bool:
+        return bool(self._pending or self._prefilling or self._active)
+
+    @property
+    def page_deferrals(self) -> int:
+        return self._page_deferrals
+
+    @property
+    def infeasible_failures(self) -> int:
+        return self._infeasible_failures
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "max_tokens_per_step": self.policy.max_tokens_per_step,
+            "prefill_chunks_scheduled": self._prefill_chunks_scheduled,
+            "prefill_tokens_scheduled": self._prefill_tokens_scheduled,
+            "chunked_prompts": self._chunked_prompts,
+            "budget_throttled_steps": self._budget_throttled_steps,
+            "decode_groups": list(self._last_decode_groups),
+            "grouped_decode_steps": self._grouped_decode_steps,
+        }
+
+    # ------------------------------------------------------------------
+    # Queue / lifecycle transitions (driven by the engine)
+    # ------------------------------------------------------------------
+    def enqueue(self, request: "ServingRequest") -> None:
+        self._pending.append(request)
+
+    def promote(self, seq: PrefillingSequence, slot: "SequenceSlot") -> None:
+        """Move a fully prefilled sequence into the decode set."""
+        self._prefilling.remove(seq)
+        self._active.append(slot)
+
+    def remove_prefilling(self, seq: PrefillingSequence) -> None:
+        self._prefilling.remove(seq)
+
+    def set_active(self, slots: List["SequenceSlot"]) -> None:
+        self._active = slots
+
+    # ------------------------------------------------------------------
+    # Page accounting (allocated-so-far + remaining demand)
+    # ------------------------------------------------------------------
+    def _seq_remaining(self, request, policies, started, initial_demand, layer):
+        if not started:
+            return initial_demand[layer]
+        pool = self.kv_pools.layer(layer)
+        return policies[layer].remaining_kv_pages(
+            len(request.prompt_ids), request.max_new_tokens, pool.page_size
+        )
+
+    def remaining_page_totals(self) -> List[int]:
+        """Per-layer outstanding page demand of every admitted sequence."""
+        num_layers = self.kv_pools.num_layers
+        totals = [0] * num_layers
+        for layer in range(num_layers):
+            for seq in self._prefilling:
+                totals[layer] += self._seq_remaining(
+                    seq.request, seq.policies, seq.started,
+                    seq.initial_demand, layer,
+                )
+            for slot in self._active:
+                totals[layer] += self._seq_remaining(
+                    slot.request, slot.policies, True, None, layer,
+                )
+        return totals
+
+    def worst_case_page_totals(self) -> List[int]:
+        """What the old worst-case-lifetime scheme would still reserve."""
+        num_layers = self.kv_pools.num_layers
+        totals = [0] * num_layers
+        for layer in range(num_layers):
+            for seq in self._prefilling:
+                totals[layer] += seq.worst_case_pages[layer]
+            for slot in self._active:
+                totals[layer] += slot.worst_case_pages[layer]
+        return totals
+
+    def _initial_demand(
+        self,
+        policies: List[KVCachePolicy],
+        request: "ServingRequest",
+        prefix: Optional[SequencePrefix],
+    ) -> List[int]:
+        """Admission-time per-layer demand: worst case minus prefix credit.
+
+        The full pages of an adoptable cached prefix are credited: they
+        are already allocated (held by the cache), shared, and never
+        written by a whole-prompt-retaining policy (the partial tail page
+        *is* counted — its copy-on-write split needs a fresh page).
+        """
+        prompt_len = len(request.prompt_ids)
+        demands: List[int] = []
+        for layer, policy in enumerate(policies):
+            pool = self.kv_pools.layer(layer)
+            pages = policy.max_kv_pages(
+                prompt_len, request.max_new_tokens, pool.page_size
+            )
+            if (
+                prefix is not None
+                and prefix.pages is not None
+                and policy.adopts_prefix_pages
+            ):
+                pages = max(0, pages - prefix.pages[layer].full_pages)
+            demands.append(pages)
+        return demands
+
+    def _demand_fits(self, demand: List[int], totals: List[int]) -> bool:
+        for layer, pages in enumerate(demand):
+            if totals[layer] + pages > self.kv_pools.layer(layer).free_pages:
+                return False
+        return True
+
+    def can_insert_pages(self, extra_per_layer: List[int]) -> bool:
+        """Whether the prefix cache may claim ``extra_per_layer`` pages (or
+        shared-page CoW risk) without starving an admitted sequence."""
+        totals = self.remaining_page_totals()
+        for layer, extra in enumerate(extra_per_layer):
+            pool = self.kv_pools.layer(layer)
+            if pool.free_pages - extra < totals[layer]:
+                return False
+        return True
+
+    def _page_verdict(self, demand: List[int], totals: List[int]) -> str:
+        """``"admit"``, ``"wait"`` (retry once pages free up) or
+        ``"infeasible"`` (could never fit, even after shedding the cache).
+
+        ``totals`` is the drain's running per-layer outstanding-demand sum
+        (computed once per :meth:`_admit` call, not per candidate);
+        shedding cache entries frees pages without touching it.
+        """
+        while True:
+            if self._demand_fits(demand, totals):
+                return "admit"
+            if self._active or self._prefilling:
+                return "wait"
+            if self.prefix_cache is not None and self.prefix_cache.drop_lru_entry():
+                continue
+            return "infeasible"
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def next_batch(self) -> ScheduleBatch:
+        """Admit what fits, then budget this step's prefill chunks.
+
+        ``batch.decode`` is left empty here: the engine fills it via
+        :meth:`decode_plan` once the chunks ran, so the executed decode
+        set includes sequences promoted this very step.
+        """
+        batch = ScheduleBatch()
+        self._admit(batch.failures)
+        batch.prefill = self._schedule_chunks()
+        return batch
+
+    def _has_free_slot(self) -> bool:
+        if self.max_batch_size is None:
+            return True
+        return len(self._active) + len(self._prefilling) < self.max_batch_size
+
+    def _admit(self, failures: List[Tuple["ServingRequest", Exception]]) -> None:
+        """Drain queued requests into the prefilling set, in order.
+
+        Mirrors the former wave admission: a request whose longest prompt
+        prefix match is another request admitted-but-not-yet-cached (in
+        this call or still prefilling from earlier steps) is deferred so
+        the shared part is computed once; a request that does not fit the
+        page budget right now blocks the drain (order is preserved).
+        """
+        if not self._pending:
+            return  # keep the per-step decode path free of totals scans
+        deferred: List["ServingRequest"] = []
+        blocked: List["ServingRequest"] = []
+        cache = self.prefix_cache
+        # One totals derivation per drain; admitted requests extend it
+        # incrementally (no pool allocations happen during admission).
+        totals = (
+            self.remaining_page_totals() if self.kv_pools is not None else []
+        )
+        in_flight_prompts = [seq.prompt for seq in self._prefilling]
+        while self._pending and self._has_free_slot():
+            request = self._pending.popleft()
+            prompt = [int(t) for t in request.prompt_ids]
+            if cache is not None and in_flight_prompts:
+                intra = max(
+                    common_prefix_length(prompt, other)
+                    for other in in_flight_prompts
+                )
+                intra = min(intra, len(prompt) - 1)
+                # peek_length keeps the defer decision free of lookup side
+                # effects (stats, LRU order): only requests that actually
+                # prefill count as cache traffic.
+                if intra >= cache.min_prefix_tokens and intra > cache.peek_length(prompt):
+                    deferred.append(request)
+                    continue
+            prefix = cache.lookup(prompt) if cache is not None else None
+            try:
+                policies = self.model.make_policies(
+                    request.policy_factory or self.default_policy_factory,
+                    kv_pools=self.kv_pools,
+                )
+            except Exception as exc:
+                if prefix is not None:
+                    prefix.release()
+                failures.append((request, exc))
+                continue
+            demand: List[int] = []
+            if self.kv_pools is not None:
+                demand = self._initial_demand(policies, request, prefix)
+                verdict = self._page_verdict(demand, totals)
+                if verdict != "admit":
+                    # Unpin the looked-up prefix pages: a re-queued request
+                    # repeats its lookup later, a failed one never prefills.
+                    if prefix is not None:
+                        prefix.release()
+                    if verdict == "wait":
+                        self._page_deferrals += 1
+                        blocked.append(request)
+                        break
+                    self._infeasible_failures += 1
+                    failures.append(
+                        (
+                            request,
+                            PoolExhaustedError(
+                                "request needs more KV pool pages than the "
+                                f"arena holds (demand {demand} pages/layer)"
+                            ),
+                        )
+                    )
+                    continue
+            seq = PrefillingSequence(
+                request=request,
+                prompt=prompt,
+                policies=policies,
+                prefix=prefix,
+                done=prefix.length if prefix is not None else 0,
+                initial_demand=demand,
+                worst_case_pages=list(demand),
+            )
+            chunked = (
+                self.policy.max_tokens_per_step is not None
+                and len(prompt) - seq.done > 1
+            )
+            if chunked:
+                # The prompt may span several chunk iterations: preallocate
+                # the in-place accumulation buffers so each chunk appends
+                # instead of re-copying the accumulated state.
+                from ..llm.model import PrefillState  # local: avoids cycle
+
+                seq.state = PrefillState.preallocate(
+                    self.model.config.num_layers,
+                    len(prompt),
+                    self.model.config.num_heads,
+                    self.model.config.head_dim,
+                    prefix=(
+                        prefix.layer_states() if prefix is not None else None
+                    ),
+                )
+            elif prefix is not None:
+                from ..llm.model import PrefillState  # local: avoids cycle
+
+                seq.state = PrefillState.from_prefix(prefix.layer_states())
+            self._prefilling.append(seq)
+            for layer, pages in enumerate(demand):
+                totals[layer] += pages
+            in_flight_prompts.append(prompt)
+        for request in reversed(blocked + deferred):
+            self._pending.appendleft(request)
+
+    def _schedule_chunks(self) -> List[PrefillChunk]:
+        """Split this step's prefill budget over in-flight prompts, FCFS."""
+        if not self._prefilling:
+            return []
+        budget = self.policy.max_tokens_per_step
+        if budget is None:
+            available = None
+        else:
+            available = budget - len(self._active)
+            floor = self.policy.min_prefill_tokens_per_step
+            if available < floor:
+                available = floor
+        chunks: List[PrefillChunk] = []
+        throttled = False
+        for seq in self._prefilling:
+            left = seq.tokens_left
+            if left <= 0:
+                continue  # unreachable; defensive
+            take = left if available is None else min(left, available)
+            if take <= 0:
+                throttled = True
+                break
+            chunk_tokens = seq.prompt[seq.done : seq.done + take]
+            final = seq.done + take == len(seq.prompt)
+            chunks.append(PrefillChunk(seq=seq, tokens=chunk_tokens, final=final))
+            seq.chunks_taken += 1
+            if final and seq.chunks_taken > 1:
+                self._chunked_prompts += 1
+            if not final:
+                throttled = True
+            self._prefill_chunks_scheduled += 1
+            self._prefill_tokens_scheduled += take
+            if available is not None:
+                available -= take
+        if throttled:
+            self._budget_throttled_steps += 1
+        return chunks
+
+    def decode_plan(
+        self, batch: Optional[ScheduleBatch] = None
+    ) -> Tuple[List["SequenceSlot"], List[Tuple[str, int, int]]]:
+        """Active slots in decode order plus their policy-group spans.
+
+        Called by the engine after this step's prefill chunks ran, so
+        newly promoted sequences are included.  With ``group_by_policy``
+        the slots are stably ordered so sequences with the same
+        :func:`policy_group_key` are contiguous; the spans
+        ``(key, start, length)`` are recorded in telemetry as the seam for
+        future batched per-group selector math.  When ``batch`` is given
+        its ``decode``/``decode_groups`` are filled in, making the batch
+        the record of what actually executed.
+        """
+        slots = list(self._active)
+        spans: List[Tuple[str, int, int]] = []
+        if self.policy.group_by_policy:
+            if len(slots) > 1:
+                slots.sort(key=lambda slot: policy_group_key(slot.policies))
+            for i, slot in enumerate(slots):
+                key = policy_group_key(slot.policies)
+                if not spans or spans[-1][0] != key:
+                    spans.append((key, i, 1))
+                else:
+                    name, begin, length = spans[-1]
+                    spans[-1] = (name, begin, length + 1)
+            if len(spans) > 1:
+                self._grouped_decode_steps += 1
+        self._last_decode_groups = spans
+        if batch is not None:
+            batch.decode = slots
+            batch.decode_groups = spans
+        return slots, spans
+
+
+__all__ = [
+    "PrefillChunk",
+    "PrefillingSequence",
+    "ScheduleBatch",
+    "Scheduler",
+    "SchedulerPolicy",
+    "policy_group_key",
+]
