@@ -11,9 +11,17 @@ hardware models:
 * :mod:`repro.core.dynamic_pruning` — exact and CAM-approximate top-k.
 * :mod:`repro.core.hybrid` — the full UniCAIM policy.
 * :mod:`repro.core.baselines` — Full / StreamingLLM / H2O / SnapKV / Quest.
+* :mod:`repro.core.group_decode` — batched per-policy-group decode
+  (padded multi-sequence gathers, masked group attention, dispatch).
 """
 
 from .config import AttentionConfig, PruningConfig
+from .group_decode import (
+    GroupDecodeStats,
+    group_spans_for,
+    policy_group_key,
+    supports_group_decode,
+)
 from .kv_cache import CacheEntry, SlotKVCache
 from .kv_pool import (
     BlockTable,
@@ -22,6 +30,7 @@ from .kv_pool import (
     PagedKVStore,
     PoolExhaustedError,
     SharedKVPages,
+    gather_padded,
 )
 from .policy import FullCachePolicy, KVCachePolicy, PolicyStats, StepRecord
 from .static_pruning import (
@@ -47,11 +56,16 @@ __all__ = [
     "CacheEntry",
     "SlotKVCache",
     "BlockTable",
+    "GroupDecodeStats",
     "KVPoolGroup",
     "PagedKVPool",
     "PagedKVStore",
     "PoolExhaustedError",
     "SharedKVPages",
+    "gather_padded",
+    "group_spans_for",
+    "policy_group_key",
+    "supports_group_decode",
     "FullCachePolicy",
     "KVCachePolicy",
     "PolicyStats",

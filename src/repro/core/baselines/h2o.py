@@ -10,11 +10,12 @@ tokens participate in attention (no dynamic top-k).
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..attention import attention_output, attention_scores, head_mean_scores, softmax
+from ..group_decode import batched_group_attention, gather_group_kv
 from ..kv_pool import PagedKVPool
 from ..policy import KVCachePolicy, StepRecord
 from ..static_pruning import accumulated_scores_from_attention
@@ -147,6 +148,109 @@ class H2OPolicy(KVCachePolicy):
             )
         )
         return output
+
+    def decode_step_group(
+        self,
+        queries: np.ndarray,
+        keys: np.ndarray,
+        values: np.ndarray,
+        positions: Sequence[int],
+        group: Sequence["KVCachePolicy"],
+    ) -> Optional[np.ndarray]:
+        """Vectorized heavy-hitter decode for a whole policy group.
+
+        One padded gather and one batched masked attention serve every
+        member; the per-step score accumulation becomes a per-member
+        vector add over the group's ``[S, T]`` softmax matrix, and the
+        accumulated-score eviction becomes **one masked argmin over the
+        group** (recent/padded entries masked to ``+inf``; rows are
+        position-sorted, so argmin's first-minimum tie-break reproduces
+        the serial earliest-position rule).
+        """
+        count = len(group)
+        order_lists: List[List[int]] = []
+        for policy, key, value, position in zip(group, keys, values, positions):
+            position = int(position)
+            policy._store.put(
+                position,
+                np.asarray(key, dtype=np.float64),
+                np.asarray(value, dtype=np.float64),
+            )
+            policy._accumulated.setdefault(position, 0.0)
+            # Insertions arrive in ascending position order (sorted prefill
+            # + monotone decode), so the store's insertion order normally
+            # *is* position order; Timsort degrades gracefully otherwise.
+            order_lists.append(sorted(policy._store.positions()))
+        tables = [policy._store.block_table for policy in group]
+        slot_lists = [
+            policy._store.slots_of(order)
+            for policy, order in zip(group, order_lists)
+        ]
+        gathered_k, gathered_v, lengths, valid = gather_group_kv(
+            tables, slot_lists
+        )
+        scales = np.asarray([policy.scale for policy in group], dtype=np.float64)
+        outputs, raw = batched_group_attention(
+            np.asarray(queries, dtype=np.float64),
+            gathered_k,
+            gathered_v,
+            valid,
+            scales=scales,
+        )
+
+        # Accumulated-score update: head-mean scaled scores -> per-row
+        # masked softmax -> one vector add per member.
+        mean_scores = (raw * scales[:, None, None]).mean(axis=1)  # [S, T]
+        probs = softmax(np.where(valid, mean_scores, -np.inf), axis=-1)
+        t_max = int(valid.shape[1])
+        pos_mat = np.full((count, t_max), np.iinfo(np.int64).max, dtype=np.int64)
+        acc_mat = np.full((count, t_max), np.inf)
+        for row, (policy, order) in enumerate(zip(group, order_lists)):
+            size = len(order)
+            accumulated = np.fromiter(
+                map(policy._accumulated.__getitem__, order),
+                dtype=np.float64,
+                count=size,
+            )
+            accumulated += probs[row, :size]
+            policy._accumulated.update(zip(order, accumulated.tolist()))
+            pos_mat[row, :size] = order
+            acc_mat[row, :size] = accumulated
+
+        # Eviction: one masked argmin over the group's score tables.
+        current = np.asarray([int(p) for p in positions])[:, None]
+        recent = np.asarray([policy.recent_budget for policy in group])[:, None]
+        candidates = valid & (pos_mat < current - recent + 1)
+        all_recent = ~candidates.any(axis=1)
+        candidates[all_recent] = valid[all_recent]
+        victim_idx = np.argmin(np.where(candidates, acc_mat, np.inf), axis=1)
+        evicted: List[Optional[int]] = []
+        for row, policy in enumerate(group):
+            victim: Optional[int] = None
+            if len(policy._store) > policy.total_budget:
+                victim = int(pos_mat[row, victim_idx[row]])
+                policy._store.drop(victim)
+                policy._accumulated.pop(victim, None)
+                if len(policy._store) > policy.total_budget:
+                    # Defensive: one insert can only overshoot by one, but
+                    # keep the serial shrink semantics exact regardless.
+                    more = policy._shrink_to_budget(int(positions[row]))
+                    if more is not None:
+                        victim = more
+            evicted.append(victim)
+
+        for policy, position, size, victim in zip(
+            group, positions, lengths, evicted
+        ):
+            policy.stats.record(
+                StepRecord(
+                    position=int(position),
+                    cache_size=len(policy._store),
+                    num_attended=int(size),
+                    evicted_position=victim,
+                )
+            )
+        return outputs
 
     def cached_positions(self) -> np.ndarray:
         return np.asarray(sorted(self._store.positions()), dtype=np.int64)

@@ -10,7 +10,8 @@ trade-off the paper's hybrid scheme closes.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+import math
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -19,6 +20,7 @@ from ..attention import (
     sparse_attention_output,
     top_k_indices,
 )
+from ..group_decode import batched_group_attention
 from ..policy import KVCachePolicy, StepRecord, WholePromptStoreMixin
 
 
@@ -108,6 +110,131 @@ class QuestPolicy(WholePromptStoreMixin, KVCachePolicy):
             )
         )
         return output
+
+    def decode_step_group(
+        self,
+        queries: np.ndarray,
+        keys: np.ndarray,
+        values: np.ndarray,
+        positions: Sequence[int],
+        group: Sequence["KVCachePolicy"],
+    ) -> Optional[np.ndarray]:
+        """Vectorized query-aware decode for a whole policy group.
+
+        One padded gather serves every member; when the group shares a
+        page size, the Quest bounding-box criticality of **all** members'
+        pages is computed as one ``[S, pages]`` score tensor (element-wise
+        min/max page bounds over the padded keys, then the upper-bound
+        reduction) before each member's deterministic top-k pick.  The
+        sparse attention over the selected tokens runs as one batched
+        masked call — unselected and padded entries score ``-inf`` so
+        their softmax weight is exactly zero, matching the serial
+        gather-the-subset computation.
+        """
+        queries = np.asarray(queries, dtype=np.float64)
+        gathered_k, gathered_v, lengths, valid = self._group_insert_and_gather(
+            keys, values, positions, group
+        )
+        count, t_max = valid.shape
+        keys64 = np.asarray(gathered_k, dtype=np.float64)
+
+        page_sizes = {policy.page_size for policy in group}
+        page_scores = None
+        if len(page_sizes) == 1:
+            page_scores = self._group_page_scores(
+                queries, keys64, lengths, valid, page_sizes.pop()
+            )
+
+        select = valid.copy()
+        selections: List[np.ndarray] = []
+        for row, policy in enumerate(group):
+            size = int(lengths[row])
+            if page_scores is None:
+                # Heterogeneous page sizes: per-member page ranking on the
+                # member's slice (the gather and attention stay batched).
+                selected = policy._select_page_tokens(
+                    queries[row], keys64[row, :size]
+                )
+            else:
+                selected = policy._pick_pages(page_scores[row], size)
+            selections.append(selected)
+            if selected.size != size:
+                select[row] = False
+                select[row, selected] = True
+
+        scales = np.asarray([policy.scale for policy in group], dtype=np.float64)
+        outputs, _ = batched_group_attention(
+            queries, gathered_k, gathered_v, select, scales=scales
+        )
+        for policy, position, size, selected in zip(
+            group, positions, lengths, selections
+        ):
+            stored = np.asarray(policy._positions, dtype=np.int64)
+            policy.stats.record(
+                StepRecord(
+                    position=int(position),
+                    cache_size=int(size),
+                    num_attended=int(selected.size),
+                    selected_positions=stored[selected],
+                )
+            )
+        return outputs
+
+    def _group_page_scores(
+        self,
+        queries: np.ndarray,
+        keys: np.ndarray,
+        lengths: np.ndarray,
+        valid: np.ndarray,
+        page_size: int,
+    ) -> np.ndarray:
+        """Quest upper-bound criticality of every member's pages at once.
+
+        Padded key rows are masked to ``+/-inf`` so partial pages keep the
+        exact per-member min/max bounds; fully padded pages produce
+        non-finite garbage that the caller never reads (every member picks
+        only among its own ``ceil(n / page_size)`` real pages).
+        """
+        count, t_max = valid.shape
+        num_pages = math.ceil(t_max / page_size)
+        pad = num_pages * page_size - t_max
+        row_mask = valid[:, :, None, None]
+        kmin = np.where(row_mask, keys, np.inf)
+        kmax = np.where(row_mask, keys, -np.inf)
+        if pad:
+            tail_shape = (count, pad) + keys.shape[2:]
+            kmin = np.concatenate(
+                [kmin, np.full(tail_shape, np.inf)], axis=1
+            )
+            kmax = np.concatenate(
+                [kmax, np.full(tail_shape, -np.inf)], axis=1
+            )
+        bound_shape = (count, num_pages, page_size) + keys.shape[2:]
+        mins = kmin.reshape(bound_shape).min(axis=2)  # [S, P, h, d]
+        maxs = kmax.reshape(bound_shape).max(axis=2)
+        with np.errstate(invalid="ignore"):
+            upper = np.maximum(
+                queries[:, None] * mins, queries[:, None] * maxs
+            )
+            return upper.sum(axis=-1).mean(axis=-1)  # [S, P]
+
+    def _pick_pages(self, page_scores: np.ndarray, n: int) -> np.ndarray:
+        """Token indices selected from one member's page-score row."""
+        num_pages = math.ceil(n / self.page_size)
+        if num_pages <= self.num_pages:
+            return np.arange(n, dtype=np.int64)
+        chosen_pages = top_k_indices(page_scores[:num_pages], self.num_pages)
+        chosen = set(int(p) for p in chosen_pages)
+        chosen.add(num_pages - 1)
+        selected = np.concatenate(
+            [
+                np.arange(
+                    p * self.page_size, min((p + 1) * self.page_size, n)
+                )
+                for p in sorted(chosen)
+            ]
+        )
+        return np.sort(selected).astype(np.int64)
 
     # ------------------------------------------------------------------
     def _page_bounds(self, keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray, List[np.ndarray]]:

@@ -12,11 +12,12 @@ token and all cached tokens are attended to.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from ..attention import attention_output
+from ..group_decode import batched_group_attention, gather_group_kv
 from ..kv_pool import PagedKVPool
 from ..policy import KVCachePolicy, StepRecord
 from ..static_pruning import accumulated_scores_from_attention
@@ -172,6 +173,61 @@ class SnapKVPolicy(KVCachePolicy):
             )
         )
         return output
+
+    def decode_step_group(
+        self,
+        queries: np.ndarray,
+        keys: np.ndarray,
+        values: np.ndarray,
+        positions: Sequence[int],
+        group: Sequence["KVCachePolicy"],
+    ) -> Optional[np.ndarray]:
+        """Vectorized decode: SnapKV never evicts after prefill, so the
+        span is one padded gather (position-sorted per member, matching the
+        serial read order) plus one batched masked attention call."""
+        order_lists: List[List[int]] = []
+        slot_lists: List[np.ndarray] = []
+        for policy, key, value, position in zip(group, keys, values, positions):
+            store = policy._store
+            store.put(
+                int(position),
+                np.asarray(key, dtype=np.float64),
+                np.asarray(value, dtype=np.float64),
+            )
+            stored = store.positions()
+            as_array = np.asarray(stored, dtype=np.int64)
+            ascending = bool((np.diff(as_array) > 0).all())
+            if store.insertion_slots_are_sequential and ascending:
+                # Prefill inserts sorted and decode positions only grow,
+                # so insertion order *is* position order and the
+                # never-recycled store maps it onto slots 0..n-1.
+                order_lists.append(stored)
+                slot_lists.append(np.arange(len(stored), dtype=np.int64))
+            else:
+                order = sorted(stored)
+                order_lists.append(order)
+                slot_lists.append(store.slots_of(order))
+        tables = [policy._store.block_table for policy in group]
+        gathered_k, gathered_v, lengths, valid = gather_group_kv(
+            tables, slot_lists
+        )
+        scales = np.asarray([policy.scale for policy in group], dtype=np.float64)
+        outputs, _ = batched_group_attention(
+            np.asarray(queries, dtype=np.float64),
+            gathered_k,
+            gathered_v,
+            valid,
+            scales=scales,
+        )
+        for policy, position, size in zip(group, positions, lengths):
+            policy.stats.record(
+                StepRecord(
+                    position=int(position),
+                    cache_size=int(size),
+                    num_attended=int(size),
+                )
+            )
+        return outputs
 
     def cached_positions(self) -> np.ndarray:
         return np.asarray(sorted(self._store.positions()), dtype=np.int64)

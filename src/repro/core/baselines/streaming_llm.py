@@ -15,11 +15,12 @@ recycled as the window slides, so the store never outgrows
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional
+from typing import Deque, List, Optional, Sequence
 
 import numpy as np
 
 from ..attention import attention_output
+from ..group_decode import batched_group_attention, gather_group_kv
 from ..kv_pool import PagedKVPool, SharedKVPages
 from ..policy import KVCachePolicy, StepRecord
 
@@ -186,6 +187,68 @@ class StreamingLLMPolicy(KVCachePolicy):
             )
         )
         return output
+
+    def decode_step_group(
+        self,
+        queries: np.ndarray,
+        keys: np.ndarray,
+        values: np.ndarray,
+        positions: Sequence[int],
+        group: Sequence["KVCachePolicy"],
+    ) -> Optional[np.ndarray]:
+        """Vectorized sink+window decode for a whole policy group.
+
+        The drop-then-put window slide is pure index arithmetic per member
+        (evict the window head iff the window is at capacity, append the
+        new position); the expensive parts — the K/V reads and the masked
+        softmax attention — collapse into one padded group gather and one
+        batched attention call over ``[S, T_max]``.
+        """
+        evicted: List[Optional[int]] = []
+        order_lists: List[List[int]] = []
+        for policy, key, value, position in zip(group, keys, values, positions):
+            victim: Optional[int] = None
+            if len(policy._window_positions) == policy.window:
+                victim = policy._window_positions.popleft()
+                policy._store.drop(victim)
+            policy._window_positions.append(int(position))
+            policy._store.put(
+                int(position),
+                np.asarray(key, dtype=np.float64),
+                np.asarray(value, dtype=np.float64),
+            )
+            evicted.append(victim)
+            order_lists.append(
+                policy._sink_positions + list(policy._window_positions)
+            )
+        tables = [policy._store.block_table for policy in group]
+        slot_lists = [
+            policy._store.slots_of(order)
+            for policy, order in zip(group, order_lists)
+        ]
+        gathered_k, gathered_v, lengths, valid = gather_group_kv(
+            tables, slot_lists
+        )
+        scales = np.asarray([policy.scale for policy in group], dtype=np.float64)
+        outputs, _ = batched_group_attention(
+            np.asarray(queries, dtype=np.float64),
+            gathered_k,
+            gathered_v,
+            valid,
+            scales=scales,
+        )
+        for policy, position, size, victim in zip(
+            group, positions, lengths, evicted
+        ):
+            policy.stats.record(
+                StepRecord(
+                    position=int(position),
+                    cache_size=int(size),
+                    num_attended=int(size),
+                    evicted_position=victim,
+                )
+            )
+        return outputs
 
     def cached_positions(self) -> np.ndarray:
         positions = self._sink_positions + list(self._window_positions)

@@ -24,11 +24,11 @@ application-level evaluations are tied together.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from .attention import head_mean_scores, sparse_attention_output
+from .attention import head_mean_scores, sparse_attention_output, top_k_indices
 from .config import PruningConfig
 from .dynamic_pruning import (
     CAMApproximateSelector,
@@ -36,6 +36,7 @@ from .dynamic_pruning import (
     SelectionResult,
     TopKSelector,
 )
+from .group_decode import batched_group_attention, gather_group_kv
 from .kv_cache import SlotKVCache
 from .policy import KVCachePolicy, StepRecord
 from .static_pruning import (
@@ -233,6 +234,189 @@ class UniCAIMPolicy(KVCachePolicy):
         )
         return output
 
+    def decode_step_group(
+        self,
+        queries: np.ndarray,
+        keys: np.ndarray,
+        values: np.ndarray,
+        positions: Sequence[int],
+        group: Sequence["KVCachePolicy"],
+    ) -> Optional[np.ndarray]:
+        """Vectorized hybrid decode for a whole policy group.
+
+        Per member only the cheap scalar bookkeeping remains (insert /
+        static-evict into the slot cache, already vectorized internally);
+        the heavy math is batched: one padded gather over every member's
+        slot cache, the selector's similarity GEMM computed as one
+        ``[S, h, T]`` tensor (for the CAM selector the quantise-and-match
+        runs across all member score tables, with each member's per-call
+        normalisation and sense-noise draw preserved), and one batched
+        masked attention over the dynamically selected tokens.
+
+        Returns ``None`` (before touching any state) for selector types the
+        batched match does not know — such groups run the per-sequence
+        loop.
+        """
+        selector_type = type(self.selector)
+        if selector_type not in (ExactTopKSelector, CAMApproximateSelector):
+            return None
+        if any(type(policy.selector) is not selector_type for policy in group):
+            return None
+
+        queries = np.asarray(queries, dtype=np.float64)
+        victims = self._group_choose_victims(group, positions)
+        evicted: List[Optional[int]] = []
+        for row, (policy, key, value, position) in enumerate(
+            zip(group, keys, values, positions)
+        ):
+            evicted.append(
+                policy._insert_generated(
+                    np.asarray(key, dtype=np.float64),
+                    np.asarray(value, dtype=np.float64),
+                    int(position),
+                    victim_position=None if victims is None else victims[row],
+                )
+            )
+        tables = [policy.cache.block_table for policy in group]
+        slot_lists = [policy.cache.occupied_slots() for policy in group]
+        position_arrays = [policy.cache.token_positions() for policy in group]
+        gathered_k, gathered_v, lengths, valid = gather_group_kv(
+            tables, slot_lists
+        )
+        keys64 = np.asarray(gathered_k, dtype=np.float64)
+
+        # Exact similarity of every member at once: one [S, h, T] GEMM,
+        # head-mean-reduced to the per-token score tables.
+        exact_raw = np.einsum("sthd,shd->sht", keys64, queries)
+        exact_mean = exact_raw.mean(axis=1)  # [S, T]
+        if selector_type is CAMApproximateSelector:
+            # Quantisation is normalised per call (each member's own key
+            # statistics), then the CAM match is one batched GEMM.
+            quant_q = np.stack(
+                [
+                    policy.selector.quantize_query(queries[row])
+                    for row, policy in enumerate(group)
+                ]
+            )
+            quant_k = np.zeros_like(keys64)
+            for row, policy in enumerate(group):
+                size = int(lengths[row])
+                quant_k[row, :size] = policy.selector.quantize_keys(
+                    keys64[row, :size]
+                )
+            match_mean = np.einsum("sthd,shd->sht", quant_k, quant_q).mean(
+                axis=1
+            )
+
+        # Per-member ranking scores as one [S, T] table.  For the exact
+        # selector without a private scale this *is* the exact score table;
+        # CAM rows get each member's sense-noise draw added in place.
+        plain_exact = selector_type is ExactTopKSelector and all(
+            policy.selector.scale is None for policy in group
+        )
+        if selector_type is CAMApproximateSelector:
+            for row, policy in enumerate(group):
+                config = policy.selector.config
+                if config.sense_noise_sigma > 0.0:
+                    size = int(lengths[row])
+                    match_mean[row, :size] += policy.selector._rng.normal(
+                        0.0, config.sense_noise_sigma, size=size
+                    )
+            rank_mat = match_mean
+        elif plain_exact:
+            rank_mat = exact_mean
+        else:
+            rank_mat = None
+        if rank_mat is not None:
+            # One stable argsort over the whole group: descending score
+            # with index tie-break, exactly ``top_k_indices`` per row
+            # (padding ranks last as +inf).
+            order_mat = np.argsort(
+                np.where(valid, -rank_mat, np.inf), axis=1, kind="stable"
+            )
+
+        select = np.zeros_like(valid)
+        selections: List[SelectionResult] = []
+        for row, policy in enumerate(group):
+            size = int(lengths[row])
+            top_k = policy.config.effective_top_k(size)
+            exact_scores = exact_mean[row, :size]
+            if rank_mat is not None:
+                selection = SelectionResult(
+                    selected_indices=order_mat[row, :top_k],
+                    scores=rank_mat[row, :size],
+                    exact_scores=exact_scores,
+                )
+            else:
+                # Mixed-scale exact selectors in one group: rank each
+                # member with its own selector semantics.  A private scale
+                # multiplies the per-head scores *before* the head mean
+                # (the serial rounding order); scale-less members rank the
+                # plain head-mean scores.
+                if policy.selector.scale is None:
+                    scores = exact_scores
+                else:
+                    scores = (
+                        exact_raw[row, :, :size] * float(policy.selector.scale)
+                    ).mean(axis=0)
+                selection = SelectionResult(
+                    selected_indices=top_k_indices(scores, top_k),
+                    scores=scores,
+                    exact_scores=scores.copy(),
+                )
+            selections.append(selection)
+            select[row, selection.selected_indices] = True
+
+        scales = np.asarray([policy.scale for policy in group], dtype=np.float64)
+        outputs, _ = batched_group_attention(
+            queries,
+            gathered_k,
+            gathered_v,
+            select,
+            scales=scales,
+            raw_scores=exact_raw,
+        )
+
+        # Charge-accumulation update, batched: the softmax-normalised step
+        # scores of every member come from one masked [S, T] pass over the
+        # already-computed exact score tables (valid whenever the selector
+        # reports plain head-mean exact scores — always for CAM, and for
+        # the exact selector unless it carries its own scale).
+        step_scores = None
+        batched_accumulate = selector_type is CAMApproximateSelector or all(
+            policy.selector.scale is None for policy in group
+        )
+        if batched_accumulate and any(
+            policy.config.use_softmax_scores for policy in group
+        ):
+            masked = np.where(valid, exact_mean * scales[:, None], -np.inf)
+            weights = np.exp(masked - masked.max(axis=1, keepdims=True))
+            sums = np.maximum(weights.sum(axis=1, keepdims=True), 1e-12)
+            step_scores = weights / sums
+
+        for row, (policy, position, victim, selection) in enumerate(
+            zip(group, positions, evicted, selections)
+        ):
+            if step_scores is not None and policy.config.use_softmax_scores:
+                slots = slot_lists[row]
+                if policy.config.score_decay != 1.0:
+                    policy._slot_scores[slots] *= policy.config.score_decay
+                policy._slot_scores[slots] += step_scores[row, : int(lengths[row])]
+            else:
+                policy._accumulate_step_scores(selection)
+            policy.stats.record(
+                StepRecord(
+                    position=int(position),
+                    cache_size=int(lengths[row]),
+                    num_attended=selection.k,
+                    evicted_position=victim,
+                    selected_positions=position_arrays[row][
+                        selection.selected_indices
+                    ],
+                )
+            )
+        return outputs
+
     def cached_positions(self) -> np.ndarray:
         return self.cache.token_positions()
 
@@ -264,16 +448,27 @@ class UniCAIMPolicy(KVCachePolicy):
     # Internals
     # ------------------------------------------------------------------
     def _insert_generated(
-        self, key: np.ndarray, value: np.ndarray, position: int
+        self,
+        key: np.ndarray,
+        value: np.ndarray,
+        position: int,
+        victim_position: Optional[int] = None,
     ) -> Optional[int]:
-        """Write the new token's KV pair, statically evicting if the cache is full."""
+        """Write the new token's KV pair, statically evicting if the cache is full.
+
+        ``victim_position`` short-circuits the victim search with a
+        precomputed choice (the batched group-decode path selects every
+        member's victim in one masked reduction); it must equal what
+        :meth:`_choose_eviction_victim` would return.
+        """
         self._generated_count += 1
         if not self.cache.is_full:
             slot = self.cache.append(key, value, position, is_heavy=False)
             self._slot_scores[slot] = 0.0
             return None
 
-        victim_position = self._choose_eviction_victim(position)
+        if victim_position is None:
+            victim_position = self._choose_eviction_victim(position)
         victim_slot = self.cache.slot_of_position(victim_position)
         assert victim_slot is not None
         victim_score = float(self._slot_scores[victim_slot])
@@ -288,6 +483,60 @@ class UniCAIMPolicy(KVCachePolicy):
             )
         )
         return victim_position
+
+    @staticmethod
+    def _group_choose_victims(
+        group: Sequence["UniCAIMPolicy"], positions: Sequence[int]
+    ) -> Optional[List[Optional[int]]]:
+        """Every member's static-eviction victim in one masked reduction.
+
+        A full slot cache has every slot occupied, so its in-slot-order
+        position and accumulated-score arrays stack directly into
+        ``[S, capacity]`` matrices; the serial rule — lowest accumulated
+        score among unprotected tokens, ties toward the earliest position
+        — becomes a masked min plus a tie-break min (comparisons only, so
+        the choice is bit-identical to :meth:`_choose_eviction_victim`).
+        Returns ``None`` (per-member fallback) for heterogeneous
+        capacities; members with free slots get a ``None`` victim.
+        """
+        full_rows = [
+            row for row, policy in enumerate(group) if policy.cache.is_full
+        ]
+        if len(full_rows) < 2:
+            return None
+        if len({group[row].cache.capacity for row in full_rows}) != 1:
+            return None
+        # Full caches: occupied slots are 0..capacity-1, so the cached
+        # in-slot-order views stack without any per-member gather.
+        pos_mat = np.stack(
+            [group[row].cache.token_positions() for row in full_rows]
+        )
+        score_mat = np.stack([group[row]._slot_scores for row in full_rows])
+        sinks = np.asarray(
+            [group[row].config.sink_tokens for row in full_rows]
+        )[:, None]
+        recents = np.asarray(
+            [group[row].config.recent_protect for row in full_rows]
+        )[:, None]
+        incoming = np.asarray([int(positions[row]) for row in full_rows])[
+            :, None
+        ]
+        protected = (pos_mat < sinks) | (
+            (recents > 0) & (pos_mat >= incoming - recents)
+        )
+        candidates = ~protected
+        all_protected = ~candidates.any(axis=1)
+        candidates[all_protected] = True
+        masked_scores = np.where(candidates, score_mat, np.inf)
+        best = masked_scores.min(axis=1, keepdims=True)
+        tie_positions = np.where(
+            masked_scores == best, pos_mat, np.iinfo(np.int64).max
+        )
+        victim_positions = tie_positions.min(axis=1)
+        victims: List[Optional[int]] = [None] * len(group)
+        for index, row in enumerate(full_rows):
+            victims[row] = int(victim_positions[index])
+        return victims
 
     def _choose_eviction_victim(self, incoming_position: int) -> int:
         """Token position with the lowest accumulated score, honouring protections.

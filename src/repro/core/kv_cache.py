@@ -405,6 +405,16 @@ class SlotKVCache:
     def pages_held(self) -> int:
         return self._table.pages_held()
 
+    @property
+    def block_table(self) -> BlockTable:
+        """The slot -> pool-page mapping (for batched group gathers).
+
+        Combined with :meth:`occupied_slots`, this lets
+        :func:`~repro.core.kv_pool.gather_padded` read many caches' rows
+        with one pool gather per shared arena instead of one per cache.
+        """
+        return self._table
+
     def shared_page_count(self) -> int:
         """Held pages currently shared with another table or cache entry."""
         return self._table.shared_page_count()

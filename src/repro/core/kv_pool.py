@@ -341,6 +341,9 @@ class BlockTable:
     def __init__(self, pool: PagedKVPool) -> None:
         self.pool = pool
         self._pages: List[int] = []
+        # Cached ndarray mirror of ``_pages`` for the gather hot path
+        # (rebuilt lazily after block-map mutations).
+        self._pages_array: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     @property
@@ -410,6 +413,7 @@ class BlockTable:
             raise ValueError("cannot adopt pages from a different pool")
         shared.incref()
         self._pages = list(shared.page_ids)
+        self._pages_array = None
         self.pool.stats.prefix_pages_adopted += len(shared.page_ids)
 
     def write(self, slot: int, key: np.ndarray, value: np.ndarray) -> None:
@@ -441,15 +445,15 @@ class BlockTable:
             written += take
 
     def gather_keys(self, slots: np.ndarray) -> np.ndarray:
-        pages, offsets = self._locate(slots)
+        pages, offsets = self.locate(slots)
         return self.pool.gather_keys(pages, offsets)
 
     def gather_values(self, slots: np.ndarray) -> np.ndarray:
-        pages, offsets = self._locate(slots)
+        pages, offsets = self.locate(slots)
         return self.pool.gather_values(pages, offsets)
 
     def gather(self, slots: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-        pages, offsets = self._locate(slots)
+        pages, offsets = self.locate(slots)
         return (
             self.pool.gather_keys(pages, offsets),
             self.pool.gather_values(pages, offsets),
@@ -458,6 +462,7 @@ class BlockTable:
     def release(self) -> None:
         """Drop every page reference held by this table (idempotent)."""
         pages, self._pages = self._pages, []
+        self._pages_array = None
         for page in pages:
             if page != self._MISSING:
                 self.pool.decref(page)
@@ -473,6 +478,7 @@ class BlockTable:
         if any(page == self._MISSING for page in self._pages):
             raise RuntimeError("cannot detach a block table with holes")
         pages, self._pages = tuple(self._pages), []
+        self._pages_array = None
         return pages
 
     # ------------------------------------------------------------------
@@ -482,28 +488,120 @@ class BlockTable:
         block, offset = divmod(slot, self.pool.page_size)
         while len(self._pages) <= block:
             self._pages.append(self._MISSING)
+            self._pages_array = None
         page = self._pages[block]
         if page == self._MISSING:
             page = self.pool.alloc()
             self._pages[block] = page
+            self._pages_array = None
         elif self.pool.is_shared(page):
             split = self.pool.copy_page(page)
             self.pool.decref(page)
             self._pages[block] = split
             page = split
+            self._pages_array = None
         return page, offset
 
-    def _locate(self, slots: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    def locate(self, slots: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Resolve logical slots into parallel ``(pages, offsets)`` arrays.
+
+        The pool-level address form consumed by
+        :meth:`PagedKVPool.gather_keys` / :meth:`~PagedKVPool.gather_values`
+        — and by :func:`gather_padded`, which concatenates the addresses of
+        many tables sharing one pool into a single arena gather.
+        """
         slots = np.asarray(slots, dtype=np.int64)
         blocks = slots // self.pool.page_size
         offsets = slots - blocks * self.pool.page_size
-        table = np.asarray(self._pages, dtype=np.int64)
+        table = self._pages_array
+        if table is None:
+            table = np.asarray(self._pages, dtype=np.int64)
+            self._pages_array = table
         if slots.size and (blocks.max(initial=-1) >= table.size):
             raise IndexError("gather of a slot beyond the block table")
         pages = table[blocks] if table.size else blocks.copy()
         if slots.size and (pages == self._MISSING).any():
             raise ValueError("gather of a slot whose page was never written")
         return pages, offsets
+
+
+def gather_padded(
+    tables: Sequence[BlockTable],
+    slot_lists: Sequence[Sequence[int]],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Batched multi-sequence gather into padded ``[S, T_max, h, d]`` tensors.
+
+    ``tables[s]`` is sequence ``s``'s block table and ``slot_lists[s]`` the
+    slots to read, in the order the sequence's policy wants them.  Members
+    are bucketed by backing pool; each pool is read with **one** fancy-
+    indexed arena gather over 2-D padded ``(page, offset)`` index arrays,
+    which lands rows *directly* in the padded layout — no intermediate
+    flat copy, and on the serving engine's shared per-layer arena a whole
+    policy group costs a single gather instead of one per sequence.
+    Standalone policies with private pools degrade gracefully to one
+    gather each.
+
+    Returns ``(keys [S, T, h, d], values [S, T, h, d], lengths [S])`` in
+    the pools' storage dtype.  Rows at or beyond ``lengths[s]`` hold
+    **arbitrary pool data** (the padding indices alias row 0 of an
+    allocated page): consumers must mask the tail — every batched group
+    consumer scores padding ``-inf`` (softmax weight exactly ``0.0``) or
+    slices ``[:lengths[s]]``, so padded garbage can never reach an output.
+    """
+    if len(tables) != len(slot_lists):
+        raise ValueError("tables and slot_lists must agree on batch size")
+    count = len(tables)
+    if count == 0:
+        raise ValueError("gather_padded requires at least one sequence")
+    slot_arrays = [np.asarray(s, dtype=np.int64) for s in slot_lists]
+    lengths = np.asarray([s.size for s in slot_arrays], dtype=np.int64)
+    t_max = int(lengths.max())
+    pool0 = tables[0].pool
+    by_pool: Dict[int, Tuple[PagedKVPool, list]] = {}
+    for row, (table, slots) in enumerate(zip(tables, slot_arrays)):
+        if table.pool.num_heads != pool0.num_heads or (
+            table.pool.head_dim != pool0.head_dim
+        ):
+            raise ValueError("all pools must share the K/V row geometry")
+        if table.pool.dtype != pool0.dtype:
+            # A silent cast here would make the padded tensor diverge from
+            # what each member's own gather returns.
+            raise ValueError("all pools must share the storage dtype")
+        by_pool.setdefault(id(table.pool), (table.pool, []))[1].append(
+            (row, table, slots)
+        )
+
+    keys: Optional[np.ndarray] = None
+    values: Optional[np.ndarray] = None
+    for pool, members in by_pool.values():
+        member_count = len(members)
+        pages = np.empty((member_count, t_max), dtype=np.int64)
+        offsets = np.empty((member_count, t_max), dtype=np.int64)
+        for i, (_row, table, slots) in enumerate(members):
+            size = slots.size
+            member_pages, member_offsets = table.locate(slots)
+            pages[i, :size] = member_pages
+            offsets[i, :size] = member_offsets
+            if size < t_max:
+                # Alias the member's own first page for the padding tail:
+                # a guaranteed-allocated address whose (masked) data is
+                # never read.
+                pages[i, size:] = member_pages[0] if size else 0
+                offsets[i, size:] = 0
+        gathered_k = pool.gather_keys(pages, offsets)  # [m, T, h, d]
+        gathered_v = pool.gather_values(pages, offsets)
+        if len(by_pool) == 1:
+            # All sequences share one arena (the serving layout): the
+            # gather result *is* the padded tensor — zero extra copies.
+            return gathered_k, gathered_v, lengths
+        if keys is None:
+            shape = (count, t_max, pool0.num_heads, pool0.head_dim)
+            keys = np.empty(shape, dtype=pool0.dtype)
+            values = np.empty(shape, dtype=pool0.dtype)
+        rows = [row for row, _table, _slots in members]
+        keys[rows] = gathered_k
+        values[rows] = gathered_v
+    return keys, values, lengths
 
 
 class PagedKVStore:
@@ -540,6 +638,7 @@ class PagedKVStore:
         self._slot_of: Dict[int, int] = {}
         self._free_slots: List[int] = []
         self._high_water = 0
+        self._ever_freed = False
 
     def __len__(self) -> int:
         return len(self._slot_of)
@@ -550,6 +649,36 @@ class PagedKVStore:
     def positions(self) -> List[int]:
         """Stored positions in insertion order."""
         return list(self._slot_of)
+
+    @property
+    def block_table(self) -> BlockTable:
+        """The slot -> pool-page mapping (for batched group gathers)."""
+        return self._table
+
+    @property
+    def insertion_slots_are_sequential(self) -> bool:
+        """True while no slot has ever been recycled.
+
+        Slots are assigned sequentially, so until the first :meth:`drop`
+        the ``i``-th inserted position lives in slot ``i`` — an
+        insertion-order gather can address slots ``0..len-1`` directly,
+        skipping the per-position map walk (the group-decode hot path of
+        the append-only policies).
+        """
+        return not self._ever_freed
+
+    def slots_of(self, positions: Sequence[int]) -> np.ndarray:
+        """Physical slots of ``positions``, in exactly the order given.
+
+        Paired with :attr:`block_table`, this lets
+        :func:`gather_padded` read many sequences' rows with one pool
+        gather instead of one :meth:`gather` per sequence.
+        """
+        return np.fromiter(
+            map(self._slot_of.__getitem__, map(int, positions)),
+            dtype=np.int64,
+            count=len(positions),
+        )
 
     def pages_held(self) -> int:
         return self._table.pages_held()
@@ -592,15 +721,13 @@ class PagedKVStore:
         """Forget ``position`` and recycle its slot."""
         slot = self._slot_of.pop(int(position))
         self._free_slots.append(slot)
+        self._ever_freed = True
 
     def gather(
         self, positions: Sequence[int]
     ) -> Tuple[np.ndarray, np.ndarray]:
         """``(keys [n, h, d], values)`` in exactly the order given."""
-        slots = np.asarray(
-            [self._slot_of[int(p)] for p in positions], dtype=np.int64
-        )
-        return self._table.gather(slots)
+        return self._table.gather(self.slots_of(positions))
 
     def adopt_prefix(self, shared: SharedKVPages) -> None:
         """Zero-copy adoption of a shared prefix covering positions 0..p-1.
@@ -677,6 +804,7 @@ class PagedKVStore:
         self._slot_of = {}
         self._free_slots = []
         self._high_water = 0
+        self._ever_freed = False
 
     release = clear
 
@@ -781,4 +909,5 @@ __all__ = [
     "PoolExhaustedError",
     "PoolStats",
     "SharedKVPages",
+    "gather_padded",
 ]

@@ -39,11 +39,12 @@ from __future__ import annotations
 import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from .attention import attention_output
+from .group_decode import batched_group_attention, gather_group_kv
 from .kv_pool import PagedKVPool, PagedKVStore, SharedKVPages
 
 
@@ -123,6 +124,33 @@ class KVCachePolicy(ABC):
         position: int,
     ) -> np.ndarray:
         """Process one generated token and return the attention output [h, d]."""
+
+    def decode_step_group(
+        self,
+        queries: np.ndarray,
+        keys: np.ndarray,
+        values: np.ndarray,
+        positions: Sequence[int],
+        group: Sequence["KVCachePolicy"],
+    ) -> Optional[np.ndarray]:
+        """One *vectorized* decode step for a policy-homogeneous group.
+
+        ``group`` holds the per-sequence policy instances of one decode
+        span (``self`` is ``group[0]``); ``queries``/``keys``/``values``
+        are the stacked per-sequence projections ``[S, h, d]`` and
+        ``positions[s]`` the logical position of member ``s``'s new token.
+        An override must be observably equivalent to ``S`` independent
+        :meth:`decode_step` calls — same outputs, same stored rows, same
+        :class:`PolicyStats` — it only batches the math, and must return
+        ``None`` *before* mutating any member state if it cannot serve the
+        group (the caller then falls back to the per-sequence loop).
+
+        The base implementation returns ``None`` (no vectorized path), so
+        policies without an override keep working through the loop; see
+        :func:`repro.core.group_decode.supports_group_decode` for the
+        subclass-safety rule applied by the dispatcher.
+        """
+        return None
 
     @abstractmethod
     def cached_positions(self) -> np.ndarray:
@@ -449,6 +477,35 @@ class WholePromptStoreMixin:
     def prompt_page_run(self, length: int) -> Optional[SharedKVPages]:
         return self._store.share_prefix(length)
 
+    def _group_insert_and_gather(self, keys, values, positions, group):
+        """Commit each member's new K/V row, then gather the whole group.
+
+        The writes stay per-member (each sequence's block table allocates /
+        copy-on-write splits independently); the reads collapse into one
+        padded :func:`~repro.core.group_decode.gather_group_kv` — a single
+        arena gather when the group shares the engine's per-layer pool.
+        """
+        for policy, key, value, position in zip(group, keys, values, positions):
+            policy._store.put(
+                int(position),
+                np.asarray(key, dtype=np.float64),
+                np.asarray(value, dtype=np.float64),
+            )
+            policy._positions.append(int(position))
+        tables = [policy._store.block_table for policy in group]
+        slot_lists = []
+        for policy in group:
+            store = policy._store
+            if store.insertion_slots_are_sequential:
+                # ``_positions`` is the store's insertion order, so the
+                # never-recycled store maps it onto slots 0..n-1 directly.
+                slot_lists.append(
+                    np.arange(len(policy._positions), dtype=np.int64)
+                )
+            else:
+                slot_lists.append(store.slots_of(policy._positions))
+        return gather_group_kv(tables, slot_lists)
+
     def reset(self) -> None:
         super().reset()
         self._store.clear()
@@ -496,6 +553,34 @@ class FullCachePolicy(WholePromptStoreMixin, KVCachePolicy):
             )
         )
         return output
+
+    def decode_step_group(
+        self,
+        queries: np.ndarray,
+        keys: np.ndarray,
+        values: np.ndarray,
+        positions: Sequence[int],
+        group: Sequence["KVCachePolicy"],
+    ) -> Optional[np.ndarray]:
+        """Vectorized full-cache decode: every member attends to all of its
+        cached tokens, so the span is one padded gather plus one batched
+        masked attention call."""
+        gathered_k, gathered_v, lengths, valid = self._group_insert_and_gather(
+            keys, values, positions, group
+        )
+        scales = np.asarray([policy.scale for policy in group], dtype=np.float64)
+        outputs, _ = batched_group_attention(
+            queries, gathered_k, gathered_v, valid, scales=scales
+        )
+        for policy, position, size in zip(group, positions, lengths):
+            policy.stats.record(
+                StepRecord(
+                    position=int(position),
+                    cache_size=int(size),
+                    num_attended=int(size),
+                )
+            )
+        return outputs
 
 
 __all__ = [

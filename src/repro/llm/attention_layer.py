@@ -18,6 +18,7 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 
 from ..core.attention import merge_heads, softmax
+from ..core.group_decode import GroupDecodeStats, run_group_decode
 from ..core.policy import KVCachePolicy
 
 
@@ -354,6 +355,47 @@ class MultiHeadSelfAttention:
                 for b, policy in enumerate(policies)
             ],
             axis=0,
+        )
+        return head_out.reshape(batch, hd) @ w_o
+
+    def decode_group(
+        self,
+        x: np.ndarray,
+        positions: Sequence[int],
+        policies: Sequence[KVCachePolicy],
+        groups: Optional[Sequence[Tuple[str, int, int]]] = None,
+        telemetry: Optional[GroupDecodeStats] = None,
+    ) -> np.ndarray:
+        """One decoding step for ``B`` sequences with per-group vectorization.
+
+        Like :meth:`decode_batched` — one packed Q/K/V GEMM across the
+        whole step and one packed output GEMM — but the per-sequence
+        ``decode_step`` loop in the middle is replaced by one
+        :meth:`~repro.core.policy.KVCachePolicy.decode_step_group` call per
+        policy-homogeneous span of ``groups`` (spans ``(key, start,
+        length)`` over the batch order; derived from contiguous same-policy
+        runs when ``None``).  Spans whose policy lacks a vectorized
+        override — and singleton spans, where batching buys nothing — fall
+        back to the per-sequence loop, so arbitrary policy subclasses keep
+        working.  Dispatch counts land in ``telemetry``.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.model_dim:
+            raise ValueError(f"x must be [batch, {self.model_dim}]")
+        if not (x.shape[0] == len(positions) == len(policies)):
+            raise ValueError("x, positions and policies must agree on batch size")
+        batch = x.shape[0]
+        hd = self.num_heads * self.head_dim
+        w_qkv, w_o = self._packed_weights()
+        qkv = (x @ w_qkv).reshape(batch, 3, self.num_heads, self.head_dim)
+        head_out = run_group_decode(
+            qkv[:, 0],
+            qkv[:, 1],
+            qkv[:, 2],
+            positions,
+            policies,
+            spans=groups,
+            telemetry=telemetry,
         )
         return head_out.reshape(batch, hd) @ w_o
 

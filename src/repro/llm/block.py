@@ -130,6 +130,29 @@ class TransformerBlock:
         x = x + self.mlp.forward(self._norm(x))
         return x
 
+    def decode_group(
+        self,
+        x: np.ndarray,
+        positions: Sequence[int],
+        policies: Sequence[KVCachePolicy],
+        groups=None,
+        telemetry=None,
+    ) -> np.ndarray:
+        """Group-vectorized variant of :meth:`decode_batched`.
+
+        Same packed projections, layernorm and MLP broadcast; the
+        attention layer executes each policy-homogeneous span of ``groups``
+        as one vectorized ``decode_step_group`` call (see
+        :meth:`MultiHeadSelfAttention.decode_group`).
+        """
+        attn_in = self._norm(x)
+        attn_out = self.attention.decode_group(
+            attn_in, positions, policies, groups, telemetry
+        )
+        x = np.asarray(x, dtype=np.float64) + attn_out
+        x = x + self.mlp.forward(self._norm(x))
+        return x
+
     def parameter_count(self) -> int:
         return self.attention.parameter_count() + self.mlp.parameter_count()
 

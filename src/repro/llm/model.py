@@ -16,6 +16,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..core.group_decode import GroupDecodeStats, group_spans_for
 from ..core.kv_pool import KVPoolGroup, SharedKVPages
 from ..core.policy import FullCachePolicy, KVCachePolicy
 from .attention_layer import MultiHeadSelfAttention
@@ -545,6 +546,9 @@ class TransformerLM:
         token_ids: Sequence[int],
         positions: Sequence[int],
         policies_per_sequence: Sequence[List[KVCachePolicy]],
+        groups: Optional[Sequence[Tuple[str, int, int]]] = None,
+        vectorize: bool = True,
+        telemetry: Optional[GroupDecodeStats] = None,
     ) -> np.ndarray:
         """Decode one token for each of ``B`` *independent* sequences.
 
@@ -555,6 +559,21 @@ class TransformerLM:
         :meth:`decode_step` calls.  Each policy's cached K/V rows are
         gathered through its block table over (possibly shared) pool pages
         — see :mod:`repro.core.kv_pool`.  Returns logits ``[B, vocab]``.
+
+        With ``vectorize`` (the default) this is a driver over *group
+        decode*: the batch is partitioned into policy-homogeneous spans —
+        ``groups`` as scheduled (the serving engine passes
+        :class:`~repro.serving.scheduler.ScheduleBatch` decode-group spans
+        ``(key, start, length)``), or contiguous same-policy runs when
+        ``None`` — and each span's selector/eviction/attention math runs
+        as **one** vectorized
+        :meth:`~repro.core.policy.KVCachePolicy.decode_step_group` call
+        per layer instead of ``S`` per-sequence ``decode_step`` calls.
+        Policies without a vectorized override (and singleton spans) fall
+        back to the per-sequence loop; dispatch counts accumulate in
+        ``telemetry``.  ``vectorize=False`` forces the per-sequence loop
+        everywhere — the reference the group path is benchmarked and
+        equivalence-tested against.
 
         A batch of one is routed through :meth:`decode_step` so that
         single-sequence generation is bit-for-bit the serial path.
@@ -575,10 +594,17 @@ class TransformerLM:
                 int(token_ids[0]), int(positions[0]), policies_per_sequence[0]
             )
             return logits[None, :]
+        if vectorize and groups is None:
+            groups = group_spans_for(policies_per_sequence)
         x = self.embed(token_ids, positions)  # [B, model_dim]
         for layer, block in enumerate(self.blocks):
             layer_policies = [p[layer] for p in policies_per_sequence]
-            x = block.decode_batched(x, positions, layer_policies)
+            if vectorize:
+                x = block.decode_group(
+                    x, positions, layer_policies, groups, telemetry
+                )
+            else:
+                x = block.decode_batched(x, positions, layer_policies)
         return self.logits_from_hidden(x)
 
     # ------------------------------------------------------------------

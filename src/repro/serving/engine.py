@@ -27,9 +27,22 @@ engine's :meth:`~BatchedEngine.step` is a thin execution loop around
   a giant prompt is absorbed a chunk at a time *between* decode steps, so
   in-flight sequences keep emitting tokens (no head-of-line blocking).
   Decode slots are ordered policy-homogeneously (same-policy sequences
-  contiguous; spans in ``stats()["scheduler"]["decode_groups"]``).
-  A sequence that exhausts its token budget is retired *without* feeding
-  its final token through the model — those logits would be discarded.
+  contiguous; spans in ``stats()["scheduler"]["decode_groups"]``) and each
+  span executes as **one** vectorized
+  :meth:`~repro.core.policy.KVCachePolicy.decode_step_group` call per
+  layer (see :mod:`repro.core.group_decode`) — per-step dispatch is
+  O(policy groups), not O(batch); cumulative ``group_calls`` /
+  ``fallback_calls`` / ``vectorized_sequences`` counters land in
+  ``stats()["scheduler"]``, and
+  ``SchedulerPolicy(vectorized_decode=False)`` restores the per-sequence
+  loop.  A sequence that exhausts its token budget is retired *without*
+  feeding its final token through the model — those logits would be
+  discarded.
+
+Requests may also be submitted from *other threads* while a serving
+thread drives the step loop: :meth:`BatchedEngine.submit_async` feeds the
+scheduler's locked pending queue and :meth:`BatchedEngine.run_until_idle`
+admits the new work at its next iteration boundary.
 
 Paged KV storage
 ----------------
@@ -84,6 +97,8 @@ from __future__ import annotations
 
 import itertools
 import math
+import threading
+import time
 from dataclasses import dataclass, field
 from typing import (
     TYPE_CHECKING,
@@ -96,6 +111,7 @@ from typing import (
 
 import numpy as np
 
+from ..core.group_decode import group_spans_for
 from ..core.kv_pool import KVPoolGroup
 from ..core.policy import KVCachePolicy, PolicyStats
 from .prefix_cache import PrefixCache
@@ -322,6 +338,10 @@ class BatchedEngine:
         self._submission_order: List[str] = []
         self._known_ids: Set[str] = set()
         self._ids = itertools.count()
+        # Serialises submissions (id allocation + bookkeeping) so
+        # :meth:`submit_async` may be called from other threads while the
+        # step loop runs; the scheduler's pending queue has its own lock.
+        self._submit_lock = threading.Lock()
         self._steps = 0
         self._admissions = 0
         self._decode_page_failures = 0
@@ -444,27 +464,38 @@ class BatchedEngine:
                 )
         if request.max_new_tokens < 0:
             raise ValueError("max_new_tokens must be >= 0")
-        request_id = request.request_id
-        if request_id is None:
-            request_id = f"req-{next(self._ids)}"
-        if request_id in self._known_ids:
-            raise ValueError(f"duplicate request id {request_id!r}")
-        self._known_ids.add(request_id)
-        queued = ServingRequest(
-            prompt_ids=prompt_ids,
-            max_new_tokens=int(request.max_new_tokens),
-            request_id=request_id,
-            stop_ids=(
-                frozenset(int(t) for t in request.stop_ids)
-                if request.stop_ids is not None
-                else None
-            ),
-            policy_factory=request.policy_factory,
-            keep_logits=request.keep_logits,
-        )
+        with self._submit_lock:
+            request_id = request.request_id
+            if request_id is None:
+                request_id = f"req-{next(self._ids)}"
+            if request_id in self._known_ids:
+                raise ValueError(f"duplicate request id {request_id!r}")
+            self._known_ids.add(request_id)
+            queued = ServingRequest(
+                prompt_ids=prompt_ids,
+                max_new_tokens=int(request.max_new_tokens),
+                request_id=request_id,
+                stop_ids=(
+                    frozenset(int(t) for t in request.stop_ids)
+                    if request.stop_ids is not None
+                    else None
+                ),
+                policy_factory=request.policy_factory,
+                keep_logits=request.keep_logits,
+            )
+            self._submission_order.append(request_id)
         self.scheduler.enqueue(queued)
-        self._submission_order.append(request_id)
         return request_id
+
+    def submit_async(self, request: ServingRequest) -> str:
+        """Thread-safe :meth:`submit` for admission from another thread.
+
+        The request lands in the scheduler's locked pending queue; the
+        stepping thread (e.g. one running :meth:`run_until_idle`) picks it
+        up at its next iteration boundary — continuous batching across
+        threads with no engine-side coordination beyond the queue handoff.
+        """
+        return self.submit(request)
 
     # ------------------------------------------------------------------
     # Prefill execution
@@ -740,10 +771,18 @@ class BatchedEngine:
             continuing = self._enforce_decode_pages(continuing, finished)
 
         if continuing:
+            # Stop/length/page filtering preserves the policy-grouped slot
+            # order, so contiguous same-policy runs over ``continuing`` are
+            # exactly the executed group spans.
+            vectorized = self.scheduler.policy.vectorized_decode
+            policy_stacks = [slot.policies for slot in continuing]
             logits_batch = self.model.decode_steps_batched(
                 [slot.generated[-1] for slot in continuing],
                 [slot.position for slot in continuing],
-                [slot.policies for slot in continuing],
+                policy_stacks,
+                groups=group_spans_for(policy_stacks) if vectorized else None,
+                vectorize=vectorized,
+                telemetry=self.scheduler.group_decode,
             )
             for row, slot in enumerate(continuing):
                 slot.logits = logits_batch[row]
@@ -803,6 +842,37 @@ class BatchedEngine:
         while self.has_work:
             self.step()
         return [self._completed[rid] for rid in self._submission_order]
+
+    def run_until_idle(
+        self,
+        stop: Optional[threading.Event] = None,
+        poll_interval: float = 0.0005,
+    ) -> List[ServingResponse]:
+        """Serve continuously, picking up :meth:`submit_async` requests.
+
+        The async-admission step loop: drives :meth:`step` while work
+        exists and, when idle, polls the (thread-safe) pending queue every
+        ``poll_interval`` seconds for requests enqueued from other threads
+        — each is admitted at the next iteration boundary, exactly like a
+        same-thread submission.  Returns once ``stop`` is set *and* all
+        accepted work has drained; ``stop=None`` degrades to :meth:`run`
+        (return at the first idle moment).
+
+        Returns every completed response in submission order.
+        """
+        while True:
+            if self.has_work:
+                self.step()
+                continue
+            if stop is None or stop.is_set():
+                break
+            time.sleep(poll_interval)
+        with self._submit_lock:
+            order = list(self._submission_order)
+        # A request racing in between the final idle check and `stop` being
+        # observed stays queued for the next serving loop; report only what
+        # completed.
+        return [self._completed[rid] for rid in order if rid in self._completed]
 
     def response(self, request_id: str) -> Optional[ServingResponse]:
         """The completed response for ``request_id`` (or ``None`` if in flight)."""

@@ -9,8 +9,11 @@ iteration-level scheduling: every engine step it emits one
 
 * **decode slots** — every active sequence advances one token, every step,
   unconditionally (decode never waits for prefill), ordered so that
-  same-policy sequences are contiguous (*policy-homogeneous grouping*, the
-  hook for batching selector math across sequences later); and
+  same-policy sequences are contiguous (*policy-homogeneous grouping*):
+  each span then executes its selector/eviction/attention math as one
+  vectorized ``decode_step_group`` call per layer (see
+  :mod:`repro.core.group_decode`) instead of per-sequence ``decode_step``
+  loops; and
 * **prefill chunks** — each in-flight prompt contributes at most the token
   budget left after decode (``SchedulerPolicy.max_tokens_per_step`` minus
   one token per active sequence), so a 10k-token prompt is absorbed over
@@ -51,6 +54,7 @@ generalised to chunked prefill).
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from dataclasses import dataclass, field
 from typing import (
@@ -62,6 +66,7 @@ from typing import (
     Tuple,
 )
 
+from ..core.group_decode import GroupDecodeStats, policy_group_key
 from ..core.kv_pool import KVPoolGroup, PoolExhaustedError
 from ..core.policy import KVCachePolicy
 from .prefix_cache import PrefixCache, SequencePrefix, common_prefix_length
@@ -90,11 +95,19 @@ class SchedulerPolicy:
         Order decode slots so same-policy sequences are contiguous and
         record the group spans in telemetry (stable: submission order is
         kept within a group).
+    vectorized_decode:
+        Execute each policy-group span's selector/eviction/attention math
+        as one batched ``decode_step_group`` call per layer (see
+        :mod:`repro.core.group_decode`) instead of per-sequence
+        ``decode_step`` loops.  ``False`` forces the per-sequence loop —
+        the reference path the group-vectorized decode is benchmarked and
+        equivalence-tested against.
     """
 
     max_tokens_per_step: Optional[int] = None
     min_prefill_tokens_per_step: int = 1
     group_by_policy: bool = True
+    vectorized_decode: bool = True
 
     def __post_init__(self) -> None:
         if self.max_tokens_per_step is not None and self.max_tokens_per_step < 1:
@@ -164,20 +177,9 @@ class ScheduleBatch:
     failures: List[Tuple["ServingRequest", Exception]] = field(default_factory=list)
 
 
-def policy_group_key(policies: List[KVCachePolicy]) -> str:
-    """Grouping key of one sequence's policy stack.
-
-    Class name of the layer-0 policy, refined by the selector type for
-    policies that carry one (UniCAIM exact vs CAM) — sequences with equal
-    keys run identical selector math, which is what a future batched
-    selector implementation needs to be contiguous.
-    """
-    head = policies[0]
-    key = type(head).__name__
-    selector = getattr(head, "selector", None)
-    if selector is not None:
-        key = f"{key}/{type(selector).__name__}"
-    return key
+# ``policy_group_key`` now lives with the batched group-decode machinery in
+# :mod:`repro.core.group_decode`; the import above keeps the serving-layer
+# path (`repro.serving.scheduler.policy_group_key`) working.
 
 
 class Scheduler:
@@ -206,6 +208,11 @@ class Scheduler:
         self.kv_pools = kv_pools
         self.prefix_cache = prefix_cache
         self._pending: Deque["ServingRequest"] = deque()
+        # Async admission seam: ``enqueue`` may be called from another
+        # thread while the engine's step loop runs, so every ``_pending``
+        # mutation goes through this lock.  Everything else remains
+        # single-threaded (owned by the stepping thread).
+        self._pending_lock = threading.Lock()
         self._prefilling: List[PrefillingSequence] = []
         self._active: List["SequenceSlot"] = []
         # telemetry
@@ -217,6 +224,11 @@ class Scheduler:
         self._budget_throttled_steps = 0
         self._last_decode_groups: List[Tuple[str, int, int]] = []
         self._grouped_decode_steps = 0
+        # Cumulative group-decode dispatch counters (the model layer
+        # accumulates into this record every step; unlike
+        # ``decode_groups``, which only reflects the last step, these
+        # survive across steps).
+        self.group_decode = GroupDecodeStats()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -246,6 +258,13 @@ class Scheduler:
         return self._infeasible_failures
 
     def stats(self) -> Dict[str, object]:
+        """Scheduler telemetry.  ``decode_groups`` reflects only the last
+        step's spans; ``group_calls`` / ``fallback_calls`` /
+        ``vectorized_sequences`` are the *cumulative* group-decode dispatch
+        counters (vectorized span calls per layer, per-sequence
+        ``decode_step`` dispatches, and sequence-steps served vectorized),
+        durable across steps.  Single-sequence decode steps ride the
+        bit-exact serial path and are not counted."""
         return {
             "max_tokens_per_step": self.policy.max_tokens_per_step,
             "prefill_chunks_scheduled": self._prefill_chunks_scheduled,
@@ -254,13 +273,24 @@ class Scheduler:
             "budget_throttled_steps": self._budget_throttled_steps,
             "decode_groups": list(self._last_decode_groups),
             "grouped_decode_steps": self._grouped_decode_steps,
+            "group_calls": self.group_decode.group_calls,
+            "fallback_calls": self.group_decode.fallback_calls,
+            "vectorized_sequences": self.group_decode.vectorized_sequences,
         }
 
     # ------------------------------------------------------------------
     # Queue / lifecycle transitions (driven by the engine)
     # ------------------------------------------------------------------
     def enqueue(self, request: "ServingRequest") -> None:
-        self._pending.append(request)
+        """Queue a request for admission (thread-safe).
+
+        This is the async-admission seam: an admission thread only needs
+        to feed this queue — the stepping thread drains it at the next
+        iteration boundary (:meth:`next_batch`), so no other scheduler
+        state is ever touched concurrently.
+        """
+        with self._pending_lock:
+            self._pending.append(request)
 
     def promote(self, seq: PrefillingSequence, slot: "SequenceSlot") -> None:
         """Move a fully prefilled sequence into the decode set."""
@@ -413,8 +443,11 @@ class Scheduler:
             self.remaining_page_totals() if self.kv_pools is not None else []
         )
         in_flight_prompts = [seq.prompt for seq in self._prefilling]
-        while self._pending and self._has_free_slot():
-            request = self._pending.popleft()
+        while self._has_free_slot():
+            with self._pending_lock:
+                if not self._pending:
+                    break
+                request = self._pending.popleft()
             prompt = [int(t) for t in request.prompt_ids]
             if cache is not None and in_flight_prompts:
                 intra = max(
@@ -499,8 +532,9 @@ class Scheduler:
             for layer, pages in enumerate(demand):
                 totals[layer] += pages
             in_flight_prompts.append(prompt)
-        for request in reversed(blocked + deferred):
-            self._pending.appendleft(request)
+        with self._pending_lock:
+            for request in reversed(blocked + deferred):
+                self._pending.appendleft(request)
 
     def _schedule_chunks(self) -> List[PrefillChunk]:
         """Split this step's prefill budget over in-flight prompts, FCFS."""
@@ -549,10 +583,11 @@ class Scheduler:
         newly promoted sequences are included.  With ``group_by_policy``
         the slots are stably ordered so sequences with the same
         :func:`policy_group_key` are contiguous; the spans
-        ``(key, start, length)`` are recorded in telemetry as the seam for
-        future batched per-group selector math.  When ``batch`` is given
-        its ``decode``/``decode_groups`` are filled in, making the batch
-        the record of what actually executed.
+        ``(key, start, length)`` are recorded in telemetry and are what
+        the engine hands to the model as the group-vectorized decode
+        spans.  When ``batch`` is given its ``decode``/``decode_groups``
+        are filled in, making the batch the record of what actually
+        executed.
         """
         slots = list(self._active)
         spans: List[Tuple[str, int, int]] = []

@@ -1,0 +1,164 @@
+"""Async admission: requests enqueued from other threads while decoding.
+
+The seam is ``Scheduler.enqueue()`` (one lock around the pending deque) +
+``BatchedEngine.submit_async()``: an admission thread only feeds the
+scheduler's queue, and the stepping thread — ``run_until_idle`` — picks new
+work up at its next iteration boundary.  Acceptance: a threaded workload
+completes every request with exactly the tokens the same requests produce
+when submitted and run from one thread.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.kv_pool import KVPoolGroup
+from repro.llm.config import ModelConfig
+from repro.llm.model import TransformerLM
+from repro.serving import BatchedEngine, ServingRequest
+
+VOCAB = 89
+HEADS, HEAD_DIM, LAYERS = 2, 8, 2
+MAX_NEW = 6
+
+
+@pytest.fixture(scope="module")
+def model():
+    config = ModelConfig(
+        vocab_size=VOCAB,
+        model_dim=HEADS * HEAD_DIM,
+        num_heads=HEADS,
+        head_dim=HEAD_DIM,
+        num_layers=LAYERS,
+        mlp_hidden_dim=24,
+        seed=5,
+    )
+    return TransformerLM(config)
+
+
+@pytest.fixture(scope="module")
+def prompts():
+    rng = np.random.default_rng(31)
+    shared = list(map(int, rng.integers(0, VOCAB, size=10)))
+    return [
+        shared + list(map(int, rng.integers(0, VOCAB, size=n)))
+        for n in (3, 6, 2, 8, 5, 3, 7, 4, 6, 2, 5, 4)
+    ]
+
+
+def reference_tokens(model, prompts):
+    engine = BatchedEngine(model, max_batch_size=4)
+    ids = [
+        engine.submit(
+            ServingRequest(prompt_ids=prompt, max_new_tokens=MAX_NEW)
+        )
+        for prompt in prompts
+    ]
+    responses = {r.request_id: r for r in engine.run()}
+    return [responses[rid].token_ids for rid in ids]
+
+
+class TestThreadedAdmission:
+    def test_submit_async_mid_decode_matches_single_thread(
+        self, model, prompts
+    ):
+        """Requests trickled in from a submitter thread while the engine
+        decodes are admitted at step boundaries and complete with exactly
+        the single-threaded tokens."""
+        expected = reference_tokens(model, prompts)
+        engine = BatchedEngine(model, max_batch_size=4)
+        stop = threading.Event()
+        results = {}
+
+        def serve():
+            results["responses"] = engine.run_until_idle(stop)
+
+        server = threading.Thread(target=serve)
+        server.start()
+        try:
+            ids = []
+            for prompt in prompts:
+                ids.append(
+                    engine.submit_async(
+                        ServingRequest(
+                            prompt_ids=prompt, max_new_tokens=MAX_NEW
+                        )
+                    )
+                )
+                time.sleep(0.002)  # land some submissions mid-decode
+        finally:
+            stop.set()
+            server.join(timeout=30)
+        assert not server.is_alive()
+        responses = {r.request_id: r for r in results["responses"]}
+        assert set(responses) == set(ids)
+        for rid, want in zip(ids, expected):
+            assert responses[rid].finish_reason != "error"
+            assert responses[rid].token_ids == want
+
+    def test_many_submitter_threads(self, model, prompts):
+        """Concurrent submitters share the queue without losing or
+        duplicating requests (the enqueue lock)."""
+        engine = BatchedEngine(
+            model,
+            max_batch_size=None,
+            kv_pools=KVPoolGroup(
+                LAYERS, page_size=8, num_heads=HEADS, head_dim=HEAD_DIM,
+                num_pages=600,
+            ),
+        )
+        stop = threading.Event()
+        results = {}
+        server = threading.Thread(
+            target=lambda: results.update(
+                responses=engine.run_until_idle(stop)
+            )
+        )
+        server.start()
+        submitted = []
+        lock = threading.Lock()
+
+        def submitter(offset):
+            for i, prompt in enumerate(prompts):
+                rid = engine.submit_async(
+                    ServingRequest(
+                        prompt_ids=prompt,
+                        max_new_tokens=MAX_NEW,
+                        request_id=f"t{offset}-{i}",
+                    )
+                )
+                with lock:
+                    submitted.append(rid)
+
+        try:
+            threads = [
+                threading.Thread(target=submitter, args=(t,)) for t in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+        finally:
+            stop.set()
+            server.join(timeout=60)
+        assert not server.is_alive()
+        responses = {r.request_id: r for r in results["responses"]}
+        assert set(responses) == set(submitted)
+        assert len(submitted) == 4 * len(prompts)
+        assert all(r.finish_reason == "length" for r in responses.values())
+
+    def test_run_until_idle_without_stop_behaves_like_run(
+        self, model, prompts
+    ):
+        engine = BatchedEngine(model, max_batch_size=4)
+        ids = [
+            engine.submit(
+                ServingRequest(prompt_ids=prompt, max_new_tokens=MAX_NEW)
+            )
+            for prompt in prompts[:4]
+        ]
+        responses = engine.run_until_idle()
+        assert [r.request_id for r in responses] == ids
+        assert not engine.has_work
