@@ -255,6 +255,19 @@ class H2OPolicy(KVCachePolicy):
     def cached_positions(self) -> np.ndarray:
         return np.asarray(sorted(self._store.positions()), dtype=np.int64)
 
+    def exact_resume_by_reprefill(
+        self, prompt_len: int, resumed_len: int, final_len: int
+    ) -> bool:
+        """Conditional on the *final* length: while the whole generation
+        stays within ``heavy_budget + recent_budget`` H2O never evicts,
+        every decode step attends to the complete cache (dense), and the
+        accumulated-score table is never consulted.  Past the budget the
+        scores decide evictions — and a re-prefill accumulates them in a
+        different floating-point summation order (one matrix reduction)
+        than step-by-step decode does, so eviction choices could drift by
+        an ulp.  Those sequences replay instead."""
+        return final_len <= self.heavy_budget + self.recent_budget
+
     def release_kv(self) -> None:
         self._store.release()
         self._accumulated = {}

@@ -74,6 +74,18 @@ class QuestPolicy(WholePromptStoreMixin, KVCachePolicy):
             scale=scale,
         )
 
+    def exact_resume_by_reprefill(
+        self, prompt_len: int, resumed_len: int, final_len: int
+    ) -> bool:
+        """Quest's page selection is stateless (a fresh top-pages pick per
+        step from the stored K/V), so resume is exact whenever every
+        pre-preemption decode step covered *all* pages — i.e. the cache at
+        ``resumed_len`` tokens still fits within ``num_pages`` selected
+        pages, making the selection the identity and the attention dense.
+        Once selection truncates, generated tokens' hidden states depend
+        on sparse attention and the sequence must replay."""
+        return math.ceil(resumed_len / self.page_size) <= self.num_pages
+
     # ------------------------------------------------------------------
     def decode_step(
         self,

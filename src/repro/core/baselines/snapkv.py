@@ -235,6 +235,18 @@ class SnapKVPolicy(KVCachePolicy):
     def kept_prompt_positions(self) -> np.ndarray:
         return np.asarray(self._kept_prompt_positions, dtype=np.int64)
 
+    def exact_resume_by_reprefill(
+        self, prompt_len: int, resumed_len: int, final_len: int
+    ) -> bool:
+        """SnapKV prunes once, at prefill.  While the resumed prompt
+        (original prompt + generated so far) is still within the retention
+        budget, neither the original prefill nor the resume prefill prunes
+        anything and decode attends to the full cache — dense-equivalent.
+        Over budget the resume prefill would re-score a *different*
+        observation window (the last tokens of the longer pseudo-prompt),
+        so those sequences replay instead."""
+        return resumed_len <= self.prompt_budget
+
     def release_kv(self) -> None:
         self._store.release()
 

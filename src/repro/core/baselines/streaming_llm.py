@@ -254,6 +254,18 @@ class StreamingLLMPolicy(KVCachePolicy):
         positions = self._sink_positions + list(self._window_positions)
         return np.asarray(positions, dtype=np.int64)
 
+    def exact_resume_by_reprefill(
+        self, prompt_len: int, resumed_len: int, final_len: int
+    ) -> bool:
+        """Exact iff nothing was evicted before the preemption point: with
+        all ``resumed_len`` tokens inside sinks + window, every decode step
+        attended to the complete cache (dense), which is precisely what a
+        re-prefill recomputes.  Retention is pure position arithmetic, so
+        there is no score state that could drift; once a token has slid
+        out of the window the generated tokens' hidden states depend on
+        truncated attention and the sequence must replay instead."""
+        return resumed_len <= self.sink_tokens + self.window
+
     def release_kv(self) -> None:
         self._store.release()
         self._sink_positions = []

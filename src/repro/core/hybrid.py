@@ -127,6 +127,19 @@ class UniCAIMPolicy(KVCachePolicy):
     def release_kv(self) -> None:
         self.cache.release()
 
+    def exact_resume_by_reprefill(
+        self, prompt_len: int, resumed_len: int, final_len: int
+    ) -> bool:
+        """Never: every decode step attends through top-k selection (exact
+        or CAM-approximate, the latter drawing from the selector's private
+        RNG) and accumulates charge-decayed slot scores, so generated
+        tokens' hidden states depend on pruned attention a dense re-prefill
+        cannot reproduce.  Preempted UniCAIM sequences resume by replaying
+        the recorded tokens, which rebuilds the charge state, the RNG
+        stream and the stats deterministically (fresh policies re-seed the
+        selector from its config)."""
+        return False
+
     def decode_page_demand(self) -> int:
         return self.cache.decode_page_demand()
 

@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -212,6 +212,20 @@ class PagedKVPool:
             self._in_use -= 1
             self.stats.page_frees += 1
 
+    def decref_many(self, pages: Iterable[int]) -> int:
+        """Bulk :meth:`decref`: drop one reference to every page in ``pages``.
+
+        Returns how many pages actually went back to the free list
+        (refcount reached zero).  This is the release path of whole
+        tables and shared runs — retiring or *preempting* a sequence
+        frees its pages in one accounting pass, and the caller gets the
+        reclaimed-page count for telemetry.
+        """
+        before = len(self._free)
+        for page in pages:
+            self.decref(page)
+        return len(self._free) - before
+
     def copy_page(self, src: int) -> int:
         """Allocate a private copy of ``src`` (the copy-on-write split).
 
@@ -299,8 +313,7 @@ class SharedKVPages:
             self.pool.incref(page)
 
     def decref(self) -> None:
-        for page in self.page_ids:
-            self.pool.decref(page)
+        self.pool.decref_many(self.page_ids)
 
     def prefix(self, length: int) -> "SharedKVPages":
         """The handle covering only the first ``length`` tokens."""
@@ -463,9 +476,9 @@ class BlockTable:
         """Drop every page reference held by this table (idempotent)."""
         pages, self._pages = self._pages, []
         self._pages_array = None
-        for page in pages:
-            if page != self._MISSING:
-                self.pool.decref(page)
+        self.pool.decref_many(
+            page for page in pages if page != self._MISSING
+        )
 
     def detach(self) -> Tuple[int, ...]:
         """Empty the table and hand its page references to the caller.

@@ -177,6 +177,29 @@ class KVCachePolicy(ABC):
     def release_kv(self) -> None:
         """Return every held pool page; stats stay valid after release."""
 
+    def exact_resume_by_reprefill(
+        self, prompt_len: int, resumed_len: int, final_len: int
+    ) -> bool:
+        """Whether preemption may rebuild this policy by *re-prefilling*.
+
+        When the serving engine preempts a sequence it releases every
+        page and later resumes from nothing but token ids.  The fast
+        resume path re-prefills ``prompt + generated_so_far`` as one
+        prompt of ``resumed_len`` tokens; returning ``True`` asserts that
+        this reconstructs — bit for bit — the cache and hidden states the
+        policy would hold had it decoded those tokens one step at a
+        time.  The model computes prefill hidden states with full dense
+        causal attention, so the equivalence holds exactly when every
+        pre-preemption decode step also attended to a complete cache:
+        any eviction or sparse selection up to the preemption point (or,
+        for score-accumulating policies, up to the worst-case
+        ``final_len``) breaks it.  The default is ``False``: the engine
+        then re-prefills only the prompt and *replays* the recorded
+        tokens through the normal decode path — always exact, one step
+        per token.
+        """
+        return False
+
     def decode_page_demand(self) -> int:
         """Pages the next ``decode_step`` could pull from the shared pool."""
         return 0
@@ -526,6 +549,13 @@ class FullCachePolicy(WholePromptStoreMixin, KVCachePolicy):
         super().__init__(num_heads, head_dim, scale)
         self._store = self._make_store()
         self._positions: List[int] = []
+
+    def exact_resume_by_reprefill(
+        self, prompt_len: int, resumed_len: int, final_len: int
+    ) -> bool:
+        """Always: full-cache decode *is* dense attention over a complete
+        cache, which is exactly what a re-prefill recomputes."""
+        return True
 
     def decode_step(
         self,

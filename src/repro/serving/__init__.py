@@ -3,6 +3,8 @@
 The request lifecycle of :class:`~repro.serving.engine.BatchedEngine` is
 
     ``submit()`` queue -> scheduled (chunked) prefill -> continuous decode
+                                   ^                          |
+                                   +---- preempted (parked) <-+
 
 Scheduling is iteration-level (:mod:`repro.serving.scheduler`): every
 engine step the :class:`~repro.serving.scheduler.Scheduler` emits one
@@ -17,7 +19,12 @@ and prefill attention-score blocks, keyed by prompt ids; on paged engines
 entries reference the inserting sequence's own pool pages).  Admitted
 sequences decode continuously — many independent sequences per step with
 per-sequence KV cache policies, mid-flight admission and per-sequence stop
-conditions.  Single-sequence generation
+conditions.  Under KV page pressure a victim sequence is *preempted* —
+its pages released, its tokens parked — and later resumed through the
+chunked-prefill path with token- and stats-identical output
+(:class:`~repro.serving.scheduler.PreemptedSequence`), instead of failing
+closed.  Multi-tenant traces that drive the stack into that regime live
+in :mod:`repro.serving.workload`.  Single-sequence generation
 (:func:`repro.llm.generation.greedy_generate`) and the accuracy harness
 (:mod:`repro.eval.harness`) both route through the engine.
 """
@@ -25,19 +32,35 @@ conditions.  Single-sequence generation
 from .engine import BatchedEngine, SequenceSlot, ServingRequest, ServingResponse
 from .prefix_cache import PrefixCache, PrefixCacheStats, SequencePrefix
 from .scheduler import (
+    PreemptedSequence,
     PrefillChunk,
     PrefillingSequence,
     ScheduleBatch,
     Scheduler,
     SchedulerPolicy,
 )
+from .workload import (
+    SCENARIOS,
+    Scenario,
+    TenantReport,
+    TenantSpec,
+    TraceRequest,
+    WorkloadReport,
+    WorkloadSpec,
+    generate_trace,
+    get_scenario,
+    run_workload,
+)
 
 __all__ = [
     "BatchedEngine",
+    "PreemptedSequence",
     "PrefillChunk",
     "PrefillingSequence",
     "PrefixCache",
     "PrefixCacheStats",
+    "SCENARIOS",
+    "Scenario",
     "ScheduleBatch",
     "Scheduler",
     "SchedulerPolicy",
@@ -45,4 +68,12 @@ __all__ = [
     "SequenceSlot",
     "ServingRequest",
     "ServingResponse",
+    "TenantReport",
+    "TenantSpec",
+    "TraceRequest",
+    "WorkloadReport",
+    "WorkloadSpec",
+    "generate_trace",
+    "get_scenario",
+    "run_workload",
 ]

@@ -19,8 +19,10 @@ engine's :meth:`~BatchedEngine.step` is a thin execution loop around
   sequences whose final chunk lands are promoted into the decode set the
   same step.  With ``max_tokens_per_step`` unset every prompt is a single
   chunk — the classic whole-prompt prefill wave.  A request whose prefill
-  raises fails closed into a ``finish_reason="error"`` response; the
-  engine's queues stay consistent.
+  hits pool exhaustion is requeued at the front (its place preserved) when
+  preemption is on; any other prefill failure turns into a
+  ``finish_reason="error"`` response with ``error_cause="prefill_failed"``;
+  the engine's queues stay consistent either way.
 * **Decode** — every active sequence advances one token per step via
   :meth:`~repro.llm.model.TransformerLM.decode_steps_batched`, every step,
   regardless of how much prefill is outstanding: with a token budget set,
@@ -71,8 +73,14 @@ bound concurrency.
   (``cache_inserts_by_reference``), and the sequence's later appends into
   the shared tail page CoW-split it so the entry never observes them.
 * Before every decode wave the engine sums the batch's worst-case page
-  demand for the step; if the arena cannot cover it, the newest sequences
-  fail closed instead of crashing the batch mid-GEMM.
+  demand for the step; if the arena cannot cover it, it first sheds
+  prefix-cache LRU entries, then (preemption on, the default) parks
+  scheduler-selected victims — pages released, tokens and per-layer
+  ``PolicyStats`` snapshotted for a later token-identical resume — and
+  only as a last resort (``preemption=False``, or a lone sequence nothing
+  can be stolen from) fails the newest sequences closed with
+  ``error_cause="decode_page_exhaustion"`` instead of crashing the batch
+  mid-GEMM.
 
 Each sequence owns its own per-layer :class:`~repro.core.policy.KVCachePolicy`
 stack, so a single engine can serve a mix of pruning policies (e.g. one
@@ -95,13 +103,16 @@ knobs off.
 
 from __future__ import annotations
 
+import copy
 import itertools
 import math
 import threading
-import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import (
     TYPE_CHECKING,
+    Callable,
+    Deque,
     Dict,
     List,
     Optional,
@@ -112,10 +123,11 @@ from typing import (
 import numpy as np
 
 from ..core.group_decode import group_spans_for
-from ..core.kv_pool import KVPoolGroup
+from ..core.kv_pool import KVPoolGroup, PoolExhaustedError
 from ..core.policy import KVCachePolicy, PolicyStats
 from .prefix_cache import PrefixCache
 from .scheduler import (
+    PreemptedSequence,
     PrefillChunk,
     PrefillingSequence,
     Scheduler,
@@ -149,6 +161,14 @@ class ServingRequest:
         per-layer caches; falls back to the engine default (full cache).
     keep_logits:
         Keep the per-step logits on the response for analysis.
+    priority:
+        Scheduling priority consulted by the ``"priority"`` victim policy:
+        under page pressure the *lowest*-priority active sequence is
+        preempted first.  Admission order is FCFS regardless.
+    tenant:
+        Optional tenant label for multi-tenant workload accounting (see
+        :mod:`repro.serving.workload`); the engine itself treats it as
+        opaque metadata.
     """
 
     prompt_ids: Sequence[int]
@@ -157,11 +177,21 @@ class ServingRequest:
     stop_ids: Optional[Sequence[int]] = None
     policy_factory: Optional["PolicyFactory"] = None
     keep_logits: bool = False
+    priority: int = 0
+    tenant: Optional[str] = None
 
 
 @dataclass
 class ServingResponse:
-    """Completed generation for one request."""
+    """Completed generation for one request.
+
+    ``error_cause`` (set iff ``finish_reason == "error"``) distinguishes
+    where a failure happened: ``"admission_infeasible"`` (the request could
+    never fit the KV arena), ``"admission_failed"`` (its policy factory
+    raised), ``"prefill_failed"`` (the prefill pass raised) or
+    ``"decode_page_exhaustion"`` (the fail-closed decode safety net, only
+    reachable with preemption disabled or a lone infeasible sequence).
+    """
 
     request_id: str
     token_ids: List[int]
@@ -170,6 +200,7 @@ class ServingResponse:
     policy_stats: List[PolicyStats] = field(default_factory=list)
     logits_history: Optional[List[np.ndarray]] = None
     error: Optional[str] = None  # set when finish_reason == "error"
+    error_cause: Optional[str] = None
 
     @property
     def num_generated(self) -> int:
@@ -186,6 +217,12 @@ class SequenceSlot:
     is the per-layer admission-time worst-case page demand, kept for the
     ``reservation_delta`` telemetry — actual page accounting follows the
     policies' allocated-so-far state.
+
+    ``replay`` is non-empty only on a freshly resumed sequence whose
+    pre-preemption tokens must be re-fed through the decode path: while it
+    drains, the step loop feeds ``replay.popleft()`` instead of sampling
+    (the tokens were already emitted before the preemption and are already
+    in ``generated``).
     """
 
     request: ServingRequest
@@ -199,6 +236,8 @@ class SequenceSlot:
     logits_history: List[np.ndarray] = field(default_factory=list)
     worst_case_pages: List[int] = field(default_factory=list)
     admission_index: int = 0  # monotonically increasing admission order
+    replay: Deque[int] = field(default_factory=deque)
+    preemptions: int = 0  # times this sequence has been preempted so far
 
 
 class BatchedEngine:
@@ -248,6 +287,12 @@ class BatchedEngine:
         ``SchedulerPolicy(max_tokens_per_step=...)`` — the per-step token
         budget that turns on chunked prefill.  Mutually exclusive with an
         explicit ``scheduler_policy``.
+    on_token:
+        Optional ``callback(request_id, token_id, num_generated)`` fired
+        the moment a token is *sampled* (not when it is replayed after a
+        preemption — each emitted token fires exactly once).  This is the
+        per-token latency seam the workload harness uses for TTFT/ITL
+        timestamps.  Called from the stepping thread; must be cheap.
     """
 
     def __init__(
@@ -261,6 +306,7 @@ class BatchedEngine:
         kv_pools: Optional[KVPoolGroup] = None,
         scheduler_policy: Optional[SchedulerPolicy] = None,
         max_tokens_per_step: Optional[int] = None,
+        on_token: Optional[Callable[[str, int, int], None]] = None,
     ) -> None:
         if kv_pools is not None:
             if kv_pools.num_layers != model.config.num_layers:
@@ -342,12 +388,24 @@ class BatchedEngine:
         # :meth:`submit_async` may be called from other threads while the
         # step loop runs; the scheduler's pending queue has its own lock.
         self._submit_lock = threading.Lock()
+        self.on_token = on_token
+        # Set whenever new work arrives; an idle :meth:`run_until_idle`
+        # loop blocks on it instead of spinning a sleep/poll cycle.
+        self._work_event = threading.Event()
         self._steps = 0
         self._admissions = 0
         self._decode_page_failures = 0
         self._cache_inserts_skipped = 0
         self._cache_inserts_by_reference = 0
         self._peak_active = 0
+        self._preemptions = 0
+        self._resumes = 0
+        self._reprefill_resumes = 0
+        self._resume_replayed_tokens = 0
+        self._resume_reprefilled_tokens = 0
+        self._preempted_pages_released = 0
+        self._prefill_requeues = 0
+        self._failures_by_cause: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Introspection
@@ -404,6 +462,17 @@ class BatchedEngine:
                 "cache_inserts_skipped": self._cache_inserts_skipped,
                 "cache_inserts_by_reference": self._cache_inserts_by_reference,
             },
+            "preemption": {
+                "preemptions": self._preemptions,
+                "resumes": self._resumes,
+                "reprefill_resumes": self._reprefill_resumes,
+                "replayed_tokens": self._resume_replayed_tokens,
+                "reprefilled_tokens": self._resume_reprefilled_tokens,
+                "pages_released": self._preempted_pages_released,
+                "prefill_requeues": self._prefill_requeues,
+                "parked": self.scheduler.num_preempted,
+            },
+            "failures_by_cause": dict(self._failures_by_cause),
             "scheduler": self.scheduler.stats(),
             "kv_pool": None,
             "prefix_cache": None,
@@ -482,9 +551,12 @@ class BatchedEngine:
                 ),
                 policy_factory=request.policy_factory,
                 keep_logits=request.keep_logits,
+                priority=int(request.priority),
+                tenant=request.tenant,
             )
             self._submission_order.append(request_id)
         self.scheduler.enqueue(queued)
+        self._work_event.set()
         return request_id
 
     def submit_async(self, request: ServingRequest) -> str:
@@ -587,7 +659,10 @@ class BatchedEngine:
         if self.prefix_cache is not None:
             if seq.prefix is not None:
                 self.prefix_cache.commit_reuse(seq.prefix)
-            self._cache_insert(seq.prompt, seq.state.layers, seq.policies)
+            if seq.resume is None:
+                # A resume's pseudo-prompt (prompt + generated tokens) is
+                # not a reusable prompt; keep it out of the prefix cache.
+                self._cache_insert(seq.prompt, seq.state.layers, seq.policies)
         self._finish_or_promote(seq, logits, finished)
 
     def _finish_or_promote(
@@ -596,6 +671,9 @@ class BatchedEngine:
         logits: np.ndarray,
         finished: List[ServingResponse],
     ) -> None:
+        if seq.resume is not None:
+            self._promote_resumed(seq, logits)
+            return
         self._admissions += 1
         slot = SequenceSlot(
             request=seq.request,
@@ -615,6 +693,58 @@ class BatchedEngine:
         self.scheduler.promote(seq, slot)
         self._peak_active = max(self._peak_active, len(self.scheduler.active))
 
+    def _promote_resumed(
+        self, seq: PrefillingSequence, logits: np.ndarray
+    ) -> None:
+        """A resume prefill landed: rebuild the decode slot mid-sequence.
+
+        Fast (re-prefill) resume: the prefill covered the prompt plus the
+        ``fed`` already-fed generated tokens, so the whole ``PolicyStats``
+        snapshot is restored (prefill stats describe the *original*
+        prefill; the decode records for the fed tokens are in it) and at
+        most one sampled-but-unfed token remains to replay.  Replay
+        resume: only the prompt was prefilled — the fresh prefill
+        re-recorded everything deterministically except
+        ``prefill_reused_tokens`` (prefix-cache contents may differ on
+        resume), which is patched from the snapshot; every generated token
+        replays through decode, rebuilding eviction/selection state, RNG
+        draws and ``StepRecord``s exactly as the original run made them.
+        The slot keeps its original ``prompt_length`` and
+        ``admission_index``; ``self._admissions`` is *not* bumped (this is
+        the same admission, continued).
+        """
+        pre = seq.resume
+        fed_prefilled = pre.fed if seq.reprefill_resume else 0
+        prompt_len = len(pre.prompt)
+        if seq.reprefill_resume:
+            for policy, snap in zip(seq.policies, pre.stats_snapshot):
+                policy.stats = snap
+        else:
+            for policy, snap in zip(seq.policies, pre.stats_snapshot):
+                policy.stats.prefill_reused_tokens = snap.prefill_reused_tokens
+        slot = SequenceSlot(
+            request=seq.request,
+            request_id=seq.request.request_id,
+            prompt_length=prompt_len,
+            policies=seq.policies,
+            stop_set=frozenset(seq.request.stop_ids or ()),
+            logits=logits,
+            position=prompt_len + fed_prefilled,
+            generated=list(pre.generated),
+            logits_history=list(pre.logits_history),
+            worst_case_pages=list(seq.worst_case_pages),
+            admission_index=pre.admission_index,
+            replay=deque(pre.generated[fed_prefilled:]),
+            preemptions=pre.preemptions,
+        )
+        self._resumes += 1
+        if seq.reprefill_resume:
+            self._reprefill_resumes += 1
+            self._resume_reprefilled_tokens += fed_prefilled
+        self._resume_replayed_tokens += len(slot.replay)
+        self.scheduler.promote(seq, slot)
+        self._peak_active = max(self._peak_active, len(self.scheduler.active))
+
     def _abort_prefilling(
         self,
         seq: PrefillingSequence,
@@ -626,7 +756,21 @@ class BatchedEngine:
         if seq.prefix is not None:
             seq.prefix.release()
         self.scheduler.remove_prefilling(seq)
-        finished.append(self._fail(seq.request, exc))
+        if (
+            isinstance(exc, PoolExhaustedError)
+            and self.scheduler.policy.preemption
+        ):
+            # Ran out of pool pages mid-prefill (optimistic admission can
+            # over-subscribe): this is pressure, not a broken request.
+            # The sequence lost its partial state but keeps its place in
+            # line and retries when pages free up.
+            self._prefill_requeues += 1
+            if seq.resume is not None:
+                self.scheduler.requeue_preempted_front(seq.resume)
+            else:
+                self.scheduler.requeue_request_front(seq.request)
+            return
+        finished.append(self._fail(seq.request, exc, cause="prefill_failed"))
 
     # ------------------------------------------------------------------
     # Prefix-cache publication
@@ -682,13 +826,21 @@ class BatchedEngine:
     # ------------------------------------------------------------------
     # Completion bookkeeping
     # ------------------------------------------------------------------
-    def _fail(self, request: ServingRequest, exc: Exception) -> ServingResponse:
+    def _fail(
+        self,
+        request: ServingRequest,
+        exc: Exception,
+        cause: str = "admission_failed",
+    ) -> ServingResponse:
         """Turn a failed admission/prefill into a completed error response.
 
         The request was already popped from the queue and its id recorded in
         the submission order, so completing it (instead of dropping it on
         the floor) is what keeps :meth:`run`'s bookkeeping consistent.
         """
+        self._failures_by_cause[cause] = (
+            self._failures_by_cause.get(cause, 0) + 1
+        )
         response = ServingResponse(
             request_id=request.request_id,
             token_ids=[],
@@ -697,13 +849,22 @@ class BatchedEngine:
             policy_stats=[],
             logits_history=None,
             error=f"{type(exc).__name__}: {exc}",
+            error_cause=cause,
         )
         self._completed[request.request_id] = response
         return response
 
     def _finish(
-        self, slot: SequenceSlot, reason: str, error: Optional[str] = None
+        self,
+        slot: SequenceSlot,
+        reason: str,
+        error: Optional[str] = None,
+        error_cause: Optional[str] = None,
     ) -> ServingResponse:
+        if reason == "error" and error_cause is not None:
+            self._failures_by_cause[error_cause] = (
+                self._failures_by_cause.get(error_cause, 0) + 1
+            )
         response = ServingResponse(
             request_id=slot.request_id,
             token_ids=list(slot.generated),
@@ -714,6 +875,7 @@ class BatchedEngine:
                 list(slot.logits_history) if slot.request.keep_logits else None
             ),
             error=error,
+            error_cause=error_cause,
         )
         # Retiring hands every pool page back to the shared arena; the
         # sequence's outstanding demand leaves the admission sum with it.
@@ -739,7 +901,12 @@ class BatchedEngine:
         finished: List[ServingResponse] = []
         batch = self.scheduler.next_batch()
         for request, exc in batch.failures:
-            finished.append(self._fail(request, exc))
+            cause = (
+                "admission_infeasible"
+                if isinstance(exc, PoolExhaustedError)
+                else "admission_failed"
+            )
+            finished.append(self._fail(request, exc, cause=cause))
         if batch.prefill:
             self._run_prefill_chunks(batch.prefill, finished)
 
@@ -753,6 +920,12 @@ class BatchedEngine:
 
         continuing: List[SequenceSlot] = []
         for slot in slots:
+            if slot.replay:
+                # Resumed sequence re-feeding pre-preemption tokens: they
+                # were sampled, emitted and stop/budget-checked before the
+                # preemption — no sampling, no callback, just the feed.
+                continuing.append(slot)
+                continue
             next_id = int(np.argmax(slot.logits))
             if next_id in slot.stop_set:
                 finished.append(self._finish(slot, "stop"))
@@ -762,6 +935,8 @@ class BatchedEngine:
                 slot.logits_history.append(
                     np.asarray(slot.logits, dtype=np.float64)
                 )
+            if self.on_token is not None:
+                self.on_token(slot.request_id, next_id, len(slot.generated))
             if len(slot.generated) >= slot.request.max_new_tokens:
                 finished.append(self._finish(slot, "length"))
             else:
@@ -777,7 +952,11 @@ class BatchedEngine:
             vectorized = self.scheduler.policy.vectorized_decode
             policy_stacks = [slot.policies for slot in continuing]
             logits_batch = self.model.decode_steps_batched(
-                [slot.generated[-1] for slot in continuing],
+                [
+                    slot.replay.popleft() if slot.replay
+                    else slot.generated[-1]
+                    for slot in continuing
+                ],
                 [slot.position for slot in continuing],
                 policy_stacks,
                 groups=group_spans_for(policy_stacks) if vectorized else None,
@@ -797,13 +976,19 @@ class BatchedEngine:
         continuing: List[SequenceSlot],
         finished: List[ServingResponse],
     ) -> List[SequenceSlot]:
-        """Fail sequences closed (newest first) until the decode wave fits.
+        """Make the decode wave fit the free pages: shed, preempt, fail.
 
-        Unreachable while the admission invariant holds (outstanding
-        demand never exceeds free pages); this is the safety net for the
-        corner where prefix-cache churn lets pool usage overshoot —
-        without it a mid-batch :class:`PoolExhaustedError` would corrupt
-        half-advanced sequences.
+        Escalation order: first shed prefix-cache entries (LRU — cold
+        cached prefixes are the cheapest pages in the arena), then preempt
+        a victim chosen by :meth:`Scheduler.select_victim` (its pages are
+        released and it is parked for a token-identical resume), and only
+        when preemption is disabled — or cannot help, because the victim
+        would be a lone sequence with nothing else holding pages — fail
+        the newest sequence closed (``decode_page_exhaustion``), so a
+        mid-batch :class:`PoolExhaustedError` can never corrupt
+        half-advanced sequences.  With ``reserve`` admission the invariant
+        makes all of this unreachable; ``optimistic`` admission hits the
+        preemption path routinely under overload.
         """
         num_layers = self.model.config.num_layers
         while continuing:
@@ -816,6 +1001,19 @@ class BatchedEngine:
                 for layer in range(num_layers)
             ):
                 return continuing
+            if (
+                self.prefix_cache is not None
+                and self.prefix_cache.drop_lru_entry()
+            ):
+                continue
+            can_preempt = self.scheduler.policy.preemption and (
+                len(continuing) > 1 or self.scheduler.num_prefilling > 0
+            )
+            if can_preempt:
+                victim = self.scheduler.select_victim(continuing)
+                continuing.remove(victim)
+                self._park(victim)
+                continue
             # Newest admission first: decode order is policy-grouped, so
             # list position no longer encodes recency.
             victim = max(continuing, key=lambda slot: slot.admission_index)
@@ -829,9 +1027,59 @@ class BatchedEngine:
                         "PoolExhaustedError: KV pool cannot cover the next "
                         "decode step"
                     ),
+                    error_cause="decode_page_exhaustion",
                 )
             )
         return continuing
+
+    def _park(self, slot: SequenceSlot) -> None:
+        """Preempt one decode slot: snapshot, release every page, park.
+
+        ``fed`` is derived as ``position - prompt_length`` — the number of
+        generated tokens actually fed through the model, which is one
+        short of ``len(generated)`` for a mid-step victim (its freshly
+        sampled token never fed) and equal to it for a between-steps
+        preemption.  The ``PolicyStats`` snapshot is a deep copy taken
+        *before* the release, so the response's stats stay exact however
+        many times the sequence bounces.
+        """
+        pre = PreemptedSequence(
+            request=slot.request,
+            prompt=[int(t) for t in slot.request.prompt_ids],
+            generated=list(slot.generated),
+            fed=slot.position - slot.prompt_length,
+            logits_history=list(slot.logits_history),
+            stats_snapshot=[
+                copy.deepcopy(policy.stats) for policy in slot.policies
+            ],
+            admission_index=slot.admission_index,
+            preemptions=slot.preemptions + 1,
+        )
+        if self.kv_pools is not None:
+            self._preempted_pages_released += sum(
+                policy.kv_pages_held() for policy in slot.policies
+            )
+        for policy in slot.policies:
+            policy.release_kv()
+        self._preemptions += 1
+        self.scheduler.park(pre)
+
+    def preempt(self, request_id: str) -> bool:
+        """Forcibly preempt an *active* sequence between steps.
+
+        The sequence's pages return to the arena immediately; it resumes
+        through the normal preempted queue with token- and stats-identical
+        output.  Returns ``False`` when ``request_id`` is not currently in
+        the decode set (pending/prefilling/parked/completed sequences
+        cannot be preempted).  Must be called from the stepping thread (or
+        while it is quiescent) — it mutates the active set.
+        """
+        for slot in self.scheduler.active:
+            if slot.request_id == request_id:
+                self.scheduler.active.remove(slot)
+                self._park(slot)
+                return True
+        return False
 
     def run(self) -> List[ServingResponse]:
         """Drive :meth:`step` until no work remains.
@@ -846,17 +1094,20 @@ class BatchedEngine:
     def run_until_idle(
         self,
         stop: Optional[threading.Event] = None,
-        poll_interval: float = 0.0005,
+        poll_interval: float = 0.05,
     ) -> List[ServingResponse]:
         """Serve continuously, picking up :meth:`submit_async` requests.
 
         The async-admission step loop: drives :meth:`step` while work
-        exists and, when idle, polls the (thread-safe) pending queue every
-        ``poll_interval`` seconds for requests enqueued from other threads
-        — each is admitted at the next iteration boundary, exactly like a
-        same-thread submission.  Returns once ``stop`` is set *and* all
-        accepted work has drained; ``stop=None`` degrades to :meth:`run`
-        (return at the first idle moment).
+        exists and, when idle, *blocks* on the engine's work event — set
+        by every :meth:`submit` / :meth:`submit_async` (and by
+        :meth:`wake`), so a cross-thread submission is admitted
+        immediately instead of waiting out a sleep/poll cycle.
+        ``poll_interval`` only bounds how long an idle loop can take to
+        notice ``stop`` being set without an accompanying :meth:`wake`.
+        Returns once ``stop`` is set *and* all accepted work has drained;
+        ``stop=None`` degrades to :meth:`run` (return at the first idle
+        moment).
 
         Returns every completed response in submission order.
         """
@@ -866,13 +1117,24 @@ class BatchedEngine:
                 continue
             if stop is None or stop.is_set():
                 break
-            time.sleep(poll_interval)
+            # Clear *before* re-checking: a submit landing between the
+            # idle check above and the wait below sets the event after the
+            # clear, so the wait returns immediately (no lost wakeup).
+            self._work_event.clear()
+            if self.has_work or stop.is_set():
+                continue
+            self._work_event.wait(timeout=poll_interval)
         with self._submit_lock:
             order = list(self._submission_order)
         # A request racing in between the final idle check and `stop` being
         # observed stays queued for the next serving loop; report only what
         # completed.
         return [self._completed[rid] for rid in order if rid in self._completed]
+
+    def wake(self) -> None:
+        """Wake an idle :meth:`run_until_idle` loop from another thread
+        (e.g. right after setting its ``stop`` event)."""
+        self._work_event.set()
 
     def response(self, request_id: str) -> Optional[ServingResponse]:
         """The completed response for ``request_id`` (or ``None`` if in flight)."""

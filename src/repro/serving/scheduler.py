@@ -46,10 +46,33 @@ in :meth:`BatchedEngine.stats`.
 
 A request that cannot fit *now* waits in the queue (``page_deferrals``);
 one that could never fit — even after shedding prefix-cache pages — fails
-closed.  Requests whose best prefix match is a prompt still being
-prefilled are deferred until that prefill publishes its cache entry, so a
-shared prefix is computed exactly once (the former intra-wave deferral,
-generalised to chunked prefill).
+closed with ``error_cause="admission_infeasible"``.  Requests whose best
+prefix match is a prompt still being prefilled are deferred until that
+prefill publishes its cache entry, so a shared prefix is computed exactly
+once (the former intra-wave deferral, generalised to chunked prefill).
+
+``SchedulerPolicy.admission`` picks the accounting: ``"reserve"`` (the
+default, above) guarantees run-to-completion for everything admitted,
+while ``"optimistic"`` admits on near-term demand (prefill now, one page
+of decode headroom) after a feasibility pre-check, packing more
+concurrency into the arena and relying on preemption to absorb the
+pressure when decodes grow.
+
+Preemption (``SchedulerPolicy.preemption``, default on)
+-------------------------------------------------------
+When decode-time page pressure cannot be relieved by shedding prefix-cache
+entries, the scheduler picks a victim (:meth:`Scheduler.select_victim`:
+``"recency"`` — newest admission, ``"priority"`` — lowest
+``ServingRequest.priority`` then newest, or ``"fairness"`` — most pages
+held), the engine releases its pages and parks it as a
+:class:`PreemptedSequence` on a FCFS queue that is resumed *ahead of* new
+admissions through the ordinary chunked-prefill path — exact re-prefill
+of prompt+generated when every layer policy certifies
+:meth:`~repro.core.policy.KVCachePolicy.exact_resume_by_reprefill`,
+otherwise prompt re-prefill plus deterministic decode replay of the
+generated tokens.  Resumed output is token- and stats-identical to an
+uninterrupted run.  With ``preemption=False`` the old fail-closed
+behaviour is restored (``error_cause="decode_page_exhaustion"``).
 """
 
 from __future__ import annotations
@@ -68,7 +91,7 @@ from typing import (
 
 from ..core.group_decode import GroupDecodeStats, policy_group_key
 from ..core.kv_pool import KVPoolGroup, PoolExhaustedError
-from ..core.policy import KVCachePolicy
+from ..core.policy import KVCachePolicy, PolicyStats
 from .prefix_cache import PrefixCache, SequencePrefix, common_prefix_length
 
 if TYPE_CHECKING:  # imported lazily to avoid cycles
@@ -102,18 +125,77 @@ class SchedulerPolicy:
         ``decode_step`` loops.  ``False`` forces the per-sequence loop —
         the reference path the group-vectorized decode is benchmarked and
         equivalence-tested against.
+    preemption:
+        Page pressure during decode preempts a victim (pages released,
+        sequence parked and later resumed token-identically) instead of
+        failing it closed with ``finish_reason="error"``.  ``False``
+        restores the fail-closed behaviour — kept as the baseline the
+        preemption goodput benchmark measures against.
+    victim:
+        Which active sequence is preempted under page pressure:
+        ``"recency"`` (newest admission first — oldest work is protected,
+        which is also what guarantees global progress), ``"priority"``
+        (lowest :attr:`ServingRequest.priority` first, newest-admitted
+        among equals) or ``"fairness"`` (most pool pages held first, so
+        one page-hungry sequence cannot squeeze everyone else out).
+    admission:
+        Page-gating mode.  ``"reserve"`` (default) admits only when the
+        request's worst-case *lifetime* demand fits the free pages —
+        sequences then run to completion without ever hitting pressure.
+        ``"optimistic"`` admits when the *prefill* demand fits and only
+        requires the lifetime worst case to fit the whole arena
+        (feasibility alone): concurrency is higher, decode-time pressure
+        becomes real, and preemption (or the fail-closed path) absorbs
+        it.  This is the overload regime the workload harness drives.
     """
 
     max_tokens_per_step: Optional[int] = None
     min_prefill_tokens_per_step: int = 1
     group_by_policy: bool = True
     vectorized_decode: bool = True
+    preemption: bool = True
+    victim: str = "recency"
+    admission: str = "reserve"
 
     def __post_init__(self) -> None:
         if self.max_tokens_per_step is not None and self.max_tokens_per_step < 1:
             raise ValueError("max_tokens_per_step must be >= 1 (or None)")
         if self.min_prefill_tokens_per_step < 0:
             raise ValueError("min_prefill_tokens_per_step must be >= 0")
+        if self.victim not in ("recency", "priority", "fairness"):
+            raise ValueError(
+                "victim must be 'recency', 'priority' or 'fairness'"
+            )
+        if self.admission not in ("reserve", "optimistic"):
+            raise ValueError("admission must be 'reserve' or 'optimistic'")
+
+
+@dataclass(eq=False)
+class PreemptedSequence:
+    """A mid-decode sequence parked after its pages were released.
+
+    Everything needed to resume token-identically from nothing but ids:
+    ``generated`` are the tokens already emitted (all of them — they are
+    part of the response), of which the first ``fed`` had actually been
+    fed through the model when the preemption hit (a decode-pressure
+    victim is parked with its freshly sampled token still unfed).
+    ``stats_snapshot`` holds a deep copy of the per-layer
+    :class:`~repro.core.policy.PolicyStats` at the preemption point: the
+    fast re-prefill resume restores it wholesale; the replay resume
+    regenerates everything except ``prefill_reused_tokens`` (a resume may
+    see different prefix-cache contents) and patches that one field.
+    ``admission_index`` is preserved so victim selection keeps treating
+    resumed work as old work — which is what makes progress monotone.
+    """
+
+    request: "ServingRequest"
+    prompt: List[int]
+    generated: List[int]
+    fed: int
+    logits_history: List
+    stats_snapshot: List[PolicyStats]
+    admission_index: int
+    preemptions: int = 1
 
 
 @dataclass(eq=False)
@@ -128,6 +210,14 @@ class PrefillingSequence:
     policies' own allocated-so-far accounting takes over);
     ``worst_case_pages`` is the admission-time worst case kept for the
     ``reservation_delta`` telemetry.
+
+    A resuming preempted sequence re-enters the engine as a
+    ``PrefillingSequence`` whose ``resume`` payload carries the generated
+    tokens: ``prompt`` is then what gets *prefilled* — the original
+    prompt plus the already-fed tokens when every layer policy supports
+    the exact re-prefill resume (``reprefill_resume=True``), or just the
+    original prompt when the generated tokens must be replayed through
+    the decode path instead.
     """
 
     request: "ServingRequest"
@@ -139,6 +229,8 @@ class PrefillingSequence:
     chunks_taken: int = 0
     initial_demand: List[int] = field(default_factory=list)
     worst_case_pages: List[int] = field(default_factory=list)
+    resume: Optional[PreemptedSequence] = None
+    reprefill_resume: bool = False
 
     @property
     def started(self) -> bool:
@@ -215,6 +307,11 @@ class Scheduler:
         self._pending_lock = threading.Lock()
         self._prefilling: List[PrefillingSequence] = []
         self._active: List["SequenceSlot"] = []
+        # Sequences preempted mid-decode: pages released, tokens kept.
+        # A deque because resumption is FCFS from the front — parked work
+        # is strictly older than anything in ``_pending`` and re-acquires
+        # pages first (anti-starvation).
+        self._preempted: Deque[PreemptedSequence] = deque()
         # telemetry
         self._page_deferrals = 0
         self._infeasible_failures = 0
@@ -246,8 +343,14 @@ class Scheduler:
         return self._active
 
     @property
+    def num_preempted(self) -> int:
+        return len(self._preempted)
+
+    @property
     def has_work(self) -> bool:
-        return bool(self._pending or self._prefilling or self._active)
+        return bool(
+            self._pending or self._prefilling or self._active or self._preempted
+        )
 
     @property
     def page_deferrals(self) -> int:
@@ -297,6 +400,51 @@ class Scheduler:
         self._prefilling.remove(seq)
         self._active.append(slot)
 
+    def park(self, pre: PreemptedSequence) -> None:
+        """Append a preempted sequence to the resume queue."""
+        self._preempted.append(pre)
+
+    def requeue_request_front(self, request: "ServingRequest") -> None:
+        """Put a request back at the *head* of the pending queue.
+
+        Used when a prefill ran out of pool pages mid-chunk: the request
+        lost its policies and partial state but keeps its place in line.
+        """
+        with self._pending_lock:
+            self._pending.appendleft(request)
+
+    def requeue_preempted_front(self, pre: PreemptedSequence) -> None:
+        """Put a resume payload back at the head of the preempted queue
+        (its resume prefill could not complete; it retries first)."""
+        self._preempted.appendleft(pre)
+
+    def select_victim(self, slots: List["SequenceSlot"]) -> "SequenceSlot":
+        """Pick which active sequence to preempt under page pressure.
+
+        ``recency`` protects the oldest admission — together with
+        front-of-queue resume this gives a global progress guarantee (the
+        oldest sequence is never preempted, so *some* request always runs
+        to completion).  ``priority`` sacrifices the lowest
+        :attr:`ServingRequest.priority` (newest-admitted among equals);
+        ``fairness`` sacrifices the sequence holding the most pool pages
+        (newest among equals), spreading pressure away from page hogs.
+        """
+        mode = self.policy.victim
+        if mode == "priority":
+            return min(
+                slots,
+                key=lambda s: (s.request.priority, -s.admission_index),
+            )
+        if mode == "fairness":
+            return max(
+                slots,
+                key=lambda s: (
+                    sum(policy.kv_pages_held() for policy in s.policies),
+                    s.admission_index,
+                ),
+            )
+        return max(slots, key=lambda s: s.admission_index)
+
     def remove_prefilling(self, seq: PrefillingSequence) -> None:
         self._prefilling.remove(seq)
 
@@ -344,22 +492,26 @@ class Scheduler:
     def _initial_demand(
         self,
         policies: List[KVCachePolicy],
-        request: "ServingRequest",
+        prompt_len: int,
+        new_tokens: int,
         prefix: Optional[SequencePrefix],
     ) -> List[int]:
-        """Admission-time per-layer demand: worst case minus prefix credit.
+        """Per-layer page demand of prefilling ``prompt_len`` tokens and
+        then generating ``new_tokens``, minus prefix credit.
 
         The full pages of an adoptable cached prefix are credited: they
         are already allocated (held by the cache), shared, and never
         written by a whole-prompt-retaining policy (the partial tail page
         *is* counted — its copy-on-write split needs a fresh page).
+        ``new_tokens=0`` gives the prefill-only demand the optimistic
+        admission mode gates on; a resume passes the pseudo-prompt length
+        and the not-yet-generated remainder.
         """
-        prompt_len = len(request.prompt_ids)
         demands: List[int] = []
         for layer, policy in enumerate(policies):
             pool = self.kv_pools.layer(layer)
             pages = policy.max_kv_pages(
-                prompt_len, request.max_new_tokens, pool.page_size
+                prompt_len, new_tokens, pool.page_size
             )
             if (
                 prefix is not None
@@ -376,10 +528,34 @@ class Scheduler:
                 return False
         return True
 
+    def _near_term_totals(self) -> List[int]:
+        """Optimistic-mode outstanding demand: the prefill still owed to
+        admitted prompts plus one append's worth of decode growth — not
+        the whole remaining lifetime.  Gating on this is what allows
+        over-subscription (and hence real decode-time page pressure that
+        preemption absorbs)."""
+        num_layers = self.kv_pools.num_layers
+        totals = [0] * num_layers
+        for layer in range(num_layers):
+            page_size = self.kv_pools.layer(layer).page_size
+            for seq in self._prefilling:
+                if not seq.started:
+                    totals[layer] += seq.initial_demand[layer]
+                else:
+                    totals[layer] += -(-seq.tokens_left // page_size) + 1
+            for slot in self._active:
+                totals[layer] += slot.policies[layer].decode_page_demand()
+        return totals
+
+    def _admission_totals(self) -> List[int]:
+        if self.policy.admission == "optimistic":
+            return self._near_term_totals()
+        return self.remaining_page_totals()
+
     def can_insert_pages(self, extra_per_layer: List[int]) -> bool:
         """Whether the prefix cache may claim ``extra_per_layer`` pages (or
         shared-page CoW risk) without starving an admitted sequence."""
-        totals = self.remaining_page_totals()
+        totals = self._admission_totals()
         for layer, extra in enumerate(extra_per_layer):
             pool = self.kv_pools.layer(layer)
             if pool.free_pages - extra < totals[layer]:
@@ -432,16 +608,21 @@ class Scheduler:
         the shared part is computed once; a request that does not fit the
         page budget right now blocks the drain (order is preserved).
         """
-        if not self._pending:
+        if not self._pending and not self._preempted:
             return  # keep the per-step decode path free of totals scans
-        deferred: List["ServingRequest"] = []
-        blocked: List["ServingRequest"] = []
         cache = self.prefix_cache
         # One totals derivation per drain; admitted requests extend it
         # incrementally (no pool allocations happen during admission).
         totals = (
-            self.remaining_page_totals() if self.kv_pools is not None else []
+            self._admission_totals() if self.kv_pools is not None else []
         )
+        # Parked sequences resume ahead of any new admission: they are
+        # strictly older than everything in the pending queue.
+        self._resume_preempted(failures, totals)
+        if not self._pending:
+            return
+        deferred: List["ServingRequest"] = []
+        blocked: List["ServingRequest"] = []
         in_flight_prompts = [seq.prompt for seq in self._prefilling]
         while self._has_free_slot():
             with self._pending_lock:
@@ -473,9 +654,29 @@ class Scheduler:
                 failures.append((request, exc))
                 continue
             demand: List[int] = []
+            worst: List[int] = []
             if self.kv_pools is not None:
-                demand = self._initial_demand(policies, request, prefix)
-                verdict = self._page_verdict(demand, totals)
+                worst = self._initial_demand(
+                    policies, len(prompt), request.max_new_tokens, prefix
+                )
+                if self.policy.admission == "optimistic":
+                    # Gate on the prefill footprint only; the lifetime
+                    # worst case just has to be *feasible* (fit the whole
+                    # arena) so the sequence can always complete alone.
+                    if any(
+                        pages > self.kv_pools.layer(layer).total_pages
+                        for layer, pages in enumerate(worst)
+                    ):
+                        verdict = "infeasible"
+                        demand = worst
+                    else:
+                        demand = self._initial_demand(
+                            policies, len(prompt), 0, prefix
+                        )
+                        verdict = self._page_verdict(demand, totals)
+                else:
+                    demand = worst
+                    verdict = self._page_verdict(demand, totals)
                 if verdict != "admit":
                     # Unpin the looked-up prefix pages: a re-queued request
                     # repeats its lookup later, a failed one never prefills.
@@ -503,31 +704,9 @@ class Scheduler:
                 prefix=prefix,
                 done=prefix.length if prefix is not None else 0,
                 initial_demand=demand,
-                worst_case_pages=list(demand),
+                worst_case_pages=list(worst),
             )
-            chunked = (
-                self.policy.max_tokens_per_step is not None
-                and len(prompt) - seq.done > 1
-            )
-            if chunked:
-                # The prompt may span several chunk iterations: preallocate
-                # the in-place accumulation buffers so each chunk appends
-                # instead of re-copying the accumulated state.
-                from ..llm.model import PrefillState  # local: avoids cycle
-
-                seq.state = PrefillState.preallocate(
-                    self.model.config.num_layers,
-                    len(prompt),
-                    self.model.config.num_heads,
-                    self.model.config.head_dim,
-                    prefix=(
-                        prefix.layer_states() if prefix is not None else None
-                    ),
-                )
-            elif prefix is not None:
-                from ..llm.model import PrefillState  # local: avoids cycle
-
-                seq.state = PrefillState.from_prefix(prefix.layer_states())
+            self._setup_prefill_state(seq)
             self._prefilling.append(seq)
             for layer, pages in enumerate(demand):
                 totals[layer] += pages
@@ -535,6 +714,140 @@ class Scheduler:
         with self._pending_lock:
             for request in reversed(blocked + deferred):
                 self._pending.appendleft(request)
+
+    def _setup_prefill_state(self, seq: PrefillingSequence) -> None:
+        """Attach the accumulated-state buffers a prefill needs.
+
+        Chunked prompts preallocate the in-place accumulation buffers so
+        each chunk appends instead of re-copying the accumulated state;
+        unchunked prompts with a reused prefix seed the state from the
+        cached layer tensors.
+        """
+        prefix = seq.prefix
+        chunked = (
+            self.policy.max_tokens_per_step is not None
+            and len(seq.prompt) - seq.done > 1
+        )
+        if chunked:
+            from ..llm.model import PrefillState  # local: avoids cycle
+
+            seq.state = PrefillState.preallocate(
+                self.model.config.num_layers,
+                len(seq.prompt),
+                self.model.config.num_heads,
+                self.model.config.head_dim,
+                prefix=(
+                    prefix.layer_states() if prefix is not None else None
+                ),
+            )
+        elif prefix is not None:
+            from ..llm.model import PrefillState  # local: avoids cycle
+
+            seq.state = PrefillState.from_prefix(prefix.layer_states())
+
+    def _resume_preempted(
+        self,
+        failures: List[Tuple["ServingRequest", Exception]],
+        totals: List[int],
+    ) -> None:
+        """Re-admit parked sequences, oldest first, through prefill.
+
+        When every layer policy certifies
+        :meth:`~repro.core.policy.KVCachePolicy.exact_resume_by_reprefill`,
+        the original prompt plus the already-*fed* generated tokens are
+        prefilled as one pseudo-prompt and decode picks up exactly where
+        it stopped (prefill hidden states are computed with dense causal
+        attention regardless of policy, so this is exact whenever the
+        policy's own decode was dense-equivalent so far).  Otherwise only
+        the prompt is prefilled and the generated tokens are *replayed*
+        through the decode path — identical math to the original run, so
+        exact by construction for any policy.  A resume that does not fit
+        the page budget right now stays at the front of the queue and
+        blocks newer resumes (FCFS, like the pending drain).
+        """
+        if not self._preempted:
+            return
+        cache = self.prefix_cache
+        while self._preempted and self._has_free_slot():
+            pre = self._preempted[0]
+            request = pre.request
+            try:
+                policies = self.model.make_policies(
+                    request.policy_factory or self.default_policy_factory,
+                    kv_pools=self.kv_pools,
+                )
+            except Exception as exc:
+                self._preempted.popleft()
+                failures.append((request, exc))
+                continue
+            prompt_len = len(pre.prompt)
+            fast = all(
+                policy.exact_resume_by_reprefill(
+                    prompt_len,
+                    prompt_len + pre.fed,
+                    prompt_len + request.max_new_tokens,
+                )
+                for policy in policies
+            )
+            prefill_tokens = (
+                pre.prompt + pre.generated[: pre.fed]
+                if fast
+                else list(pre.prompt)
+            )
+            new_tokens = request.max_new_tokens - (
+                len(prefill_tokens) - prompt_len
+            )
+            prefix = cache.lookup(prefill_tokens) if cache is not None else None
+            demand: List[int] = []
+            worst: List[int] = []
+            if self.kv_pools is not None:
+                worst = self._initial_demand(
+                    policies, len(prefill_tokens), new_tokens, prefix
+                )
+                demand = (
+                    self._initial_demand(
+                        policies, len(prefill_tokens), 0, prefix
+                    )
+                    if self.policy.admission == "optimistic"
+                    else worst
+                )
+                verdict = self._page_verdict(demand, totals)
+                if verdict != "admit":
+                    if prefix is not None:
+                        prefix.release()
+                    if verdict == "wait":
+                        self._page_deferrals += 1
+                        break
+                    # Unreachable in practice (the sequence already ran in
+                    # this arena), kept fail-closed for safety.
+                    self._preempted.popleft()
+                    self._infeasible_failures += 1
+                    failures.append(
+                        (
+                            request,
+                            PoolExhaustedError(
+                                "preempted sequence no longer fits the KV "
+                                f"arena on resume (demand {demand} pages/layer)"
+                            ),
+                        )
+                    )
+                    continue
+            self._preempted.popleft()
+            seq = PrefillingSequence(
+                request=request,
+                prompt=prefill_tokens,
+                policies=policies,
+                prefix=prefix,
+                done=prefix.length if prefix is not None else 0,
+                initial_demand=demand,
+                worst_case_pages=list(worst),
+                resume=pre,
+                reprefill_resume=fast,
+            )
+            self._setup_prefill_state(seq)
+            self._prefilling.append(seq)
+            for layer, pages in enumerate(demand):
+                totals[layer] += pages
 
     def _schedule_chunks(self) -> List[PrefillChunk]:
         """Split this step's prefill budget over in-flight prompts, FCFS."""
@@ -611,6 +924,7 @@ class Scheduler:
 
 
 __all__ = [
+    "PreemptedSequence",
     "PrefillChunk",
     "PrefillingSequence",
     "ScheduleBatch",

@@ -1,0 +1,534 @@
+"""Multi-tenant workload harness: traces, replay, and serving metrics.
+
+The serving stack is exercised end to end by *traces*: timestamped request
+streams drawn from per-tenant specifications (arrival process, prompt and
+output length distributions, shared-prefix populations, priorities, SLOs).
+This module owns three things:
+
+* **Trace generation** — :func:`generate_trace` turns a
+  :class:`WorkloadSpec` into a deterministic list of
+  :class:`TraceRequest`.  All randomness flows through one *injected*
+  :class:`numpy.random.Generator`, so the same spec and seed produce the
+  same trace byte for byte — traces are reproducible artifacts, not
+  side effects (asserted in the test suite).
+* **Replay** — :func:`run_workload` replays a trace against a
+  :class:`~repro.serving.engine.BatchedEngine`: a driver thread submits
+  each request at its (scaled) arrival time via ``submit_async`` while the
+  engine's :meth:`~repro.serving.engine.BatchedEngine.run_until_idle` loop
+  serves, and the engine's ``on_token`` seam timestamps every sampled
+  token for TTFT/ITL measurement.
+* **Metrics** — :class:`WorkloadReport` aggregates completion counts,
+  error causes, preemption telemetry, p50/p95/p99 TTFT and ITL, and
+  **goodput**: generated tokens per second counting only requests that
+  completed *and* met their tenant's SLOs.  Goodput is the number the
+  preemption work moves — a fail-closed engine converts overload into
+  errored requests whose tokens count for nothing.
+
+Named scenarios (``SCENARIOS``) pin down workload shapes the perf-smoke
+benchmarks gate on, so "bursty multi-tenant overload" means the same trace
+in every CI run.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .engine import BatchedEngine, ServingRequest
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's traffic model inside a :class:`WorkloadSpec`.
+
+    ``rate`` is in requests per *virtual* second (the trace's time axis;
+    :func:`run_workload` scales it to wall clock).  ``prompt_length`` and
+    ``max_new_tokens`` are inclusive uniform ranges.  A fraction
+    ``shared_prefix_fraction`` of the tenant's prompts starts with the
+    tenant's own ``shared_prefix_length``-token prefix (drawn once per
+    trace), modelling the shared system prompt that makes prefix caching
+    and copy-on-write sharing matter.  ``slo_ttft`` / ``slo_itl`` are
+    wall-clock seconds; ``None`` means the SLO is always met, so goodput
+    reduces to completed-request throughput.
+    """
+
+    name: str
+    rate: float
+    num_requests: int
+    prompt_length: Tuple[int, int]
+    max_new_tokens: Tuple[int, int]
+    priority: int = 0
+    shared_prefix_length: int = 0
+    shared_prefix_fraction: float = 0.0
+    slo_ttft: Optional[float] = None
+    slo_itl: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError("rate must be > 0")
+        if self.num_requests < 1:
+            raise ValueError("num_requests must be >= 1")
+        lo, hi = self.prompt_length
+        if lo < 1 or hi < lo:
+            raise ValueError("prompt_length must be a range with 1 <= lo <= hi")
+        lo, hi = self.max_new_tokens
+        if lo < 1 or hi < lo:
+            raise ValueError(
+                "max_new_tokens must be a range with 1 <= lo <= hi"
+            )
+        if not 0.0 <= self.shared_prefix_fraction <= 1.0:
+            raise ValueError("shared_prefix_fraction must be in [0, 1]")
+        if self.shared_prefix_fraction > 0.0 and self.shared_prefix_length < 1:
+            raise ValueError(
+                "shared_prefix_length must be >= 1 when a prefix fraction "
+                "is set"
+            )
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A full workload: tenants plus the arrival process shape.
+
+    ``arrival="poisson"`` draws exponential inter-arrival gaps per tenant;
+    ``"bursty"`` groups each tenant's requests into back-to-back clusters
+    of ``burst_size`` (cluster *starts* are Poisson at ``rate /
+    burst_size``, members arrive 1 ms apart), modelling the thundering
+    herds that create page pressure spikes.
+    """
+
+    tenants: Tuple[TenantSpec, ...]
+    arrival: str = "poisson"
+    burst_size: int = 4
+    vocab_size: int = 89
+
+    def __post_init__(self) -> None:
+        if not self.tenants:
+            raise ValueError("at least one tenant required")
+        if self.arrival not in ("poisson", "bursty"):
+            raise ValueError("arrival must be 'poisson' or 'bursty'")
+        if self.burst_size < 1:
+            raise ValueError("burst_size must be >= 1")
+        names = [t.name for t in self.tenants]
+        if len(set(names)) != len(names):
+            raise ValueError("tenant names must be unique")
+
+
+@dataclass(frozen=True)
+class TraceRequest:
+    """One timestamped request of a generated trace."""
+
+    request_id: str
+    tenant: str
+    arrival_time: float  # virtual seconds from trace start
+    prompt_ids: Tuple[int, ...]
+    max_new_tokens: int
+    priority: int = 0
+    slo_ttft: Optional[float] = None
+    slo_itl: Optional[float] = None
+
+
+def _arrival_times(
+    spec: WorkloadSpec, tenant: TenantSpec, rng: np.random.Generator
+) -> np.ndarray:
+    n = tenant.num_requests
+    if spec.arrival == "poisson":
+        gaps = rng.exponential(1.0 / tenant.rate, size=n)
+        return np.cumsum(gaps)
+    # Bursty: Poisson cluster starts, members 1 ms apart within a cluster.
+    clusters = -(-n // spec.burst_size)
+    starts = np.cumsum(
+        rng.exponential(spec.burst_size / tenant.rate, size=clusters)
+    )
+    times = [
+        starts[i // spec.burst_size] + 0.001 * (i % spec.burst_size)
+        for i in range(n)
+    ]
+    return np.asarray(times)
+
+
+def generate_trace(
+    spec: WorkloadSpec, rng: np.random.Generator
+) -> List[TraceRequest]:
+    """Deterministically expand ``spec`` into an arrival-ordered trace.
+
+    Every draw comes from ``rng`` in a fixed order (tenants in spec
+    order, then arrivals, prefix, prompts, output lengths), so a given
+    ``(spec, seed)`` pair always yields the identical trace.  Ties in
+    arrival time break by (tenant order, request index) — total order,
+    no dependence on float comparison quirks.
+    """
+    out: List[Tuple[float, int, int, TraceRequest]] = []
+    for t_idx, tenant in enumerate(spec.tenants):
+        times = _arrival_times(spec, tenant, rng)
+        prefix: List[int] = []
+        if tenant.shared_prefix_fraction > 0.0:
+            prefix = rng.integers(
+                0, spec.vocab_size, size=tenant.shared_prefix_length
+            ).tolist()
+        lo_p, hi_p = tenant.prompt_length
+        lo_n, hi_n = tenant.max_new_tokens
+        for i in range(tenant.num_requests):
+            length = int(rng.integers(lo_p, hi_p + 1))
+            shared = (
+                tenant.shared_prefix_fraction > 0.0
+                and rng.random() < tenant.shared_prefix_fraction
+                and length > len(prefix)
+            )
+            if shared:
+                suffix = rng.integers(
+                    0, spec.vocab_size, size=length - len(prefix)
+                ).tolist()
+                prompt = tuple(prefix) + tuple(int(t) for t in suffix)
+            else:
+                prompt = tuple(
+                    int(t)
+                    for t in rng.integers(0, spec.vocab_size, size=length)
+                )
+            request = TraceRequest(
+                request_id=f"{tenant.name}-{i}",
+                tenant=tenant.name,
+                arrival_time=float(times[i]),
+                prompt_ids=prompt,
+                max_new_tokens=int(rng.integers(lo_n, hi_n + 1)),
+                priority=tenant.priority,
+                slo_ttft=tenant.slo_ttft,
+                slo_itl=tenant.slo_itl,
+            )
+            out.append((request.arrival_time, t_idx, i, request))
+    out.sort(key=lambda item: item[:3])
+    return [item[3] for item in out]
+
+
+@dataclass
+class TenantReport:
+    """Per-tenant slice of a :class:`WorkloadReport`."""
+
+    name: str
+    submitted: int = 0
+    completed: int = 0
+    errors: int = 0
+    slo_attained: int = 0
+    tokens: int = 0
+    goodput_tokens: int = 0
+    ttft_p50: float = 0.0
+    ttft_p95: float = 0.0
+    ttft_p99: float = 0.0
+    itl_p50: float = 0.0
+    itl_p95: float = 0.0
+    itl_p99: float = 0.0
+
+
+@dataclass
+class WorkloadReport:
+    """What one trace replay measured.
+
+    ``goodput_tokens_per_s`` counts only tokens of requests that finished
+    normally *and* met their SLOs; ``throughput_tokens_per_s`` counts all
+    tokens of normally finished requests.  ``errors_by_cause`` mirrors
+    the engine's :attr:`ServingResponse.error_cause` taxonomy.
+    """
+
+    elapsed_s: float = 0.0
+    submitted: int = 0
+    completed: int = 0
+    errors: int = 0
+    slo_attained: int = 0
+    tokens_generated: int = 0
+    throughput_tokens_per_s: float = 0.0
+    goodput_tokens_per_s: float = 0.0
+    errors_by_cause: Dict[str, int] = field(default_factory=dict)
+    ttft_p50: float = 0.0
+    ttft_p95: float = 0.0
+    ttft_p99: float = 0.0
+    itl_p50: float = 0.0
+    itl_p95: float = 0.0
+    itl_p99: float = 0.0
+    tenants: List[TenantReport] = field(default_factory=list)
+    engine_stats: Dict[str, object] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        lines = [
+            f"requests: {self.completed}/{self.submitted} completed, "
+            f"{self.errors} errors, {self.slo_attained} in SLO",
+            f"tokens: {self.tokens_generated} in {self.elapsed_s:.3f}s "
+            f"({self.throughput_tokens_per_s:.1f} tok/s, goodput "
+            f"{self.goodput_tokens_per_s:.1f} tok/s)",
+            f"ttft p50/p95/p99: {self.ttft_p50 * 1e3:.1f}/"
+            f"{self.ttft_p95 * 1e3:.1f}/{self.ttft_p99 * 1e3:.1f} ms",
+            f"itl p50/p95/p99: {self.itl_p50 * 1e3:.2f}/"
+            f"{self.itl_p95 * 1e3:.2f}/{self.itl_p99 * 1e3:.2f} ms",
+        ]
+        for tenant in self.tenants:
+            lines.append(
+                f"  [{tenant.name}] {tenant.completed}/{tenant.submitted} "
+                f"done, {tenant.errors} err, {tenant.slo_attained} in SLO, "
+                f"{tenant.tokens} tok (ttft p95 {tenant.ttft_p95 * 1e3:.1f} "
+                f"ms)"
+            )
+        return "\n".join(lines)
+
+
+def _percentiles(values: Sequence[float]) -> Tuple[float, float, float]:
+    if not values:
+        return 0.0, 0.0, 0.0
+    arr = np.asarray(values, dtype=np.float64)
+    p50, p95, p99 = np.percentile(arr, [50.0, 95.0, 99.0])
+    return float(p50), float(p95), float(p99)
+
+
+def run_workload(
+    engine: BatchedEngine,
+    trace: Sequence[TraceRequest],
+    time_scale: float = 0.0,
+) -> WorkloadReport:
+    """Replay ``trace`` against ``engine`` and measure the outcome.
+
+    A driver thread (the caller's) submits each request via
+    ``submit_async`` at ``arrival_time * time_scale`` seconds after the
+    replay starts (``time_scale=0`` submits as fast as possible, arrival
+    *order* preserved) while a serving thread runs
+    :meth:`BatchedEngine.run_until_idle`.  The engine's ``on_token``
+    callback is installed by this function (overwriting any existing one)
+    to timestamp every sampled token; per-request TTFT is first-token
+    time minus submit time and ITL the gaps between consecutive token
+    times — a preempted request's park/resume gap shows up in its ITL
+    tail, which is exactly the latency cost preemption trades for
+    goodput.
+    """
+    token_times: Dict[str, List[float]] = {
+        req.request_id: [] for req in trace
+    }
+
+    def on_token(request_id: str, token_id: int, num_generated: int) -> None:
+        token_times[request_id].append(time.perf_counter())
+
+    engine.on_token = on_token
+    stop = threading.Event()
+    server = threading.Thread(
+        target=engine.run_until_idle, args=(stop,), daemon=True
+    )
+    submit_times: Dict[str, float] = {}
+    start = time.perf_counter()
+    server.start()
+    try:
+        for req in trace:
+            if time_scale > 0.0:
+                delay = start + req.arrival_time * time_scale - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+            submit_times[req.request_id] = time.perf_counter()
+            engine.submit_async(
+                ServingRequest(
+                    prompt_ids=list(req.prompt_ids),
+                    max_new_tokens=req.max_new_tokens,
+                    request_id=req.request_id,
+                    priority=req.priority,
+                    tenant=req.tenant,
+                )
+            )
+    finally:
+        stop.set()
+        engine.wake()
+        server.join(timeout=300.0)
+    elapsed = time.perf_counter() - start
+
+    report = WorkloadReport(elapsed_s=elapsed, submitted=len(trace))
+    by_tenant: Dict[str, TenantReport] = {}
+    tenant_ttfts: Dict[str, List[float]] = {}
+    tenant_itls: Dict[str, List[float]] = {}
+    all_ttfts: List[float] = []
+    all_itls: List[float] = []
+    goodput_tokens = 0
+    for req in trace:
+        tenant = by_tenant.setdefault(req.tenant, TenantReport(req.tenant))
+        tenant.submitted += 1
+        response = engine.response(req.request_id)
+        if response is None:  # pragma: no cover — drained loop returns all
+            continue
+        if response.finish_reason == "error":
+            report.errors += 1
+            tenant.errors += 1
+            cause = response.error_cause or "unknown"
+            report.errors_by_cause[cause] = (
+                report.errors_by_cause.get(cause, 0) + 1
+            )
+            continue
+        report.completed += 1
+        tenant.completed += 1
+        tokens = response.num_generated
+        report.tokens_generated += tokens
+        tenant.tokens += tokens
+        times = token_times[req.request_id]
+        ttft = (
+            times[0] - submit_times[req.request_id] if times else 0.0
+        )
+        itls = [b - a for a, b in zip(times, times[1:])]
+        if times:
+            all_ttfts.append(ttft)
+            tenant_ttfts.setdefault(req.tenant, []).append(ttft)
+        all_itls.extend(itls)
+        tenant_itls.setdefault(req.tenant, []).extend(itls)
+        mean_itl = sum(itls) / len(itls) if itls else 0.0
+        attained = (req.slo_ttft is None or ttft <= req.slo_ttft) and (
+            req.slo_itl is None or mean_itl <= req.slo_itl
+        )
+        if attained:
+            report.slo_attained += 1
+            tenant.slo_attained += 1
+            goodput_tokens += tokens
+            tenant.goodput_tokens += tokens
+    if elapsed > 0:
+        report.throughput_tokens_per_s = report.tokens_generated / elapsed
+        report.goodput_tokens_per_s = goodput_tokens / elapsed
+    report.ttft_p50, report.ttft_p95, report.ttft_p99 = _percentiles(all_ttfts)
+    report.itl_p50, report.itl_p95, report.itl_p99 = _percentiles(all_itls)
+    for name in sorted(by_tenant):
+        tenant = by_tenant[name]
+        tenant.ttft_p50, tenant.ttft_p95, tenant.ttft_p99 = _percentiles(
+            tenant_ttfts.get(name, [])
+        )
+        tenant.itl_p50, tenant.itl_p95, tenant.itl_p99 = _percentiles(
+            tenant_itls.get(name, [])
+        )
+        report.tenants.append(tenant)
+    report.engine_stats = engine.stats()
+    return report
+
+
+# ----------------------------------------------------------------------
+# Named regression scenarios
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Scenario:
+    """A named workload shape plus the arena sizing that makes it bite.
+
+    ``num_pages`` / ``page_size`` size each layer's KV arena so the
+    offered load oversubscribes it (the perf-smoke gates run the engine
+    with ``admission="optimistic"`` against exactly this arena);
+    ``seed`` pins the trace.
+    """
+
+    name: str
+    description: str
+    spec: WorkloadSpec
+    num_pages: int
+    page_size: int
+    max_batch_size: Optional[int]
+    seed: int
+
+    def trace(self) -> List[TraceRequest]:
+        return generate_trace(self.spec, np.random.default_rng(self.seed))
+
+
+SCENARIOS: Dict[str, Scenario] = {
+    scenario.name: scenario
+    for scenario in (
+        Scenario(
+            name="bursty_multi_tenant",
+            description=(
+                "Three tenants with different priorities and burst "
+                "arrivals; short prompts admit optimistically, but long "
+                "decodes grow far past the arena, so bursts must be "
+                "absorbed by preemption."
+            ),
+            spec=WorkloadSpec(
+                tenants=(
+                    TenantSpec(
+                        name="interactive",
+                        rate=40.0,
+                        num_requests=10,
+                        prompt_length=(8, 14),
+                        max_new_tokens=(16, 24),
+                        priority=2,
+                    ),
+                    TenantSpec(
+                        name="batch",
+                        rate=30.0,
+                        num_requests=8,
+                        prompt_length=(10, 16),
+                        max_new_tokens=(32, 48),
+                        priority=0,
+                    ),
+                    TenantSpec(
+                        name="steady",
+                        rate=25.0,
+                        num_requests=8,
+                        prompt_length=(8, 14),
+                        max_new_tokens=(32, 48),
+                        priority=1,
+                    ),
+                ),
+                arrival="bursty",
+                burst_size=4,
+            ),
+            num_pages=20,
+            page_size=8,
+            max_batch_size=None,
+            seed=20260808,
+        ),
+        Scenario(
+            name="shared_prefix_overload",
+            description=(
+                "Two tenants whose prompts mostly share a long per-tenant "
+                "prefix, offered at ~2x the arena capacity: prefix "
+                "sharing, cache shedding and preemption all engage."
+            ),
+            spec=WorkloadSpec(
+                tenants=(
+                    TenantSpec(
+                        name="alpha",
+                        rate=50.0,
+                        num_requests=12,
+                        prompt_length=(26, 40),
+                        max_new_tokens=(24, 40),
+                        priority=1,
+                        shared_prefix_length=20,
+                        shared_prefix_fraction=0.8,
+                    ),
+                    TenantSpec(
+                        name="beta",
+                        rate=50.0,
+                        num_requests=12,
+                        prompt_length=(26, 40),
+                        max_new_tokens=(24, 40),
+                        priority=0,
+                        shared_prefix_length=20,
+                        shared_prefix_fraction=0.8,
+                    ),
+                ),
+                arrival="poisson",
+            ),
+            num_pages=28,
+            page_size=8,
+            max_batch_size=None,
+            seed=7,
+        ),
+    )
+}
+
+
+def get_scenario(name: str) -> Scenario:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; known: {sorted(SCENARIOS)}"
+        ) from None
+
+
+__all__ = [
+    "Scenario",
+    "SCENARIOS",
+    "TenantReport",
+    "TenantSpec",
+    "TraceRequest",
+    "WorkloadReport",
+    "WorkloadSpec",
+    "generate_trace",
+    "get_scenario",
+    "run_workload",
+]

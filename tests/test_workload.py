@@ -1,0 +1,193 @@
+"""Workload harness: deterministic traces, spec validation, end-to-end
+replay metrics, and the named regression scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.core.kv_pool import KVPoolGroup
+from repro.llm.config import ModelConfig
+from repro.llm.model import TransformerLM
+from repro.serving import (
+    SCENARIOS,
+    BatchedEngine,
+    SchedulerPolicy,
+    TenantSpec,
+    WorkloadSpec,
+    generate_trace,
+    get_scenario,
+    run_workload,
+)
+
+VOCAB = 89
+HEADS, HEAD_DIM, LAYERS = 2, 8, 2
+
+
+def small_spec(**overrides):
+    params = dict(
+        tenants=(
+            TenantSpec(
+                name="a",
+                rate=50.0,
+                num_requests=5,
+                prompt_length=(6, 12),
+                max_new_tokens=(3, 6),
+                priority=1,
+            ),
+            TenantSpec(
+                name="b",
+                rate=30.0,
+                num_requests=4,
+                prompt_length=(10, 20),
+                max_new_tokens=(4, 8),
+                shared_prefix_length=8,
+                shared_prefix_fraction=1.0,
+            ),
+        ),
+        vocab_size=VOCAB,
+    )
+    params.update(overrides)
+    return WorkloadSpec(**params)
+
+
+class TestTraceGeneration:
+    def test_same_seed_same_trace(self):
+        spec = small_spec()
+        a = generate_trace(spec, np.random.default_rng(11))
+        b = generate_trace(spec, np.random.default_rng(11))
+        assert a == b
+
+    def test_different_seed_different_trace(self):
+        spec = small_spec()
+        a = generate_trace(spec, np.random.default_rng(11))
+        b = generate_trace(spec, np.random.default_rng(12))
+        assert a != b
+
+    @pytest.mark.parametrize("arrival", ["poisson", "bursty"])
+    def test_arrival_order_and_shape(self, arrival):
+        spec = small_spec(arrival=arrival)
+        trace = generate_trace(spec, np.random.default_rng(3))
+        assert len(trace) == 9
+        times = [req.arrival_time for req in trace]
+        assert times == sorted(times)
+        assert all(t >= 0.0 for t in times)
+        ids = [req.request_id for req in trace]
+        assert len(set(ids)) == len(ids)
+        for req in trace:
+            lo, hi = {"a": (6, 12), "b": (10, 20)}[req.tenant]
+            assert lo <= len(req.prompt_ids) <= hi
+            assert all(0 <= t < VOCAB for t in req.prompt_ids)
+
+    def test_shared_prefix_population(self):
+        trace = generate_trace(small_spec(), np.random.default_rng(5))
+        b_requests = [req for req in trace if req.tenant == "b"]
+        prefixes = {req.prompt_ids[:8] for req in b_requests}
+        assert len(prefixes) == 1  # fraction=1.0: every prompt shares it
+        a_requests = [req for req in trace if req.tenant == "a"]
+        assert all(req.priority == 1 for req in a_requests)
+
+    def test_bursty_clusters_are_tight(self):
+        spec = small_spec(arrival="bursty", burst_size=4)
+        trace = generate_trace(spec, np.random.default_rng(9))
+        a_times = [r.arrival_time for r in trace if r.tenant == "a"]
+        # First burst: 4 members 1 ms apart.
+        gaps = np.diff(sorted(a_times)[:4])
+        np.testing.assert_allclose(gaps, 0.001, rtol=1e-9)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError, match="rate"):
+            TenantSpec("x", 0.0, 1, (1, 2), (1, 2))
+        with pytest.raises(ValueError, match="prompt_length"):
+            TenantSpec("x", 1.0, 1, (5, 2), (1, 2))
+        with pytest.raises(ValueError, match="shared_prefix_length"):
+            TenantSpec("x", 1.0, 1, (1, 2), (1, 2), shared_prefix_fraction=0.5)
+        with pytest.raises(ValueError, match="arrival"):
+            small_spec(arrival="uniform")
+        with pytest.raises(ValueError, match="unique"):
+            tenant = TenantSpec("dup", 1.0, 1, (1, 2), (1, 2))
+            WorkloadSpec(tenants=(tenant, tenant))
+        with pytest.raises(ValueError, match="tenant"):
+            WorkloadSpec(tenants=())
+
+
+class TestScenarios:
+    def test_registry(self):
+        assert "bursty_multi_tenant" in SCENARIOS
+        assert "shared_prefix_overload" in SCENARIOS
+        with pytest.raises(KeyError, match="unknown scenario"):
+            get_scenario("nope")
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_scenario_traces_pinned(self, name):
+        scenario = get_scenario(name)
+        assert scenario.trace() == scenario.trace()
+        total = sum(t.num_requests for t in scenario.spec.tenants)
+        assert len(scenario.trace()) == total
+
+
+class TestRunWorkload:
+    @pytest.fixture(scope="class")
+    def model(self):
+        config = ModelConfig(
+            vocab_size=VOCAB,
+            model_dim=HEADS * HEAD_DIM,
+            num_heads=HEADS,
+            head_dim=HEAD_DIM,
+            num_layers=LAYERS,
+            mlp_hidden_dim=24,
+            seed=5,
+        )
+        return TransformerLM(config)
+
+    def test_replay_under_pressure(self, model):
+        trace = generate_trace(small_spec(), np.random.default_rng(21))
+        engine = BatchedEngine(
+            model,
+            max_batch_size=None,
+            kv_pools=KVPoolGroup(
+                LAYERS, page_size=8, num_heads=HEADS, head_dim=HEAD_DIM,
+                num_pages=12,
+            ),
+            scheduler_policy=SchedulerPolicy(
+                preemption=True, admission="optimistic"
+            ),
+        )
+        report = run_workload(engine, trace)
+        assert report.submitted == len(trace)
+        assert report.completed == len(trace)
+        assert report.errors == 0
+        assert report.errors_by_cause == {}
+        assert report.tokens_generated > 0
+        assert report.elapsed_s > 0
+        assert report.goodput_tokens_per_s <= report.throughput_tokens_per_s
+        # No SLOs set: goodput reduces to throughput.
+        assert report.slo_attained == report.completed
+        assert report.goodput_tokens_per_s == pytest.approx(
+            report.throughput_tokens_per_s
+        )
+        assert [t.name for t in report.tenants] == ["a", "b"]
+        for tenant in report.tenants:
+            assert tenant.completed == tenant.submitted
+            assert tenant.ttft_p50 <= tenant.ttft_p95 <= tenant.ttft_p99
+        assert report.engine_stats["completed"] == len(trace)
+
+    def test_impossible_slo_zeroes_goodput(self, model):
+        spec = small_spec(
+            tenants=(
+                TenantSpec(
+                    name="a",
+                    rate=50.0,
+                    num_requests=3,
+                    prompt_length=(6, 10),
+                    max_new_tokens=(3, 5),
+                    slo_ttft=0.0,  # unattainable: TTFT is always > 0
+                ),
+            ),
+        )
+        trace = generate_trace(spec, np.random.default_rng(2))
+        engine = BatchedEngine(model, max_batch_size=4)
+        report = run_workload(engine, trace)
+        assert report.completed == 3
+        assert report.slo_attained == 0
+        assert report.goodput_tokens_per_s == 0.0
+        assert report.throughput_tokens_per_s > 0.0
+        assert "0 in SLO" in report.summary()
