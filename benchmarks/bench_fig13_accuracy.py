@@ -71,3 +71,69 @@ def test_fig13_accuracy_vs_cache_ratio(
     mean = lambda xs: sum(xs) / len(xs)  # noqa: E731
     assert mean(f1["unicaim"]) >= mean(f1["streaming_llm"]) - 0.05
     assert mean(f1["unicaim"]) >= 0.5
+
+
+KV_DTYPE_POLICIES = ["full", "unicaim", "h2o", "quest"]
+KV_DTYPE_RATIO = [0.4]
+KV_DTYPE_TOLERANCE = 0.05
+
+
+def test_fig13_accuracy_within_tolerance_at_int8_kv_dtype(results_dir):
+    """Storage quantisation gate: int8 KV pages cost ≤0.05 mean F1.
+
+    Runs a reduced Fig-13 grid (four policies spanning every storage
+    backend, one mid-sweep cache ratio) at fp64, int8 and int4 storage
+    via the eval harness's ``kv_dtype`` knob, with everything else —
+    model, dataset, policies, batching — identical.  int8 is the hard
+    accuracy gate of ROADMAP item 4; int4 is reported for the capacity/
+    accuracy trade-off table but only smoke-checked (it halves the bits
+    again, its tolerance is policy-dependent).
+    """
+    examples = 3 if quick_mode() else 6
+    prompt_length = 400 if quick_mode() else 800
+    spec = hotpotqa_like_spec(
+        num_examples=examples, prompt_length=prompt_length, seed=0
+    )
+    dataset = generate_dataset(spec)
+    model = build_task_model(dataset.tokenizer)
+
+    sweeps = {
+        kv_dtype: cache_ratio_sweep(
+            dataset,
+            KV_DTYPE_POLICIES,
+            KV_DTYPE_RATIO,
+            model=model,
+            kv_dtype=kv_dtype,
+        )
+        for kv_dtype in ("fp64", "int8", "int4")
+    }
+    f1 = {
+        kv_dtype: {
+            policy: sweep[policy][0].mean_f1 for policy in KV_DTYPE_POLICIES
+        }
+        for kv_dtype, sweep in sweeps.items()
+    }
+
+    lines = [
+        "Fig. 13 accuracy at quantised KV storage "
+        f"({examples} examples, ~{prompt_length}-token prompts, "
+        f"cache ratio {KV_DTYPE_RATIO[0]:.0%})",
+        "",
+        f"{'policy':<14}" + "".join(f"{d:>8}" for d in f1),
+    ]
+    for policy in KV_DTYPE_POLICIES:
+        lines.append(
+            f"{policy:<14}"
+            + "".join(f"{f1[d][policy]:>8.3f}" for d in f1)
+        )
+    report = "\n".join(lines)
+    write_report(results_dir, "fig13_accuracy_kv_dtype", report)
+    print(report)
+
+    for policy in KV_DTYPE_POLICIES:
+        assert f1["int8"][policy] >= f1["fp64"][policy] - KV_DTYPE_TOLERANCE, (
+            f"int8 storage costs {policy} more than {KV_DTYPE_TOLERANCE} F1: "
+            f"{f1['fp64'][policy]:.3f} -> {f1['int8'][policy]:.3f}"
+        )
+        # int4 smoke floor: the task must not collapse.
+        assert f1["int4"][policy] >= 0.3

@@ -144,6 +144,9 @@ def test_batch16_throughput_at_least_4x_batch1(benchmark, results_dir):
         f"  page allocs {pool['page_allocs']}, frees {pool['page_frees']}, "
         f"CoW splits {pool['cow_splits']}, "
         f"prefix pages adopted {pool['prefix_pages_adopted']}",
+        f"  storage codec {pool['codec']}, "
+        f"{pool['bytes_per_token']} B/token, "
+        f"fp-page fraction {pool['fp_page_fraction']:.2f}",
         f"  admission: {stats['admission']}",
     ]
     write_report(results_dir, "serving_throughput", "\n".join(lines))

@@ -281,6 +281,9 @@ class H2OPolicy(KVCachePolicy):
     def kv_shared_pages(self) -> int:
         return self._store.shared_page_count()
 
+    def kv_resident_bytes(self) -> int:
+        return self._store.resident_bytes()
+
     def max_cached_tokens(self, prompt_len: int, max_new_tokens: int) -> int:
         # +1 for the insert-then-shrink transient of every decode step.
         return min(

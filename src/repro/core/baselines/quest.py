@@ -33,6 +33,10 @@ class QuestPolicy(WholePromptStoreMixin, KVCachePolicy):
         Number of consecutive tokens per page.  Page importance is scored
         with the per-page element-wise min/max key bounds as in Quest; pages
         are selected, then every token of every selected page is attended.
+        Bounds are computed on the fly from gathered keys, so under a
+        quantised storage codec they are bounds over the *dequantised*
+        rows — exactly the rows attention later reads, keeping selection
+        and attention mutually consistent at any precision.
     num_pages:
         Number of pages selected per step.
     """

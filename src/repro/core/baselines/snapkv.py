@@ -259,6 +259,9 @@ class SnapKVPolicy(KVCachePolicy):
     def kv_shared_pages(self) -> int:
         return self._store.shared_page_count()
 
+    def kv_resident_bytes(self) -> int:
+        return self._store.resident_bytes()
+
     def max_cached_tokens(self, prompt_len: int, max_new_tokens: int) -> int:
         prompt_kept = min(
             int(prompt_len),

@@ -280,6 +280,9 @@ class StreamingLLMPolicy(KVCachePolicy):
     def kv_shared_pages(self) -> int:
         return self._store.shared_page_count()
 
+    def kv_resident_bytes(self) -> int:
+        return self._store.resident_bytes()
+
     def max_cached_tokens(self, prompt_len: int, max_new_tokens: int) -> int:
         return min(
             super().max_cached_tokens(prompt_len, max_new_tokens),

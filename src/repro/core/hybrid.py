@@ -149,6 +149,9 @@ class UniCAIMPolicy(KVCachePolicy):
     def kv_shared_pages(self) -> int:
         return self.cache.shared_page_count()
 
+    def kv_resident_bytes(self) -> int:
+        return self.cache.resident_bytes()
+
     def max_cached_tokens(self, prompt_len: int, max_new_tokens: int) -> int:
         return min(
             super().max_cached_tokens(prompt_len, max_new_tokens),

@@ -37,6 +37,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .kv_codec import CodecSpec, MixedPrecisionConfig
 from .kv_pool import BlockTable, PagedKVPool
 
 
@@ -70,6 +71,11 @@ class SlotKVCache:
         allocate slot pages from.  ``None`` (standalone use) creates a
         private pool whose page size equals ``capacity`` — one lazily
         allocated page, matching the old dense layout.
+    codec, mixed_precision:
+        Storage codec of the private pool (ignored when ``pool`` is
+        given — a shared pool already owns its codec).  ``"int8"`` /
+        ``"int4"`` store slot rows quantised; reads dequantise inside the
+        block-table gathers, so policy selector math sees plain floats.
     """
 
     def __init__(
@@ -79,6 +85,8 @@ class SlotKVCache:
         head_dim: int,
         dtype: np.dtype = np.float32,
         pool: Optional[PagedKVPool] = None,
+        codec: CodecSpec = None,
+        mixed_precision: Optional[MixedPrecisionConfig] = None,
     ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
@@ -97,6 +105,8 @@ class SlotKVCache:
                 num_heads=self.num_heads,
                 head_dim=self.head_dim,
                 dtype=self.dtype,
+                codec=codec,
+                mixed_precision=mixed_precision,
             )
         elif pool.num_heads != self.num_heads or pool.head_dim != self.head_dim:
             raise ValueError(
@@ -399,8 +409,14 @@ class SlotKVCache:
         )
 
     def resident_bytes(self) -> int:
-        """Bytes of pool pages this cache currently holds references to."""
-        return self._table.pages_held() * self.pool.page_bytes
+        """Bytes of pool pages this cache currently holds references to.
+
+        Codec-true: quantised arenas report quantised bytes (including
+        scale metadata and any full-precision overlay the mixed-precision
+        policy is pinning), not the compute-dtype size the rows dequantise
+        to.
+        """
+        return self._table.resident_bytes()
 
     def pages_held(self) -> int:
         return self._table.pages_held()

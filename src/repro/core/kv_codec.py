@@ -1,0 +1,282 @@
+"""Per-page KV storage codecs: fp passthrough, int8 and packed int4.
+
+The paper's core idea is that quantised keys are good enough to *select*
+with; this module applies the same insight to *storage*.  A
+:class:`PageCodec` owns the encode/decode seam of one
+:class:`~repro.core.kv_pool.PagedKVPool` arena:
+
+* :class:`FloatCodec` — passthrough at the pool's compute dtype.  This is
+  the default and is bit-identical to the pre-codec arena (same arrays,
+  same assignment semantics, no scale metadata).
+* :class:`Int8Codec` — symmetric per-row, per-head absmax quantisation to
+  signed 8-bit integers with a float32 scale per ``(row, head)``.
+* :class:`Int4Codec` — the same scheme at 4 bits, with two values packed
+  per byte (:func:`pack_int4` / :func:`unpack_int4`).
+
+Quantisation is *deterministic* (pure function of the row), so a
+copy-on-write split can copy raw bytes + scales without a decode/encode
+round-trip, and two sequences adopting the same shared prefix page always
+dequantise identical rows.
+
+The symmetric absmax scheme is the storage-side analogue of
+:func:`repro.core.dynamic_pruning.quantize_signed`: both map a real vector
+onto ``2**bits - 1`` symmetric signed levels; the storage codec simply
+remembers the scale so the mapping is invertible.  ``clip_sigma`` opts
+into the same outlier clipping the CAM selector path uses (scale capped at
+``clip_sigma`` standard deviations of the row) — tighter grids for
+heavy-tailed rows at the cost of clipping the tails.
+
+:class:`MixedPrecisionConfig` is the page-granular precision policy: the
+first ``sink_pages`` blocks of every block table and the most recent
+``recent_pages`` blocks stay full precision (the StreamingLLM/SnapKV
+sink+recent insight applied to storage bytes); a block falling out of the
+recent window is *demoted* — encoded into the quantised arena — exactly
+once.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class MixedPrecisionConfig:
+    """Which pages of a quantised arena stay full precision.
+
+    ``sink_pages``: blocks ``0..sink_pages-1`` of every block table (the
+    attention-sink / prompt-prefix start) are stored at the pool's compute
+    dtype forever.  ``recent_pages``: the highest ``recent_pages`` blocks a
+    table has written stay full precision; when the write frontier moves
+    past a block it is demoted (quantised in place).  Shared pages
+    (refcount above one) are never demoted — sharers must keep reading
+    identical rows.
+    """
+
+    sink_pages: int = 0
+    recent_pages: int = 0
+
+    def __post_init__(self) -> None:
+        if self.sink_pages < 0 or self.recent_pages < 0:
+            raise ValueError("sink_pages and recent_pages must be >= 0")
+
+    @property
+    def enabled(self) -> bool:
+        return self.sink_pages > 0 or self.recent_pages > 0
+
+
+def pack_int4(q: np.ndarray) -> np.ndarray:
+    """Pack signed 4-bit values in ``[-7, 7]`` two-per-byte (last axis).
+
+    Each value is biased to the unsigned nibble ``q + 8`` (1..15; 8 is
+    zero) and pairs ``(2i, 2i+1)`` land in one byte as ``high<<4 | low``.
+    An odd final element is padded with the zero nibble.
+    """
+    q = np.asarray(q)
+    if q.shape[-1] % 2:
+        pad = np.zeros(q.shape[:-1] + (1,), dtype=q.dtype)
+        q = np.concatenate([q, pad], axis=-1)
+    biased = (q.astype(np.int16) + 8).astype(np.uint8)
+    return (biased[..., 0::2] << 4) | biased[..., 1::2]
+
+
+def unpack_int4(packed: np.ndarray, dim: int) -> np.ndarray:
+    """Invert :func:`pack_int4` back to ``dim`` signed int8 values."""
+    packed = np.asarray(packed, dtype=np.uint8)
+    out = np.empty(packed.shape[:-1] + (2 * packed.shape[-1],), dtype=np.int8)
+    out[..., 0::2] = (packed >> 4).astype(np.int8) - 8
+    out[..., 1::2] = (packed & 0x0F).astype(np.int8) - 8
+    return out[..., :dim]
+
+
+class PageCodec:
+    """Encode/decode seam between float K/V rows and arena storage bytes.
+
+    A codec is stateless and geometry-agnostic: rows are ``[..., h, d]``
+    float tensors, quantised storage is ``[..., h, packed_dim(d)]`` in
+    :attr:`storage_dtype` with a :attr:`scale_dtype` scale per
+    ``(..., h)``.  ``kv_row_bytes`` is the full K+V cost of storing one
+    token row, *including* scale metadata, so byte budgets stay honest.
+    """
+
+    name: str = "abstract"
+    is_float: bool = False
+    scale_dtype = np.dtype(np.float32)
+
+    def kv_row_bytes(self, num_heads: int, head_dim: int) -> int:
+        raise NotImplementedError
+
+    def packed_dim(self, head_dim: int) -> int:
+        raise NotImplementedError
+
+    @property
+    def storage_dtype(self) -> np.dtype:
+        raise NotImplementedError
+
+    def encode(self, rows: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Quantise float rows ``[..., h, d]`` -> ``(stored, scales)``."""
+        raise NotImplementedError
+
+    def decode(
+        self,
+        stored: np.ndarray,
+        scales: np.ndarray,
+        head_dim: int,
+        out_dtype: np.dtype,
+    ) -> np.ndarray:
+        """Dequantise stored rows back to float ``[..., h, head_dim]``."""
+        raise NotImplementedError
+
+
+class FloatCodec(PageCodec):
+    """Passthrough codec: the arena stores rows at the pool dtype."""
+
+    is_float = True
+
+    def __init__(self, dtype: np.dtype = np.float64) -> None:
+        self.dtype = np.dtype(dtype)
+        self.name = f"fp{8 * self.dtype.itemsize}"
+
+    def kv_row_bytes(self, num_heads: int, head_dim: int) -> int:
+        return int(2 * num_heads * head_dim * self.dtype.itemsize)
+
+    def packed_dim(self, head_dim: int) -> int:
+        return int(head_dim)
+
+    @property
+    def storage_dtype(self) -> np.dtype:
+        return self.dtype
+
+
+class _SymmetricIntCodec(PageCodec):
+    """Shared absmax machinery of the int8 / int4 codecs."""
+
+    bits: int = 8
+    qmax: int = 127
+
+    def __init__(self, clip_sigma: Optional[float] = None) -> None:
+        if clip_sigma is not None and clip_sigma <= 0:
+            raise ValueError("clip_sigma must be > 0 (or None)")
+        self.clip_sigma = clip_sigma
+
+    def _quantize(self, rows: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        rows = np.asarray(rows, dtype=np.float64)
+        if rows.ndim < 2:
+            raise ValueError("rows must have shape [..., heads, dim]")
+        amax = np.max(np.abs(rows), axis=-1)
+        if self.clip_sigma is not None:
+            limit = self.clip_sigma * rows.std(axis=-1)
+            amax = np.where((limit > 0) & (limit < amax), limit, amax)
+        scales = (amax / self.qmax).astype(self.scale_dtype)
+        q = np.zeros_like(rows)
+        wide = scales.astype(np.float64)[..., None]
+        np.divide(rows, wide, out=q, where=wide > 0)
+        q = np.clip(np.rint(q), -self.qmax, self.qmax).astype(np.int8)
+        return q, scales
+
+    def _dequantize(
+        self, q: np.ndarray, scales: np.ndarray, out_dtype: np.dtype
+    ) -> np.ndarray:
+        out = q.astype(np.float64) * scales.astype(np.float64)[..., None]
+        return out.astype(out_dtype, copy=False)
+
+
+class Int8Codec(_SymmetricIntCodec):
+    """Symmetric per-(row, head) absmax int8 storage (255 levels)."""
+
+    name = "int8"
+    bits = 8
+    qmax = 127
+
+    def kv_row_bytes(self, num_heads: int, head_dim: int) -> int:
+        # K + V: one int8 per element plus one float32 scale per head.
+        return int(2 * num_heads * (head_dim + self.scale_dtype.itemsize))
+
+    def packed_dim(self, head_dim: int) -> int:
+        return int(head_dim)
+
+    @property
+    def storage_dtype(self) -> np.dtype:
+        return np.dtype(np.int8)
+
+    def encode(self, rows: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        return self._quantize(rows)
+
+    def decode(self, stored, scales, head_dim, out_dtype):
+        return self._dequantize(stored, scales, out_dtype)
+
+
+class Int4Codec(_SymmetricIntCodec):
+    """Symmetric absmax int4 storage, two values packed per byte (15 levels)."""
+
+    name = "int4"
+    bits = 4
+    qmax = 7
+
+    def kv_row_bytes(self, num_heads: int, head_dim: int) -> int:
+        packed = math.ceil(head_dim / 2)
+        return int(2 * num_heads * (packed + self.scale_dtype.itemsize))
+
+    def packed_dim(self, head_dim: int) -> int:
+        return int(math.ceil(head_dim / 2))
+
+    @property
+    def storage_dtype(self) -> np.dtype:
+        return np.dtype(np.uint8)
+
+    def encode(self, rows: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        q, scales = self._quantize(rows)
+        return pack_int4(q), scales
+
+    def decode(self, stored, scales, head_dim, out_dtype):
+        return self._dequantize(unpack_int4(stored, head_dim), scales, out_dtype)
+
+
+CodecSpec = Union[None, str, PageCodec]
+
+_QUANTIZED = {"int8": Int8Codec, "int4": Int4Codec}
+
+
+def resolve_codec(spec: CodecSpec, dtype: np.dtype = np.float64) -> PageCodec:
+    """Resolve a codec spec (name, instance or ``None``) to a :class:`PageCodec`.
+
+    ``None``, ``"fp"`` and float-dtype names (``"fp64"``, ``"fp32"``,
+    ``"float64"``, ...) give the passthrough :class:`FloatCodec` at
+    ``dtype`` — the bit-identical default.  ``"int8"`` / ``"int4"`` give
+    the quantised codecs; pass a constructed instance to set
+    ``clip_sigma``.
+    """
+    if isinstance(spec, PageCodec):
+        return spec
+    if spec is None:
+        return FloatCodec(dtype)
+    name = str(spec).lower()
+    if name in ("fp", "float", "fp64", "float64", "fp32", "float32"):
+        if name in ("fp32", "float32"):
+            return FloatCodec(np.float32)
+        if name in ("fp64", "float64"):
+            return FloatCodec(np.float64)
+        return FloatCodec(dtype)
+    try:
+        return _QUANTIZED[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown KV codec {spec!r}; expected one of "
+            f"'fp', 'fp64', 'fp32', {', '.join(map(repr, _QUANTIZED))}"
+        ) from None
+
+
+__all__ = [
+    "CodecSpec",
+    "FloatCodec",
+    "Int4Codec",
+    "Int8Codec",
+    "MixedPrecisionConfig",
+    "PageCodec",
+    "pack_int4",
+    "resolve_codec",
+    "unpack_int4",
+]

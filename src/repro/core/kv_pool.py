@@ -27,6 +27,16 @@ roadmap:
   so sharers never observe each other's evictions/overwrites and the paged
   engine stays token-identical to the dense path.
 
+Since the quantised-storage refactor the pool also owns a **storage
+codec** (:mod:`repro.core.kv_codec`): arenas can hold int8 or packed int4
+rows with per-page scale metadata, quantising on write and dequantising
+inside the gathers, so every consumer above the pool (caches, policies,
+group decode) keeps reading plain float rows while the same byte budget
+holds several times more pages.  The default :class:`~repro.core.kv_codec.FloatCodec`
+is bit-identical to the pre-codec arena.  A
+:class:`~repro.core.kv_codec.MixedPrecisionConfig` keeps sink/recent
+pages full precision in a per-page overlay.
+
 Everything here is plain numpy and single-threaded, matching the rest of
 the behavioural model.
 """
@@ -38,6 +48,8 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from .kv_codec import CodecSpec, MixedPrecisionConfig, resolve_codec
 
 #: Page size (tokens per page) used when a store creates its own private
 #: pool.  Small enough that short sequences do not over-allocate, large
@@ -65,6 +77,8 @@ class PoolStats:
     prefix_pages_adopted: int = 0
     peak_pages_in_use: int = 0
     gathers: int = 0
+    fp_promotions: int = 0
+    fp_demotions: int = 0
 
 
 class PagedKVPool:
@@ -81,10 +95,19 @@ class PagedKVPool:
         private per-policy pools outside the serving engine); a fixed pool
         raises :class:`PoolExhaustedError` when empty.
     dtype:
-        Storage dtype of the arena.  The serving engine uses float64 (the
-        model's compute dtype); :class:`~repro.core.kv_cache.SlotKVCache`
-        coerces writes through its own dtype first, so quantisation
-        behaviour is independent of the arena dtype.
+        *Compute* dtype of the pool: what gathers return and what the
+        float codec stores.  The serving engine uses float64 (the model's
+        compute dtype); :class:`~repro.core.kv_cache.SlotKVCache` coerces
+        writes through its own dtype first, so quantisation behaviour is
+        independent of the arena dtype.
+    codec:
+        Storage codec (see :mod:`repro.core.kv_codec`): ``None``/``"fp"``
+        stores at ``dtype`` (bit-identical passthrough), ``"int8"`` /
+        ``"int4"`` store quantised rows with per-page scale metadata and
+        dequantise inside every gather.
+    mixed_precision:
+        Optional :class:`~repro.core.kv_codec.MixedPrecisionConfig`
+        keeping sink/recent pages full precision (quantised codecs only).
     """
 
     def __init__(
@@ -94,6 +117,8 @@ class PagedKVPool:
         head_dim: int,
         num_pages: Optional[int] = None,
         dtype: np.dtype = np.float64,
+        codec: CodecSpec = None,
+        mixed_precision: Optional[MixedPrecisionConfig] = None,
     ) -> None:
         if page_size < 1:
             raise ValueError("page_size must be >= 1")
@@ -105,12 +130,35 @@ class PagedKVPool:
         self.num_heads = int(num_heads)
         self.head_dim = int(head_dim)
         self.dtype = np.dtype(dtype)
+        self.codec = resolve_codec(codec, self.dtype)
+        if self.codec.is_float and self.codec.storage_dtype != self.dtype:
+            raise ValueError(
+                f"float codec dtype {self.codec.storage_dtype} does not "
+                f"match pool dtype {self.dtype}"
+            )
+        if mixed_precision is not None and self.codec.is_float:
+            raise ValueError("mixed_precision requires a quantised codec")
+        self.mixed_precision = mixed_precision
         self.fixed = num_pages is not None
 
         initial = int(num_pages) if self.fixed else 0
-        shape = (initial, self.page_size, self.num_heads, self.head_dim)
-        self._keys = np.zeros(shape, dtype=self.dtype)
-        self._values = np.zeros(shape, dtype=self.dtype)
+        packed = self.codec.packed_dim(self.head_dim)
+        shape = (initial, self.page_size, self.num_heads, packed)
+        self._keys = np.zeros(shape, dtype=self.codec.storage_dtype)
+        self._values = np.zeros(shape, dtype=self.codec.storage_dtype)
+        if self.codec.is_float:
+            self._key_scales: Optional[np.ndarray] = None
+            self._value_scales: Optional[np.ndarray] = None
+            self._fp_flags: Optional[np.ndarray] = None
+        else:
+            scale_shape = (initial, self.page_size, self.num_heads)
+            self._key_scales = np.zeros(scale_shape, dtype=self.codec.scale_dtype)
+            self._value_scales = np.zeros(scale_shape, dtype=self.codec.scale_dtype)
+            self._fp_flags = np.zeros(initial, dtype=bool)
+        # Full-precision overlay of pages pinned fp by the mixed-precision
+        # policy: page -> [page_size, h, d] arrays at the compute dtype.
+        self._fp_keys: Dict[int, np.ndarray] = {}
+        self._fp_values: Dict[int, np.ndarray] = {}
         # Free pages as a stack popped from the end: descending init order
         # means pages are handed out ascending (0 first), which keeps tests
         # and debugging deterministic.
@@ -127,12 +175,28 @@ class PagedKVPool:
         head_dim: int,
         total_bytes: int,
         dtype: np.dtype = np.float64,
+        codec: CodecSpec = None,
+        mixed_precision: Optional[MixedPrecisionConfig] = None,
     ) -> "PagedKVPool":
-        """Fixed pool holding as many pages as ``total_bytes`` affords."""
-        row_bytes = 2 * num_heads * head_dim * np.dtype(dtype).itemsize
-        page_bytes = page_size * row_bytes
+        """Fixed pool holding as many pages as ``total_bytes`` affords.
+
+        Page cost is computed from the *storage codec* (quantised bytes
+        plus scale metadata), so the same byte budget yields ~4x/8x the
+        pages under int8/int4 — that is the whole point of quantised
+        storage.
+        """
+        codec_obj = resolve_codec(codec, np.dtype(dtype))
+        page_bytes = page_size * codec_obj.kv_row_bytes(num_heads, head_dim)
         num_pages = max(1, int(total_bytes) // page_bytes)
-        return cls(page_size, num_heads, head_dim, num_pages=num_pages, dtype=dtype)
+        return cls(
+            page_size,
+            num_heads,
+            head_dim,
+            num_pages=num_pages,
+            dtype=dtype,
+            codec=codec_obj,
+            mixed_precision=mixed_precision,
+        )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -152,18 +216,47 @@ class PagedKVPool:
 
     @property
     def page_bytes(self) -> int:
-        """Bytes of K + V storage per page."""
+        """Bytes of K + V storage per page *in the storage codec*.
+
+        For quantised codecs this includes the per-page scale metadata —
+        the honest cost a byte budget is divided by.
+        """
+        return int(
+            self.page_size * self.codec.kv_row_bytes(self.num_heads, self.head_dim)
+        )
+
+    @property
+    def fp_page_bytes(self) -> int:
+        """Bytes one full-precision overlay page adds on top of its arena slot."""
         return int(
             2 * self.page_size * self.num_heads * self.head_dim * self.dtype.itemsize
         )
 
     @property
+    def fp_pages_in_use(self) -> int:
+        """Allocated pages currently pinned full precision by the overlay."""
+        return len(self._fp_keys)
+
+    def page_is_fp(self, page: int) -> bool:
+        return self._fp_flags is not None and bool(self._fp_flags[page])
+
+    def page_bytes_of(self, page: int) -> int:
+        """Actual storage cost of one page (arena slot + any fp overlay)."""
+        self._check_page(page)
+        if self.page_is_fp(page):
+            return self.page_bytes + self.fp_page_bytes
+        return self.page_bytes
+
+    @property
     def bytes_in_use(self) -> int:
-        return self._in_use * self.page_bytes
+        return self._in_use * self.page_bytes + len(self._fp_keys) * self.fp_page_bytes
 
     @property
     def bytes_total(self) -> int:
-        return self.total_pages * self.page_bytes
+        return (
+            self.total_pages * self.page_bytes
+            + len(self._fp_keys) * self.fp_page_bytes
+        )
 
     def refcount(self, page: int) -> int:
         self._check_page(page)
@@ -211,6 +304,10 @@ class PagedKVPool:
             self._free.append(page)
             self._in_use -= 1
             self.stats.page_frees += 1
+            if self._fp_flags is not None and self._fp_flags[page]:
+                self._fp_flags[page] = False
+                del self._fp_keys[page]
+                del self._fp_values[page]
 
     def decref_many(self, pages: Iterable[int]) -> int:
         """Bulk :meth:`decref`: drop one reference to every page in ``pages``.
@@ -234,31 +331,161 @@ class PagedKVPool:
         """
         self._check_allocated(src)
         dst = self.alloc()
+        # Raw-byte copy: quantised pages copy stored bytes + scales with no
+        # decode/encode round-trip, so the split is loss-free and sharers
+        # keep dequantising identical rows.
         self._keys[dst] = self._keys[src]
         self._values[dst] = self._values[src]
+        if self._key_scales is not None:
+            self._key_scales[dst] = self._key_scales[src]
+            self._value_scales[dst] = self._value_scales[src]
+            if self._fp_flags[src]:
+                self._fp_flags[dst] = True
+                self._fp_keys[dst] = self._fp_keys[src].copy()
+                self._fp_values[dst] = self._fp_values[src].copy()
         self.stats.cow_splits += 1
         return dst
 
     # ------------------------------------------------------------------
     # Row access
     # ------------------------------------------------------------------
-    def page_keys(self, page: int) -> np.ndarray:
-        """Writable key rows of one allocated page, ``[page_size, h, d]``."""
+    def write_rows(
+        self, page: int, offset: int, keys: np.ndarray, values: np.ndarray
+    ) -> None:
+        """Store ``n`` consecutive K/V rows ``[n, h, d]`` at ``(page, offset)``.
+
+        This is the quantise-on-write seam: the float codec assigns rows
+        into the arena exactly as the pre-codec pool did (same cast
+        semantics, bit-identical), quantised codecs encode the rows and
+        store bytes + per-row scales, and pages pinned full precision by
+        the mixed-precision policy write into their overlay instead.
+        """
         self._check_allocated(page)
-        return self._keys[page]
+        n = keys.shape[0]
+        stop = offset + n
+        if self.codec.is_float:
+            self._keys[page, offset:stop] = keys
+            self._values[page, offset:stop] = values
+            return
+        if self._fp_flags[page]:
+            self._fp_keys[page][offset:stop] = keys
+            self._fp_values[page][offset:stop] = values
+            return
+        stored_k, scales_k = self.codec.encode(keys)
+        stored_v, scales_v = self.codec.encode(values)
+        self._keys[page, offset:stop] = stored_k
+        self._key_scales[page, offset:stop] = scales_k
+        self._values[page, offset:stop] = stored_v
+        self._value_scales[page, offset:stop] = scales_v
+
+    def page_keys(self, page: int) -> np.ndarray:
+        """Key rows of one allocated page, ``[page_size, h, d]``.
+
+        Under the float codec (and for fp-overlay pages) this is the
+        writable arena view it always was; for quantised pages it is a
+        read-only *dequantised snapshot* — writes must go through
+        :meth:`write_rows`.
+        """
+        self._check_allocated(page)
+        return self._page_rows(page, self._keys, self._key_scales, self._fp_keys)
 
     def page_values(self, page: int) -> np.ndarray:
         self._check_allocated(page)
-        return self._values[page]
+        return self._page_rows(page, self._values, self._value_scales, self._fp_values)
+
+    def _page_rows(self, page, stored, scales, overlay) -> np.ndarray:
+        if self.codec.is_float:
+            return stored[page]
+        if self._fp_flags[page]:
+            return overlay[page]
+        out = self.codec.decode(
+            stored[page], scales[page], self.head_dim, self.dtype
+        )
+        out.setflags(write=False)
+        return out
 
     def gather_keys(self, pages: np.ndarray, offsets: np.ndarray) -> np.ndarray:
-        """Gather key rows by parallel (page, offset) index arrays."""
+        """Gather key rows by parallel (page, offset) index arrays.
+
+        Returns rows in the pool's *compute* dtype regardless of codec:
+        one fancy-indexed arena read plus (for quantised codecs) one
+        vectorised dequantisation over the whole gather — consumers never
+        see storage bytes.
+        """
         self.stats.gathers += 1
-        return self._keys[pages, offsets]
+        return self._gather(
+            pages, offsets, self._keys, self._key_scales, self._fp_keys
+        )
 
     def gather_values(self, pages: np.ndarray, offsets: np.ndarray) -> np.ndarray:
         self.stats.gathers += 1
-        return self._values[pages, offsets]
+        return self._gather(
+            pages, offsets, self._values, self._value_scales, self._fp_values
+        )
+
+    def _gather(self, pages, offsets, stored, scales, overlay) -> np.ndarray:
+        if self.codec.is_float:
+            return stored[pages, offsets]
+        out = self.codec.decode(
+            stored[pages, offsets],
+            scales[pages, offsets],
+            self.head_dim,
+            self.dtype,
+        )
+        if overlay:
+            # Patch rows living on full-precision overlay pages.  fp pages
+            # are a small fraction by design, so the per-row fixup loop
+            # stays off the common path.
+            flat_pages = np.asarray(pages).reshape(-1)
+            mask = self._fp_flags[flat_pages]
+            if mask.any():
+                flat_offsets = np.asarray(offsets).reshape(-1)
+                flat_out = out.reshape(-1, self.num_heads, self.head_dim)
+                for i in np.nonzero(mask)[0]:
+                    flat_out[i] = overlay[int(flat_pages[i])][int(flat_offsets[i])]
+        return out
+
+    # ------------------------------------------------------------------
+    # Mixed precision (full-precision page overlay)
+    # ------------------------------------------------------------------
+    def mark_page_fp(self, page: int) -> None:
+        """Pin an allocated page full precision (idempotent).
+
+        The page's current quantised content is decoded into the overlay
+        (fresh pages decode to zeros), and every subsequent write/read of
+        the page uses the overlay at the compute dtype.
+        """
+        self._check_allocated(page)
+        if self.codec.is_float or self._fp_flags[page]:
+            return
+        self._fp_keys[page] = self.codec.decode(
+            self._keys[page], self._key_scales[page], self.head_dim, self.dtype
+        ).copy()
+        self._fp_values[page] = self.codec.decode(
+            self._values[page], self._value_scales[page], self.head_dim, self.dtype
+        ).copy()
+        self._fp_flags[page] = True
+        self.stats.fp_promotions += 1
+
+    def demote_page_fp(self, page: int) -> None:
+        """Quantise a full-precision page into the arena (idempotent).
+
+        Called when a page falls out of the mixed-precision recent window:
+        the overlay rows are encoded once and the overlay is dropped.
+        """
+        self._check_page(page)
+        if self._fp_flags is None or not self._fp_flags[page]:
+            return
+        keys = self._fp_keys.pop(page)
+        values = self._fp_values.pop(page)
+        self._fp_flags[page] = False
+        stored_k, scales_k = self.codec.encode(keys)
+        stored_v, scales_v = self.codec.encode(values)
+        self._keys[page] = stored_k
+        self._key_scales[page] = scales_k
+        self._values[page] = stored_v
+        self._value_scales[page] = scales_v
+        self.stats.fp_demotions += 1
 
     # ------------------------------------------------------------------
     # Internals
@@ -266,14 +493,27 @@ class PagedKVPool:
     def _grow(self) -> None:
         old = self.total_pages
         new = max(4, old * 2)
-        shape = (new, self.page_size, self.num_heads, self.head_dim)
-        keys = np.zeros(shape, dtype=self.dtype)
-        values = np.zeros(shape, dtype=self.dtype)
+        packed = self.codec.packed_dim(self.head_dim)
+        shape = (new, self.page_size, self.num_heads, packed)
+        keys = np.zeros(shape, dtype=self.codec.storage_dtype)
+        values = np.zeros(shape, dtype=self.codec.storage_dtype)
         if old:
             keys[:old] = self._keys
             values[:old] = self._values
         self._keys = keys
         self._values = values
+        if self._key_scales is not None:
+            scale_shape = (new, self.page_size, self.num_heads)
+            key_scales = np.zeros(scale_shape, dtype=self.codec.scale_dtype)
+            value_scales = np.zeros(scale_shape, dtype=self.codec.scale_dtype)
+            fp_flags = np.zeros(new, dtype=bool)
+            if old:
+                key_scales[:old] = self._key_scales
+                value_scales[:old] = self._value_scales
+                fp_flags[:old] = self._fp_flags
+            self._key_scales = key_scales
+            self._value_scales = value_scales
+            self._fp_flags = fp_flags
         self._refcounts.extend([0] * (new - old))
         self._free.extend(range(new - 1, old - 1, -1))
 
@@ -357,6 +597,13 @@ class BlockTable:
         # Cached ndarray mirror of ``_pages`` for the gather hot path
         # (rebuilt lazily after block-map mutations).
         self._pages_array: Optional[np.ndarray] = None
+        # Mixed-precision bookkeeping: highest block ever allocated by this
+        # table (the write frontier) and the demotion-scan watermark —
+        # blocks below it have already been pushed out of the fp recent
+        # window.  Both are per-sequence, so promotion/demotion points are
+        # deterministic regardless of batch composition.
+        self._fp_frontier = -1
+        self._fp_demote_from = 0
 
     # ------------------------------------------------------------------
     @property
@@ -365,6 +612,17 @@ class BlockTable:
 
     def pages_held(self) -> int:
         return sum(1 for p in self._pages if p != self._MISSING)
+
+    def resident_bytes(self) -> int:
+        """Actual storage cost of the held pages in the pool's codec.
+
+        Counts quantised arena bytes (including scale metadata) plus the
+        full-precision overlay of any page the mixed-precision policy is
+        pinning — *not* the compute-dtype size the rows dequantise to.
+        """
+        return sum(
+            self.pool.page_bytes_of(p) for p in self._pages if p != self._MISSING
+        )
 
     def shared_page_count(self) -> int:
         """Held pages whose refcount is above one (CoW-split candidates)."""
@@ -427,20 +685,28 @@ class BlockTable:
         shared.incref()
         self._pages = list(shared.page_ids)
         self._pages_array = None
+        # Adopted blocks are pre-existing shared storage: the fp frontier
+        # starts past them so the recent window tracks this sequence's own
+        # appends (shared pages are never demoted regardless).
+        self._fp_frontier = len(self._pages) - 1
         self.pool.stats.prefix_pages_adopted += len(shared.page_ids)
 
     def write(self, slot: int, key: np.ndarray, value: np.ndarray) -> None:
         """Write one K/V row, allocating / CoW-splitting as needed."""
         page, offset = self._writable(slot)
-        self.pool.page_keys(page)[offset] = key
-        self.pool.page_values(page)[offset] = value
+        self.pool.write_rows(
+            page, offset, np.asarray(key)[None], np.asarray(value)[None]
+        )
 
     def write_span(
         self, start_slot: int, keys: np.ndarray, values: np.ndarray
     ) -> None:
         """Write ``n`` consecutive rows starting at ``start_slot``.
 
-        Vectorised per touched page — the prefill bulk-load path.
+        Vectorised per touched page — the prefill bulk-load path.  Under a
+        quantised codec the per-(row, head) scales make encoding a pure
+        per-row function, so a span write stores bit-identical bytes to
+        the same rows written one at a time.
         """
         n = keys.shape[0]
         ps = self.pool.page_size
@@ -449,11 +715,11 @@ class BlockTable:
             slot = start_slot + written
             page, offset = self._writable(slot)
             take = min(ps - offset, n - written)
-            self.pool.page_keys(page)[offset : offset + take] = (
-                keys[written : written + take]
-            )
-            self.pool.page_values(page)[offset : offset + take] = (
-                values[written : written + take]
+            self.pool.write_rows(
+                page,
+                offset,
+                keys[written : written + take],
+                values[written : written + take],
             )
             written += take
 
@@ -476,6 +742,8 @@ class BlockTable:
         """Drop every page reference held by this table (idempotent)."""
         pages, self._pages = self._pages, []
         self._pages_array = None
+        self._fp_frontier = -1
+        self._fp_demote_from = 0
         self.pool.decref_many(
             page for page in pages if page != self._MISSING
         )
@@ -492,6 +760,8 @@ class BlockTable:
             raise RuntimeError("cannot detach a block table with holes")
         pages, self._pages = tuple(self._pages), []
         self._pages_array = None
+        self._fp_frontier = -1
+        self._fp_demote_from = 0
         return pages
 
     # ------------------------------------------------------------------
@@ -507,6 +777,7 @@ class BlockTable:
             page = self.pool.alloc()
             self._pages[block] = page
             self._pages_array = None
+            self._apply_mixed_precision(block, page)
         elif self.pool.is_shared(page):
             split = self.pool.copy_page(page)
             self.pool.decref(page)
@@ -514,6 +785,32 @@ class BlockTable:
             page = split
             self._pages_array = None
         return page, offset
+
+    def _apply_mixed_precision(self, block: int, page: int) -> None:
+        """Promote a freshly allocated block / demote ones leaving the window.
+
+        Sink blocks (``block < sink_pages``) are pinned full precision
+        forever.  With a recent window every fresh block starts full
+        precision (it *is* the frontier) and blocks that fall out of the
+        highest ``recent_pages`` are demoted — except shared pages, whose
+        sharers must keep reading identical rows.
+        """
+        mp = self.pool.mixed_precision
+        if mp is None or not mp.enabled:
+            return
+        if block < mp.sink_pages or mp.recent_pages > 0:
+            self.pool.mark_page_fp(page)
+        if mp.recent_pages > 0 and block > self._fp_frontier:
+            self._fp_frontier = block
+            limit = block - mp.recent_pages  # highest block now out of window
+            start = max(mp.sink_pages, self._fp_demote_from)
+            for b in range(start, limit + 1):
+                if b >= len(self._pages):
+                    break
+                p = self._pages[b]
+                if p != self._MISSING and not self.pool.is_shared(p):
+                    self.pool.demote_page_fp(p)
+            self._fp_demote_from = max(self._fp_demote_from, limit + 1)
 
     def locate(self, slots: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         """Resolve logical slots into parallel ``(pages, offsets)`` arrays.
@@ -555,7 +852,10 @@ def gather_padded(
     gather each.
 
     Returns ``(keys [S, T, h, d], values [S, T, h, d], lengths [S])`` in
-    the pools' storage dtype.  Rows at or beyond ``lengths[s]`` hold
+    the pools' *compute* dtype — quantised arenas dequantise inside the
+    per-pool gather (one vectorised decode over the whole padded block),
+    so group-decode consumers are codec-agnostic.  Rows at or beyond
+    ``lengths[s]`` hold
     **arbitrary pool data** (the padding indices alias row 0 of an
     allocated page): consumers must mask the tail — every batched group
     consumer scores padding ``-inf`` (softmax weight exactly ``0.0``) or
@@ -578,8 +878,9 @@ def gather_padded(
             raise ValueError("all pools must share the K/V row geometry")
         if table.pool.dtype != pool0.dtype:
             # A silent cast here would make the padded tensor diverge from
-            # what each member's own gather returns.
-            raise ValueError("all pools must share the storage dtype")
+            # what each member's own gather returns.  (Storage codecs may
+            # differ — gathers already return the compute dtype.)
+            raise ValueError("all pools must share the compute dtype")
         by_pool.setdefault(id(table.pool), (table.pool, []))[1].append(
             (row, table, slots)
         )
@@ -637,9 +938,18 @@ class PagedKVStore:
         pool: Optional[PagedKVPool] = None,
         page_size: int = DEFAULT_PAGE_SIZE,
         dtype: np.dtype = np.float64,
+        codec: CodecSpec = None,
+        mixed_precision: Optional[MixedPrecisionConfig] = None,
     ) -> None:
         if pool is None:
-            pool = PagedKVPool(page_size, num_heads, head_dim, dtype=dtype)
+            pool = PagedKVPool(
+                page_size,
+                num_heads,
+                head_dim,
+                dtype=dtype,
+                codec=codec,
+                mixed_precision=mixed_precision,
+            )
         elif pool.num_heads != num_heads or pool.head_dim != head_dim:
             raise ValueError(
                 "pool geometry "
@@ -698,6 +1008,10 @@ class PagedKVStore:
 
     def memory_bytes(self) -> int:
         return self.pages_held() * self.pool.page_bytes
+
+    def resident_bytes(self) -> int:
+        """Codec-true storage cost of the held pages (incl. fp overlays)."""
+        return self._table.resident_bytes()
 
     # ------------------------------------------------------------------
     def put(self, position: int, key: np.ndarray, value: np.ndarray) -> None:
@@ -844,11 +1158,22 @@ class KVPoolGroup:
         head_dim: int,
         num_pages: Optional[int] = None,
         dtype: np.dtype = np.float64,
+        codec: CodecSpec = None,
+        mixed_precision: Optional[MixedPrecisionConfig] = None,
     ) -> None:
         if num_layers < 1:
             raise ValueError("num_layers must be >= 1")
+        codec_obj = resolve_codec(codec, np.dtype(dtype))
         self.pools = [
-            PagedKVPool(page_size, num_heads, head_dim, num_pages=num_pages, dtype=dtype)
+            PagedKVPool(
+                page_size,
+                num_heads,
+                head_dim,
+                num_pages=num_pages,
+                dtype=dtype,
+                codec=codec_obj,
+                mixed_precision=mixed_precision,
+            )
             for _ in range(num_layers)
         ]
 
@@ -861,15 +1186,22 @@ class KVPoolGroup:
         head_dim: int,
         total_bytes: int,
         dtype: np.dtype = np.float64,
+        codec: CodecSpec = None,
+        mixed_precision: Optional[MixedPrecisionConfig] = None,
     ) -> "KVPoolGroup":
-        """Fixed per-layer pools splitting ``total_bytes`` evenly."""
-        row_bytes = 2 * num_heads * head_dim * np.dtype(dtype).itemsize
-        page_bytes = page_size * row_bytes
+        """Fixed per-layer pools splitting ``total_bytes`` evenly.
+
+        Page cost comes from the storage codec, so at int8/int4 the same
+        budget yields ~4x/8x the pages of the fp64 default.
+        """
+        codec_obj = resolve_codec(codec, np.dtype(dtype))
+        page_bytes = page_size * codec_obj.kv_row_bytes(num_heads, head_dim)
         per_layer = int(total_bytes) // num_layers
         num_pages = max(1, per_layer // page_bytes)
         return cls(
             num_layers, page_size, num_heads, head_dim,
             num_pages=num_pages, dtype=dtype,
+            codec=codec_obj, mixed_precision=mixed_precision,
         )
 
     @property
@@ -883,9 +1215,14 @@ class KVPoolGroup:
     def layer(self, index: int) -> PagedKVPool:
         return self.pools[index]
 
-    def stats(self) -> Dict[str, int]:
+    @property
+    def codec(self):
+        """The (uniform) storage codec of the group's pools."""
+        return self.pools[0].codec
+
+    def stats(self) -> Dict[str, object]:
         """Aggregate telemetry across all layers."""
-        out = {
+        out: Dict[str, object] = {
             "pages_total": 0,
             "pages_free": 0,
             "pages_in_use": 0,
@@ -897,6 +1234,9 @@ class KVPoolGroup:
             "cow_splits": 0,
             "prefix_pages_adopted": 0,
             "gathers": 0,
+            "fp_pages_in_use": 0,
+            "fp_promotions": 0,
+            "fp_demotions": 0,
         }
         for pool in self.pools:
             out["pages_total"] += pool.total_pages
@@ -910,17 +1250,31 @@ class KVPoolGroup:
             out["cow_splits"] += pool.stats.cow_splits
             out["prefix_pages_adopted"] += pool.stats.prefix_pages_adopted
             out["gathers"] += pool.stats.gathers
+            out["fp_pages_in_use"] += pool.fp_pages_in_use
+            out["fp_promotions"] += pool.stats.fp_promotions
+            out["fp_demotions"] += pool.stats.fp_demotions
+        pool0 = self.pools[0]
+        out["codec"] = pool0.codec.name
+        # Effective storage cost per cached token, scale metadata included.
+        out["bytes_per_token"] = pool0.page_bytes / pool0.page_size
+        in_use = out["pages_in_use"]
+        out["fp_page_fraction"] = (
+            out["fp_pages_in_use"] / in_use if in_use else 0.0
+        )
         return out
 
 
 __all__ = [
     "DEFAULT_PAGE_SIZE",
     "BlockTable",
+    "CodecSpec",
     "KVPoolGroup",
+    "MixedPrecisionConfig",
     "PagedKVPool",
     "PagedKVStore",
     "PoolExhaustedError",
     "PoolStats",
     "SharedKVPages",
     "gather_padded",
+    "resolve_codec",
 ]

@@ -212,6 +212,15 @@ class KVCachePolicy(ABC):
         """Held pages shared with other tables (potential CoW splits)."""
         return 0
 
+    def kv_resident_bytes(self) -> int:
+        """Codec-true bytes of the pool pages this policy holds.
+
+        Quantised arenas report quantised storage (scale metadata and any
+        mixed-precision fp overlay included), so per-sequence memory
+        telemetry matches what the byte budget actually pays.
+        """
+        return 0
+
     def remaining_kv_pages(
         self, prompt_len: int, max_new_tokens: int, page_size: int
     ) -> int:
@@ -485,6 +494,9 @@ class WholePromptStoreMixin:
 
     def kv_shared_pages(self) -> int:
         return self._store.shared_page_count()
+
+    def kv_resident_bytes(self) -> int:
+        return self._store.resident_bytes()
 
     def remaining_kv_pages(
         self, prompt_len: int, max_new_tokens: int, page_size: int

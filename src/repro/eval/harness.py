@@ -9,10 +9,13 @@ synthetic substitutes (see DESIGN.md for the substitution argument).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
+
+from ..core.kv_pool import KVPoolGroup
 
 from ..core.baselines import H2OPolicy, QuestPolicy, SnapKVPolicy, StreamingLLMPolicy
 from ..core.config import PruningConfig
@@ -185,6 +188,36 @@ def _result_from_response(
     )
 
 
+def _eval_kv_pools(
+    model: TransformerLM,
+    examples: Sequence[QAExample],
+    kv_dtype: Optional[str],
+) -> Optional[KVPoolGroup]:
+    """Paged arenas for an accuracy run at a given storage precision.
+
+    ``None``/``"fp64"`` keeps the engine's dense per-policy storage (the
+    historical evaluation path, bit-identical).  A quantised name builds
+    fixed per-layer pools with enough pages for every example's worst case
+    at once, so admission never interferes with the accuracy measurement —
+    the knob isolates *storage precision* as the only variable.
+    """
+    if kv_dtype in (None, "fp", "fp64", "float64"):
+        return None
+    page_size = 32
+    pages = sum(
+        math.ceil((ex.prompt_length + ex.answer_length + 2) / page_size) + 1
+        for ex in examples
+    )
+    return KVPoolGroup(
+        num_layers=model.config.num_layers,
+        page_size=page_size,
+        num_heads=model.config.num_heads,
+        head_dim=model.config.head_dim,
+        num_pages=pages + 8,
+        codec=kv_dtype,
+    )
+
+
 def evaluate_policy(
     model: TransformerLM,
     dataset: QADataset,
@@ -195,6 +228,7 @@ def evaluate_policy(
     batch_size: int = DEFAULT_EVAL_BATCH_SIZE,
     prefix_caching: bool = True,
     prefix_cache: Optional[PrefixCache] = None,
+    kv_dtype: Optional[str] = None,
 ) -> PolicyEvaluation:
     """Mean F1 of ``policy_name`` at ``cache_ratio`` over a dataset.
 
@@ -203,6 +237,12 @@ def evaluate_policy(
     time (continuously admitted); each example carries its own policy stack
     sized for its prompt length.  ``batch_size=1`` reproduces the strictly
     serial evaluation order.
+
+    ``kv_dtype`` selects the KV *storage* precision: ``None``/``"fp64"``
+    is the dense full-precision path; ``"int8"``/``"int4"`` runs the same
+    evaluation over quantised paged arenas (pages sized so admission never
+    limits the run), measuring the accuracy cost of storage quantisation
+    alone.
 
     Prefix-cache knobs
     ------------------
@@ -213,16 +253,24 @@ def evaluate_policy(
     ``max_entries`` / ``min_prefix_tokens`` knobs bound memory and the
     smallest reusable prefix) to share one cache across several
     ``evaluate_policy`` calls of a sweep; its ``stats`` then report hit
-    rates and tokens reused across the whole sweep.
+    rates and tokens reused across the whole sweep (fp64 runs only — a
+    quantised run builds its own pool-backed cache).
     """
     examples = dataset.examples
     if max_examples is not None:
         examples = examples[:max_examples]
+    kv_pools = _eval_kv_pools(model, examples, kv_dtype)
+    if kv_pools is not None and prefix_cache is not None:
+        raise ValueError(
+            "an external prefix_cache cannot be combined with a quantised "
+            "kv_dtype (the cache must share the run's own pools)"
+        )
     engine = BatchedEngine(
         model,
         max_batch_size=batch_size,
         prefix_caching=prefix_caching,
         prefix_cache=prefix_cache,
+        kv_pools=kv_pools,
     )
     submitted = []
     for example in examples:
@@ -269,8 +317,14 @@ def cache_ratio_sweep(
     max_examples: Optional[int] = None,
     seed: int = 0,
     model: Optional[TransformerLM] = None,
+    kv_dtype: Optional[str] = None,
 ) -> Dict[str, List[PolicyEvaluation]]:
-    """The Fig. 13 experiment: F1 versus KV cache ratio for several policies."""
+    """The Fig. 13 experiment: F1 versus KV cache ratio for several policies.
+
+    ``kv_dtype`` sweeps the same grid at a different KV *storage*
+    precision (``"int8"``/``"int4"``), for fp64-vs-quantised accuracy
+    comparisons at matched policies and ratios.
+    """
     model = model or build_task_model(dataset.tokenizer, seed=seed)
     sweep: Dict[str, List[PolicyEvaluation]] = {}
     for name in policy_names:
@@ -284,6 +338,7 @@ def cache_ratio_sweep(
                     ratio,
                     max_examples=max_examples,
                     seed=seed,
+                    kv_dtype=kv_dtype,
                 )
             )
         sweep[name] = evaluations

@@ -62,6 +62,14 @@ fit — even after shedding prefix-cache pages — fails closed.
 ``max_batch_size=None`` removes the slot grid entirely and lets pages alone
 bound concurrency.
 
+The arenas' *storage codec* is orthogonal to all of this: build the group
+with ``codec="int8"``/``"int4"`` and rows are quantised on write and
+dequantised inside the gathers, so policies, group decode, prefix sharing,
+CoW and preemption/resume run unchanged while the same byte budget holds
+~4x/8x the pages (and therefore admits proportionally more sequences).
+``stats()["kv_pool"]`` reports the codec, effective bytes-per-token and
+the mixed-precision fp-page fraction.
+
 * A prefix-cache hit hands the new sequence the prefix's *pool pages*:
   whole-prompt-retaining policies adopt them zero-copy on their first
   prefill chunk, so a shared prefix occupies memory once across all
@@ -318,6 +326,17 @@ class BatchedEngine:
                     "engine kv_pools must be fixed-size (page-gated "
                     "admission needs a hard arena bound)"
                 )
+            if any(
+                pool.codec.name != kv_pools.pools[0].codec.name
+                for pool in kv_pools.pools
+            ):
+                # Admission math counts pages, which are codec-independent,
+                # but telemetry and byte accounting assume one codec per
+                # group; mixed per-layer codecs have no use case here.
+                raise ValueError(
+                    "engine kv_pools must share one storage codec across "
+                    "layers"
+                )
         if max_batch_size is None:
             if kv_pools is None:
                 raise ValueError(
@@ -438,7 +457,12 @@ class BatchedEngine:
 
         ``scheduler`` reports the iteration-level scheduler (token budget,
         chunks/tokens scheduled, chunked prompts, decode group spans);
-        ``kv_pool`` aggregates the per-layer arenas, with
+        ``kv_pool`` aggregates the per-layer arenas — including the
+        storage-precision telemetry of the quantised-page refactor:
+        ``codec`` (storage codec name), ``bytes_per_token`` (effective
+        storage cost per cached token, scale metadata included),
+        ``fp_pages_in_use``/``fp_page_fraction`` and the mixed-precision
+        ``fp_promotions``/``fp_demotions`` counters — with
         ``reserved_pages`` the *current* outstanding demand under
         allocated-so-far accounting, ``worst_case_reserved_pages`` what the
         old lifetime reservations would still hold, and

@@ -493,7 +493,11 @@ class PrefixCache:
     def _layer_bytes(self, cached: _CachedLayer) -> int:
         total = int(cached.scores.nbytes)
         if cached.pages is not None:
-            total += len(cached.pages.page_ids) * cached.pages.pool.page_bytes
+            # Codec-true: quantised arenas charge quantised bytes + scale
+            # metadata (plus any full-precision overlay a page carries),
+            # so the cache byte limit buys proportionally more prefixes.
+            pool = cached.pages.pool
+            total += sum(pool.page_bytes_of(p) for p in cached.pages.page_ids)
         else:
             total += int(cached.keys.nbytes + cached.values.nbytes)
         return total

@@ -44,6 +44,13 @@ what it actually holds is returned to the admission budget the moment its
 prefill lands.  The reclaimed slack is reported as ``reservation_delta``
 in :meth:`BatchedEngine.stats`.
 
+Admission counts *pages*, which are codec-independent — a page holds the
+same ``page_size`` tokens whether the arena stores fp64 or quantised
+int8/int4 rows.  Storage precision enters only through pool sizing: at a
+fixed byte budget a quantised codec affords ~4x/8x the pages
+(:meth:`~repro.core.kv_pool.KVPoolGroup.from_byte_budget`), so the same
+admission inequality admits proportionally more concurrent sequences.
+
 A request that cannot fit *now* waits in the queue (``page_deferrals``);
 one that could never fit — even after shedding prefix-cache pages — fails
 closed with ``error_cause="admission_infeasible"``.  Requests whose best

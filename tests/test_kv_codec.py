@@ -1,0 +1,178 @@
+"""Unit tests for the KV storage codecs and the quantiser edge cases the
+storage path depends on (all-zero pages, single-token pages, clip_sigma
+outliers, int4 pack/unpack symmetry)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.encoding import quantize_vector
+from repro.core.dynamic_pruning import quantize_signed
+from repro.core.kv_codec import (
+    FloatCodec,
+    Int4Codec,
+    Int8Codec,
+    MixedPrecisionConfig,
+    pack_int4,
+    resolve_codec,
+    unpack_int4,
+)
+
+RNG = np.random.default_rng(7)
+
+
+# ----------------------------------------------------------------------
+# Selector quantisers: edge cases shared with the storage scheme
+# ----------------------------------------------------------------------
+class TestSelectorQuantiserEdgeCases:
+    @pytest.mark.parametrize("bits", [1, 2, 3, 4])
+    def test_quantize_signed_all_zero_page(self, bits):
+        # std == 0 must not divide by zero; zeros stay exactly zero
+        # (1-bit has no zero level and snaps to +1 by convention).
+        out = quantize_signed(np.zeros(64), bits)
+        if bits == 1:
+            assert np.array_equal(out, np.ones(64))
+        else:
+            assert np.array_equal(out, np.zeros(64))
+
+    @pytest.mark.parametrize("bits", [2, 3, 4])
+    def test_quantize_vector_all_zero_page(self, bits):
+        out = quantize_vector(np.zeros(64), bits)
+        assert np.array_equal(out, np.zeros(64))
+
+    def test_single_token_row(self):
+        # One row has std computed over its own elements only; the grid
+        # must still cover it and round-trip the sign pattern.
+        row = np.array([0.5, -0.5, 0.25, -0.25])
+        for fn in (quantize_signed, quantize_vector):
+            out = fn(row, 3)
+            assert out.shape == row.shape
+            assert np.all(np.sign(out) == np.sign(row))
+
+    def test_constant_nonzero_vector_does_not_blow_up(self):
+        # std == 0 but values != 0: scale falls back to 1.0, values clip
+        # into [-1, 1] instead of dividing by zero.
+        out = quantize_signed(np.full(16, 3.0), 3)
+        assert np.all(out == 1.0)
+
+    def test_clip_sigma_outlier(self):
+        # An outlier beyond clip_sigma·std clips to the grid edge instead
+        # of stretching the scale; moderately-sized typical values keep
+        # nonzero levels rather than all flattening to the zero level.
+        x = np.concatenate([RNG.normal(scale=1.0, size=63), [10.0]])
+        out = quantize_signed(x, 4, clip_sigma=2.0)
+        assert out[-1] == 1.0
+        assert np.any(out[:-1] != 0.0)
+        out_v = quantize_vector(x, 4, clip_sigma=2.0)
+        assert out_v[-1] == 1.0
+        assert np.any(out_v[:-1] != 0.0)
+
+    def test_level_grid_counts(self):
+        # quantize_signed: 2**bits - 1 levels; quantize_vector: 2**bits + 1.
+        x = RNG.normal(size=4096)
+        assert len(np.unique(quantize_signed(x, 3))) <= 2**3 - 1
+        assert len(np.unique(quantize_vector(x, 3))) <= 2**3 + 1
+
+
+# ----------------------------------------------------------------------
+# int4 packing
+# ----------------------------------------------------------------------
+class TestInt4Packing:
+    @pytest.mark.parametrize("dim", [1, 2, 3, 7, 8, 16, 17])
+    def test_pack_unpack_symmetry(self, dim):
+        q = RNG.integers(-7, 8, size=(5, 3, dim)).astype(np.int8)
+        packed = pack_int4(q)
+        assert packed.dtype == np.uint8
+        assert packed.shape == (5, 3, (dim + 1) // 2)
+        assert np.array_equal(unpack_int4(packed, dim), q)
+
+    def test_full_level_range(self):
+        q = np.arange(-7, 8, dtype=np.int8)
+        assert np.array_equal(unpack_int4(pack_int4(q), q.size), q)
+
+    def test_odd_dim_pad_nibble_is_zero(self):
+        packed = pack_int4(np.array([3], dtype=np.int8))
+        # low nibble is the zero-level pad (q=0 -> biased 8)
+        assert packed[0] & 0x0F == 8
+
+
+# ----------------------------------------------------------------------
+# Storage codecs
+# ----------------------------------------------------------------------
+class TestCodecs:
+    @pytest.mark.parametrize("codec_cls,qmax", [(Int8Codec, 127), (Int4Codec, 7)])
+    def test_round_trip_error_bound(self, codec_cls, qmax):
+        codec = codec_cls()
+        rows = RNG.normal(size=(10, 4, 16))
+        stored, scales = codec.encode(rows)
+        out = codec.decode(stored, scales, 16, np.float64)
+        # Symmetric absmax: error per element is at most half a step.
+        amax = np.max(np.abs(rows), axis=-1, keepdims=True)
+        assert np.all(np.abs(out - rows) <= amax / qmax * 0.5 + 1e-12)
+
+    @pytest.mark.parametrize("codec_cls", [Int8Codec, Int4Codec])
+    def test_zero_rows_exact(self, codec_cls):
+        codec = codec_cls()
+        rows = np.zeros((3, 2, 8))
+        stored, scales = codec.encode(rows)
+        assert np.array_equal(scales, np.zeros_like(scales))
+        assert np.array_equal(codec.decode(stored, scales, 8, np.float64), rows)
+
+    @pytest.mark.parametrize("codec_cls", [Int8Codec, Int4Codec])
+    def test_single_token_row_round_trip(self, codec_cls):
+        codec = codec_cls()
+        rows = RNG.normal(size=(1, 1, 5))
+        stored, scales = codec.encode(rows)
+        out = codec.decode(stored, scales, 5, np.float64)
+        assert out.shape == rows.shape
+        # absmax element is reproduced to float32-scale precision
+        idx = np.argmax(np.abs(rows))
+        assert abs(out.flat[idx] - rows.flat[idx]) < 1e-6 * abs(rows.flat[idx]) + 1e-12
+
+    def test_encode_is_deterministic(self):
+        # Pure function of the row: the CoW / prefix-sharing invariant.
+        codec = Int8Codec()
+        rows = RNG.normal(size=(6, 2, 8))
+        s1, sc1 = codec.encode(rows)
+        s2, sc2 = codec.encode(rows.copy())
+        assert np.array_equal(s1, s2) and np.array_equal(sc1, sc2)
+
+    def test_clip_sigma_tightens_grid(self):
+        rows = np.concatenate(
+            [RNG.normal(size=(1, 1, 63)), [[[1e3]]]], axis=-1
+        )
+        plain = Int8Codec().encode(rows)[1]
+        clipped = Int8Codec(clip_sigma=2.0).encode(rows)[1]
+        assert clipped[0, 0] < plain[0, 0]
+
+    def test_clip_sigma_validation(self):
+        with pytest.raises(ValueError):
+            Int8Codec(clip_sigma=0.0)
+
+    def test_row_bytes_accounting(self):
+        # K + V per token: int8 = 2*h*(d + 4 scale bytes); int4 halves the
+        # payload (rounding odd dims up) but keeps the scale cost.
+        assert Int8Codec().kv_row_bytes(4, 16) == 2 * 4 * (16 + 4)
+        assert Int4Codec().kv_row_bytes(4, 16) == 2 * 4 * (8 + 4)
+        assert Int4Codec().kv_row_bytes(4, 17) == 2 * 4 * (9 + 4)
+        assert FloatCodec(np.float64).kv_row_bytes(4, 16) == 2 * 4 * 16 * 8
+
+    def test_resolve_codec(self):
+        assert resolve_codec(None).name == "fp64"
+        assert resolve_codec("fp32").name == "fp32"
+        assert resolve_codec("int8").name == "int8"
+        assert resolve_codec("INT4").name == "int4"
+        inst = Int8Codec(clip_sigma=3.0)
+        assert resolve_codec(inst) is inst
+        with pytest.raises(ValueError):
+            resolve_codec("bf16")
+
+
+class TestMixedPrecisionConfig:
+    def test_enabled(self):
+        assert not MixedPrecisionConfig().enabled
+        assert MixedPrecisionConfig(sink_pages=1).enabled
+        assert MixedPrecisionConfig(recent_pages=2).enabled
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MixedPrecisionConfig(sink_pages=-1)
