@@ -145,6 +145,57 @@ def attention_output(
     return np.einsum("hn,nhd->hd", probs, values)
 
 
+def causal_prefix_attention(
+    queries: np.ndarray,
+    keys: np.ndarray,
+    values: np.ndarray,
+    prefix: int,
+    scale: Optional[float] = None,
+) -> np.ndarray:
+    """Batched causal attention where row ``i`` sees ``keys[: prefix+i+1]``.
+
+    The speculative-verify primitive: ``queries`` is ``[k, h, d]`` (the
+    draft chunk), ``keys``/``values`` are the ``prefix`` committed rows
+    followed by the ``k`` staged draft rows, and row ``i`` must attend
+    exactly the cache a serial decode step at its position would —
+    ``prefix + i + 1`` rows.  Returns ``[k, h, d]``.
+
+    Bit-identical to ``k`` independent :func:`attention_output` calls over
+    the prefix slices, which is what makes it usable on the exactness-
+    certified speculation path: the score and value einsums contract the
+    same elements in the same order as their per-row counterparts, masked
+    score entries contribute ``exp(-inf) == 0`` exactly, and the softmax
+    denominators are reduced per row over the *exact* visible slice (a
+    padded reduction would regroup numpy's pairwise summation tree and
+    drift in the last ulp).
+    """
+    queries = np.asarray(queries, dtype=np.float64)
+    keys = np.asarray(keys, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    if queries.ndim != 3 or keys.ndim != 3 or values.shape != keys.shape:
+        raise ValueError(
+            "queries must be [k, h, d] and keys/values matching [n, h, d]"
+        )
+    k = queries.shape[0]
+    n = keys.shape[0]
+    if prefix < 0 or prefix + k > n:
+        raise ValueError("keys must cover prefix + k rows")
+    scores = np.einsum("nhd,khd->khn", keys, queries)
+    if scale is not None:
+        scores *= float(scale)
+    lengths = prefix + 1 + np.arange(k)
+    hidden = np.arange(n)[None, :] >= lengths[:, None]  # [k, n]
+    np.copyto(scores, -np.inf, where=hidden[:, None, :])
+    row_max = np.maximum.reduce(scores, axis=-1, keepdims=True)
+    scores -= row_max
+    exp = np.exp(scores, out=scores)  # masked entries: exp(-inf) == 0
+    denom = np.empty((k, queries.shape[1], 1), dtype=np.float64)
+    for i in range(k):
+        denom[i, :, 0] = np.add.reduce(exp[i, :, : int(lengths[i])], axis=-1)
+    exp /= denom
+    return np.einsum("khn,nhd->khd", exp, values)
+
+
 def sparse_attention_output(
     query: np.ndarray,
     keys: np.ndarray,
@@ -300,6 +351,7 @@ __all__ = [
     "cosine_scores",
     "attention_probabilities",
     "attention_output",
+    "causal_prefix_attention",
     "sparse_attention_output",
     "full_vs_sparse_error",
     "top_k_indices",

@@ -17,7 +17,7 @@ import numpy as np
 from ..attention import attention_output, attention_scores, head_mean_scores, softmax
 from ..group_decode import batched_group_attention, gather_group_kv
 from ..kv_pool import PagedKVPool
-from ..policy import KVCachePolicy, StepRecord
+from ..policy import KVCachePolicy, SpeculationState, StepRecord
 from ..static_pruning import accumulated_scores_from_attention
 
 
@@ -251,6 +251,68 @@ class H2OPolicy(KVCachePolicy):
                 )
             )
         return outputs
+
+    def supports_speculation(
+        self, prompt_len: int, spec_end_len: int, final_len: int
+    ) -> bool:
+        """Same condition as :meth:`exact_resume_by_reprefill`: while the
+        whole generation stays within ``heavy_budget + recent_budget`` H2O
+        never evicts and the accumulated-score table is never *consulted*,
+        so the per-row score deltas of a draft chunk can be staged and
+        applied exactly for the kept rows (in serial summation order) and
+        discarded for rejected ones.  Past the budget the scores decide an
+        eviction mid-speculation, which cannot be rolled back."""
+        return final_len <= self.heavy_budget + self.recent_budget
+
+    def begin_speculation(
+        self,
+        queries: np.ndarray,
+        keys: np.ndarray,
+        values: np.ndarray,
+        start_position: int,
+    ) -> np.ndarray:
+        queries = np.asarray(queries, dtype=np.float64)
+        k = queries.shape[0]
+        base = sorted(self._store.positions())
+        staged = self._stage_speculative_rows(
+            self._store, np.asarray(keys), np.asarray(values), start_position
+        )
+        all_k, all_v = self._store.gather(base + staged)
+        outputs = np.empty((k, self.num_heads, self.head_dim), dtype=np.float64)
+        records = []
+        score_updates = []
+        n0 = len(base)
+        for i in range(k):
+            n = n0 + i + 1
+            order = base + staged[: i + 1]
+            raw = head_mean_scores(
+                attention_scores(queries[i], all_k[:n], scale=self.scale)
+            )
+            probs = softmax(raw)
+            score_updates.append((order, probs))
+            outputs[i] = attention_output(
+                queries[i], all_k[:n], all_v[:n], scale=self.scale
+            )
+            records.append(
+                StepRecord(position=staged[i], cache_size=n, num_attended=n)
+            )
+        self._spec = SpeculationState(staged, records, extra=score_updates)
+        return outputs
+
+    def commit_speculation(self, kept: int) -> int:
+        spec = self._spec
+        if spec is None:
+            return 0
+        for i in range(kept):
+            # Replays the serial decode_step's mutation sequence exactly:
+            # setdefault the new position, then one float add per attended
+            # position in gather order.
+            self._accumulated.setdefault(spec.positions[i], 0.0)
+            order, probs = spec.extra[i]
+            for idx, pos in enumerate(order):
+                self._accumulated[pos] += float(probs[idx])
+            self.stats.record(spec.records[i])
+        return self._rollback_speculative_rows(self._store, kept)
 
     def cached_positions(self) -> np.ndarray:
         return np.asarray(sorted(self._store.positions()), dtype=np.int64)

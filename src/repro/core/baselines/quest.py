@@ -21,7 +21,12 @@ from ..attention import (
     top_k_indices,
 )
 from ..group_decode import batched_group_attention
-from ..policy import KVCachePolicy, StepRecord, WholePromptStoreMixin
+from ..policy import (
+    KVCachePolicy,
+    SpeculationState,
+    StepRecord,
+    WholePromptStoreMixin,
+)
 
 
 class QuestPolicy(WholePromptStoreMixin, KVCachePolicy):
@@ -126,6 +131,61 @@ class QuestPolicy(WholePromptStoreMixin, KVCachePolicy):
             )
         )
         return output
+
+    def supports_speculation(
+        self, prompt_len: int, spec_end_len: int, final_len: int
+    ) -> bool:
+        """Always: Quest keeps every row and re-picks pages statelessly
+        per step from the stored K/V, so the per-row selection over each
+        staged prefix reproduces the serial step exactly and rollback is a
+        pure tail truncation of the append-only store."""
+        return True
+
+    def begin_speculation(
+        self,
+        queries: np.ndarray,
+        keys: np.ndarray,
+        values: np.ndarray,
+        start_position: int,
+    ) -> np.ndarray:
+        queries = np.asarray(queries, dtype=np.float64)
+        k = queries.shape[0]
+        base = list(self._positions)
+        staged = self._stage_speculative_rows(
+            self._store, np.asarray(keys), np.asarray(values), start_position
+        )
+        all_k, all_v = self._store.gather(base + staged)
+        outputs = np.empty((k, self.num_heads, self.head_dim), dtype=np.float64)
+        records = []
+        n0 = len(base)
+        for i in range(k):
+            n = n0 + i + 1
+            order = base + staged[: i + 1]
+            selected = self._select_page_tokens(queries[i], all_k[:n])
+            outputs[i] = sparse_attention_output(
+                queries[i], all_k[:n], all_v[:n], selected, scale=self.scale
+            )
+            records.append(
+                StepRecord(
+                    position=staged[i],
+                    cache_size=n,
+                    num_attended=int(selected.size),
+                    selected_positions=np.asarray(
+                        [order[j] for j in selected], dtype=np.int64
+                    ),
+                )
+            )
+        self._spec = SpeculationState(staged, records)
+        return outputs
+
+    def commit_speculation(self, kept: int) -> int:
+        spec = self._spec
+        if spec is None:
+            return 0
+        for position, record in zip(spec.positions[:kept], spec.records[:kept]):
+            self._positions.append(position)
+            self.stats.record(record)
+        return self._rollback_speculative_rows(self._store, kept)
 
     def decode_step_group(
         self,

@@ -229,6 +229,36 @@ class SnapKVPolicy(KVCachePolicy):
             )
         return outputs
 
+    def supports_speculation(
+        self, prompt_len: int, spec_end_len: int, final_len: int
+    ) -> bool:
+        """Always: SnapKV prunes only at prefill — decode appends and
+        attends densely, so draft rows never perturb earlier state."""
+        return True
+
+    def begin_speculation(
+        self,
+        queries: np.ndarray,
+        keys: np.ndarray,
+        values: np.ndarray,
+        start_position: int,
+    ) -> np.ndarray:
+        # Serial decode gathers ascending positions; staged positions are
+        # strictly larger than everything stored, so the sorted base plus
+        # the staged tail reproduces each row's serial gather order.
+        base = sorted(self._store.positions())
+        return self._dense_speculation(
+            self._store, base, queries, keys, values, start_position
+        )
+
+    def commit_speculation(self, kept: int) -> int:
+        spec = self._spec
+        if spec is None:
+            return 0
+        for record in spec.records[:kept]:
+            self.stats.record(record)
+        return self._rollback_speculative_rows(self._store, kept)
+
     def cached_positions(self) -> np.ndarray:
         return np.asarray(sorted(self._store.positions()), dtype=np.int64)
 

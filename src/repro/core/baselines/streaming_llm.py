@@ -250,6 +250,39 @@ class StreamingLLMPolicy(KVCachePolicy):
             )
         return outputs
 
+    def supports_speculation(
+        self, prompt_len: int, spec_end_len: int, final_len: int
+    ) -> bool:
+        """Exact iff the window cannot slide during the draft chunk: while
+        every token up to ``spec_end_len`` fits inside sinks + window, each
+        staged step is a pure append attending to the complete cache, so
+        rollback is a tail truncation and the deferred window appends
+        commit per kept row.  A slide mid-chunk would ``drop`` a window
+        head that a rejected draft can never restore, so those lengths
+        fall back to one-token decode."""
+        return spec_end_len <= len(self._sink_positions) + self.window
+
+    def begin_speculation(
+        self,
+        queries: np.ndarray,
+        keys: np.ndarray,
+        values: np.ndarray,
+        start_position: int,
+    ) -> np.ndarray:
+        base = self._sink_positions + list(self._window_positions)
+        return self._dense_speculation(
+            self._store, base, queries, keys, values, start_position
+        )
+
+    def commit_speculation(self, kept: int) -> int:
+        spec = self._spec
+        if spec is None:
+            return 0
+        for position, record in zip(spec.positions[:kept], spec.records[:kept]):
+            self._window_positions.append(position)
+            self.stats.record(record)
+        return self._rollback_speculative_rows(self._store, kept)
+
     def cached_positions(self) -> np.ndarray:
         positions = self._sink_positions + list(self._window_positions)
         return np.asarray(positions, dtype=np.int64)

@@ -35,7 +35,7 @@ from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 import numpy as np
 
 from .attention import softmax
-from .kv_pool import gather_padded
+from .kv_pool import gather_padded, poison_padding_enabled
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .kv_pool import BlockTable
@@ -173,6 +173,13 @@ def batched_group_attention(
         masked = raw_scores.copy()
     masked[np.broadcast_to(~attend[:, None, :], masked.shape)] = -np.inf
     probs = softmax(masked, axis=-1)
+    if poison_padding_enabled():
+        # Poisoned padding rows are NaN and 0.0 * NaN is NaN, so the
+        # contraction below would smear the poison into every output even
+        # though the masked softmax weight is exactly zero.  Zeroing the
+        # masked rows keeps the debug mode transparent: a 0.0 weight times
+        # a 0.0 value contributes the same exact 0.0 as in normal mode.
+        v = np.where(attend[:, :, None, None], v, 0.0)
     outputs = np.einsum("sht,sthd->shd", probs, v)
     return outputs, raw_scores
 

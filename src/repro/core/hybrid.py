@@ -140,6 +140,19 @@ class UniCAIMPolicy(KVCachePolicy):
         selector from its config)."""
         return False
 
+    def supports_speculation(
+        self, prompt_len: int, spec_end_len: int, final_len: int
+    ) -> bool:
+        """Never — made explicit rather than inherited.  Every decode step
+        mutates state a rejected draft cannot roll back: slot scores decay
+        and accumulate per step, fixed-capacity slots evict by charge, and
+        the CAM-approximate selector advances its private RNG stream per
+        comparison — re-running the "kept prefix" after a rollback would
+        consume *different* RNG draws than plain decode did.  Speculative
+        sequences under UniCAIM fall back per-sequence to one-token decode
+        and remain token-identical."""
+        return False
+
     def decode_page_demand(self) -> int:
         return self.cache.decode_page_demand()
 

@@ -44,6 +44,7 @@ the behavioural model.
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -55,6 +56,27 @@ from .kv_codec import CodecSpec, MixedPrecisionConfig, resolve_codec
 #: pool.  Small enough that short sequences do not over-allocate, large
 #: enough that block tables stay short.
 DEFAULT_PAGE_SIZE = 32
+
+#: Debug mode: when enabled, :func:`gather_padded` overwrites the padding
+#: tail of the returned tensors with NaN instead of leaving whatever rows
+#: the aliased page happens to hold.  Any consumer that forgets to mask
+#: padding then poisons its output loudly (NaN propagates through every
+#: matmul/softmax) instead of silently reading plausible-looking garbage.
+#: Costs one extra write over the padding region per gather — keep it off
+#: outside tests.  Initialised from ``REPRO_POISON_PADDING``.
+_POISON_PADDING = os.environ.get("REPRO_POISON_PADDING", "") not in ("", "0")
+
+
+def set_poison_padding(enabled: bool) -> bool:
+    """Toggle padding poisoning in :func:`gather_padded`; returns the old value."""
+    global _POISON_PADDING
+    old = _POISON_PADDING
+    _POISON_PADDING = bool(enabled)
+    return old
+
+
+def poison_padding_enabled() -> bool:
+    return _POISON_PADDING
 
 
 class PoolExhaustedError(RuntimeError):
@@ -748,6 +770,35 @@ class BlockTable:
             page for page in pages if page != self._MISSING
         )
 
+    def trim_blocks(self, keep_blocks: int) -> int:
+        """Drop every block past the first ``keep_blocks``; return pages freed.
+
+        The speculative-rollback primitive: a store that appended draft
+        rows into fresh tail blocks truncates them here, decref'ing the
+        backing pages (a page another table still references survives —
+        freeing is the pool's refcount's job, not ours).  Unallocated
+        (hole) blocks trim silently.  The mixed-precision frontier is
+        clamped back so a later re-append re-runs promotion for the
+        re-grown blocks; note demotions of *earlier* pages triggered by
+        the trimmed appends are not undone — callers that need exact
+        mixed-precision state must not speculate (the engine gates on
+        this).
+        """
+        if keep_blocks < 0:
+            raise ValueError("keep_blocks must be >= 0")
+        if keep_blocks >= len(self._pages):
+            return 0
+        dropped = self._pages[keep_blocks:]
+        del self._pages[keep_blocks:]
+        self._pages_array = None
+        self._fp_frontier = min(self._fp_frontier, keep_blocks - 1)
+        freed = 0
+        for page in dropped:
+            if page != self._MISSING:
+                freed += 1 if self.pool.refcount(page) == 1 else 0
+                self.pool.decref(page)
+        return freed
+
     def detach(self) -> Tuple[int, ...]:
         """Empty the table and hand its page references to the caller.
 
@@ -860,6 +911,8 @@ def gather_padded(
     allocated page): consumers must mask the tail — every batched group
     consumer scores padding ``-inf`` (softmax weight exactly ``0.0``) or
     slices ``[:lengths[s]]``, so padded garbage can never reach an output.
+    With :func:`set_poison_padding` (or ``REPRO_POISON_PADDING=1``) the
+    padding tail is overwritten with NaN so an unmasked read fails loudly.
     """
     if len(tables) != len(slot_lists):
         raise ValueError("tables and slot_lists must agree on batch size")
@@ -904,6 +957,11 @@ def gather_padded(
                 offsets[i, size:] = 0
         gathered_k = pool.gather_keys(pages, offsets)  # [m, T, h, d]
         gathered_v = pool.gather_values(pages, offsets)
+        if _POISON_PADDING:
+            for i, (_row, _table, slots) in enumerate(members):
+                if slots.size < t_max:
+                    gathered_k[i, slots.size :] = np.nan
+                    gathered_v[i, slots.size :] = np.nan
         if len(by_pool) == 1:
             # All sequences share one arena (the serving layout): the
             # gather result *is* the padded tensor — zero extra copies.
@@ -1049,6 +1107,44 @@ class PagedKVStore:
         slot = self._slot_of.pop(int(position))
         self._free_slots.append(slot)
         self._ever_freed = True
+
+    def rollback_append(self, positions: Sequence[int]) -> int:
+        """Forget recently appended ``positions``; return pool pages freed.
+
+        The speculative-decode rollback: draft rows were appended with
+        :meth:`put` / :meth:`bulk_append` into the slots at the top of the
+        store, and a rejected draft must leave the store *exactly* as if
+        those rows were never written.  When the positions occupy the
+        contiguous slot tail below the high-water mark (the invariant an
+        append-only store upholds), the tail is truncated in place — the
+        high-water mark rewinds, now-empty trailing blocks are dropped
+        (decref'ing their pages, which frees fresh speculative pages and
+        releases CoW references alike), and crucially
+        :attr:`insertion_slots_are_sequential` is preserved, unlike
+        per-position :meth:`drop` which recycles slots through the free
+        list forever.  Positions that do not form the slot tail (a store
+        that has evicted mid-speculation) fall back to :meth:`drop` each —
+        correct, but no pages are reclaimed until release.
+        """
+        if not positions:
+            return 0
+        slots = sorted(self._slot_of[int(p)] for p in positions)
+        n = len(slots)
+        contiguous_tail = (
+            not self._free_slots
+            and slots[0] == self._high_water - n
+            and slots[-1] == self._high_water - 1
+            and len(set(slots)) == n
+        )
+        if not contiguous_tail:
+            for position in positions:
+                self.drop(position)
+            return 0
+        for position in positions:
+            del self._slot_of[int(position)]
+        self._high_water -= n
+        keep_blocks = -(-self._high_water // self.pool.page_size)
+        return self._table.trim_blocks(keep_blocks)
 
     def gather(
         self, positions: Sequence[int]

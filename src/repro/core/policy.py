@@ -43,7 +43,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from .attention import attention_output
+from .attention import attention_output, causal_prefix_attention
 from .group_decode import batched_group_attention, gather_group_kv
 from .kv_pool import PagedKVPool, PagedKVStore, SharedKVPages
 
@@ -93,6 +93,23 @@ class PolicyStats:
         self.peak_cache_size = max(self.peak_cache_size, step.cache_size)
 
 
+@dataclass
+class SpeculationState:
+    """Staged (uncommitted) state of an in-flight speculative decode.
+
+    Created by :meth:`KVCachePolicy.begin_speculation`, consumed by
+    :meth:`KVCachePolicy.commit_speculation`.  ``positions`` are the
+    staged rows' logical positions (ascending), ``records`` the
+    :class:`StepRecord` each row *would* contribute if committed; backends
+    stash any extra deferred side effects (e.g. H2O score-accumulation
+    deltas) in ``extra``.
+    """
+
+    positions: List[int]
+    records: List[StepRecord]
+    extra: Optional[object] = None
+
+
 class KVCachePolicy(ABC):
     """Abstract base class for KV cache pruning policies."""
 
@@ -104,6 +121,7 @@ class KVCachePolicy(ABC):
         self.scale = scale if scale is not None else 1.0 / float(head_dim) ** 0.5
         self.stats = PolicyStats()
         self.kv_pool: Optional[PagedKVPool] = None
+        self._spec: Optional[SpeculationState] = None
 
     # -- required interface -------------------------------------------------
     @abstractmethod
@@ -200,9 +218,88 @@ class KVCachePolicy(ABC):
         """
         return False
 
+    # -- speculative decoding -----------------------------------------------
+    def supports_speculation(
+        self, prompt_len: int, spec_end_len: int, final_len: int
+    ) -> bool:
+        """Whether k-token speculative decode stays exact for this policy.
+
+        The engine verifies a k-token draft chunk in one forward, then
+        *rolls back* the rows of rejected drafts.  Returning ``True``
+        certifies that :meth:`begin_speculation` +
+        :meth:`commit_speculation` reproduce — bit for bit — the cache
+        contents, attention outputs, accumulated scores and
+        :class:`PolicyStats` that ``kept`` plain :meth:`decode_step` calls
+        would have produced, for any ``kept``.  ``spec_end_len`` is the
+        cache length if every draft were accepted; ``final_len`` the
+        worst-case end-of-request length (score-accumulating policies must
+        certify against it, exactly like :meth:`exact_resume_by_reprefill`).
+        The default is ``False``: the engine then decodes this sequence one
+        token at a time — always exact, never faster.
+        """
+        return False
+
+    def begin_speculation(
+        self,
+        queries: np.ndarray,
+        keys: np.ndarray,
+        values: np.ndarray,
+        start_position: int,
+    ) -> np.ndarray:
+        """Stage ``k`` draft rows and return their attention outputs.
+
+        ``queries``/``keys``/``values`` are ``[k, h, d]`` — the projections
+        of the k-token verify chunk, whose rows occupy logical positions
+        ``start_position .. start_position+k-1``.  Row ``i`` must attend
+        exactly as a serial :meth:`decode_step` at that position would
+        (cache = committed rows + staged rows ``0..i``); the output is
+        ``[k, h, d]``.  K/V rows are written into the store (fresh pages /
+        CoW splits allocate normally) but **nothing observable commits**:
+        positions lists, stats and score tables are untouched until
+        :meth:`commit_speculation` decides how many rows survive.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support speculative decode"
+        )
+
+    def commit_speculation(self, kept: int) -> int:
+        """Commit the first ``kept`` staged rows, roll back the rest.
+
+        Applies the deferred side effects (positions, :class:`PolicyStats`
+        records, score accumulation) of rows ``0..kept-1`` in order, then
+        truncates rows ``kept..k-1`` out of the store via
+        :meth:`~repro.core.kv_pool.PagedKVStore.rollback_append` — freeing
+        any page allocated purely for rejected drafts.  Returns the number
+        of pool pages freed.  Idempotent / safe with no speculation in
+        flight (returns 0), which is the engine's abort path when a verify
+        forward dies mid-layer.
+        """
+        if self._spec is not None:  # pragma: no cover — overridden by backends
+            raise NotImplementedError(
+                f"{type(self).__name__} staged speculation without a commit"
+            )
+        return 0
+
     def decode_page_demand(self) -> int:
         """Pages the next ``decode_step`` could pull from the shared pool."""
         return 0
+
+    def speculative_page_demand(self, chunk_len: int) -> int:
+        """Pages a ``chunk_len``-row verify chunk could pull from the pool.
+
+        Conservative tail-append bound: the first row pays
+        :meth:`decode_page_demand` (allocation or CoW split of the current
+        tail block), and the remaining rows cross at most
+        ``ceil((chunk_len-1)/page_size)`` further page boundaries.  Certified
+        backends only speculate while they are in their pure-append regime
+        (no evictions yet), so the bound is tight there; a rare shortfall is
+        caught by the engine's verify-abort safety net rather than
+        corrupting the batch.
+        """
+        demand = self.decode_page_demand()
+        if chunk_len > 1 and self.kv_pool is not None:
+            demand += math.ceil((chunk_len - 1) / self.kv_pool.page_size)
+        return demand
 
     def kv_pages_held(self) -> int:
         """Pool pages this policy's storage currently references."""
@@ -374,6 +471,120 @@ class KVCachePolicy(ABC):
     def _make_store(self) -> PagedKVStore:
         """A K/V store on the attached shared pool (or a private one)."""
         return PagedKVStore(self.num_heads, self.head_dim, pool=self.kv_pool)
+
+    def _stage_speculative_rows(
+        self,
+        store: PagedKVStore,
+        keys: np.ndarray,
+        values: np.ndarray,
+        start_position: int,
+    ) -> List[int]:
+        """Write k draft K/V rows into ``store`` exactly as serial ``put``s.
+
+        Returns the staged positions.  Stores that are still purely
+        sequential take one :meth:`~repro.core.kv_pool.PagedKVStore.bulk_append`
+        (page-span writes are bit-identical to the same rows written one at
+        a time, CoW splits included); stores with recycled slots fall back
+        to row-by-row ``put`` so the slot layout matches what k plain
+        decode steps would have produced.
+        """
+        if self._spec is not None:
+            raise RuntimeError("speculation already in flight (commit first)")
+        staged = [int(start_position) + i for i in range(keys.shape[0])]
+        keys = np.asarray(keys, dtype=np.float64)
+        values = np.asarray(values, dtype=np.float64)
+        if store.insertion_slots_are_sequential:
+            try:
+                store.bulk_append(staged, keys, values)
+            except BaseException:
+                # A failed span write (e.g. pool exhaustion mid-chunk) must
+                # not leak draft rows: policies that read positions back off
+                # the store would attend them as if they were committed.
+                store.rollback_append([pos for pos in staged if pos in store])
+                raise
+            return staged
+        written: List[int] = []
+        try:
+            for pos, key, value in zip(staged, keys, values):
+                store.put(pos, key, value)
+                written.append(pos)
+        except BaseException:
+            store.rollback_append(written)
+            raise
+        return staged
+
+    def _rollback_speculative_rows(self, store: PagedKVStore, kept: int) -> int:
+        """Drop staged rows past ``kept`` from ``store``; clear the staging.
+
+        Returns pages freed.  The shared tail of every backend's
+        :meth:`commit_speculation` (the backend applies its deferred
+        bookkeeping for the kept rows first).
+        """
+        spec = self._spec
+        self._spec = None
+        if spec is None:
+            return 0
+        return store.rollback_append(spec.positions[kept:])
+
+    def _dense_speculation(
+        self,
+        store: PagedKVStore,
+        base_order: Sequence[int],
+        queries: np.ndarray,
+        keys: np.ndarray,
+        values: np.ndarray,
+        start_position: int,
+        insertion_ordered: bool = False,
+    ) -> np.ndarray:
+        """Staged dense-attention speculation shared by append-only backends.
+
+        ``base_order`` is the position order the backend's serial
+        ``decode_step`` gathers (insertion order for full cache / Quest,
+        ascending for SnapKV / H2O, sinks+window for StreamingLLM) *before*
+        the draft rows; staged positions are strictly larger, so row ``i``'s
+        serial gather is exactly ``base_order + staged[:i+1]`` — one store
+        gather up front, one batched
+        :func:`~repro.core.attention.causal_prefix_attention` over the
+        prefix slices, bit-identical to k serial steps.  A caller that
+        *maintains* ``base_order`` as the store's insertion order may pass
+        ``insertion_ordered=True`` to unlock the sequential-slot gather
+        fast path.
+        """
+        queries = np.asarray(queries, dtype=np.float64)
+        k = queries.shape[0]
+        staged = self._stage_speculative_rows(
+            store, np.asarray(keys), np.asarray(values), start_position
+        )
+        try:
+            n0 = len(base_order)
+            if (
+                insertion_ordered
+                and store.insertion_slots_are_sequential
+                and n0 + k == len(store)
+            ):
+                # base_order + staged is the store's insertion order and no
+                # slot was ever recycled, so the rows live in slots 0..n-1
+                # verbatim — skip the per-position slot-map walk.
+                all_k, all_v = store.block_table.gather(
+                    np.arange(n0 + k, dtype=np.int64)
+                )
+            else:
+                all_k, all_v = store.gather(list(base_order) + staged)
+            outputs = causal_prefix_attention(
+                queries, all_k, all_v, n0, scale=self.scale
+            )
+            records = [
+                StepRecord(
+                    position=staged[i], cache_size=n0 + i + 1,
+                    num_attended=n0 + i + 1,
+                )
+                for i in range(k)
+            ]
+        except BaseException:
+            store.rollback_append(staged)
+            raise
+        self._spec = SpeculationState(staged, records)
+        return outputs
 
 
 class WholePromptStoreMixin:
@@ -624,11 +835,40 @@ class FullCachePolicy(WholePromptStoreMixin, KVCachePolicy):
             )
         return outputs
 
+    def supports_speculation(
+        self, prompt_len: int, spec_end_len: int, final_len: int
+    ) -> bool:
+        """Always: appending draft rows never evicts, and rollback is a
+        pure tail truncation of the append-only store."""
+        return True
+
+    def begin_speculation(
+        self,
+        queries: np.ndarray,
+        keys: np.ndarray,
+        values: np.ndarray,
+        start_position: int,
+    ) -> np.ndarray:
+        return self._dense_speculation(
+            self._store, self._positions, queries, keys, values,
+            start_position, insertion_ordered=True,
+        )
+
+    def commit_speculation(self, kept: int) -> int:
+        spec = self._spec
+        if spec is None:
+            return 0
+        for position, record in zip(spec.positions[:kept], spec.records[:kept]):
+            self._positions.append(position)
+            self.stats.record(record)
+        return self._rollback_speculative_rows(self._store, kept)
+
 
 __all__ = [
     "KVCachePolicy",
     "FullCachePolicy",
     "PolicyStats",
+    "SpeculationState",
     "StepRecord",
     "WholePromptStoreMixin",
 ]

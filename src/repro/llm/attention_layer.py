@@ -399,6 +399,54 @@ class MultiHeadSelfAttention:
         )
         return head_out.reshape(batch, hd) @ w_o
 
+    def verify_chunk(
+        self,
+        x: np.ndarray,
+        segments: Sequence[Tuple[int, int]],
+        policies: Sequence[KVCachePolicy],
+        start_positions: Sequence[int],
+    ) -> np.ndarray:
+        """Speculative-verify attention over per-sequence draft chunks.
+
+        ``x`` packs every sequence's k-token verify chunk with no padding
+        (``segments[b] = (start, length)``, the :meth:`prefill_chunk` row
+        convention); sequence ``b``'s rows occupy logical positions
+        ``start_positions[b] ..``.  The Q/K/V projection is one packed GEMM
+        over all rows and the output projection one packed GEMM over all
+        head outputs — the same two GEMMs :meth:`decode_batched` amortizes
+        over a batch, here amortized over ``k`` draft tokens per sequence
+        as well.  The per-sequence middle hands each chunk to
+        :meth:`~repro.core.policy.KVCachePolicy.begin_speculation`, which
+        *stages* the rows: K/V land in (fresh or CoW-split) pool pages and
+        row ``i`` attends exactly as the serial step at its position would,
+        but nothing observable commits until the engine accepts a prefix
+        and calls ``commit_speculation``.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.model_dim:
+            raise ValueError(f"x must be [total, {self.model_dim}]")
+        if not (len(segments) == len(policies) == len(start_positions)):
+            raise ValueError(
+                "segments, policies and start_positions must agree on "
+                "batch size"
+            )
+        total = x.shape[0]
+        hd = self.num_heads * self.head_dim
+        w_qkv, w_o = self._packed_weights()
+        qkv = (x @ w_qkv).reshape(total, 3, self.num_heads, self.head_dim)
+        head_out = np.empty((total, self.num_heads, self.head_dim))
+        for (start, length), _policy in zip(segments, policies):
+            if length < 1:
+                raise ValueError("every segment must cover at least one token")
+        for (start, length), policy, position in zip(
+            segments, policies, start_positions
+        ):
+            rows = slice(start, start + length)
+            head_out[rows] = policy.begin_speculation(
+                qkv[rows, 0], qkv[rows, 1], qkv[rows, 2], int(position)
+            )
+        return head_out.reshape(total, hd) @ w_o
+
     # ------------------------------------------------------------------
     def parameter_count(self) -> int:
         return int(

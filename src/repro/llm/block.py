@@ -153,6 +153,28 @@ class TransformerBlock:
         x = x + self.mlp.forward(self._norm(x))
         return x
 
+    def verify_chunk(
+        self,
+        x: np.ndarray,
+        segments,
+        policies: Sequence[KVCachePolicy],
+        start_positions: Sequence[int],
+    ) -> np.ndarray:
+        """Speculative-verify pass over packed per-sequence draft chunks.
+
+        Layernorm and the MLP broadcast over the packed rows exactly as in
+        :meth:`decode_batched`; the attention layer stages each sequence's
+        chunk through its policy's ``begin_speculation`` (see
+        :meth:`MultiHeadSelfAttention.verify_chunk`).
+        """
+        attn_in = self._norm(x)
+        attn_out = self.attention.verify_chunk(
+            attn_in, segments, policies, start_positions
+        )
+        x = np.asarray(x, dtype=np.float64) + attn_out
+        x = x + self.mlp.forward(self._norm(x))
+        return x
+
     def parameter_count(self) -> int:
         return self.attention.parameter_count() + self.mlp.parameter_count()
 

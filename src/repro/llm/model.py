@@ -607,6 +607,59 @@ class TransformerLM:
                 x = block.decode_batched(x, positions, layer_policies)
         return self.logits_from_hidden(x)
 
+    def verify_steps_batched(
+        self,
+        token_chunks: Sequence[Sequence[int]],
+        start_positions: Sequence[int],
+        policies_per_sequence: Sequence[List[KVCachePolicy]],
+    ) -> List[np.ndarray]:
+        """Verify per-sequence draft chunks in **one** batched forward.
+
+        The speculative-decode verify primitive: sequence ``b`` feeds
+        ``token_chunks[b]`` — its last committed token followed by its
+        draft tokens — at positions ``start_positions[b] ..``.  All chunks
+        are packed padding-free into one embedding call, one packed Q/K/V
+        GEMM + output GEMM per layer (:meth:`TransformerBlock.verify_chunk`)
+        and one packed unembedding, so k draft tokens cost roughly one
+        engine-step forward instead of k.  Each layer policy *stages* its
+        chunk rows via ``begin_speculation``; the caller inspects the
+        returned logits (``logits[b][i]`` = next-token logits after feeding
+        chunk token ``i``), accepts the longest matching prefix, and
+        settles every policy with ``commit_speculation(kept)`` — which this
+        method deliberately does **not** do, so a caller that dies mid-scan
+        can still roll everything back.
+
+        Returns one ``[len(token_chunks[b]), vocab]`` logits array per
+        sequence.
+        """
+        batch = len(token_chunks)
+        if not (batch == len(start_positions) == len(policies_per_sequence)):
+            raise ValueError(
+                "token_chunks, start_positions and policies_per_sequence "
+                "must agree on batch size"
+            )
+        for policies in policies_per_sequence:
+            if len(policies) != self.config.num_layers:
+                raise ValueError("one policy per layer is required")
+        segments: List[Tuple[int, int]] = []
+        tokens: List[int] = []
+        positions: List[int] = []
+        start = 0
+        for chunk, pos0 in zip(token_chunks, start_positions):
+            length = len(chunk)
+            if length < 1:
+                raise ValueError("every verify chunk needs at least one token")
+            segments.append((start, length))
+            tokens.extend(int(t) for t in chunk)
+            positions.extend(range(int(pos0), int(pos0) + length))
+            start += length
+        x = self.embed(tokens, positions)  # [total, model_dim]
+        for layer, block in enumerate(self.blocks):
+            layer_policies = [p[layer] for p in policies_per_sequence]
+            x = block.verify_chunk(x, segments, layer_policies, start_positions)
+        logits = self.logits_from_hidden(x)
+        return [logits[s : s + length] for s, length in segments]
+
     # ------------------------------------------------------------------
     def parameter_count(self) -> int:
         total = int(self.embedding.size + self.unembedding.size)

@@ -23,8 +23,13 @@ conditions.  Under KV page pressure a victim sequence is *preempted* —
 its pages released, its tokens parked — and later resumed through the
 chunked-prefill path with token- and stats-identical output
 (:class:`~repro.serving.scheduler.PreemptedSequence`), instead of failing
-closed.  Multi-tenant traces that drive the stack into that regime live
-in :mod:`repro.serving.workload`.  Single-sequence generation
+closed.  With a :class:`~repro.serving.speculation.SpeculationConfig` the
+engine runs *speculative decoding*: a cheap drafter proposes up to ``k``
+tokens per sequence per step, one batched verify forward checks them all,
+and the accepted prefix commits several tokens per step — token- and
+stats-identical to plain greedy decode, with rejected draft rows rolled
+back out of the paged KV store.  Multi-tenant traces that drive the stack
+into these regimes live in :mod:`repro.serving.workload`.  Single-sequence generation
 (:func:`repro.llm.generation.greedy_generate`) and the accuracy harness
 (:mod:`repro.eval.harness`) both route through the engine.
 """
@@ -38,6 +43,12 @@ from .scheduler import (
     ScheduleBatch,
     Scheduler,
     SchedulerPolicy,
+)
+from .speculation import (
+    Drafter,
+    InductionDrafter,
+    NGramDrafter,
+    SpeculationConfig,
 )
 from .workload import (
     SCENARIOS,
@@ -54,6 +65,9 @@ from .workload import (
 
 __all__ = [
     "BatchedEngine",
+    "Drafter",
+    "InductionDrafter",
+    "NGramDrafter",
     "PreemptedSequence",
     "PrefillChunk",
     "PrefillingSequence",
@@ -68,6 +82,7 @@ __all__ = [
     "SequenceSlot",
     "ServingRequest",
     "ServingResponse",
+    "SpeculationConfig",
     "TenantReport",
     "TenantSpec",
     "TraceRequest",

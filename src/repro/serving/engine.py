@@ -40,6 +40,22 @@ engine's :meth:`~BatchedEngine.step` is a thin execution loop around
   loop.  A sequence that exhausts its token budget is retired *without*
   feeding its final token through the model — those logits would be
   discarded.
+* **Speculative decode** — with a
+  :class:`~repro.serving.speculation.SpeculationConfig` a drafter
+  (induction-head model or n-gram history matching) proposes up to ``k``
+  tokens per eligible sequence per step; the engine feeds each sequence's
+  ``[committed token] + drafts`` chunk through **one** batched verify
+  forward (:meth:`~repro.llm.model.TransformerLM.verify_steps_batched`),
+  commits the longest prefix whose drafts match the target's own greedy
+  argmax at every position, and rolls the rejected rows back out of the
+  KV store (:meth:`~repro.core.kv_pool.PagedKVStore.rollback_append` —
+  pages allocated purely for rejected drafts return to the arena).
+  Output is token- and ``PolicyStats``-identical to plain greedy decode:
+  only policies that certify exact rollback
+  (:meth:`~repro.core.policy.KVCachePolicy.supports_speculation`)
+  speculate, everyone else — plus sequences whose acceptance rate trips
+  the auto-disable guard and arenas running mixed-precision pages —
+  falls back to the one-token path per sequence.
 
 Requests may also be submitted from *other threads* while a serving
 thread drives the step loop: :meth:`BatchedEngine.submit_async` feeds the
@@ -141,6 +157,7 @@ from .scheduler import (
     Scheduler,
     SchedulerPolicy,
 )
+from .speculation import SpeculationConfig
 
 if TYPE_CHECKING:  # imported lazily to avoid a cycle with repro.llm
     from ..llm.model import PolicyFactory, TransformerLM
@@ -226,11 +243,16 @@ class SequenceSlot:
     ``reservation_delta`` telemetry — actual page accounting follows the
     policies' allocated-so-far state.
 
-    ``replay`` is non-empty only on a freshly resumed sequence whose
-    pre-preemption tokens must be re-fed through the decode path: while it
+    ``replay`` is non-empty only on a sequence whose already-emitted tokens
+    must be (re-)fed through the decode path: resume after a preemption,
+    the bonus token a speculative verify committed past its accepted
+    prefix, or the fallback after an aborted verify forward.  While it
     drains, the step loop feeds ``replay.popleft()`` instead of sampling
-    (the tokens were already emitted before the preemption and are already
-    in ``generated``).
+    (the tokens are already in ``generated``).
+
+    ``spec_drafted``/``spec_accepted`` track this sequence's speculative
+    acceptance for the auto-disable guard; ``spec_disabled`` latches once
+    the rate falls below :attr:`SpeculationConfig.min_acceptance`.
     """
 
     request: ServingRequest
@@ -246,6 +268,9 @@ class SequenceSlot:
     admission_index: int = 0  # monotonically increasing admission order
     replay: Deque[int] = field(default_factory=deque)
     preemptions: int = 0  # times this sequence has been preempted so far
+    spec_drafted: int = 0  # draft tokens verified for this sequence
+    spec_accepted: int = 0  # draft tokens accepted for this sequence
+    spec_disabled: bool = False  # acceptance-rate auto-disable latch
 
 
 class BatchedEngine:
@@ -297,10 +322,26 @@ class BatchedEngine:
         explicit ``scheduler_policy``.
     on_token:
         Optional ``callback(request_id, token_id, num_generated)`` fired
-        the moment a token is *sampled* (not when it is replayed after a
-        preemption — each emitted token fires exactly once).  This is the
+        the moment a token is *committed* (sampled, or accepted by a
+        speculative verify — not when it is replayed after a preemption;
+        each emitted token fires exactly once, in order).  This is the
         per-token latency seam the workload harness uses for TTFT/ITL
         timestamps.  Called from the stepping thread; must be cheap.
+    speculation:
+        Optional :class:`~repro.serving.speculation.SpeculationConfig`
+        turning on speculative decoding: a drafter proposes up to ``k``
+        tokens per eligible sequence per step, the engine verifies the
+        whole chunk in **one** batched forward
+        (:meth:`TransformerLM.verify_steps_batched`), commits the longest
+        draft prefix the target's own greedy choices agree with, and
+        rolls rejected rows back out of the KV store (CoW pages freed).
+        Output is token- and ``PolicyStats``-identical to plain greedy
+        decode; sequences whose policies cannot certify exact rollback
+        (:meth:`~repro.core.policy.KVCachePolicy.supports_speculation`),
+        whose acceptance rate auto-disables them, or whose arena runs
+        mixed-precision pages (irreversible fp-page demotions) fall back
+        to the ordinary one-token path.  ``stats()["speculation"]``
+        reports the acceptance telemetry.
     """
 
     def __init__(
@@ -315,6 +356,7 @@ class BatchedEngine:
         scheduler_policy: Optional[SchedulerPolicy] = None,
         max_tokens_per_step: Optional[int] = None,
         on_token: Optional[Callable[[str, int, int], None]] = None,
+        speculation: Optional[SpeculationConfig] = None,
     ) -> None:
         if kv_pools is not None:
             if kv_pools.num_layers != model.config.num_layers:
@@ -425,6 +467,27 @@ class BatchedEngine:
         self._preempted_pages_released = 0
         self._prefill_requeues = 0
         self._failures_by_cause: Dict[str, int] = {}
+        self.speculation = speculation
+        # Mixed-precision arenas demote fp pages irreversibly as the page
+        # frontier advances; staged draft rows could trigger a demotion a
+        # rollback cannot undo, so speculation is gated off wholesale.
+        self._speculation_pool_ok = kv_pools is None or all(
+            pool.mixed_precision is None for pool in kv_pools.pools
+        )
+        if speculation is not None:
+            # Let chunked-prefill budgeting reserve verify-chunk tokens for
+            # speculating sequences instead of one token per active slot.
+            self.scheduler.decode_token_estimate = self._speculation_tokens
+        self._spec_steps = 0  # engine steps that ran a verify forward
+        self._spec_chunks = 0  # verify chunks run (one per sequence per step)
+        self._spec_drafted = 0
+        self._spec_accepted = 0
+        self._spec_rollback_rows = 0
+        self._spec_rollback_pages = 0
+        self._spec_disabled_sequences = 0
+        self._spec_aborts = 0
+        self._spec_downgrades = 0  # chunks dropped to fit the page budget
+        self._spec_tokens_per_step: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Introspection
@@ -469,8 +532,13 @@ class BatchedEngine:
         ``reservation_delta`` the admission headroom the tighter accounting
         reclaimed; ``prefix_cache`` reports entry count, bytes, hit rate,
         tokens reused, by-reference inserts and pool pages held by cached
-        prefixes.  ``kv_pool``/``prefix_cache`` are ``None`` when the
-        corresponding feature is off.
+        prefixes.  ``speculation`` reports the speculative-decode
+        telemetry — drafted/accepted token counts and acceptance rate, the
+        committed-tokens-per-step histogram, rollback rows and pool pages
+        freed by rejected drafts, auto-disabled sequences, page-pressure
+        downgrades and verify aborts.  ``speculation``/``kv_pool``/
+        ``prefix_cache`` are ``None`` when the corresponding feature is
+        off.
         """
         out: Dict[str, object] = {
             "steps": self._steps,
@@ -498,9 +566,31 @@ class BatchedEngine:
             },
             "failures_by_cause": dict(self._failures_by_cause),
             "scheduler": self.scheduler.stats(),
+            "speculation": None,
             "kv_pool": None,
             "prefix_cache": None,
         }
+        if self.speculation is not None:
+            drafted = self._spec_drafted
+            out["speculation"] = {
+                "enabled": self._speculation_pool_ok,
+                "k": self.speculation.k,
+                "drafted_tokens": drafted,
+                "accepted_tokens": self._spec_accepted,
+                "acceptance_rate": (
+                    self._spec_accepted / drafted if drafted else 0.0
+                ),
+                "verify_steps": self._spec_steps,
+                "verify_chunks": self._spec_chunks,
+                "tokens_per_step": dict(
+                    sorted(self._spec_tokens_per_step.items())
+                ),
+                "rollback_rows": self._spec_rollback_rows,
+                "rollback_pages_dropped": self._spec_rollback_pages,
+                "sequences_disabled": self._spec_disabled_sequences,
+                "downgrades": self._spec_downgrades,
+                "aborts": self._spec_aborts,
+            }
         if self.kv_pools is not None:
             pool_stats = self.kv_pools.stats()
             remaining = self.scheduler.remaining_page_totals()
@@ -966,30 +1056,52 @@ class BatchedEngine:
             else:
                 continuing.append(slot)
 
+        spec_plan: Dict[int, List[int]] = {}
+        if self.speculation is not None and continuing:
+            spec_plan = self._plan_speculation(continuing)
+
         if self.kv_pools is not None and continuing:
-            continuing = self._enforce_decode_pages(continuing, finished)
+            continuing = self._enforce_decode_pages(
+                continuing, finished, spec_plan
+            )
 
         if continuing:
-            # Stop/length/page filtering preserves the policy-grouped slot
-            # order, so contiguous same-policy runs over ``continuing`` are
-            # exactly the executed group spans.
-            vectorized = self.scheduler.policy.vectorized_decode
-            policy_stacks = [slot.policies for slot in continuing]
-            logits_batch = self.model.decode_steps_batched(
-                [
-                    slot.replay.popleft() if slot.replay
-                    else slot.generated[-1]
-                    for slot in continuing
-                ],
-                [slot.position for slot in continuing],
-                policy_stacks,
-                groups=group_spans_for(policy_stacks) if vectorized else None,
-                vectorize=vectorized,
-                telemetry=self.scheduler.group_decode,
-            )
-            for row, slot in enumerate(continuing):
-                slot.logits = logits_batch[row]
-                slot.position += 1
+            spec_slots = [s for s in continuing if id(s) in spec_plan]
+            plain = [s for s in continuing if id(s) not in spec_plan]
+            retired: List[SequenceSlot] = []
+            if spec_slots:
+                retired = self._speculative_decode(
+                    spec_slots, spec_plan, finished
+                )
+            if plain:
+                # Stop/length/page/speculation filtering preserves the
+                # policy-grouped slot order, so contiguous same-policy runs
+                # over ``plain`` are exactly the executed group spans.
+                vectorized = self.scheduler.policy.vectorized_decode
+                policy_stacks = [slot.policies for slot in plain]
+                logits_batch = self.model.decode_steps_batched(
+                    [
+                        slot.replay.popleft() if slot.replay
+                        else slot.generated[-1]
+                        for slot in plain
+                    ],
+                    [slot.position for slot in plain],
+                    policy_stacks,
+                    groups=(
+                        group_spans_for(policy_stacks) if vectorized else None
+                    ),
+                    vectorize=vectorized,
+                    telemetry=self.scheduler.group_decode,
+                )
+                for row, slot in enumerate(plain):
+                    slot.logits = logits_batch[row]
+                    slot.position += 1
+            if retired:
+                retired_ids = {id(slot) for slot in retired}
+                continuing = [
+                    slot for slot in continuing
+                    if id(slot) not in retired_ids
+                ]
 
         self.scheduler.set_active(continuing)
         self._steps += 1
@@ -999,32 +1111,54 @@ class BatchedEngine:
         self,
         continuing: List[SequenceSlot],
         finished: List[ServingResponse],
+        spec_plan: Optional[Dict[int, List[int]]] = None,
     ) -> List[SequenceSlot]:
         """Make the decode wave fit the free pages: shed, preempt, fail.
 
-        Escalation order: first shed prefix-cache entries (LRU — cold
-        cached prefixes are the cheapest pages in the arena), then preempt
-        a victim chosen by :meth:`Scheduler.select_victim` (its pages are
-        released and it is parked for a token-identical resume), and only
-        when preemption is disabled — or cannot help, because the victim
-        would be a lone sequence with nothing else holding pages — fail
-        the newest sequence closed (``decode_page_exhaustion``), so a
+        Escalation order: first downgrade speculative verify chunks back to
+        plain one-token decode (speculation is pure opportunism — it must
+        never evict anyone's pages), then shed prefix-cache entries (LRU —
+        cold cached prefixes are the cheapest pages in the arena), then
+        preempt a victim chosen by :meth:`Scheduler.select_victim` (its
+        pages are released and it is parked for a token-identical resume),
+        and only when preemption is disabled — or cannot help, because the
+        victim would be a lone sequence with nothing else holding pages —
+        fail the newest sequence closed (``decode_page_exhaustion``), so a
         mid-batch :class:`PoolExhaustedError` can never corrupt
-        half-advanced sequences.  With ``reserve`` admission the invariant
-        makes all of this unreachable; ``optimistic`` admission hits the
-        preemption path routinely under overload.
+        half-advanced sequences.  With ``reserve`` admission the
+        non-speculative invariant makes everything past the downgrade rung
+        unreachable; ``optimistic`` admission hits the preemption path
+        routinely under overload.
         """
+        if spec_plan is None:
+            spec_plan = {}
         num_layers = self.model.config.num_layers
         while continuing:
             demand = [0] * num_layers
             for slot in continuing:
+                chunk_len = 1 + len(spec_plan.get(id(slot), ()))
                 for layer, policy in enumerate(slot.policies):
-                    demand[layer] += policy.decode_page_demand()
+                    demand[layer] += (
+                        policy.speculative_page_demand(chunk_len)
+                        if chunk_len > 1
+                        else policy.decode_page_demand()
+                    )
             if all(
                 demand[layer] <= self.kv_pools.layer(layer).free_pages
                 for layer in range(num_layers)
             ):
                 return continuing
+            planned = [
+                slot for slot in continuing if id(slot) in spec_plan
+            ]
+            if planned:
+                # Largest chunk first: frees the most demand per downgrade.
+                victim = max(
+                    planned, key=lambda slot: len(spec_plan[id(slot)])
+                )
+                del spec_plan[id(victim)]
+                self._spec_downgrades += 1
+                continue
             if (
                 self.prefix_cache is not None
                 and self.prefix_cache.drop_lru_entry()
@@ -1055,6 +1189,192 @@ class BatchedEngine:
                 )
             )
         return continuing
+
+    # ------------------------------------------------------------------
+    # Speculative decoding
+    # ------------------------------------------------------------------
+    def _speculation_tokens(self, slot: SequenceSlot) -> int:
+        """Conservative forward-token estimate for one decode slot.
+
+        Installed as the scheduler's ``decode_token_estimate`` when
+        speculation is on: an eligible slot may feed a ``1 + k`` verify
+        chunk this step, so the chunked-prefill budget reserves that much
+        instead of one token.
+        """
+        cfg = self.speculation
+        if cfg is None or slot.spec_disabled or slot.replay:
+            return 1
+        return 1 + cfg.k
+
+    def _plan_speculation(
+        self, continuing: List[SequenceSlot]
+    ) -> Dict[int, List[int]]:
+        """Draft proposals for every slot eligible to speculate this step.
+
+        A slot is eligible when it is not draining a replay, has not been
+        acceptance-rate disabled, has budget for at least two more tokens
+        (one forward covers one token anyway — a draft only pays off if a
+        *second* token can land), the drafter proposes something in-vocab,
+        and every layer policy certifies exact rollback for the resulting
+        chunk (:meth:`~repro.core.policy.KVCachePolicy.supports_speculation`).
+        Returns ``{id(slot): draft_tokens}``; slots missing from the map
+        decode plain.
+        """
+        cfg = self.speculation
+        plan: Dict[int, List[int]] = {}
+        if cfg is None or not self._speculation_pool_ok:
+            return plan
+        vocab = self.model.config.vocab_size
+        for slot in continuing:
+            if slot.replay or slot.spec_disabled:
+                continue
+            remaining = slot.request.max_new_tokens - len(slot.generated)
+            k_cap = min(cfg.k, remaining - 1)
+            if k_cap < 1:
+                continue
+            history = [int(t) for t in slot.request.prompt_ids]
+            history += slot.generated
+            drafts = [
+                int(t) for t in cfg.drafter.propose(history, k_cap)
+            ][:k_cap]
+            if not drafts or any(t < 0 or t >= vocab for t in drafts):
+                continue  # a bad drafter must not crash the verify embed
+            spec_end = slot.position + 1 + len(drafts)
+            if all(
+                policy.supports_speculation(
+                    slot.prompt_length, spec_end, spec_end
+                )
+                for policy in slot.policies
+            ):
+                plan[id(slot)] = drafts
+        return plan
+
+    def _speculative_decode(
+        self,
+        slots: List[SequenceSlot],
+        plan: Dict[int, List[int]],
+        finished: List[ServingResponse],
+    ) -> List[SequenceSlot]:
+        """Verify every planned draft chunk in one batched forward.
+
+        Each slot's chunk is ``[last committed token] + drafts`` fed at
+        positions ``slot.position ..`` — the first row is the token plain
+        decode would feed this step, so its logits row is exactly the
+        distribution the next plain sample would use, and the scan in
+        :meth:`_accept_scan` can compare the target's greedy choice
+        against each draft in turn.  If the forward dies, every policy's
+        staged rows are rolled back (``commit_speculation(0)`` is
+        idempotent for layers that never staged) and the slots fall back
+        to plain decode next step via the replay queue — a stall, never a
+        corruption.  Returns the slots the scan retired.
+        """
+        chunks = [[slot.generated[-1]] + plan[id(slot)] for slot in slots]
+        try:
+            logits_list = self.model.verify_steps_batched(
+                chunks,
+                [slot.position for slot in slots],
+                [slot.policies for slot in slots],
+            )
+        except Exception:
+            self._spec_aborts += 1
+            for slot in slots:
+                for policy in slot.policies:
+                    self._spec_rollback_pages += policy.commit_speculation(0)
+                slot.replay.append(slot.generated[-1])
+            return []
+        self._spec_steps += 1
+        retired: List[SequenceSlot] = []
+        for slot, logits in zip(slots, logits_list):
+            if self._accept_scan(slot, plan[id(slot)], logits, finished):
+                retired.append(slot)
+        return retired
+
+    def _accept_scan(
+        self,
+        slot: SequenceSlot,
+        drafts: List[int],
+        logits: np.ndarray,
+        finished: List[ServingResponse],
+    ) -> bool:
+        """Commit the longest draft prefix the target agrees with.
+
+        ``logits[j]`` is the distribution after feeding chunk row ``j``
+        (row 0 = the already-committed token, row ``j>=1`` = draft
+        ``j-1``), so ``argmax(logits[j])`` is precisely the token plain
+        greedy decode would sample after that row.  The scan walks the
+        drafts: a stop id finishes the sequence (kept rows = those plain
+        decode fed); a mismatch commits the target's own token instead and
+        queues it for next step's feed (the correction was emitted but
+        never fed — the replay seam); a match commits the draft and keeps
+        its already-fed row.  ``commit_speculation(kept)`` then applies
+        the deferred per-layer bookkeeping for the kept rows and rolls the
+        rest back out of the KV pool.  Returns ``True`` when the scan
+        retired the sequence.
+        """
+        cfg = self.speculation
+        m = len(drafts)
+        kept = m + 1  # chunk rows surviving; all of them if fully accepted
+        committed = 1  # tokens committed this step (row 0 counted)
+        accepted = 0
+        finish_reason: Optional[str] = None
+        correction: Optional[int] = None
+        for j in range(m):
+            t_next = int(np.argmax(logits[j]))
+            if t_next in slot.stop_set:
+                kept = j + 1
+                finish_reason = "stop"
+                break
+            slot.generated.append(t_next)
+            if slot.request.keep_logits:
+                slot.logits_history.append(
+                    np.asarray(logits[j], dtype=np.float64)
+                )
+            if self.on_token is not None:
+                self.on_token(slot.request_id, t_next, len(slot.generated))
+            committed += 1
+            if t_next != drafts[j]:
+                kept = j + 1
+                if len(slot.generated) >= slot.request.max_new_tokens:
+                    finish_reason = "length"
+                else:
+                    correction = t_next
+                break
+            accepted += 1
+            if len(slot.generated) >= slot.request.max_new_tokens:
+                # The matched draft was emitted, but plain decode never
+                # feeds a budget-exhausting token: its row rolls back.
+                kept = j + 1
+                finish_reason = "length"
+                break
+        else:
+            slot.logits = logits[m]
+        rollback_pages = 0
+        for policy in slot.policies:
+            rollback_pages += policy.commit_speculation(kept)
+        slot.position += kept
+        slot.spec_drafted += m
+        slot.spec_accepted += accepted
+        self._spec_chunks += 1
+        self._spec_drafted += m
+        self._spec_accepted += accepted
+        self._spec_rollback_rows += (m + 1) - kept
+        self._spec_rollback_pages += rollback_pages
+        self._spec_tokens_per_step[committed] = (
+            self._spec_tokens_per_step.get(committed, 0) + 1
+        )
+        if (
+            not slot.spec_disabled
+            and slot.spec_drafted >= cfg.disable_after
+            and slot.spec_accepted < cfg.min_acceptance * slot.spec_drafted
+        ):
+            slot.spec_disabled = True
+            self._spec_disabled_sequences += 1
+        if finish_reason is not None:
+            finished.append(self._finish(slot, finish_reason))
+            return True
+        if correction is not None:
+            slot.replay.append(correction)
+        return False
 
     def _park(self, slot: SequenceSlot) -> None:
         """Preempt one decode slot: snapshot, release every page, park.

@@ -89,6 +89,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import (
     TYPE_CHECKING,
+    Callable,
     Deque,
     Dict,
     List,
@@ -333,6 +334,13 @@ class Scheduler:
         # ``decode_groups``, which only reflects the last step, these
         # survive across steps).
         self.group_decode = GroupDecodeStats()
+        # Optional per-slot decode token estimate installed by the engine
+        # when speculative decoding is on: an eligible slot's verify chunk
+        # consumes up to ``1 + k`` forward tokens, which the chunked
+        # prefill budget must reserve instead of one token per slot.
+        self.decode_token_estimate: Optional[
+            Callable[["SequenceSlot"], int]
+        ] = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -864,7 +872,13 @@ class Scheduler:
         if budget is None:
             available = None
         else:
-            available = budget - len(self._active)
+            if self.decode_token_estimate is None:
+                decode_reserve = len(self._active)
+            else:
+                decode_reserve = sum(
+                    self.decode_token_estimate(slot) for slot in self._active
+                )
+            available = budget - decode_reserve
             floor = self.policy.min_prefill_tokens_per_step
             if available < floor:
                 available = floor

@@ -1,0 +1,179 @@
+"""Speculative decoding: drafters and the engine-facing configuration.
+
+The serving engine advances one token per sequence per step because every
+token costs a full forward.  Speculative decoding breaks that coupling
+with a *drafter* — a predictor much cheaper than the target model — that
+proposes ``k`` likely next tokens per sequence; the engine then feeds the
+whole draft chunk through **one** batched verify forward
+(:meth:`repro.llm.model.TransformerLM.verify_steps_batched`), accepts the
+longest prefix on which the target's own greedy choices agree with the
+draft, and commits several tokens in a single engine step.  Because
+acceptance is checked against the target's argmax at every position, the
+committed token stream is *identical* to plain greedy decode no matter how
+good or bad the drafter is — drafting only changes how many forwards the
+stream costs.
+
+Two drafter backends ship here:
+
+* :class:`NGramDrafter` — zero-model prefix matching over the sequence's
+  own history (prompt + generated so far).  It finds the most recent
+  earlier occurrence of the current n-gram suffix and proposes the tokens
+  that followed it — exactly the "A B ... A -> B" induction rule, read off
+  the token stream instead of computed by attention.  Free, stateless and
+  surprisingly strong on repetitive workloads.
+* :class:`InductionDrafter` — the repo's analytic induction-head
+  transformer (:func:`repro.llm.induction.build_induction_model`) run
+  autoregressively (greedy, no KV cache) over a bounded recent window of
+  the history.  A real second model, ~100x cheaper than a served LLM
+  would be relative to its target, and the drafter ROADMAP item 3 names.
+
+Per-sequence acceptance tracking lives in the engine (see
+``BatchedEngine`` ``speculation`` stats); :class:`SpeculationConfig`
+carries the knobs, including the acceptance-rate auto-disable that keeps
+adversarial (non-repetitive) workloads at plain-decode parity.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # imported lazily to avoid a cycle with repro.llm
+    from ..llm.model import TransformerLM
+
+
+class Drafter(ABC):
+    """Proposes draft tokens from a sequence's token history.
+
+    Drafters are shared across sequences and must be stateless with
+    respect to any one sequence (the engine may call them for different
+    sequences in any order); all per-sequence signal arrives through
+    ``history``.
+    """
+
+    @abstractmethod
+    def propose(self, history: Sequence[int], k: int) -> List[int]:
+        """Up to ``k`` draft tokens likely to follow ``history``.
+
+        Returning fewer than ``k`` (or none) is normal — it means "no
+        confident guess", and the engine falls back to plain one-token
+        decode for that sequence this step.  Proposals never need to be
+        *correct*: verification guarantees output parity regardless.
+        """
+
+
+class NGramDrafter(Drafter):
+    """Zero-model drafter: longest-suffix match over the sequence history.
+
+    Looks for the most recent earlier occurrence of the history's trailing
+    n-gram (longest first, ``max_ngram`` down to ``min_ngram``) and
+    proposes the tokens that followed that occurrence.  This is the
+    classic "prompt lookup decoding" trick: on repetitive or long-context
+    workloads most next tokens literally already appear in the context.
+    """
+
+    def __init__(self, max_ngram: int = 4, min_ngram: int = 1) -> None:
+        if min_ngram < 1 or max_ngram < min_ngram:
+            raise ValueError("need 1 <= min_ngram <= max_ngram")
+        self.max_ngram = int(max_ngram)
+        self.min_ngram = int(min_ngram)
+
+    def propose(self, history: Sequence[int], k: int) -> List[int]:
+        history = list(history)
+        n = len(history)
+        if n < self.min_ngram + 1 or k < 1:
+            return []
+        for size in range(min(self.max_ngram, n - 1), self.min_ngram - 1, -1):
+            suffix = history[n - size :]
+            # Most recent earlier occurrence wins (recent context is the
+            # best predictor of what follows next) — but a match near the
+            # tail has its continuation truncated by the end of history,
+            # so keep scanning until a full-k continuation turns up and
+            # fall back to the longest one seen.
+            best: List[int] = []
+            for start in range(n - size - 1, -1, -1):
+                if history[start : start + size] == suffix:
+                    continuation = history[start + size : start + size + k]
+                    if len(continuation) == k:
+                        return [int(t) for t in continuation]
+                    if len(continuation) > len(best):
+                        best = continuation
+            if best:
+                return [int(t) for t in best]
+        return []
+
+
+class InductionDrafter(Drafter):
+    """Model-based drafter: the analytic induction head run greedily.
+
+    Runs :func:`repro.llm.induction.build_induction_model` (or any
+    :class:`~repro.llm.model.TransformerLM` passed in) autoregressively
+    for ``k`` greedy tokens over the last ``max_context`` history tokens.
+    No KV cache or policy is involved — each proposal is ``k`` dense
+    ``forward_full`` calls over a bounded window, cheap because the
+    drafter is tiny and the window short.  The induction mechanism makes
+    it sharp exactly where speculation pays: contexts whose continuation
+    repeats an earlier pattern.
+    """
+
+    def __init__(self, model: "TransformerLM", max_context: int = 128) -> None:
+        if max_context < 2:
+            raise ValueError("max_context must be >= 2")
+        self.model = model
+        self.max_context = int(max_context)
+
+    def propose(self, history: Sequence[int], k: int) -> List[int]:
+        if not history or k < 1:
+            return []
+        vocab = self.model.config.vocab_size
+        window = [int(t) for t in history[-self.max_context :]]
+        if any(t < 0 or t >= vocab for t in window):
+            return []  # drafter vocabulary cannot cover this sequence
+        drafts: List[int] = []
+        for _ in range(k):
+            logits = self.model.forward_full(window)
+            nxt = int(np.argmax(logits[-1]))
+            drafts.append(nxt)
+            window.append(nxt)
+            if len(window) > self.max_context:
+                window = window[-self.max_context :]
+        return drafts
+
+
+@dataclass
+class SpeculationConfig:
+    """Engine knobs for speculative decoding.
+
+    ``k`` is the draft length per sequence per step.  The auto-disable
+    guard watches each sequence's acceptance: once a sequence has had
+    ``disable_after`` draft tokens verified and its acceptance rate sits
+    below ``min_acceptance``, speculation is switched off *for that
+    sequence* permanently — drafting and verifying k tokens to commit ~1
+    costs more than plain decode, and an adversarial (non-repetitive)
+    stream would pay that tax every step.  Disabled sequences fall back to
+    the ordinary one-token decode path and still produce identical output.
+    """
+
+    drafter: Drafter = field(default_factory=NGramDrafter)
+    k: int = 4
+    min_acceptance: float = 0.35
+    disable_after: int = 32
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError("k must be >= 1")
+        if not 0.0 <= self.min_acceptance <= 1.0:
+            raise ValueError("min_acceptance must be in [0, 1]")
+        if self.disable_after < 1:
+            raise ValueError("disable_after must be >= 1")
+
+
+__all__ = [
+    "Drafter",
+    "InductionDrafter",
+    "NGramDrafter",
+    "SpeculationConfig",
+]

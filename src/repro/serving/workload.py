@@ -51,7 +51,11 @@ class TenantSpec:
     ``shared_prefix_fraction`` of the tenant's prompts starts with the
     tenant's own ``shared_prefix_length``-token prefix (drawn once per
     trace), modelling the shared system prompt that makes prefix caching
-    and copy-on-write sharing matter.  ``slo_ttft`` / ``slo_itl`` are
+    and copy-on-write sharing matter.  ``repetition_period > 0`` instead
+    builds each prompt by tiling a freshly drawn motif of that many
+    tokens to the prompt length — the log-tail/boilerplate shape whose
+    continuations mostly appear verbatim earlier in the context, which is
+    what speculative decoding feeds on.  ``slo_ttft`` / ``slo_itl`` are
     wall-clock seconds; ``None`` means the SLO is always met, so goodput
     reduces to completed-request throughput.
     """
@@ -64,6 +68,7 @@ class TenantSpec:
     priority: int = 0
     shared_prefix_length: int = 0
     shared_prefix_fraction: float = 0.0
+    repetition_period: int = 0
     slo_ttft: Optional[float] = None
     slo_itl: Optional[float] = None
 
@@ -86,6 +91,13 @@ class TenantSpec:
             raise ValueError(
                 "shared_prefix_length must be >= 1 when a prefix fraction "
                 "is set"
+            )
+        if self.repetition_period < 0:
+            raise ValueError("repetition_period must be >= 0")
+        if self.repetition_period > 0 and self.shared_prefix_fraction > 0.0:
+            raise ValueError(
+                "repetition_period and shared_prefix_fraction are mutually "
+                "exclusive prompt shapes"
             )
 
 
@@ -178,7 +190,17 @@ def generate_trace(
                 and rng.random() < tenant.shared_prefix_fraction
                 and length > len(prefix)
             )
-            if shared:
+            if tenant.repetition_period > 0:
+                # Tile a fresh motif to the prompt length: the prompt's
+                # own tail keeps re-occurring earlier in the context.
+                motif = rng.integers(
+                    0,
+                    spec.vocab_size,
+                    size=min(tenant.repetition_period, length),
+                ).tolist()
+                reps = -(-length // len(motif))
+                prompt = tuple(int(t) for t in (motif * reps)[:length])
+            elif shared:
                 suffix = rng.integers(
                     0, spec.vocab_size, size=length - len(prefix)
                 ).tolist()
@@ -506,6 +528,39 @@ SCENARIOS: Dict[str, Scenario] = {
             page_size=8,
             max_batch_size=None,
             seed=7,
+        ),
+        Scenario(
+            name="repetitive_long_context",
+            description=(
+                "One tenant serving long, highly repetitive prompts "
+                "(motif tiled to the prompt length — the log-tail / "
+                "boilerplate shape) at low concurrency with enough arena "
+                "to decode unpreempted: most continuations already appear "
+                "verbatim earlier in the context, so a history drafter "
+                "predicts them and speculative decoding commits several "
+                "tokens per verify forward.  max_batch_size is 2 on "
+                "purpose — this is the latency-bound regime where plain "
+                "decode pays full per-token step overhead and speculation "
+                "classically pays off; at high batch the batching itself "
+                "already amortizes it."
+            ),
+            spec=WorkloadSpec(
+                tenants=(
+                    TenantSpec(
+                        name="looper",
+                        rate=60.0,
+                        num_requests=12,
+                        prompt_length=(48, 72),
+                        max_new_tokens=(24, 40),
+                        repetition_period=9,
+                    ),
+                ),
+                arrival="poisson",
+            ),
+            num_pages=260,
+            page_size=8,
+            max_batch_size=2,
+            seed=29,
         ),
     )
 }

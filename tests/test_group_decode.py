@@ -25,7 +25,12 @@ from repro.core.group_decode import (
     policy_group_key,
     supports_group_decode,
 )
-from repro.core.kv_pool import KVPoolGroup, PagedKVStore, gather_padded
+from repro.core.kv_pool import (
+    KVPoolGroup,
+    PagedKVStore,
+    gather_padded,
+    set_poison_padding,
+)
 from repro.core.policy import FullCachePolicy
 from repro.eval.harness import POLICY_NAMES, build_policy_factory
 from repro.llm.config import ModelConfig
@@ -352,3 +357,34 @@ class TestGroupSpanHelpers:
             np.testing.assert_array_equal(values[row, :n], want_v)
             # Padding holds arbitrary-but-finite pool data; consumers mask.
             assert np.isfinite(keys[row, n:]).all()
+
+
+class TestPoisonedPaddingGroupDecode:
+    """With NaN-poisoned padding the group path must produce bit-identical
+    outputs: every batched consumer masks padding to weight exactly 0.0,
+    so the poison can never leak into a score, a softmax or an output.
+    Any future consumer that forgets the mask turns this into a loud NaN
+    failure instead of a silent wrong-but-plausible read."""
+
+    @pytest.mark.parametrize(
+        "policy_name", ["full", "snapkv", "streaming_llm", "h2o", "quest"]
+    )
+    def test_vectorized_decode_identical_under_poison(
+        self, model, prompts, policy_name
+    ):
+        factory = build_policy_factory(
+            policy_name, prompt_length=len(prompts[0]), cache_ratio=0.6
+        )
+        _, reference = run_engine(
+            model, prompts, vectorized=True, batch_size=8, paged=True,
+            policy_factory=factory,
+        )
+        old = set_poison_padding(True)
+        try:
+            _, poisoned = run_engine(
+                model, prompts, vectorized=True, batch_size=8, paged=True,
+                policy_factory=factory,
+            )
+        finally:
+            set_poison_padding(old)
+        assert_responses_identical(reference, poisoned)

@@ -11,6 +11,9 @@ from repro.core.kv_pool import (
     PagedKVStore,
     PoolExhaustedError,
     SharedKVPages,
+    gather_padded,
+    poison_padding_enabled,
+    set_poison_padding,
 )
 
 HEADS, DIM = 2, 4
@@ -294,3 +297,222 @@ class TestKVPoolGroup:
         assert stats["pages_total"] == 8
         assert stats["pages_in_use"] == 1
         assert stats["page_allocs"] == 1
+
+
+class TestPoisonPadding:
+    @pytest.fixture
+    def poisoned(self):
+        old = set_poison_padding(True)
+        yield
+        set_poison_padding(old)
+
+    def _two_member_gather(self):
+        pool = make_pool(num_pages=8, page_size=3)
+        long_store = PagedKVStore(HEADS, DIM, pool=pool)
+        short_store = PagedKVStore(HEADS, DIM, pool=pool)
+        for pos in range(5):
+            long_store.put(pos, row(pos), -row(pos))
+        for pos in range(2):
+            short_store.put(pos, row(10 + pos), -row(10 + pos))
+        tables = [long_store.block_table, short_store.block_table]
+        slot_lists = [
+            long_store.slots_of(range(5)),
+            short_store.slots_of(range(2)),
+        ]
+        return tables, slot_lists
+
+    def test_padding_tail_is_nan_only_when_enabled(self, poisoned):
+        tables, slot_lists = self._two_member_gather()
+        keys, values, lengths = gather_padded(tables, slot_lists)
+        assert list(lengths) == [5, 2]
+        # Valid rows stay exact under poisoning...
+        for pos in range(5):
+            np.testing.assert_array_equal(keys[0, pos], row(pos))
+        np.testing.assert_array_equal(values[1, 1], -row(11))
+        # ...while every padding row fails loudly if read unmasked.
+        assert np.isnan(keys[1, 2:]).all()
+        assert np.isnan(values[1, 2:]).all()
+        assert not np.isnan(keys[0]).any()  # t_max row: no padding at all
+
+    def test_padding_aliases_real_rows_when_disabled(self):
+        assert not poison_padding_enabled()
+        tables, slot_lists = self._two_member_gather()
+        keys, values, _ = gather_padded(tables, slot_lists)
+        # Padding aliases the member's own first page: plausible-looking
+        # data, never NaN — exactly the silent-read hazard poison exposes.
+        assert not np.isnan(keys).any() and not np.isnan(values).any()
+        np.testing.assert_array_equal(keys[1, 2], keys[1, 0])
+
+    def test_toggle_returns_previous_state(self):
+        old = poison_padding_enabled()
+        try:
+            assert set_poison_padding(True) == old
+            assert poison_padding_enabled()
+            assert set_poison_padding(False) is True
+            assert not poison_padding_enabled()
+        finally:
+            set_poison_padding(old)
+
+
+class TestRandomizedChurn:
+    """Randomized interleavings of every store mutation against a dict
+    reference model: whatever the put/overwrite/drop/bulk_append/
+    rollback_append history, ``gather`` must return exactly the rows the
+    reference holds, in exactly the order asked."""
+
+    def test_store_matches_reference_under_random_churn(self):
+        rng = np.random.default_rng(2026)
+        pool = make_pool(num_pages=512, page_size=3)
+        store = PagedKVStore(HEADS, DIM, pool=pool)
+        reference = {}
+        append_log = []  # insertion order, for tail rollbacks
+        next_pos = 0
+        fill = 0
+        pages_freed_by_rollback = 0
+
+        def check():
+            assert sorted(store.positions()) == sorted(reference)
+            assert len(store) == len(reference)
+            if reference:
+                order = list(reference)
+                rng.shuffle(order)
+                keys, values = store.gather(order)
+                for i, pos in enumerate(order):
+                    np.testing.assert_array_equal(keys[i], reference[pos][0])
+                    np.testing.assert_array_equal(values[i], reference[pos][1])
+
+        for step in range(400):
+            op = rng.choice(
+                ["put_new", "overwrite", "drop", "bulk", "rollback"],
+                p=[0.3, 0.15, 0.2, 0.15, 0.2],
+            )
+            if op == "put_new":
+                pos, next_pos = next_pos, next_pos + 1
+                fill += 1
+                k, v = row(fill), -row(fill)
+                store.put(pos, k, v)
+                reference[pos] = (k, v)
+                append_log.append(pos)
+            elif op == "overwrite" and reference:
+                pos = int(rng.choice(list(reference)))
+                fill += 1
+                k, v = row(fill), -row(fill)
+                store.put(pos, k, v)
+                reference[pos] = (k, v)
+            elif op == "drop" and reference:
+                pos = int(rng.choice(list(reference)))
+                store.drop(pos)
+                del reference[pos]
+                append_log.remove(pos)
+            elif op == "bulk":
+                n = int(rng.integers(1, 6))
+                positions = list(range(next_pos, next_pos + n))
+                next_pos += n
+                fill += 1
+                keys = np.stack([row(fill + i / 8) for i in range(n)])
+                values = -keys
+                try:
+                    store.bulk_append(positions, keys, values)
+                except RuntimeError:
+                    # Recycled free slots forbid the span write; the
+                    # row-by-row path must land in the same logical state.
+                    for i, pos in enumerate(positions):
+                        store.put(pos, keys[i], values[i])
+                for i, pos in enumerate(positions):
+                    reference[pos] = (keys[i], values[i])
+                    append_log.append(pos)
+            elif op == "rollback" and append_log:
+                n = min(len(append_log), int(rng.integers(1, 5)))
+                positions = append_log[-n:]
+                freed = store.rollback_append(positions)
+                assert freed >= 0
+                pages_freed_by_rollback += freed
+                del append_log[-n:]
+                for pos in positions:
+                    del reference[pos]
+            if step % 25 == 0:
+                check()
+        check()
+        # The churn must have exercised the tail-truncation fast path
+        # (the speculative-rollback primitive), not just drop fallbacks.
+        assert pages_freed_by_rollback > 0
+        store.block_table.release()
+        assert pool.pages_in_use == 0
+
+    def test_speculative_cow_cycles_over_shared_prefix(self):
+        """Randomized speculative cycles above a shared prefix: adopters
+        append draft rows (CoW-splitting the shared tail page), roll some
+        back and commit others.  The donor's rows must never change, every
+        committed row must read back exactly, and releasing everything
+        must return the arena to the prefix pages alone — the refcount /
+        free-list invariants the engine's rollback path leans on."""
+        rng = np.random.default_rng(99)
+        pool = make_pool(num_pages=256, page_size=3)
+        donor = PagedKVStore(HEADS, DIM, pool=pool)
+        prefix_len = 7  # ends mid-page: the tail page is CoW-split on write
+        donor_rows = [(row(100 + p), -row(100 + p)) for p in range(prefix_len)]
+        donor.bulk_append(
+            range(prefix_len),
+            np.stack([k for k, _ in donor_rows]),
+            np.stack([v for _, v in donor_rows]),
+        )
+        shared = donor.share_prefix(prefix_len)
+        assert shared is not None
+
+        adopters = []
+        for _ in range(4):
+            store = PagedKVStore(HEADS, DIM, pool=pool)
+            store.adopt_prefix(shared)
+            shared.incref()
+            adopters.append((store, {}))  # committed rows beyond the prefix
+
+        fill = 0
+        splits_before = pool.stats.cow_splits
+        for cycle in range(60):
+            store, committed = adopters[cycle % len(adopters)]
+            base = prefix_len + len(committed)
+            k_draft = int(rng.integers(1, 5))
+            drafts = list(range(base, base + k_draft))
+            rows = []
+            for pos in drafts:
+                fill += 1
+                k, v = row(fill), -row(fill)
+                store.put(pos, k, v)
+                rows.append((pos, k, v))
+            kept = int(rng.integers(0, k_draft + 1))  # accepted prefix
+            freed = store.rollback_append(drafts[kept:])
+            assert freed >= 0
+            for pos, k, v in rows[:kept]:
+                committed[pos] = (k, v)
+            # Every sibling still reads the exact shared prefix...
+            for other, other_committed in adopters:
+                keys, values = other.gather(range(prefix_len))
+                for p in range(prefix_len):
+                    np.testing.assert_array_equal(keys[p], donor_rows[p][0])
+                    np.testing.assert_array_equal(values[p], donor_rows[p][1])
+                # ...plus exactly its own committed rows.
+                assert sorted(other.positions()) == (
+                    list(range(prefix_len + len(other_committed)))
+                )
+                if other_committed:
+                    order = sorted(other_committed)
+                    keys, values = other.gather(order)
+                    for i, pos in enumerate(order):
+                        np.testing.assert_array_equal(
+                            keys[i], other_committed[pos][0]
+                        )
+                        np.testing.assert_array_equal(
+                            values[i], other_committed[pos][1]
+                        )
+        assert pool.stats.cow_splits > splits_before  # drafts split the tail
+
+        # Releasing the adopters must free every speculative/CoW page and
+        # leave exactly the donor's pages plus the cached prefix run.
+        for store, _ in adopters:
+            store.block_table.release()
+            shared.decref()
+        donor_pages = len(donor.block_table.page_ids)
+        assert pool.pages_in_use == donor_pages
+        donor.block_table.release()
+        shared.decref()
+        assert pool.pages_in_use == 0

@@ -123,6 +123,27 @@ class TestScenarios:
         total = sum(t.num_requests for t in scenario.spec.tenants)
         assert len(scenario.trace()) == total
 
+    def test_repetitive_long_context_shape(self):
+        """The speculative-decode benchmark scenario: low-concurrency,
+        motif-tiled prompts a history drafter can predict.  Pins the
+        envelope the 1.5x speedup gate was calibrated against."""
+        from repro.serving.speculation import NGramDrafter
+
+        scenario = get_scenario("repetitive_long_context")
+        assert scenario.max_batch_size == 2  # latency-bound on purpose
+        trace = scenario.trace()
+        assert len(trace) == 12
+        drafter = NGramDrafter()
+        for req in trace:
+            assert 48 <= len(req.prompt_ids) <= 72
+            assert 24 <= req.max_new_tokens <= 40
+            assert all(
+                0 <= t < scenario.spec.vocab_size for t in req.prompt_ids
+            )
+            # Every prompt must be repetitive enough that the n-gram
+            # drafter proposes a full chunk from the prompt alone.
+            assert len(drafter.propose(req.prompt_ids, 4)) == 4
+
 
 class TestRunWorkload:
     @pytest.fixture(scope="class")
