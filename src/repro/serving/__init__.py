@@ -29,11 +29,27 @@ tokens per sequence per step, one batched verify forward checks them all,
 and the accepted prefix commits several tokens per step — token- and
 stats-identical to plain greedy decode, with rejected draft rows rolled
 back out of the paged KV store.  Multi-tenant traces that drive the stack
-into these regimes live in :mod:`repro.serving.workload`.  Single-sequence generation
+into these regimes live in :mod:`repro.serving.workload`.  Above the
+single engine, :mod:`repro.serving.cluster` replicates it: an
+:class:`~repro.serving.cluster.EngineCluster` runs N workers (each with
+its own arena and prefix cache) behind a pluggable
+:class:`~repro.serving.cluster.Router` (round-robin / least-pressure /
+cache-aware prefix-affinity) while exposing this same engine surface, so
+aggregate request throughput scales with worker count.  Single-sequence generation
 (:func:`repro.llm.generation.greedy_generate`) and the accuracy harness
 (:mod:`repro.eval.harness`) both route through the engine.
 """
 
+from .cluster import (
+    EngineCluster,
+    LeastPressureRouter,
+    PrefixAffinityRouter,
+    RoundRobinRouter,
+    Router,
+    WorkerHandle,
+    make_router,
+    merge_stats,
+)
 from .engine import BatchedEngine, SequenceSlot, ServingRequest, ServingResponse
 from .prefix_cache import PrefixCache, PrefixCacheStats, SequencePrefix
 from .scheduler import (
@@ -53,6 +69,7 @@ from .speculation import (
 from .workload import (
     SCENARIOS,
     Scenario,
+    ServingBackend,
     TenantReport,
     TenantSpec,
     TraceRequest,
@@ -60,19 +77,25 @@ from .workload import (
     WorkloadSpec,
     generate_trace,
     get_scenario,
+    replay,
     run_workload,
 )
 
 __all__ = [
     "BatchedEngine",
     "Drafter",
+    "EngineCluster",
     "InductionDrafter",
+    "LeastPressureRouter",
     "NGramDrafter",
     "PreemptedSequence",
     "PrefillChunk",
     "PrefillingSequence",
+    "PrefixAffinityRouter",
     "PrefixCache",
     "PrefixCacheStats",
+    "RoundRobinRouter",
+    "Router",
     "SCENARIOS",
     "Scenario",
     "ScheduleBatch",
@@ -80,15 +103,20 @@ __all__ = [
     "SchedulerPolicy",
     "SequencePrefix",
     "SequenceSlot",
+    "ServingBackend",
     "ServingRequest",
     "ServingResponse",
     "SpeculationConfig",
     "TenantReport",
     "TenantSpec",
     "TraceRequest",
+    "WorkerHandle",
     "WorkloadReport",
     "WorkloadSpec",
     "generate_trace",
     "get_scenario",
+    "make_router",
+    "merge_stats",
+    "replay",
     "run_workload",
 ]

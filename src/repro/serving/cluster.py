@@ -1,0 +1,781 @@
+"""Replicated serving: a cache-aware router over N engine workers.
+
+One :class:`~repro.serving.engine.BatchedEngine` is the single-process
+ceiling — its step loop, KV arena and prefix cache all live on one core.
+:class:`EngineCluster` replicates the engine: N workers, each with its own
+model handle, :class:`~repro.core.kv_pool.KVPoolGroup` and
+:class:`~repro.serving.prefix_cache.PrefixCache`, behind a pluggable
+:class:`Router`.  The cluster exposes the single-engine surface
+(``submit``/``submit_async``, ``response``, ``on_token``,
+``run_until_idle``/``wake``, ``drain``/``shutdown``, ``stats``), so the
+workload harness and benchmarks drive a cluster exactly like one engine.
+
+Routing policies
+----------------
+``round_robin``
+    Cycle through healthy workers — the baseline every smarter policy
+    must beat.
+``least_pressure``
+    Score each worker by outstanding sequences plus worst-layer KV-arena
+    occupancy (:meth:`BatchedEngine.load`, a cheap thread-safe snapshot)
+    and pick the lowest.  Ties break toward the lowest worker index.
+``prefix_affinity``
+    Consistent routing on the longest previously routed prompt prefix: a
+    prompt that shares a prefix with an earlier request goes to the
+    worker whose :class:`PrefixCache` (most likely) already holds that
+    prefix, so the cache-hit machinery keeps paying off per worker
+    instead of each worker cold-filling every tenant's system prompt.
+    Falls back to least-pressure for novel prompts.  The router's sticky
+    prefix → worker map is invalidated through
+    :attr:`PrefixCache.on_evict` when a worker actually sheds an entry
+    (LRU, byte budget or page pressure), so stickiness tracks what the
+    workers still hold rather than what they were ever sent.
+
+Execution modes
+---------------
+*Threaded* (production shape): :meth:`EngineCluster.start` gives each
+worker a thread driving :meth:`BatchedEngine.run_until_idle`; submissions
+land in the workers' locked pending queues and are admitted at their next
+iteration boundaries.  :meth:`drain` / :meth:`shutdown` finish all
+in-flight sequences before stopping.  A worker whose loop raises is
+marked dead: its requests that have not emitted any token are resubmitted
+to a healthy worker, started ones get a ``worker_died`` error response.
+
+*Lockstep* (measurement shape): :meth:`EngineCluster.step` runs one
+engine step on every live worker that has work; :meth:`run` drives
+lockstep rounds to completion and counts them as *epochs*.  On real
+deployments each worker owns a core, so wall-clock time is the slowest
+worker's step count — exactly what epochs measure, deterministically and
+independently of host core count or the GIL.  The scaling benchmark
+(`benchmarks/bench_replicated_scaling.py`) gates on epochs for this
+reason; see its docstring.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from .engine import (
+    STATS_CONFIG_KEYS,
+    STATS_PEAK_KEYS,
+    STATS_RATIO_KEYS,
+    BatchedEngine,
+    ServingRequest,
+    ServingResponse,
+)
+from .prefix_cache import common_prefix_length
+
+WorkerLoad = Tuple[int, Dict[str, float]]
+"""One routing candidate: ``(worker index, load snapshot)`` where the
+snapshot is :meth:`BatchedEngine.load`'s dict."""
+
+
+# ----------------------------------------------------------------------
+# Stats aggregation (satellite: documented stable schema + merge)
+# ----------------------------------------------------------------------
+def merge_stats(stats_list: Sequence[Optional[Dict]]) -> Optional[Dict]:
+    """Aggregate per-worker :meth:`BatchedEngine.stats` dicts into one.
+
+    Merging follows the stable-schema key taxonomy declared next to
+    :class:`BatchedEngine`:
+
+    * plain numeric leaves are **summed** (they are counters or occupancy
+      gauges — ``steps``, ``completed``, ``pages_in_use``, ...);
+    * :data:`STATS_PEAK_KEYS` take the **max** (a high-water mark summed
+      across workers would describe a burst no single arena ever saw);
+    * :data:`STATS_CONFIG_KEYS` keep the **first** value (configuration
+      echoes, assumed homogeneous across replicas);
+    * :data:`STATS_RATIO_KEYS` are **recomputed from the summed
+      components** where those are siblings in the same section
+      (``hit_rate`` = hits/lookups, ``acceptance_rate`` =
+      accepted/drafted, ``fp_page_fraction`` = fp-pages/pages-in-use) and
+      otherwise averaged (``bytes_per_token``);
+    * lists **concatenate**, nested dicts **recurse** (so
+      ``failures_by_cause`` and the speculation tokens-per-step histogram
+      sum per key), and optional sections merge over the workers that
+      have them (``None`` only when every worker reports ``None``).
+
+    ``stats_list`` entries that are ``None`` are skipped; an all-``None``
+    (or empty) input returns ``None``.
+    """
+    present = [s for s in stats_list if s is not None]
+    if not present:
+        return None
+    return _merge_dicts(present)
+
+
+def _merge_dicts(dicts: Sequence[Dict]) -> Dict:
+    out: Dict = {}
+    for d in dicts:
+        for key in d:
+            if key not in out:
+                out[key] = _merge_values(key, [e[key] for e in dicts if key in e])
+    # Ratios recompute from their (now summed) sibling components.
+    if "hit_rate" in out and "lookups" in out and "hits" in out:
+        out["hit_rate"] = out["hits"] / out["lookups"] if out["lookups"] else 0.0
+    if (
+        "acceptance_rate" in out
+        and "drafted_tokens" in out
+        and "accepted_tokens" in out
+    ):
+        drafted = out["drafted_tokens"]
+        out["acceptance_rate"] = (
+            out["accepted_tokens"] / drafted if drafted else 0.0
+        )
+    if (
+        "fp_page_fraction" in out
+        and "fp_pages_in_use" in out
+        and "pages_in_use" in out
+    ):
+        in_use = out["pages_in_use"]
+        out["fp_page_fraction"] = (
+            out["fp_pages_in_use"] / in_use if in_use else 0.0
+        )
+    return out
+
+
+def _merge_values(key, values: Sequence) -> object:
+    present = [v for v in values if v is not None]
+    if not present:
+        return None
+    if key in STATS_CONFIG_KEYS:
+        return present[0]
+    if all(isinstance(v, dict) for v in present):
+        return _merge_dicts(present)
+    if all(isinstance(v, list) for v in present):
+        return [item for v in present for item in v]
+    if all(isinstance(v, bool) for v in present):
+        return present[0]
+    if all(isinstance(v, (int, float)) for v in present):
+        if key in STATS_PEAK_KEYS:
+            return max(present)
+        if key in STATS_RATIO_KEYS:
+            return sum(present) / len(present)
+        return sum(present)
+    return present[0]
+
+
+# ----------------------------------------------------------------------
+# Routers
+# ----------------------------------------------------------------------
+class Router:
+    """Routing-policy seam: pick a worker for each submitted request.
+
+    :meth:`route` is called by the cluster under its submission lock with
+    the request and the ``(index, load)`` snapshots of every *healthy*
+    worker (never empty).  The notification hooks let stateful routers
+    track cluster events; the defaults are no-ops.
+    """
+
+    name = "router"
+
+    def route(
+        self, request: ServingRequest, candidates: Sequence[WorkerLoad]
+    ) -> int:
+        raise NotImplementedError
+
+    def note_evicted(self, worker: int, key: Tuple[int, ...]) -> None:
+        """Worker ``worker``'s prefix cache shed the entry for ``key``."""
+
+    def note_worker_dead(self, worker: int) -> None:
+        """Worker ``worker`` died; forget any affinity to it."""
+
+    def stats(self) -> Dict[str, object]:
+        return {}
+
+
+class RoundRobinRouter(Router):
+    """Cycle through healthy workers in index order."""
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._count = 0
+
+    def route(
+        self, request: ServingRequest, candidates: Sequence[WorkerLoad]
+    ) -> int:
+        index = candidates[self._count % len(candidates)][0]
+        self._count += 1
+        return index
+
+
+class LeastPressureRouter(Router):
+    """Pick the worker with the least outstanding work and page pressure.
+
+    Score = ``queued`` (pending + prefilling + active + parked sequences)
+    + ``page_weight`` × worst-layer arena occupancy, from the cheap
+    :meth:`BatchedEngine.load` snapshot.  ``page_weight`` converts
+    occupancy (``[0, 1]``) into sequence-equivalents: at the default 4.0
+    a completely full arena weighs like four queued requests, so queue
+    depth dominates until pages actually get scarce.  Ties break toward
+    the lowest worker index (deterministic).
+    """
+
+    name = "least_pressure"
+
+    def __init__(self, page_weight: float = 4.0) -> None:
+        self.page_weight = float(page_weight)
+
+    def route(
+        self, request: ServingRequest, candidates: Sequence[WorkerLoad]
+    ) -> int:
+        best_index = candidates[0][0]
+        best_score = None
+        for index, load in candidates:
+            score = (
+                load["queued"] + self.page_weight * load["page_utilization"]
+            )
+            if best_score is None or score < best_score:
+                best_score, best_index = score, index
+        return best_index
+
+
+class PrefixAffinityRouter(Router):
+    """Sticky cache-aware routing on shared prompt prefixes.
+
+    Keeps an LRU map of previously routed prompt key tuples → worker
+    index.  A new prompt routes to the sticky worker of the longest
+    recorded prompt it shares at least ``min_prefix_tokens`` tokens with
+    (capped at ``len(prompt) - 1``, mirroring
+    :meth:`PrefixCache.lookup` semantics — the final position is always
+    recomputed, so a full-prompt match still reuses at most ``n-1``
+    tokens); novel prompts fall back to ``fallback`` (least-pressure by
+    default) and are then recorded.  The map is bounded by
+    ``max_entries`` and invalidated by :meth:`note_evicted` when a
+    worker's cache actually sheds an entry, so stickiness follows what
+    workers still hold.
+
+    Thread safety: the sticky map has its own lock because
+    :meth:`note_evicted` fires from *worker* threads (inside the engine's
+    admission path via :attr:`PrefixCache.on_evict`) while :meth:`route`
+    runs on submitter threads.
+    """
+
+    name = "prefix_affinity"
+
+    def __init__(
+        self,
+        min_prefix_tokens: int = 8,
+        max_entries: int = 1024,
+        fallback: Optional[Router] = None,
+    ) -> None:
+        if min_prefix_tokens < 1:
+            raise ValueError("min_prefix_tokens must be >= 1")
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.min_prefix_tokens = int(min_prefix_tokens)
+        self.max_entries = int(max_entries)
+        self.fallback = fallback if fallback is not None else LeastPressureRouter()
+        self._sticky: Dict[Tuple[int, ...], int] = {}
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._invalidations = 0
+
+    def route(
+        self, request: ServingRequest, candidates: Sequence[WorkerLoad]
+    ) -> int:
+        prompt = tuple(int(t) for t in request.prompt_ids)
+        healthy = {index for index, _ in candidates}
+        limit = len(prompt) - 1
+        with self._lock:
+            best_len = 0
+            best_worker: Optional[int] = None
+            for key, worker in self._sticky.items():
+                if worker not in healthy:
+                    continue
+                shared = min(common_prefix_length(key, prompt), limit)
+                if shared > best_len:
+                    best_len, best_worker = shared, worker
+            if best_worker is not None and best_len >= self.min_prefix_tokens:
+                self._hits += 1
+                self._record(prompt, best_worker)
+                return best_worker
+            self._misses += 1
+        # Fallback outside the lock — it only reads the candidates.
+        chosen = self.fallback.route(request, candidates)
+        with self._lock:
+            self._record(prompt, chosen)
+        return chosen
+
+    def _record(self, prompt: Tuple[int, ...], worker: int) -> None:
+        """Remember (LRU-touch) ``prompt`` → ``worker``; lock held."""
+        if len(prompt) <= self.min_prefix_tokens:
+            return
+        self._sticky.pop(prompt, None)
+        self._sticky[prompt] = worker
+        while len(self._sticky) > self.max_entries:
+            self._sticky.pop(next(iter(self._sticky)))
+
+    def note_evicted(self, worker: int, key: Tuple[int, ...]) -> None:
+        with self._lock:
+            stale = [
+                entry
+                for entry, w in self._sticky.items()
+                if w == worker
+                and common_prefix_length(entry, key) >= self.min_prefix_tokens
+            ]
+            for entry in stale:
+                del self._sticky[entry]
+            self._invalidations += len(stale)
+
+    def note_worker_dead(self, worker: int) -> None:
+        with self._lock:
+            stale = [e for e, w in self._sticky.items() if w == worker]
+            for entry in stale:
+                del self._sticky[entry]
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "sticky_entries": len(self._sticky),
+                "affinity_hits": self._hits,
+                "affinity_misses": self._misses,
+                "invalidations": self._invalidations,
+            }
+
+
+ROUTERS: Dict[str, Callable[[], Router]] = {
+    "round_robin": RoundRobinRouter,
+    "least_pressure": LeastPressureRouter,
+    "prefix_affinity": PrefixAffinityRouter,
+}
+
+
+def make_router(name: str) -> Router:
+    """Build a fresh router by policy name (see :data:`ROUTERS`)."""
+    try:
+        return ROUTERS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown router {name!r}; known: {sorted(ROUTERS)}"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# Cluster
+# ----------------------------------------------------------------------
+@dataclass
+class WorkerHandle:
+    """One replicated engine plus its health and thread bookkeeping."""
+
+    index: int
+    engine: BatchedEngine
+    alive: bool = True
+    error: Optional[str] = None
+    thread: Optional[threading.Thread] = field(default=None, repr=False)
+    stop: Optional[threading.Event] = field(default=None, repr=False)
+
+
+class EngineCluster:
+    """N replicated :class:`BatchedEngine` workers behind a :class:`Router`.
+
+    Parameters
+    ----------
+    engine_factory:
+        Zero-argument callable building one worker engine.  Called
+        ``num_workers`` times; each worker must get its *own* model
+        handle, ``KVPoolGroup`` and ``PrefixCache`` (replicas share
+        nothing), which is what a fresh :class:`BatchedEngine` per call
+        gives naturally.  The cluster owns each worker's ``on_token``
+        and ``prefix_cache.on_evict`` seams (it installs wrappers; set
+        :attr:`on_token` on the *cluster* instead).
+    num_workers:
+        Worker count (>= 1).
+    router:
+        Policy name (``"round_robin"`` / ``"least_pressure"`` /
+        ``"prefix_affinity"``) or a :class:`Router` instance.
+
+    The cluster assigns every request an explicit id (``req-c<n>`` when
+    the caller did not choose one) before handing it to a worker, so ids
+    are unique cluster-wide even though each worker allocates its own
+    ``req-<n>`` ids when driven directly.
+
+    Use either the threaded surface (:meth:`start` /
+    :meth:`run_until_idle` / :meth:`drain` / :meth:`shutdown`) or the
+    deterministic lockstep surface (:meth:`step` / :meth:`run`) — never
+    both at once; :meth:`step` refuses while worker threads run.
+    """
+
+    def __init__(
+        self,
+        engine_factory: Callable[[], BatchedEngine],
+        num_workers: int,
+        router: Union[str, Router] = "least_pressure",
+        on_token: Optional[Callable[[str, int, int], None]] = None,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.router: Router = (
+            make_router(router) if isinstance(router, str) else router
+        )
+        self.on_token = on_token
+        self._workers: List[WorkerHandle] = []
+        for index in range(num_workers):
+            engine = engine_factory()
+            worker = WorkerHandle(index=index, engine=engine)
+            engine.on_token = self._make_on_token(index)
+            if engine.prefix_cache is not None:
+                engine.prefix_cache.on_evict = self._make_on_evict(index)
+            self._workers.append(worker)
+        self._lock = threading.RLock()
+        self._ids = itertools.count()
+        self._known_ids: set = set()
+        self._submission_order: List[str] = []
+        self._requests: Dict[str, ServingRequest] = {}
+        self._rid_worker: Dict[str, int] = {}
+        self._tokens_seen: Dict[str, int] = {}
+        self._overrides: Dict[str, ServingResponse] = {}
+        self._resubmissions = 0
+        self._epochs = 0
+        self._threads_running = False
+        self._closed = False
+        self._wake_event = threading.Event()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def workers(self) -> Tuple[WorkerHandle, ...]:
+        return tuple(self._workers)
+
+    @property
+    def num_workers(self) -> int:
+        return len(self._workers)
+
+    @property
+    def alive_workers(self) -> int:
+        return sum(1 for w in self._workers if w.alive)
+
+    @property
+    def has_work(self) -> bool:
+        return any(w.alive and w.engine.has_work for w in self._workers)
+
+    @property
+    def step_count(self) -> int:
+        """Lockstep epochs driven so far (see the module docstring)."""
+        return self._epochs
+
+    def load(self) -> Dict[str, float]:
+        """Cluster-wide load: per-key sums of the live workers' loads,
+        except ``page_utilization`` which is the worst worker's."""
+        out: Dict[str, float] = {}
+        for worker in self._workers:
+            if not worker.alive:
+                continue
+            for key, value in worker.engine.load().items():
+                if key == "page_utilization":
+                    out[key] = max(out.get(key, 0.0), value)
+                else:
+                    out[key] = out.get(key, 0) + value
+        return out
+
+    def stats(self) -> Dict[str, object]:
+        """Aggregate telemetry: per-worker sections, the
+        :func:`merge_stats` cluster-wide view, router and health counters.
+
+        Like :meth:`BatchedEngine.stats`, call at quiescence (after
+        :meth:`drain` or between lockstep steps)."""
+        worker_stats = [w.engine.stats() for w in self._workers]
+        return {
+            "num_workers": len(self._workers),
+            "alive_workers": self.alive_workers,
+            "dead_workers": [w.index for w in self._workers if not w.alive],
+            "resubmissions": self._resubmissions,
+            "epochs": self._epochs,
+            "router": {"policy": self.router.name, **self.router.stats()},
+            "cluster": merge_stats(worker_stats),
+            "workers": worker_stats,
+        }
+
+    # ------------------------------------------------------------------
+    # Worker seams
+    # ------------------------------------------------------------------
+    def _make_on_token(self, index: int) -> Callable[[str, int, int], None]:
+        def on_token(request_id: str, token_id: int, num_generated: int) -> None:
+            # Progress accounting for dead-worker resubmission decisions:
+            # once a request has emitted tokens it cannot transparently
+            # restart elsewhere.
+            self._tokens_seen[request_id] = num_generated
+            callback = self.on_token
+            if callback is not None:
+                callback(request_id, token_id, num_generated)
+
+        return on_token
+
+    def _make_on_evict(self, index: int) -> Callable[[Tuple[int, ...]], None]:
+        def on_evict(key: Tuple[int, ...]) -> None:
+            self.router.note_evicted(index, key)
+
+        return on_evict
+
+    # ------------------------------------------------------------------
+    # Submission / responses (single-engine surface)
+    # ------------------------------------------------------------------
+    def submit(self, request: ServingRequest) -> str:
+        """Route ``request`` to a worker; returns its cluster-unique id.
+
+        Thread-safe.  Raises ``RuntimeError`` after :meth:`shutdown`,
+        ``ValueError`` on duplicate explicit ids or invalid requests
+        (worker-side validation propagates before any state is recorded).
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("cluster is shut down")
+            request_id = request.request_id
+            if request_id is None:
+                request_id = f"req-c{next(self._ids)}"
+            if request_id in self._known_ids:
+                raise ValueError(f"duplicate request id {request_id!r}")
+            candidates = self._healthy_loads()
+            if not candidates:
+                raise RuntimeError("no healthy workers")
+            queued = ServingRequest(
+                prompt_ids=request.prompt_ids,
+                max_new_tokens=request.max_new_tokens,
+                request_id=request_id,
+                stop_ids=request.stop_ids,
+                policy_factory=request.policy_factory,
+                keep_logits=request.keep_logits,
+                priority=request.priority,
+                tenant=request.tenant,
+            )
+            index = self.router.route(queued, candidates)
+            # Worker-side validation runs before the cluster records
+            # anything, so a rejected request leaves no trace.
+            self._workers[index].engine.submit_async(queued)
+            self._known_ids.add(request_id)
+            self._submission_order.append(request_id)
+            self._requests[request_id] = queued
+            self._rid_worker[request_id] = index
+            self._tokens_seen[request_id] = 0
+        return request_id
+
+    def submit_async(self, request: ServingRequest) -> str:
+        """Alias of :meth:`submit` (which is already thread-safe)."""
+        return self.submit(request)
+
+    def response(self, request_id: str) -> Optional[ServingResponse]:
+        """The completed response for ``request_id`` (``None`` if in
+        flight); cluster-level ``worker_died`` errors take precedence."""
+        override = self._overrides.get(request_id)
+        if override is not None:
+            return override
+        index = self._rid_worker.get(request_id)
+        if index is None:
+            return None
+        return self._workers[index].engine.response(request_id)
+
+    def _healthy_loads(self) -> List[WorkerLoad]:
+        return [
+            (w.index, w.engine.load()) for w in self._workers if w.alive
+        ]
+
+    def _completed_in_order(self) -> List[ServingResponse]:
+        with self._lock:
+            order = list(self._submission_order)
+        out = []
+        for rid in order:
+            response = self.response(rid)
+            if response is not None:
+                out.append(response)
+        return out
+
+    # ------------------------------------------------------------------
+    # Worker health
+    # ------------------------------------------------------------------
+    def _mark_dead(self, worker: WorkerHandle, exc: BaseException) -> None:
+        """Record a worker death and reroute its unserved requests.
+
+        Requests that never emitted a token restart cleanly on a healthy
+        worker (the router picks it; counted in ``resubmissions``).
+        Requests already mid-generation lost committed tokens with the
+        worker, so they fail with ``error_cause="worker_died"`` — as do
+        all unserved requests when no healthy worker remains.
+        """
+        with self._lock:
+            if not worker.alive:
+                return
+            worker.alive = False
+            worker.error = f"{type(exc).__name__}: {exc}"
+            orphans = [
+                rid
+                for rid, index in self._rid_worker.items()
+                if index == worker.index
+                and rid not in self._overrides
+                and worker.engine.response(rid) is None
+            ]
+            for rid in orphans:
+                queued = self._requests[rid]
+                candidates = self._healthy_loads()
+                if candidates and self._tokens_seen.get(rid, 0) == 0:
+                    index = self.router.route(queued, candidates)
+                    self._workers[index].engine.submit_async(queued)
+                    self._rid_worker[rid] = index
+                    self._resubmissions += 1
+                else:
+                    self._overrides[rid] = ServingResponse(
+                        request_id=rid,
+                        token_ids=[],
+                        prompt_length=len(queued.prompt_ids),
+                        finish_reason="error",
+                        error=f"worker {worker.index} died: {worker.error}",
+                        error_cause="worker_died",
+                    )
+        self.router.note_worker_dead(worker.index)
+
+    # ------------------------------------------------------------------
+    # Lockstep execution (deterministic; measurement + tests)
+    # ------------------------------------------------------------------
+    def step(self) -> int:
+        """One lockstep round: every live worker with work takes one
+        engine step.  Returns how many workers stepped (0 = idle); each
+        non-empty round counts one *epoch*."""
+        if self._threads_running:
+            raise RuntimeError(
+                "lockstep step() while worker threads are running; "
+                "use the threaded surface or drain first"
+            )
+        stepped = 0
+        for worker in self._workers:
+            if not worker.alive or not worker.engine.has_work:
+                continue
+            try:
+                worker.engine.step()
+            except Exception as exc:
+                self._mark_dead(worker, exc)
+                continue
+            stepped += 1
+        if stepped:
+            self._epochs += 1
+        return stepped
+
+    def run(self) -> List[ServingResponse]:
+        """Drive lockstep rounds until no work remains; returns every
+        completed response in submission order."""
+        while self.step():
+            pass
+        return self._completed_in_order()
+
+    # ------------------------------------------------------------------
+    # Threaded execution (production shape)
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Give every live worker a thread driving ``run_until_idle``.
+
+        Idempotent while running; restartable after :meth:`drain`.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("cluster is shut down")
+            if self._threads_running:
+                return
+            self._threads_running = True
+            workers = [w for w in self._workers if w.alive]
+        for worker in workers:
+            worker.stop = threading.Event()
+            worker.thread = threading.Thread(
+                target=self._worker_main,
+                args=(worker,),
+                name=f"engine-worker-{worker.index}",
+                daemon=True,
+            )
+            worker.thread.start()
+
+    def _worker_main(self, worker: WorkerHandle) -> None:
+        try:
+            worker.engine.run_until_idle(worker.stop)
+        except Exception as exc:
+            self._mark_dead(worker, exc)
+
+    def _stop_threads(self) -> None:
+        """Stop worker threads, letting each drain its accepted work
+        (the engine loop honours ``stop`` only once idle), then serve
+        any resubmissions that landed on already-stopped workers."""
+        for worker in self._workers:
+            if worker.thread is not None and worker.stop is not None:
+                worker.stop.set()
+                worker.engine.wake()
+        for worker in self._workers:
+            if worker.thread is not None:
+                worker.thread.join(timeout=300.0)
+                worker.thread = None
+                worker.stop = None
+        self._threads_running = False
+        # Orphan drain: a death during shutdown may have rerouted work to
+        # a worker whose thread had already exited.
+        while self.step():
+            pass
+
+    def run_until_idle(
+        self,
+        stop: Optional[threading.Event] = None,
+        poll_interval: float = 0.05,
+    ) -> List[ServingResponse]:
+        """Serve on worker threads until ``stop`` is set, then drain.
+
+        Mirrors :meth:`BatchedEngine.run_until_idle` so trace replay
+        (:func:`repro.serving.workload.run_workload`) can drive a cluster
+        unchanged: returns once ``stop`` is set and all accepted work has
+        finished, ``stop=None`` returns at the first idle moment.
+        Returns every completed response in submission order.
+        """
+        self.start()
+        if stop is None:
+            while self.has_work:
+                time.sleep(poll_interval)
+        else:
+            while not stop.is_set():
+                self._wake_event.wait(timeout=poll_interval)
+                self._wake_event.clear()
+        self._stop_threads()
+        return self._completed_in_order()
+
+    def wake(self) -> None:
+        """Wake a blocked :meth:`run_until_idle` (e.g. after ``stop``)."""
+        self._wake_event.set()
+        for worker in self._workers:
+            worker.engine.wake()
+
+    def drain(self) -> List[ServingResponse]:
+        """Finish all accepted work and stop worker threads (threads are
+        restartable afterwards).  Returns completed responses in
+        submission order."""
+        if self._threads_running:
+            self._stop_threads()
+        else:
+            while self.step():
+                pass
+        return self._completed_in_order()
+
+    def shutdown(self) -> List[ServingResponse]:
+        """Graceful shutdown: :meth:`drain`, then refuse new submissions."""
+        with self._lock:
+            self._closed = True
+        return self.drain()
+
+
+__all__ = [
+    "EngineCluster",
+    "LeastPressureRouter",
+    "PrefixAffinityRouter",
+    "ROUTERS",
+    "RoundRobinRouter",
+    "Router",
+    "WorkerHandle",
+    "make_router",
+    "merge_stats",
+]

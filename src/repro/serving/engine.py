@@ -163,6 +163,37 @@ if TYPE_CHECKING:  # imported lazily to avoid a cycle with repro.llm
     from ..llm.model import PolicyFactory, TransformerLM
 
 
+# ----------------------------------------------------------------------
+# Stats-schema key taxonomy
+# ----------------------------------------------------------------------
+# :meth:`BatchedEngine.stats` has a *stable* schema: the key names below
+# (and the section layout documented on the method) are relied on by the
+# benchmarks, the throughput reports and the cluster aggregator
+# (:func:`repro.serving.cluster.merge_stats`).  Every numeric leaf is a
+# monotone **counter** (aggregates by summing) unless listed here:
+#
+# * ``STATS_PEAK_KEYS`` — high-water marks; a cluster-wide aggregate takes
+#   the max across workers (summing per-worker peaks would overstate a
+#   concurrency that never co-occurred).
+# * ``STATS_CONFIG_KEYS`` — configuration echoes, not measurements; they
+#   must agree across merged workers (first value wins, a mismatch is
+#   surfaced as a per-worker list).
+# * ``STATS_RATIO_KEYS`` — derived ratios; an aggregate recomputes them
+#   from the summed numerator/denominator where both are present
+#   (``hit_rate`` = hits/lookups, ``acceptance_rate`` =
+#   accepted/drafted tokens, ``fp_page_fraction`` = fp pages/pages in
+#   use) and falls back to the mean otherwise (``bytes_per_token``).
+#
+# Instantaneous occupancy gauges (``pending``/``active``/``pages_free``
+# and friends) aggregate by summing like counters: each worker owns its
+# own queue and arena, so the sum *is* the cluster-wide occupancy.
+STATS_PEAK_KEYS = frozenset({"peak_active", "peak_pages_in_use"})
+STATS_CONFIG_KEYS = frozenset({"max_tokens_per_step", "codec", "k", "enabled"})
+STATS_RATIO_KEYS = frozenset(
+    {"hit_rate", "acceptance_rate", "fp_page_fraction", "bytes_per_token"}
+)
+
+
 @dataclass
 class ServingRequest:
     """One generation request submitted to the engine.
@@ -515,6 +546,46 @@ class BatchedEngine:
     def active_request_ids(self) -> List[str]:
         return [slot.request_id for slot in self.scheduler.active]
 
+    def load(self) -> Dict[str, float]:
+        """Cheap, thread-safe load snapshot for routers.
+
+        Unlike :meth:`stats` — which walks in-flight sequence state and
+        must run at quiescence or on the stepping thread — this reads only
+        atomic ints (queue lengths, arena free-page counts), so a cluster
+        router may call it on *live* workers from its own thread.  Keys:
+
+        - ``pending`` / ``prefilling`` / ``active`` / ``parked``: queue
+          depths at each lifecycle stage.
+        - ``queued``: their sum — outstanding sequences on this worker.
+        - ``page_utilization``: worst-layer arena occupancy in ``[0, 1]``
+          (``1 - free/total``; ``0.0`` on dense engines, which have no
+          page pressure to balance on).
+
+        The snapshot is racy across keys (each is read independently while
+        the stepping thread runs); that is fine for load balancing, which
+        only needs a recent approximation.
+        """
+        pending = self.scheduler.num_pending
+        prefilling = self.scheduler.num_prefilling
+        active = len(self.scheduler.active)
+        parked = self.scheduler.num_preempted
+        utilization = 0.0
+        if self.kv_pools is not None:
+            for pool in self.kv_pools.pools:
+                total = pool.total_pages
+                if total:
+                    utilization = max(
+                        utilization, 1.0 - pool.free_pages / total
+                    )
+        return {
+            "pending": pending,
+            "prefilling": prefilling,
+            "active": active,
+            "parked": parked,
+            "queued": pending + prefilling + active + parked,
+            "page_utilization": utilization,
+        }
+
     def stats(self) -> Dict[str, object]:
         """Engine, scheduler, pool and prefix-cache telemetry as one dict.
 
@@ -539,6 +610,23 @@ class BatchedEngine:
         downgrades and verify aborts.  ``speculation``/``kv_pool``/
         ``prefix_cache`` are ``None`` when the corresponding feature is
         off.
+
+        **Stable schema.**  The section layout and key names are a
+        documented contract: top-level counters/gauges (``steps``,
+        ``pending``, ``prefilling``, ``active``, ``peak_active``,
+        ``completed``), the ``admission``/``preemption``/
+        ``failures_by_cause`` counter sections, the ``scheduler`` section
+        (:meth:`Scheduler.stats`), and the optional ``speculation``/
+        ``kv_pool``/``prefix_cache`` sections (``None`` when the feature
+        is off, never absent).  Every numeric leaf is a sum-aggregable
+        counter or occupancy gauge except the peak/config/ratio keys
+        listed in :data:`STATS_PEAK_KEYS` / :data:`STATS_CONFIG_KEYS` /
+        :data:`STATS_RATIO_KEYS`;
+        :func:`repro.serving.cluster.merge_stats` aggregates per-worker
+        dicts of this schema into one cluster-wide view.  Must be read at
+        quiescence or from the stepping thread — it walks in-flight
+        sequence state; :meth:`load` is the cheap snapshot other threads
+        (e.g. a cluster router) may take mid-step.
         """
         out: Dict[str, object] = {
             "steps": self._steps,
@@ -1433,7 +1521,11 @@ class BatchedEngine:
         """
         while self.has_work:
             self.step()
-        return [self._completed[rid] for rid in self._submission_order]
+        with self._submit_lock:
+            order = list(self._submission_order)
+        # A concurrent submit_async landing after the final has_work check
+        # stays queued for the next run; report only what completed.
+        return [self._completed[rid] for rid in order if rid in self._completed]
 
     def run_until_idle(
         self,

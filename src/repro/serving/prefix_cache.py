@@ -43,7 +43,7 @@ shared with decode).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -216,6 +216,12 @@ class PrefixCache:
         self._entry_bytes: Dict[Tuple[int, ...], int] = {}
         self._total_bytes = 0
         self.stats = PrefixCacheStats()
+        # Called with the entry key whenever the cache *sheds* an entry —
+        # LRU/byte-budget eviction, page-pressure shedding or clear() — but
+        # NOT when a longer prompt supersedes it (the superseding entry
+        # still answers every lookup the dropped one could, so e.g. a
+        # cluster router's sticky prefix→worker mapping stays valid).
+        self.on_evict: Optional[Callable[[Tuple[int, ...]], None]] = None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -242,6 +248,7 @@ class PrefixCache:
     def clear(self) -> None:
         for key in list(self._entries):
             self._drop(key)
+            self._notify_evict(key)
 
     def drop_lru_entry(self) -> bool:
         """Drop the least recently used entry (page-pressure shedding).
@@ -252,8 +259,10 @@ class PrefixCache:
         """
         if not self._entries:
             return False
-        self._drop(next(iter(self._entries)))
+        victim = next(iter(self._entries))
+        self._drop(victim)
         self.stats.evictions += 1
+        self._notify_evict(victim)
         return True
 
     # ------------------------------------------------------------------
@@ -429,8 +438,10 @@ class PrefixCache:
             len(self._entries) > self.max_entries
             or self._total_bytes > self.max_bytes
         ):
-            self._drop(next(iter(self._entries)))
+            victim = next(iter(self._entries))
+            self._drop(victim)
             self.stats.evictions += 1
+            self._notify_evict(victim)
         return True
 
     # ------------------------------------------------------------------
@@ -517,6 +528,12 @@ class PrefixCache:
         del self._entries[key]
         del self._id_arrays[key]
         self._total_bytes -= self._entry_bytes.pop(key)
+
+    def _notify_evict(self, key: Tuple[int, ...]) -> None:
+        """Fire :attr:`on_evict` after the entry is fully gone, so a
+        callback that re-queries the cache sees consistent state."""
+        if self.on_evict is not None:
+            self.on_evict(key)
 
 
 __all__ = [

@@ -34,11 +34,50 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
+)
 
 import numpy as np
 
-from .engine import BatchedEngine, ServingRequest
+from .engine import ServingRequest, ServingResponse
+
+
+@runtime_checkable
+class ServingBackend(Protocol):
+    """The duck-typed engine surface trace replay drives.
+
+    Anything exposing this — a bare
+    :class:`~repro.serving.engine.BatchedEngine` or a replicated
+    :class:`~repro.serving.cluster.EngineCluster` — can be handed to
+    :func:`run_workload` / :func:`replay` unchanged: a settable
+    ``on_token`` attribute, thread-safe ``submit_async``, a blocking
+    ``run_until_idle(stop)`` serving loop with a cross-thread ``wake``,
+    per-request ``response`` lookup and ``stats``.
+    """
+
+    on_token: Optional[Callable[[str, int, int], None]]
+
+    def submit_async(self, request: ServingRequest) -> str: ...
+
+    def run_until_idle(
+        self,
+        stop: Optional[threading.Event] = None,
+        poll_interval: float = 0.05,
+    ) -> List[ServingResponse]: ...
+
+    def wake(self) -> None: ...
+
+    def response(self, request_id: str) -> Optional[ServingResponse]: ...
+
+    def stats(self) -> Dict[str, object]: ...
 
 
 @dataclass(frozen=True)
@@ -303,17 +342,24 @@ def _percentiles(values: Sequence[float]) -> Tuple[float, float, float]:
 
 
 def run_workload(
-    engine: BatchedEngine,
+    engine: ServingBackend,
     trace: Sequence[TraceRequest],
     time_scale: float = 0.0,
 ) -> WorkloadReport:
     """Replay ``trace`` against ``engine`` and measure the outcome.
 
+    ``engine`` is any :class:`ServingBackend` — a bare
+    :class:`~repro.serving.engine.BatchedEngine` or an
+    :class:`~repro.serving.cluster.EngineCluster` — so the same trace
+    drives one engine or a replicated cluster unchanged (for a cluster,
+    ``engine_stats`` on the report is the cluster's nested
+    per-worker/merged stats dict).
+
     A driver thread (the caller's) submits each request via
     ``submit_async`` at ``arrival_time * time_scale`` seconds after the
     replay starts (``time_scale=0`` submits as fast as possible, arrival
-    *order* preserved) while a serving thread runs
-    :meth:`BatchedEngine.run_until_idle`.  The engine's ``on_token``
+    *order* preserved) while a serving thread runs the backend's
+    ``run_until_idle`` loop.  The backend's ``on_token``
     callback is installed by this function (overwriting any existing one)
     to timestamp every sampled token; per-request TTFT is first-token
     time minus submit time and ITL the gaps between consecutive token
@@ -419,6 +465,11 @@ def run_workload(
         report.tenants.append(tenant)
     report.engine_stats = engine.stats()
     return report
+
+
+#: Preferred name now that traces replay against any
+#: :class:`ServingBackend`, not just one engine.
+replay = run_workload
 
 
 # ----------------------------------------------------------------------
@@ -578,6 +629,7 @@ def get_scenario(name: str) -> Scenario:
 __all__ = [
     "Scenario",
     "SCENARIOS",
+    "ServingBackend",
     "TenantReport",
     "TenantSpec",
     "TraceRequest",
@@ -585,5 +637,6 @@ __all__ = [
     "WorkloadSpec",
     "generate_trace",
     "get_scenario",
+    "replay",
     "run_workload",
 ]

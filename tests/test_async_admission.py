@@ -162,3 +162,137 @@ class TestThreadedAdmission:
         responses = engine.run_until_idle()
         assert [r.request_id for r in responses] == ids
         assert not engine.has_work
+
+
+class TestConcurrentSubmitStress:
+    """Thread-safety audit of the concurrent-submit path.
+
+    Cluster routers hammer ``submit_async`` and ``load()`` from many
+    threads at once; the submission bookkeeping (id allocation,
+    ``_submission_order``, the known-id set) and the engine's counters
+    must stay exactly consistent — no lost, duplicated or reordered-
+    within-a-thread submissions, no torn load snapshots.
+    """
+
+    def test_many_submitters_counters_and_order_consistent(self, model):
+        engine = BatchedEngine(
+            model,
+            max_batch_size=None,
+            kv_pools=KVPoolGroup(
+                LAYERS, page_size=8, num_heads=HEADS, head_dim=HEAD_DIM,
+                num_pages=600,
+            ),
+        )
+        stop = threading.Event()
+        results = {}
+        server = threading.Thread(
+            target=lambda: results.update(
+                responses=engine.run_until_idle(stop)
+            )
+        )
+        server.start()
+        num_threads, per_thread = 8, 12
+        per_thread_ids = [[] for _ in range(num_threads)]
+        load_errors = []
+        rng = np.random.default_rng(97)
+        prompt_pool = [
+            list(map(int, rng.integers(0, VOCAB, size=n)))
+            for n in rng.integers(4, 12, size=num_threads * per_thread)
+        ]
+
+        def submitter(t):
+            for i in range(per_thread):
+                rid = engine.submit_async(
+                    ServingRequest(
+                        prompt_ids=prompt_pool[t * per_thread + i],
+                        max_new_tokens=3,
+                    )
+                )
+                per_thread_ids[t].append(rid)
+
+        def load_hammer():
+            while not stop.is_set():
+                snapshot = engine.load()
+                try:
+                    assert snapshot["queued"] >= 0
+                    assert 0.0 <= snapshot["page_utilization"] <= 1.0
+                    assert set(snapshot) == {
+                        "pending", "prefilling", "active", "parked",
+                        "queued", "page_utilization",
+                    }
+                except AssertionError as exc:  # pragma: no cover
+                    load_errors.append(exc)
+                    return
+
+        hammers = [threading.Thread(target=load_hammer) for _ in range(2)]
+        threads = [
+            threading.Thread(target=submitter, args=(t,))
+            for t in range(num_threads)
+        ]
+        try:
+            for thread in hammers + threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+        finally:
+            stop.set()
+            engine.wake()
+            server.join(timeout=120)
+            for thread in hammers:
+                thread.join(timeout=10)
+        assert not server.is_alive()
+        assert not load_errors
+        all_ids = [rid for ids in per_thread_ids for rid in ids]
+        # Auto-allocated ids are unique across threads (no torn counter).
+        assert len(set(all_ids)) == num_threads * per_thread
+        # Submission-order bookkeeping lost or duplicated nothing, and
+        # each thread's own submissions appear in its submission order.
+        with engine._submit_lock:
+            order = list(engine._submission_order)
+        assert sorted(order) == sorted(all_ids)
+        for ids in per_thread_ids:
+            positions = [order.index(rid) for rid in ids]
+            assert positions == sorted(positions)
+        # Every submission completed exactly once, with the right counters.
+        responses = {r.request_id: r for r in results["responses"]}
+        assert set(responses) == set(all_ids)
+        assert all(
+            r.finish_reason == "length" for r in responses.values()
+        )
+        stats = engine.stats()
+        assert stats["completed"] == len(all_ids)
+        assert stats["pending"] == 0
+        assert engine.load()["queued"] == 0
+
+    def test_concurrent_submit_during_run_completes_everything(self, model):
+        """`run()` racing a submitter must not crash on requests that
+        land after its final step (they stay queued for the next run)."""
+        engine = BatchedEngine(model, max_batch_size=4)
+        for prompt in [[1, 2, 3], [4, 5, 6]]:
+            engine.submit(
+                ServingRequest(prompt_ids=prompt, max_new_tokens=3)
+            )
+        done = threading.Event()
+        late_ids = []
+
+        def late_submitter():
+            while not done.is_set():
+                late_ids.append(
+                    engine.submit_async(
+                        ServingRequest(prompt_ids=[7, 8], max_new_tokens=2)
+                    )
+                )
+                time.sleep(0.0005)
+
+        thread = threading.Thread(target=late_submitter)
+        thread.start()
+        try:
+            for _ in range(20):
+                engine.run()
+        finally:
+            done.set()
+            thread.join(timeout=30)
+        responses = engine.run()
+        rids = {r.request_id for r in responses}
+        assert set(late_ids) <= rids
+        assert len(responses) == len(late_ids) + 2

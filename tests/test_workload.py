@@ -10,11 +10,14 @@ from repro.llm.model import TransformerLM
 from repro.serving import (
     SCENARIOS,
     BatchedEngine,
+    EngineCluster,
     SchedulerPolicy,
+    ServingBackend,
     TenantSpec,
     WorkloadSpec,
     generate_trace,
     get_scenario,
+    replay,
     run_workload,
 )
 
@@ -212,3 +215,67 @@ class TestRunWorkload:
         assert report.goodput_tokens_per_s == 0.0
         assert report.throughput_tokens_per_s > 0.0
         assert "0 in SLO" in report.summary()
+
+    def test_replay_drives_a_two_worker_cluster(self, model):
+        """Regression pin of the goodput-report shape for a cluster
+        replay: ``replay()`` accepts any ``ServingBackend``, and the
+        report it builds for a 2-worker cluster carries the same metric
+        surface as a single-engine one (with the cluster's nested stats
+        dict in ``engine_stats``)."""
+        scenario = get_scenario("bursty_multi_tenant")
+        trace = scenario.trace()
+
+        def factory():
+            return BatchedEngine(
+                model,
+                max_batch_size=None,
+                kv_pools=KVPoolGroup(
+                    LAYERS,
+                    page_size=scenario.page_size,
+                    num_heads=HEADS,
+                    head_dim=HEAD_DIM,
+                    num_pages=scenario.num_pages,
+                ),
+                scheduler_policy=SchedulerPolicy(
+                    preemption=True, admission="optimistic"
+                ),
+            )
+
+        cluster = EngineCluster(
+            factory, num_workers=2, router="least_pressure"
+        )
+        assert isinstance(cluster, ServingBackend)
+        assert isinstance(factory(), ServingBackend)
+        assert replay is run_workload
+        report = replay(cluster, trace)
+        # Pinned report shape: every request completes, no errors, the
+        # metric surface is fully populated.
+        assert report.submitted == len(trace)
+        assert report.completed == len(trace)
+        assert report.errors == 0
+        assert report.errors_by_cause == {}
+        assert report.tokens_generated > 0
+        assert report.elapsed_s > 0
+        assert report.slo_attained == report.completed  # no SLOs set
+        assert report.goodput_tokens_per_s == pytest.approx(
+            report.throughput_tokens_per_s
+        )
+        assert report.ttft_p50 <= report.ttft_p95 <= report.ttft_p99
+        assert report.itl_p50 <= report.itl_p95 <= report.itl_p99
+        assert [t.name for t in report.tenants] == [
+            "batch", "interactive", "steady",
+        ]
+        for tenant in report.tenants:
+            assert tenant.completed == tenant.submitted
+            assert tenant.errors == 0
+            assert tenant.tokens > 0
+        # The cluster's aggregate stats ride in engine_stats: per-worker
+        # sections plus the merged cluster-wide view.
+        stats = report.engine_stats
+        assert stats["num_workers"] == 2
+        assert stats["alive_workers"] == 2
+        assert len(stats["workers"]) == 2
+        assert stats["cluster"]["completed"] == len(trace)
+        assert stats["router"]["policy"] == "least_pressure"
+        # Both workers actually served requests.
+        assert all(w["completed"] > 0 for w in stats["workers"])
