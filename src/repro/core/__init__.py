@@ -24,12 +24,17 @@ from .group_decode import (
 )
 from .kv_cache import CacheEntry, SlotKVCache
 from .kv_pool import (
+    ArenaAllocator,
+    AttachedArena,
     BlockTable,
     KVPoolGroup,
     PagedKVPool,
     PagedKVStore,
     PoolExhaustedError,
+    SharedArenaAllocator,
     SharedKVPages,
+    arena_allocator,
+    current_arena_allocator,
     gather_padded,
 )
 from .policy import FullCachePolicy, KVCachePolicy, PolicyStats, StepRecord
@@ -55,6 +60,11 @@ __all__ = [
     "PruningConfig",
     "CacheEntry",
     "SlotKVCache",
+    "ArenaAllocator",
+    "AttachedArena",
+    "SharedArenaAllocator",
+    "arena_allocator",
+    "current_arena_allocator",
     "BlockTable",
     "GroupDecodeStats",
     "KVPoolGroup",

@@ -45,8 +45,10 @@ from __future__ import annotations
 
 import math
 import os
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from itertools import count as _itercount
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -87,6 +89,240 @@ class PoolExhaustedError(RuntimeError):
     or keeps it queued until pages are released — it never crashes the
     batch.
     """
+
+
+# ----------------------------------------------------------------------
+# Arena allocation seam
+# ----------------------------------------------------------------------
+
+
+class ArenaAllocator:
+    """Allocation seam for pool arena arrays.
+
+    :class:`PagedKVPool` obtains its backing arrays (K/V pages and, for
+    quantised codecs, the per-page scale arrays) through an allocator
+    instead of calling ``np.zeros`` directly.  The default allocator *is*
+    ``np.zeros`` — the dense in-process path is bit-identical by
+    construction — while :class:`SharedArenaAllocator` backs the same
+    arrays with ``multiprocessing.shared_memory`` segments so another
+    process (the cluster parent) can map them without pickling.
+    """
+
+    def zeros(self, shape: Sequence[int], dtype: np.dtype) -> np.ndarray:
+        """Return a zero-filled array of ``shape``/``dtype``."""
+        return np.zeros(tuple(shape), dtype=dtype)
+
+    def free(self, array: np.ndarray) -> None:
+        """Release an array previously returned by :meth:`zeros`.
+
+        The default allocator lets the GC handle it; shared allocators
+        unlink the backing segment.  Called by growable pools when they
+        replace their arrays.
+        """
+
+
+_DEFAULT_ALLOCATOR = ArenaAllocator()
+_ARENA_ALLOCATOR: ArenaAllocator = _DEFAULT_ALLOCATOR
+_ARENA_SEQ = _itercount()
+
+
+def current_arena_allocator() -> ArenaAllocator:
+    """The ambient allocator new pools pick up when none is passed."""
+    return _ARENA_ALLOCATOR
+
+
+@contextmanager
+def arena_allocator(allocator: ArenaAllocator) -> Iterator[ArenaAllocator]:
+    """Make ``allocator`` ambient for pools built inside the block.
+
+    This is how the cluster's process workers give an *unmodified*
+    zero-argument ``engine_factory`` shared-memory arenas: the child
+    wraps the factory call, and every ``PagedKVPool``/``KVPoolGroup``
+    built inside (without an explicit ``allocator=``) lands in shared
+    memory.  Pools created outside the block — e.g. private per-policy
+    pools allocated later while serving — keep the process-local default.
+    """
+    global _ARENA_ALLOCATOR
+    previous = _ARENA_ALLOCATOR
+    _ARENA_ALLOCATOR = allocator
+    try:
+        yield allocator
+    finally:
+        _ARENA_ALLOCATOR = previous
+
+
+def _untrack_shared_memory(shm: object) -> None:
+    # CPython 3.11 registers segments with the resource tracker on both
+    # create *and* attach (bpo-39959; ``track=`` only exists from 3.13).
+    # We manage the lifecycle manually — creator unlinks in a ``finally``,
+    # the cluster parent sweeps by name prefix as a crash fallback — so
+    # tracker entries would only produce spurious double-unlink warnings
+    # at interpreter exit.
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass
+
+
+def _unlink_shared_memory(shm: object) -> None:
+    # ``SharedMemory.unlink`` unregisters from the resource tracker as a
+    # side effect; since creation untracked the segment, re-register
+    # first so that internal unregister finds a matching entry (a bare
+    # unlink makes the tracker process log a KeyError traceback).
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.register(shm._name, "shared_memory")
+    except Exception:
+        pass
+    shm.unlink()
+
+
+class SharedArenaAllocator(ArenaAllocator):
+    """Arena allocator backed by ``multiprocessing.shared_memory``.
+
+    Each :meth:`zeros` call creates one named segment (zero-filled) and
+    returns a numpy view over it.  :meth:`manifest` lists
+    ``(name, shape, dtype)`` for every live segment — a picklable
+    description another process can :meth:`attach` to map the same
+    memory.  The creator owns the namespace: :meth:`unlink` removes every
+    segment name (existing mappings stay valid, per POSIX), and
+    :meth:`close` drops this process's mappings.
+
+    Segment names are ``{prefix}-{n}``; callers that need a crash-safe
+    sweep (unlink segments of a worker that died before reporting its
+    manifest) should pass an explicit ``prefix`` they remember.
+    """
+
+    def __init__(self, prefix: Optional[str] = None) -> None:
+        from multiprocessing import shared_memory  # noqa: F401 — probe
+
+        if prefix is None:
+            prefix = f"repro-arena-{os.getpid()}-{next(_ARENA_SEQ)}"
+        if "/" in prefix:
+            raise ValueError("shared-memory prefix must not contain '/'")
+        self.prefix = prefix
+        self._segments: Dict[str, object] = {}
+        self._shapes: Dict[str, Tuple[Tuple[int, ...], str]] = {}
+        self._by_addr: Dict[int, str] = {}
+        self._zombies: List[object] = []
+        self._count = 0
+
+    def zeros(self, shape: Sequence[int], dtype: np.dtype) -> np.ndarray:
+        from multiprocessing import shared_memory
+
+        dtype = np.dtype(dtype)
+        shape = tuple(int(s) for s in shape)
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        name = f"{self.prefix}-{self._count}"
+        self._count += 1
+        shm = shared_memory.SharedMemory(name=name, create=True, size=max(1, nbytes))
+        _untrack_shared_memory(shm)
+        array: np.ndarray = np.ndarray(shape, dtype=dtype, buffer=shm.buf)
+        array.fill(0)
+        self._segments[name] = shm
+        self._shapes[name] = (shape, dtype.str)
+        self._by_addr[array.__array_interface__["data"][0]] = name
+        return array
+
+    def free(self, array: np.ndarray) -> None:
+        """Unlink the segment backing ``array`` (growable-pool realloc).
+
+        The name disappears immediately; the mapping itself is released
+        when the last view dies (we keep the segment object as a zombie
+        until :meth:`close`, since numpy still exports its buffer here).
+        """
+        name = self._by_addr.pop(array.__array_interface__["data"][0], None)
+        if name is None:
+            return
+        shm = self._segments.pop(name)
+        self._shapes.pop(name, None)
+        try:
+            _unlink_shared_memory(shm)
+        except FileNotFoundError:
+            pass
+        self._zombies.append(shm)
+
+    def manifest(self) -> List[Tuple[str, Tuple[int, ...], str]]:
+        """Picklable ``(name, shape, dtype_str)`` list of live segments."""
+        return [
+            (name, shape, dtype_str)
+            for name, (shape, dtype_str) in self._shapes.items()
+        ]
+
+    @property
+    def segment_names(self) -> List[str]:
+        return list(self._segments)
+
+    def unlink(self) -> None:
+        """Remove every live segment name (idempotent)."""
+        for shm in self._segments.values():
+            try:
+                _unlink_shared_memory(shm)
+            except FileNotFoundError:
+                pass
+
+    def close(self) -> None:
+        """Drop this process's mappings (best effort: numpy views may
+        still export the buffer; those segments close at process exit)."""
+        for shm in list(self._segments.values()) + self._zombies:
+            try:
+                shm.close()
+            except BufferError:
+                pass
+
+    @staticmethod
+    def unlink_by_prefix(prefix: str) -> List[str]:
+        """Crash-fallback sweep: unlink every ``/dev/shm`` segment whose
+        name starts with ``prefix``; returns the names removed.  No-op on
+        hosts without a ``/dev/shm`` tmpfs."""
+        removed: List[str] = []
+        shm_dir = "/dev/shm"
+        if not os.path.isdir(shm_dir):
+            return removed
+        for entry in os.listdir(shm_dir):
+            if entry.startswith(prefix):
+                try:
+                    os.unlink(os.path.join(shm_dir, entry))
+                    removed.append(entry)
+                except OSError:
+                    pass
+        return removed
+
+
+class AttachedArena:
+    """A read/write mapping of another process's shared arena.
+
+    Built from a :meth:`SharedArenaAllocator.manifest`; ``arrays[name]``
+    is a numpy view of the live segment.  :meth:`close` drops the
+    mappings (never unlinks — the creator owns the namespace).
+    """
+
+    def __init__(self, manifest: Sequence[Tuple[str, Sequence[int], str]]) -> None:
+        from multiprocessing import shared_memory
+
+        self.arrays: Dict[str, np.ndarray] = {}
+        self._segments: List[object] = []
+        for name, shape, dtype_str in manifest:
+            shm = shared_memory.SharedMemory(name=name, create=False)
+            _untrack_shared_memory(shm)
+            self._segments.append(shm)
+            self.arrays[name] = np.ndarray(
+                tuple(int(s) for s in shape),
+                dtype=np.dtype(dtype_str),
+                buffer=shm.buf,
+            )
+
+    def close(self) -> None:
+        self.arrays.clear()
+        for shm in self._segments:
+            try:
+                shm.close()
+            except BufferError:
+                pass
+        self._segments.clear()
 
 
 @dataclass
@@ -141,6 +377,7 @@ class PagedKVPool:
         dtype: np.dtype = np.float64,
         codec: CodecSpec = None,
         mixed_precision: Optional[MixedPrecisionConfig] = None,
+        allocator: Optional[ArenaAllocator] = None,
     ) -> None:
         if page_size < 1:
             raise ValueError("page_size must be >= 1")
@@ -162,20 +399,30 @@ class PagedKVPool:
             raise ValueError("mixed_precision requires a quantised codec")
         self.mixed_precision = mixed_precision
         self.fixed = num_pages is not None
+        # K/V arenas and scale arrays go through the allocator seam so a
+        # shared-memory allocator can back them; process-local
+        # bookkeeping (fp flags, free list, refcounts) stays plain.
+        self.allocator = (
+            allocator if allocator is not None else current_arena_allocator()
+        )
 
         initial = int(num_pages) if self.fixed else 0
         packed = self.codec.packed_dim(self.head_dim)
         shape = (initial, self.page_size, self.num_heads, packed)
-        self._keys = np.zeros(shape, dtype=self.codec.storage_dtype)
-        self._values = np.zeros(shape, dtype=self.codec.storage_dtype)
+        self._keys = self.allocator.zeros(shape, self.codec.storage_dtype)
+        self._values = self.allocator.zeros(shape, self.codec.storage_dtype)
         if self.codec.is_float:
             self._key_scales: Optional[np.ndarray] = None
             self._value_scales: Optional[np.ndarray] = None
             self._fp_flags: Optional[np.ndarray] = None
         else:
             scale_shape = (initial, self.page_size, self.num_heads)
-            self._key_scales = np.zeros(scale_shape, dtype=self.codec.scale_dtype)
-            self._value_scales = np.zeros(scale_shape, dtype=self.codec.scale_dtype)
+            self._key_scales = self.allocator.zeros(
+                scale_shape, self.codec.scale_dtype
+            )
+            self._value_scales = self.allocator.zeros(
+                scale_shape, self.codec.scale_dtype
+            )
             self._fp_flags = np.zeros(initial, dtype=bool)
         # Full-precision overlay of pages pinned fp by the mixed-precision
         # policy: page -> [page_size, h, d] arrays at the compute dtype.
@@ -199,6 +446,7 @@ class PagedKVPool:
         dtype: np.dtype = np.float64,
         codec: CodecSpec = None,
         mixed_precision: Optional[MixedPrecisionConfig] = None,
+        allocator: Optional[ArenaAllocator] = None,
     ) -> "PagedKVPool":
         """Fixed pool holding as many pages as ``total_bytes`` affords.
 
@@ -218,6 +466,7 @@ class PagedKVPool:
             dtype=dtype,
             codec=codec_obj,
             mixed_precision=mixed_precision,
+            allocator=allocator,
         )
 
     # ------------------------------------------------------------------
@@ -517,22 +766,26 @@ class PagedKVPool:
         new = max(4, old * 2)
         packed = self.codec.packed_dim(self.head_dim)
         shape = (new, self.page_size, self.num_heads, packed)
-        keys = np.zeros(shape, dtype=self.codec.storage_dtype)
-        values = np.zeros(shape, dtype=self.codec.storage_dtype)
+        keys = self.allocator.zeros(shape, self.codec.storage_dtype)
+        values = self.allocator.zeros(shape, self.codec.storage_dtype)
         if old:
             keys[:old] = self._keys
             values[:old] = self._values
+        self.allocator.free(self._keys)
+        self.allocator.free(self._values)
         self._keys = keys
         self._values = values
         if self._key_scales is not None:
             scale_shape = (new, self.page_size, self.num_heads)
-            key_scales = np.zeros(scale_shape, dtype=self.codec.scale_dtype)
-            value_scales = np.zeros(scale_shape, dtype=self.codec.scale_dtype)
+            key_scales = self.allocator.zeros(scale_shape, self.codec.scale_dtype)
+            value_scales = self.allocator.zeros(scale_shape, self.codec.scale_dtype)
             fp_flags = np.zeros(new, dtype=bool)
             if old:
                 key_scales[:old] = self._key_scales
                 value_scales[:old] = self._value_scales
                 fp_flags[:old] = self._fp_flags
+            self.allocator.free(self._key_scales)
+            self.allocator.free(self._value_scales)
             self._key_scales = key_scales
             self._value_scales = value_scales
             self._fp_flags = fp_flags
@@ -1256,6 +1509,7 @@ class KVPoolGroup:
         dtype: np.dtype = np.float64,
         codec: CodecSpec = None,
         mixed_precision: Optional[MixedPrecisionConfig] = None,
+        allocator: Optional[ArenaAllocator] = None,
     ) -> None:
         if num_layers < 1:
             raise ValueError("num_layers must be >= 1")
@@ -1269,6 +1523,7 @@ class KVPoolGroup:
                 dtype=dtype,
                 codec=codec_obj,
                 mixed_precision=mixed_precision,
+                allocator=allocator,
             )
             for _ in range(num_layers)
         ]
@@ -1284,6 +1539,7 @@ class KVPoolGroup:
         dtype: np.dtype = np.float64,
         codec: CodecSpec = None,
         mixed_precision: Optional[MixedPrecisionConfig] = None,
+        allocator: Optional[ArenaAllocator] = None,
     ) -> "KVPoolGroup":
         """Fixed per-layer pools splitting ``total_bytes`` evenly.
 
@@ -1298,6 +1554,7 @@ class KVPoolGroup:
             num_layers, page_size, num_heads, head_dim,
             num_pages=num_pages, dtype=dtype,
             codec=codec_obj, mixed_precision=mixed_precision,
+            allocator=allocator,
         )
 
     @property
@@ -1362,6 +1619,8 @@ class KVPoolGroup:
 
 __all__ = [
     "DEFAULT_PAGE_SIZE",
+    "ArenaAllocator",
+    "AttachedArena",
     "BlockTable",
     "CodecSpec",
     "KVPoolGroup",
@@ -1370,7 +1629,10 @@ __all__ = [
     "PagedKVStore",
     "PoolExhaustedError",
     "PoolStats",
+    "SharedArenaAllocator",
     "SharedKVPages",
+    "arena_allocator",
+    "current_arena_allocator",
     "gather_padded",
     "resolve_codec",
 ]

@@ -35,7 +35,10 @@ single engine, :mod:`repro.serving.cluster` replicates it: an
 its own arena and prefix cache) behind a pluggable
 :class:`~repro.serving.cluster.Router` (round-robin / least-pressure /
 cache-aware prefix-affinity) while exposing this same engine surface, so
-aggregate request throughput scales with worker count.  Single-sequence generation
+aggregate request throughput scales with worker count; with
+``mode="process"`` the workers are forked processes whose KV arenas live
+in shared memory, turning that scaling from lockstep epochs into
+wall-clock across cores.  Single-sequence generation
 (:func:`repro.llm.generation.greedy_generate`) and the accuracy harness
 (:mod:`repro.eval.harness`) both route through the engine.
 """
@@ -46,6 +49,7 @@ from .cluster import (
     PrefixAffinityRouter,
     RoundRobinRouter,
     Router,
+    RouterConfig,
     WorkerHandle,
     make_router,
     merge_stats,
@@ -96,6 +100,7 @@ __all__ = [
     "PrefixCacheStats",
     "RoundRobinRouter",
     "Router",
+    "RouterConfig",
     "SCENARIOS",
     "Scenario",
     "ScheduleBatch",

@@ -247,6 +247,12 @@ class ServingResponse:
     raised), ``"prefill_failed"`` (the prefill pass raised) or
     ``"decode_page_exhaustion"`` (the fail-closed decode safety net, only
     reachable with preemption disabled or a lone infeasible sequence).
+    :class:`~repro.serving.cluster.EngineCluster` adds three more:
+    ``"worker_died"`` (the request had started on a worker that died),
+    ``"cluster_overloaded"`` (rejected by ``RouterConfig.max_pending``
+    admission backpressure) and ``"invalid_request"`` (a process worker's
+    ``submit`` validation failed — exceptions cannot cross the process
+    boundary, so the rejection comes back as a response).
     """
 
     request_id: str

@@ -181,6 +181,17 @@ class TraceRequest:
     slo_ttft: Optional[float] = None
     slo_itl: Optional[float] = None
 
+    def to_serving_request(self) -> ServingRequest:
+        """The engine-facing request (arrival time and SLOs are replay
+        concerns, not engine inputs)."""
+        return ServingRequest(
+            prompt_ids=list(self.prompt_ids),
+            max_new_tokens=self.max_new_tokens,
+            request_id=self.request_id,
+            priority=self.priority,
+            tenant=self.tenant,
+        )
+
 
 def _arrival_times(
     spec: WorkloadSpec, tenant: TenantSpec, rng: np.random.Generator
@@ -389,15 +400,7 @@ def run_workload(
                 if delay > 0:
                     time.sleep(delay)
             submit_times[req.request_id] = time.perf_counter()
-            engine.submit_async(
-                ServingRequest(
-                    prompt_ids=list(req.prompt_ids),
-                    max_new_tokens=req.max_new_tokens,
-                    request_id=req.request_id,
-                    priority=req.priority,
-                    tenant=req.tenant,
-                )
-            )
+            engine.submit_async(req.to_serving_request())
     finally:
         stop.set()
         engine.wake()
